@@ -1,0 +1,38 @@
+//! Criterion benches for the full Téléchat pipeline and its stages —
+//! the throughput that made the 9-million-test campaign feasible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use telechat::{prepare, Telechat};
+use telechat_bench::{llvm11_o3_aarch64, FIG7_LB_FENCES};
+use telechat_diy::Config;
+use telechat_litmus::parse_c11;
+
+fn stages(c: &mut Criterion) {
+    let test = parse_c11(FIG7_LB_FENCES).unwrap();
+    let tool = Telechat::new("rc11").unwrap();
+    let compiler = llvm11_o3_aarch64();
+    let mut g = c.benchmark_group("stages");
+    g.bench_function("l2c-prepare", |b| b.iter(|| prepare(&test, true)));
+    g.bench_function("compile", |b| {
+        let prepared = prepare(&test, true);
+        b.iter(|| compiler.compile(&prepared.test).unwrap())
+    });
+    g.bench_function("extract-l2c+c2s+s2l", |b| {
+        b.iter(|| tool.extract(&test, &compiler).unwrap())
+    });
+    g.bench_function("full-test_tv", |b| {
+        b.iter(|| tool.run(&test, &compiler).unwrap())
+    });
+    g.finish();
+}
+
+fn generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("diy");
+    g.bench_function("c11-conf-suite", |b| {
+        b.iter(|| Config::c11().generate())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, stages, generation);
+criterion_main!(benches);

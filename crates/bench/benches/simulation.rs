@@ -1,0 +1,117 @@
+//! Criterion benches for the simulation core: the Claim 5 timing
+//! ("simulation took ~3 milliseconds") and the model-evaluation costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use telechat::{PipelineConfig, Telechat};
+use telechat_bench::{FIG11_LB3, FIG7_LB_FENCES};
+use telechat_cat::CatModel;
+use telechat_common::Arch;
+use telechat_compiler::{Compiler, CompilerId, OptLevel, Target};
+use telechat_exec::{simulate, SimConfig};
+use telechat_litmus::{parse_c11, LitmusTest};
+
+fn source_simulation(c: &mut Criterion) {
+    let lb = parse_c11(FIG7_LB_FENCES).unwrap();
+    let lb3 = parse_c11(FIG11_LB3).unwrap();
+    let rc11 = CatModel::bundled("rc11").unwrap();
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("herd-source");
+    g.bench_function("LB-2threads-rc11", |b| {
+        b.iter(|| simulate(&lb, &rc11, &cfg).unwrap())
+    });
+    g.bench_function("LB3-3threads-rc11", |b| {
+        b.iter(|| simulate(&lb3, &rc11, &cfg).unwrap())
+    });
+    g.finish();
+}
+
+fn compiled_simulation_claim5(c: &mut Criterion) {
+    // Claim 5: the optimised compiled Fig. 11 simulates in milliseconds.
+    let tool = Telechat::new("rc11").unwrap();
+    let cc = Compiler::new(
+        CompilerId::llvm(11),
+        OptLevel::O3,
+        Target::new(Arch::AArch64),
+    );
+    let lb3 = parse_c11(FIG11_LB3).unwrap();
+    let (_, _, _, _, target): (_, _, _, _, LitmusTest) = tool.extract(&lb3, &cc).unwrap();
+    let aarch64 = CatModel::bundled("aarch64").unwrap();
+    let cfg = SimConfig::default();
+    c.bench_function("claim5-optimised-fig11-aarch64", |b| {
+        b.iter(|| simulate(&target, &aarch64, &cfg).unwrap())
+    });
+}
+
+fn model_evaluation(c: &mut Criterion) {
+    // Per-model cost over the same test: how expensive is each bundled
+    // model to evaluate?
+    let lb = parse_c11(FIG7_LB_FENCES).unwrap();
+    let cfg = SimConfig::default();
+    let mut g = c.benchmark_group("models");
+    for name in ["rc11", "rc11-lb", "sc"] {
+        let model = CatModel::bundled(name).unwrap();
+        g.bench_function(name, |b| b.iter(|| simulate(&lb, &model, &cfg).unwrap()));
+    }
+    g.finish();
+}
+
+fn optimised_vs_unoptimised_extraction(c: &mut Criterion) {
+    // The Fig. 11 ablation at 2 threads (3 threads exhausts its budget —
+    // that is the *point* of the experiment; see fig11_scaling).
+    let lb = parse_c11(FIG7_LB_FENCES).unwrap();
+    let aarch64 = CatModel::bundled("aarch64").unwrap();
+    let cfg = SimConfig::default();
+
+    let optimised = Telechat::new("rc11").unwrap();
+    let o3 = Compiler::new(
+        CompilerId::llvm(11),
+        OptLevel::O3,
+        Target::new(Arch::AArch64),
+    );
+    let (_, _, _, _, opt_target) = optimised.extract(&lb, &o3).unwrap();
+
+    let unopt_tool = Telechat::with_config(
+        "rc11",
+        PipelineConfig {
+            optimise: false,
+            ..PipelineConfig::default()
+        },
+    )
+    .unwrap();
+    let o0 = Compiler::new(
+        CompilerId::llvm(11),
+        OptLevel::O0,
+        Target::new(Arch::AArch64),
+    );
+    let (_, _, _, _, unopt_target) = unopt_tool.extract(&lb, &o0).unwrap();
+
+    let mut g = c.benchmark_group("fig11-extraction");
+    g.sample_size(10);
+    g.bench_function("optimised-2thread", |b| {
+        b.iter(|| simulate(&opt_target, &aarch64, &cfg).unwrap())
+    });
+    // The unoptimised test never completes (that is the experiment); we
+    // measure the time to exhaust a fixed 20k-candidate budget — a lower
+    // bound on its cost, against the optimised run's ~1 ms to FINISH.
+    let capped = SimConfig {
+        max_candidates: 20_000,
+        timeout: None,
+        ..SimConfig::default()
+    };
+    g.bench_function("unoptimised-2thread-20k-budget", |b| {
+        b.iter(|| {
+            let r = simulate(&unopt_target, &aarch64, &capped);
+            assert!(r.is_err(), "must exhaust the budget");
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    source_simulation,
+    compiled_simulation_claim5,
+    model_evaluation,
+    optimised_vs_unoptimised_extraction
+);
+criterion_main!(benches);

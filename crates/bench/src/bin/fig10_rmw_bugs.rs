@@ -1,0 +1,74 @@
+//! E5 — Paper Fig. 10: the STADD selection bug and the dead-register
+//! definitions bug, across compiler generations.
+
+use telechat::{Telechat, TestVerdict};
+use telechat_bench::{banner, expect, FIG10_MP_FETCH_ADD};
+use telechat_common::Result;
+use telechat_compiler::{Compiler, CompilerId, OptLevel, Target};
+use telechat_litmus::parse_c11;
+
+fn main() -> Result<()> {
+    banner("E5 (Fig. 10)", "STADD / dead-register-definitions bugs");
+    let test = parse_c11(FIG10_MP_FETCH_ADD)?;
+    let tool = Telechat::new("rc11")?;
+
+    println!();
+    let mut rows = Vec::new();
+    for (label, id, expected_bug) in [
+        ("clang-9  (STADD selected outright)", CompilerId::llvm(9), true),
+        ("clang-11 (dead-register pass zeroes LDADD)", CompilerId::llvm(11), true),
+        ("clang-17 (both bugs fixed)", CompilerId::llvm(17), false),
+        ("gcc-9    (STADD selected outright)", CompilerId::gcc(9), true),
+        ("gcc-10   (dead-register pass zeroes LDADD)", CompilerId::gcc(10), true),
+        ("gcc-13   (fixed)", CompilerId::gcc(13), false),
+    ] {
+        let compiler = Compiler::new(id, OptLevel::O2, Target::armv81_lse());
+        let report = tool.run(&test, &compiler)?;
+        let buggy = report.verdict == TestVerdict::PositiveDifference;
+        expect(
+            label,
+            if expected_bug { "+ve difference" } else { "pass" },
+            format!("{:?}", report.verdict),
+        );
+        assert_eq!(buggy, expected_bug, "{label}");
+        rows.push((label, report));
+    }
+
+    // The heisenbug property: keep the RMW result (`int r1 = ...`) and the
+    // bug disappears — "these bugs disappear if one attempts to study them".
+    let kept = FIG10_MP_FETCH_ADD.replace(
+        "exists (P1:r0=0 /\\ y=2)",
+        "exists (P1:r0=0 /\\ P1:r1=1)",
+    );
+    let kept_test = parse_c11(&kept)?;
+    let buggy_cc = Compiler::new(CompilerId::llvm(11), OptLevel::O2, Target::armv81_lse());
+    let report = tool.run(&kept_test, &buggy_cc)?;
+    expect(
+        "clang-11 when r1 is observed (historical MP shape)",
+        "bug invisible",
+        format!("{:?}", report.verdict),
+    );
+    assert_ne!(
+        report.verdict,
+        TestVerdict::PositiveDifference,
+        "observing r1 keeps the register live — the heisenbug hides"
+    );
+
+    // Pre-LSE targets never exhibit it (exclusive loops keep the read).
+    let pre_lse = Compiler::new(
+        CompilerId::llvm(11),
+        OptLevel::O2,
+        Target::new(telechat_common::Arch::AArch64),
+    );
+    let report = tool.run(&test, &pre_lse)?;
+    expect(
+        "clang-11 without LSE (exclusive-loop lowering)",
+        "pass",
+        format!("{:?}", report.verdict),
+    );
+    assert_ne!(report.verdict, TestVerdict::PositiveDifference);
+
+    println!("\nE5 reproduced: thread-local optimisations CAN induce concurrency bugs,");
+    println!("refuting the Morisset et al. claim — and only indirect observation sees it.");
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! E4 — Paper Fig. 9 and §IV-B: the local variable problem and Téléchat's
+//! augmentation fix.
+
+use telechat::{PipelineConfig, Telechat, TestVerdict};
+use telechat_bench::{banner, expect, FIG7_LB_FENCES, FIG9_LB_PLAIN};
+use telechat_common::Result;
+use telechat_compiler::{Compiler, CompilerId, OptLevel, Target};
+use telechat_common::Arch;
+use telechat_litmus::parse_c11;
+
+fn main() -> Result<()> {
+    banner("E4 (Fig. 9)", "the local variable problem");
+    let clang_o2 = Compiler::new(
+        CompilerId::llvm(11),
+        OptLevel::O2,
+        Target::new(Arch::AArch64),
+    );
+
+    // Fig. 9: clang -O2 deletes the unused loads of the plain-access LB.
+    let plain = parse_c11(FIG9_LB_PLAIN)?;
+    let no_augment = Telechat::with_config(
+        "rc11",
+        PipelineConfig {
+            augment: false,
+            ..PipelineConfig::default()
+        },
+    )?;
+    let report = no_augment.run(&plain, &clang_o2)?;
+    println!("\ncompiled (locals deleted) assembly litmus test:\n{}", report.asm_test);
+    println!("compiled outcomes: {}", report.target_outcomes);
+    expect(
+        "outcomes of the deleted-locals test",
+        "only {r0=0; r0=0}",
+        report.target_outcomes.len(),
+    );
+    assert_eq!(
+        report.target_outcomes.len(),
+        1,
+        "herd zero-initialises deleted registers"
+    );
+
+    // The same effect on the atomic LB: without augmentation the witness
+    // is gone; with it, Téléchat reports the difference.
+    let lb = parse_c11(FIG7_LB_FENCES)?;
+    let masked = no_augment.run(&lb, &clang_o2)?;
+    expect(
+        "LB verdict without augmentation at -O2",
+        "masked (no +ve)",
+        format!("{:?}", masked.verdict),
+    );
+    assert_ne!(masked.verdict, TestVerdict::PositiveDifference);
+
+    let with_augment = Telechat::new("rc11")?;
+    let found = with_augment.run(&lb, &clang_o2)?;
+    expect(
+        "LB verdict with augmentation at -O2",
+        "positive difference",
+        format!("{:?}", found.verdict),
+    );
+    assert_eq!(found.verdict, TestVerdict::PositiveDifference);
+
+    println!("\nE4 reproduced: persistence of locals is what exposes the bug class.");
+    Ok(())
+}

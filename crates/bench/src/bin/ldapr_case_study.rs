@@ -1,0 +1,58 @@
+//! E11 — Paper §IV-F: the LDAPR case study. Google proposed compiling
+//! C/C++ acquire loads to `LDAPR` (Armv8.3 RCpc) instead of `LDAR`;
+//! experts found no bug but had no proof. Téléchat's experimental testing
+//! of the acquire suite supported accepting the proposal.
+
+use telechat::{Telechat, TestVerdict};
+use telechat_bench::{banner, expect};
+use telechat_common::Result;
+use telechat_compiler::{Compiler, CompilerId, OptLevel, Target};
+use telechat_diy::Config;
+
+fn main() -> Result<()> {
+    banner("E11 (§IV-F)", "LDAR → LDAPR acquire-load proposal");
+
+    // The c11_acq.conf suite: acquire-flavoured tests.
+    let suite = Config::c11_acq().generate();
+    println!("\n{} acquire-flavoured tests (c11_acq.conf)", suite.len());
+
+    let tool = Telechat::new("rc11")?;
+    // Baseline mapping: LDAR (Armv8.1). Proposal: LDAPR (Armv8.3 RCpc).
+    let ldar = Compiler::new(CompilerId::llvm(17), OptLevel::O2, Target::armv81_lse());
+    let ldapr = Compiler::new(CompilerId::llvm(17), OptLevel::O2, Target::armv83_rcpc());
+
+    let mut ldar_pos = 0usize;
+    let mut ldapr_pos = 0usize;
+    let mut ldapr_weaker_somewhere = false;
+    for test in &suite {
+        let a = tool.run(test, &ldar)?;
+        let b = tool.run(test, &ldapr)?;
+        ldar_pos += usize::from(a.verdict == TestVerdict::PositiveDifference);
+        ldapr_pos += usize::from(b.verdict == TestVerdict::PositiveDifference);
+        // LDAPR may allow *more* architecture-level outcomes (it is the
+        // weaker instruction) — just never outside the C11 envelope.
+        if b.target_outcomes.len() > a.target_outcomes.len() {
+            ldapr_weaker_somewhere = true;
+        }
+    }
+    expect("positive differences with LDAR mapping", "0", ldar_pos);
+    expect(
+        "positive differences with LDAPR mapping",
+        "0 (proposal correct)",
+        ldapr_pos,
+    );
+    assert_eq!(ldar_pos, 0);
+    assert_eq!(ldapr_pos, 0);
+    println!(
+        "  LDAPR relaxes some architecture outcomes: {}",
+        if ldapr_weaker_somewhere {
+            "yes (more re-orderings, as documented)"
+        } else {
+            "not on this suite"
+        }
+    );
+
+    println!("\nE11 reproduced: no correctness regression from the LDAPR mapping —");
+    println!("the experimental evidence on which Arm's compiler team accepted the proposal.");
+    Ok(())
+}

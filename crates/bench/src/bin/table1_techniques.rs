@@ -1,0 +1,103 @@
+//! E2 — Paper Table I: comparison of state-of-the-art compiler-testing
+//! techniques. Qualitative rows from the paper, with the Téléchat and C4
+//! rows *demonstrated* live on the Fig. 7 test.
+
+use telechat::{Telechat, TestVerdict};
+use telechat_bench::{banner, llvm11_o3_aarch64, FIG7_LB_FENCES};
+use telechat_c4::{C4Config, C4};
+use telechat_common::Result;
+use telechat_hardware::RASPBERRY_PI_4;
+use telechat_litmus::parse_c11;
+
+struct Row {
+    technique: &'static str,
+    automation: &'static str,
+    coverage: &'static str,
+    general: &'static str,
+    scalability: &'static str,
+    exec: &'static str,
+    comparison: &'static str,
+}
+
+fn main() -> Result<()> {
+    banner("E2 (Table I)", "state-of-the-art technique comparison");
+    let rows = [
+        Row {
+            technique: "Prose/Experts",
+            automation: "x",
+            coverage: "?",
+            general: "v",
+            scalability: "x",
+            exec: "Human",
+            comparison: "Any",
+        },
+        Row {
+            technique: "cmmtest",
+            automation: "?",
+            coverage: "x",
+            general: "x",
+            scalability: "x",
+            exec: "Human+hardware",
+            comparison: "executions",
+        },
+        Row {
+            technique: "validc",
+            automation: "?",
+            coverage: "v",
+            general: "x",
+            scalability: "x",
+            exec: "Human+models",
+            comparison: "executions",
+        },
+        Row {
+            technique: "C4",
+            automation: "?",
+            coverage: "x",
+            general: "?",
+            scalability: "v",
+            exec: "models+hardware",
+            comparison: "outcomes",
+        },
+        Row {
+            technique: "Telechat",
+            automation: "v",
+            coverage: "v",
+            general: "v",
+            scalability: "v",
+            exec: "models only",
+            comparison: "outcomes",
+        },
+    ];
+    println!(
+        "\n{:<14} {:<11} {:<9} {:<8} {:<12} {:<16} {:<12}",
+        "Technique", "Automation", "Coverage", "General", "Scalability", "exec", "Comparison"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:<11} {:<9} {:<8} {:<12} {:<16} {:<12}",
+            r.technique, r.automation, r.coverage, r.general, r.scalability, r.exec, r.comparison
+        );
+    }
+
+    // Live demonstration of the two automated rows.
+    let test = parse_c11(FIG7_LB_FENCES)?;
+    let compiler = llvm11_o3_aarch64();
+    let tv = Telechat::new("rc11")?.run(&test, &compiler)?;
+    let c4 = C4::new(C4Config {
+        chip: RASPBERRY_PI_4,
+        ..C4Config::default()
+    })?
+    .check(&test, &compiler)?;
+    println!("\nlive check on Fig. 7 (clang-11 -O3, AArch64):");
+    println!(
+        "  Telechat (models only):      {:?}",
+        tv.verdict
+    );
+    println!(
+        "  C4 (models+hardware, Pi 4):  {}",
+        if c4.bug_found() { "bug found" } else { "missed" }
+    );
+    assert_eq!(tv.verdict, TestVerdict::PositiveDifference);
+    assert!(!c4.bug_found());
+    Ok(())
+}

@@ -1,0 +1,76 @@
+//! E6 — Paper Table II / §IV-A: C4 versus Téléchat on the same inputs (the
+//! paper passes 85 litmus tests to both tools and compares outcomes).
+
+use telechat::{Telechat, TestVerdict};
+use telechat_bench::{banner, expect, llvm11_o3_aarch64};
+use telechat_c4::{C4Config, C4};
+use telechat_common::Result;
+use telechat_hardware::RASPBERRY_PI_4;
+use telechat_diy::Config;
+
+fn main() -> Result<()> {
+    banner("E6 (Table II / §IV-A)", "C4 versus Téléchat, same inputs");
+
+    // A suite in the spirit of the paper's 85 tests: every family with
+    // plain and fenced variants. (Config::c11 is larger; take 85.)
+    let suite: Vec<_> = Config::c11().generate().into_iter().take(85).collect();
+    println!("\npassing {} litmus tests to both tools (clang-11 -O3, AArch64)…", suite.len());
+
+    let telechat = Telechat::new("rc11")?;
+    let c4 = C4::new(C4Config {
+        chip: RASPBERRY_PI_4,
+        runs: 2_000,
+        stress: 100,
+        seed: 0xC4,
+    })?;
+    let compiler = llvm11_o3_aarch64();
+
+    let mut tv_found = 0usize;
+    let mut c4_found = 0usize;
+    let mut c4_missed_but_tv_found = 0usize;
+    let mut tv_missed_but_c4_found = 0usize;
+    for test in &suite {
+        let tv = telechat.run(test, &compiler);
+        let c4r = c4.check(test, &compiler);
+        let (Ok(tv), Ok(c4r)) = (tv, c4r) else {
+            continue;
+        };
+        let tv_bug = tv.verdict == TestVerdict::PositiveDifference;
+        let c4_bug = c4r.bug_found();
+        tv_found += usize::from(tv_bug);
+        c4_found += usize::from(c4_bug);
+        c4_missed_but_tv_found += usize::from(tv_bug && !c4_bug);
+        tv_missed_but_c4_found += usize::from(c4_bug && !tv_bug);
+    }
+
+    println!("\n{:<46} {:>8} {:>8}", "", "C4", "Telechat");
+    println!("{:<46} {:>8} {:>8}", "behaviours flagged", c4_found, tv_found);
+    expect(
+        "flagged by Téléchat but missed by C4-on-Pi",
+        "> 0 (the LB family)",
+        c4_missed_but_tv_found,
+    );
+    expect(
+        "flagged by C4 but missed by Téléchat",
+        "0 (subset property)",
+        tv_missed_but_c4_found,
+    );
+    assert!(c4_missed_but_tv_found > 0);
+    assert_eq!(
+        tv_missed_but_c4_found, 0,
+        "bugs found by the state of the art are a subset of Téléchat's"
+    );
+
+    println!("\ncomponent comparison (paper Table II):");
+    for (component, c4v, tv) in [
+        ("Test environment", "models+hardware", "models only"),
+        ("Target exec", "litmus (hardware)", "herd (model)"),
+        ("Models involved", "source", "source and architecture"),
+        ("System under test", "Compiler+HW+OS", "Compiler"),
+        ("Automatic", "No (must stress SUT)", "Yes"),
+        ("Deterministic", "No", "Yes"),
+    ] {
+        println!("  {component:<22} C4: {c4v:<22} Telechat: {tv}");
+    }
+    Ok(())
+}

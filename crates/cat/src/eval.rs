@@ -1,0 +1,396 @@
+//! Evaluation of Cat programs over candidate executions.
+
+use crate::ast::{CatExpr, CatProgram, CatStmt, CheckKind};
+use std::collections::BTreeMap;
+use telechat_common::{Annot, Error, Result};
+use telechat_exec::{EventSet, Execution, Relation, Verdict};
+
+/// A Cat value: an event set or a relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatValue {
+    /// An event set.
+    Set(EventSet),
+    /// A binary relation on events.
+    Rel(Relation),
+}
+
+impl CatValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            CatValue::Set(_) => "set",
+            CatValue::Rel(_) => "relation",
+        }
+    }
+
+    fn as_rel(&self, ctx: &str) -> Result<&Relation> {
+        match self {
+            CatValue::Rel(r) => Ok(r),
+            CatValue::Set(_) => Err(Error::Model(format!(
+                "{ctx}: expected a relation, found a set"
+            ))),
+        }
+    }
+
+    fn as_set(&self, ctx: &str) -> Result<&EventSet> {
+        match self {
+            CatValue::Set(s) => Ok(s),
+            CatValue::Rel(_) => Err(Error::Model(format!(
+                "{ctx}: expected a set, found a relation"
+            ))),
+        }
+    }
+}
+
+/// The evaluation environment: named sets/relations plus the event universe.
+#[derive(Debug, Clone)]
+pub struct Env {
+    names: BTreeMap<String, CatValue>,
+    universe: EventSet,
+}
+
+impl Env {
+    /// Builds the base environment for one execution.
+    ///
+    /// Bound names:
+    /// * sets — `_` (all events), `M`, `R`, `W`, `F`, `IW`, `emptyset`, and
+    ///   one set per [`Annot`] under its Cat name (`ACQ`, `REL`, `X`,
+    ///   `DMB.ISH`, `NORET`, …);
+    /// * relations — `po`, `rf`, `co`, `fr`, `rmw`, `addr`, `data`, `ctrl`,
+    ///   `loc`, `ext`, `int`, `id`, `emptyrel`.
+    pub fn from_execution(x: &Execution) -> Env {
+        let mut names = BTreeMap::new();
+        let universe = x.universe();
+        names.insert("_".to_string(), CatValue::Set(universe.clone()));
+        names.insert("M".to_string(), CatValue::Set(x.accesses()));
+        names.insert("R".to_string(), CatValue::Set(x.reads()));
+        names.insert("W".to_string(), CatValue::Set(x.writes()));
+        names.insert("F".to_string(), CatValue::Set(x.fences()));
+        names.insert("IW".to_string(), CatValue::Set(x.init_writes()));
+        names.insert("emptyset".to_string(), CatValue::Set(EventSet::new()));
+        for a in Annot::ALL {
+            names.insert(a.cat_name().to_string(), CatValue::Set(x.annot_set(a)));
+        }
+        names.insert("po".to_string(), CatValue::Rel(x.po.clone()));
+        names.insert("rf".to_string(), CatValue::Rel(x.rf.clone()));
+        names.insert("co".to_string(), CatValue::Rel(x.co.clone()));
+        names.insert("fr".to_string(), CatValue::Rel(x.fr()));
+        names.insert("rmw".to_string(), CatValue::Rel(x.rmw.clone()));
+        names.insert("addr".to_string(), CatValue::Rel(x.addr.clone()));
+        names.insert("data".to_string(), CatValue::Rel(x.data.clone()));
+        names.insert("ctrl".to_string(), CatValue::Rel(x.ctrl.clone()));
+        names.insert("loc".to_string(), CatValue::Rel(x.loc_rel()));
+        names.insert("ext".to_string(), CatValue::Rel(x.ext_rel()));
+        names.insert("int".to_string(), CatValue::Rel(x.int_rel()));
+        names.insert("id".to_string(), CatValue::Rel(universe.identity()));
+        names.insert("emptyrel".to_string(), CatValue::Rel(Relation::new()));
+        Env { names, universe }
+    }
+
+    /// Looks up a name.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names are model errors (no silent empty-set fallback: a typo
+    /// in a model must not weaken it).
+    pub fn lookup(&self, name: &str) -> Result<&CatValue> {
+        self.names
+            .get(name)
+            .ok_or_else(|| Error::Model(format!("unknown identifier `{name}`")))
+    }
+
+    /// Binds a name (used by `let`).
+    pub fn bind(&mut self, name: impl Into<String>, value: CatValue) {
+        self.names.insert(name.into(), value);
+    }
+}
+
+/// Evaluates an expression in an environment.
+///
+/// # Errors
+///
+/// Returns [`Error::Model`] on unknown names or type mismatches.
+pub fn eval_expr(e: &CatExpr, env: &Env) -> Result<CatValue> {
+    match e {
+        CatExpr::Name(n) => env.lookup(n).cloned(),
+        CatExpr::Union(a, b) => binop(a, b, env, "|"),
+        CatExpr::Inter(a, b) => binop(a, b, env, "&"),
+        CatExpr::Diff(a, b) => binop(a, b, env, "\\"),
+        CatExpr::Seq(a, b) => {
+            let (va, vb) = (eval_expr(a, env)?, eval_expr(b, env)?);
+            Ok(CatValue::Rel(va.as_rel(";")?.seq(vb.as_rel(";")?)))
+        }
+        CatExpr::Opt(a) => {
+            let v = eval_expr(a, env)?;
+            Ok(CatValue::Rel(v.as_rel("?")?.optional(&env.universe)))
+        }
+        CatExpr::Plus(a) => {
+            let v = eval_expr(a, env)?;
+            Ok(CatValue::Rel(v.as_rel("+")?.transitive_closure()))
+        }
+        CatExpr::Star(a) => {
+            let v = eval_expr(a, env)?;
+            Ok(CatValue::Rel(
+                v.as_rel("*")?.reflexive_transitive_closure(&env.universe),
+            ))
+        }
+        CatExpr::Inverse(a) => {
+            let v = eval_expr(a, env)?;
+            Ok(CatValue::Rel(v.as_rel("^-1")?.inverse()))
+        }
+        CatExpr::IdOn(a) => {
+            let v = eval_expr(a, env)?;
+            Ok(CatValue::Rel(v.as_set("[_]")?.identity()))
+        }
+        CatExpr::Domain(a) => {
+            let v = eval_expr(a, env)?;
+            Ok(CatValue::Set(v.as_rel("domain")?.domain()))
+        }
+        CatExpr::Range(a) => {
+            let v = eval_expr(a, env)?;
+            Ok(CatValue::Set(v.as_rel("range")?.range()))
+        }
+        CatExpr::Cross(a, b) => {
+            let (va, vb) = (eval_expr(a, env)?, eval_expr(b, env)?);
+            Ok(CatValue::Rel(
+                va.as_set("cross")?.cross(vb.as_set("cross")?),
+            ))
+        }
+    }
+}
+
+fn binop(a: &CatExpr, b: &CatExpr, env: &Env, op: &str) -> Result<CatValue> {
+    let (va, vb) = (eval_expr(a, env)?, eval_expr(b, env)?);
+    match (&va, &vb) {
+        (CatValue::Set(x), CatValue::Set(y)) => Ok(CatValue::Set(match op {
+            "|" => x.union(y),
+            "&" => x.inter(y),
+            _ => x.diff(y),
+        })),
+        (CatValue::Rel(x), CatValue::Rel(y)) => Ok(CatValue::Rel(match op {
+            "|" => x.union(y),
+            "&" => x.inter(y),
+            _ => x.diff(y),
+        })),
+        _ => Err(Error::Model(format!(
+            "type mismatch for `{op}`: {} vs {}",
+            va.type_name(),
+            vb.type_name()
+        ))),
+    }
+}
+
+/// Does a (possibly negated) check hold for a value?
+fn check_holds(kind: CheckKind, negated: bool, v: &CatValue, name: &str) -> Result<bool> {
+    let plain = match kind {
+        CheckKind::Empty => match v {
+            CatValue::Set(s) => s.is_empty(),
+            CatValue::Rel(r) => r.is_empty(),
+        },
+        CheckKind::Acyclic => v.as_rel(name)?.is_acyclic(),
+        CheckKind::Irreflexive => v.as_rel(name)?.is_irreflexive(),
+    };
+    Ok(plain != negated)
+}
+
+/// Maximum Kleene iterations for `let rec` groups before giving up.
+const MAX_FIXPOINT_ITERS: usize = 256;
+
+/// Runs a Cat program over one execution, producing a verdict.
+///
+/// # Errors
+///
+/// Returns [`Error::Model`] on evaluation failures (unknown names, type
+/// errors, diverging `let rec`).
+pub fn run_program(p: &CatProgram, x: &Execution) -> Result<Verdict> {
+    let mut env = Env::from_execution(x);
+    let mut flags = Vec::new();
+    for stmt in &p.stmts {
+        match stmt {
+            CatStmt::Let {
+                recursive: false,
+                bindings,
+            } => {
+                for (name, expr) in bindings {
+                    let v = eval_expr(expr, &env)?;
+                    env.bind(name.clone(), v);
+                }
+            }
+            CatStmt::Let {
+                recursive: true,
+                bindings,
+            } => {
+                // Kleene iteration from the empty relation.
+                for (name, _) in bindings {
+                    env.bind(name.clone(), CatValue::Rel(Relation::new()));
+                }
+                let mut iters = 0;
+                loop {
+                    let mut changed = false;
+                    for (name, expr) in bindings {
+                        let v = eval_expr(expr, &env)?;
+                        if env.lookup(name)? != &v {
+                            changed = true;
+                            env.bind(name.clone(), v);
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                    iters += 1;
+                    if iters > MAX_FIXPOINT_ITERS {
+                        return Err(Error::Model(format!(
+                            "`let rec` group starting with `{}` did not converge",
+                            bindings[0].0
+                        )));
+                    }
+                }
+            }
+            CatStmt::Check {
+                kind,
+                negated,
+                expr,
+                name,
+            } => {
+                let v = eval_expr(expr, &env)?;
+                if !check_holds(*kind, *negated, &v, name)? {
+                    return Ok(Verdict::Forbidden { rule: name.clone() });
+                }
+            }
+            CatStmt::Flag {
+                kind,
+                negated,
+                expr,
+                name,
+            } => {
+                let v = eval_expr(expr, &env)?;
+                // A flag *fires* when its condition holds.
+                if check_holds(*kind, *negated, &v, name)? {
+                    flags.push(name.clone());
+                }
+            }
+        }
+    }
+    Ok(Verdict::Allowed { flags })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_cat;
+    use telechat_exec::{simulate, AllowAll, SimConfig};
+    use telechat_litmus::parse_c11;
+
+    /// A kept execution of SB with the weak (both-zero) outcome.
+    fn sb_weak_execution() -> Execution {
+        let test = parse_c11(
+            r#"
+C11 "SB"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P0:r0=0 /\ P1:r0=0)
+"#,
+        )
+        .unwrap();
+        let r = simulate(&test, &AllowAll, &SimConfig::default().keeping_executions()).unwrap();
+        r.executions
+            .into_iter()
+            .find(|x| test.condition.prop.eval(&x.outcome))
+            .expect("weak execution present")
+    }
+
+    fn program(src: &str) -> CatProgram {
+        parse_cat("t", src, &|_| None).unwrap()
+    }
+
+    #[test]
+    fn sc_model_forbids_weak_sb() {
+        let x = sb_weak_execution();
+        let sc = program("acyclic po | rf | co | fr as sc");
+        assert_eq!(
+            run_program(&sc, &x).unwrap(),
+            Verdict::Forbidden { rule: "sc".into() }
+        );
+    }
+
+    #[test]
+    fn tso_allows_weak_sb() {
+        let x = sb_weak_execution();
+        // TSO drops W→R program order.
+        let tso = program(
+            "let powr = [W]; po; [R]\nacyclic (po \\ powr) | (rf & ext) | (fr & ext) | (co & ext) as tso",
+        );
+        assert_eq!(run_program(&tso, &x).unwrap(), Verdict::allowed());
+    }
+
+    #[test]
+    fn lets_and_flags() {
+        let x = sb_weak_execution();
+        let p = program(
+            "let wr = cross(W, R) & loc\nflag ~empty wr as touched\nacyclic po as po_ok",
+        );
+        match run_program(&p, &x).unwrap() {
+            Verdict::Allowed { flags } => assert_eq!(flags, vec!["touched".to_string()]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_rec_computes_closure() {
+        let x = sb_weak_execution();
+        // hb defined recursively equals (po|rf)+ defined directly.
+        let rec = program("let rec hb = (po | rf) | (hb ; (po | rf))\nempty hb \\ (po | rf)+ as same\nempty (po | rf)+ \\ hb as same2");
+        assert_eq!(run_program(&rec, &x).unwrap(), Verdict::allowed());
+    }
+
+    #[test]
+    fn unknown_name_is_error() {
+        let x = sb_weak_execution();
+        let p = program("acyclic nonsense as oops");
+        assert!(matches!(run_program(&p, &x), Err(Error::Model(_))));
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        let x = sb_weak_execution();
+        let p = program("let z = W | po\nacyclic z as oops");
+        assert!(matches!(run_program(&p, &x), Err(Error::Model(_))));
+    }
+
+    #[test]
+    fn base_sets_populated() {
+        let x = sb_weak_execution();
+        let env = Env::from_execution(&x);
+        let CatValue::Set(r) = env.lookup("R").unwrap().clone() else {
+            panic!("R must be a set");
+        };
+        assert_eq!(r.len(), 2);
+        let CatValue::Set(rlx) = env.lookup("RLX").unwrap().clone() else {
+            panic!("RLX must be a set");
+        };
+        assert_eq!(rlx.len(), 4, "all four accesses are relaxed");
+        let CatValue::Set(iw) = env.lookup("IW").unwrap().clone() else {
+            panic!("IW must be a set");
+        };
+        assert_eq!(iw.len(), 2);
+    }
+
+    #[test]
+    fn negated_check() {
+        let x = sb_weak_execution();
+        // ~empty rf holds (rf is non-empty) → allowed.
+        let p = program("~empty rf as has_rf");
+        assert_eq!(run_program(&p, &x).unwrap(), Verdict::allowed());
+        let p = program("empty rf as no_rf");
+        assert!(matches!(
+            run_program(&p, &x).unwrap(),
+            Verdict::Forbidden { .. }
+        ));
+    }
+}

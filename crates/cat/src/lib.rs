@@ -1,0 +1,222 @@
+//! The mini-Cat memory-model DSL and the bundled model library.
+//!
+//! Memory models are *data*, exactly as in the paper ("parameterised over
+//! source and architecture memory models"): a model is a `.cat` program —
+//! relation definitions plus `acyclic`/`irreflexive`/`empty` checks —
+//! evaluated over each candidate execution the `telechat-exec` enumerator
+//! produces.
+//!
+//! Bundled models: `rc11`, `rc11-lb`, `sc`, `aarch64`, `armv7`,
+//! `armv7-buggy`, `x86tso`, `riscv`, `ppc`, `mips`, plus the `hw-inorder`
+//! hardware strength profile.
+//!
+//! # Example
+//!
+//! ```
+//! use telechat_cat::CatModel;
+//! use telechat_exec::{simulate, SimConfig};
+//! use telechat_litmus::parse_c11;
+//!
+//! let lb = parse_c11(r#"
+//! C11 "LB"
+//! { x = 0; y = 0; }
+//! P0 (atomic_int* x, atomic_int* y) {
+//!   int r0 = atomic_load_explicit(x, memory_order_relaxed);
+//!   atomic_store_explicit(y, 1, memory_order_relaxed);
+//! }
+//! P1 (atomic_int* x, atomic_int* y) {
+//!   int r0 = atomic_load_explicit(y, memory_order_relaxed);
+//!   atomic_store_explicit(x, 1, memory_order_relaxed);
+//! }
+//! exists (P0:r0=1 /\ P1:r0=1)
+//! "#)?;
+//! let rc11 = CatModel::bundled("rc11")?;
+//! let r = simulate(&lb, &rc11, &SimConfig::default())?;
+//! assert!(!lb.condition.holds(&r.outcomes)); // RC11 forbids LB
+//! # Ok::<(), telechat_common::Error>(())
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod parse;
+pub mod registry;
+
+pub use ast::{CatExpr, CatProgram, CatStmt, CheckKind};
+pub use eval::{eval_expr, run_program, CatValue, Env};
+pub use parse::parse_cat;
+pub use registry::{model_names, CatModel, ModelIntersection, BUNDLED};
+
+#[cfg(test)]
+mod model_behaviour_tests {
+    //! The semantic contract of the bundled models, exercised through the
+    //! full parse→enumerate→evaluate pipeline on the classic litmus shapes.
+
+    use crate::CatModel;
+    use telechat_exec::{simulate, SimConfig, SimResult};
+    use telechat_litmus::{parse_c11, LitmusTest};
+
+    fn run(src: &str, model: &str) -> (LitmusTest, SimResult) {
+        let test = parse_c11(src).unwrap();
+        let m = CatModel::bundled(model).unwrap();
+        let r = simulate(&test, &m, &SimConfig::default()).unwrap();
+        (test, r)
+    }
+
+    /// `exists` clause observable under the model?
+    fn observable(src: &str, model: &str) -> bool {
+        let (test, r) = run(src, model);
+        test.condition.holds(&r.outcomes)
+    }
+
+    const LB_RLX: &str = r#"
+C11 "LB"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (P0:r0=1 /\ P1:r0=1)
+"#;
+
+    #[test]
+    fn rc11_forbids_lb_but_rc11lb_allows_it() {
+        assert!(!observable(LB_RLX, "rc11"), "RC11 forbids load buffering");
+        assert!(
+            observable(LB_RLX, "rc11-lb"),
+            "rc11+lb permits load buffering"
+        );
+        assert!(!observable(LB_RLX, "sc"));
+    }
+
+    const SB_RLX: &str = r#"
+C11 "SB"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P0:r0=0 /\ P1:r0=0)
+"#;
+
+    #[test]
+    fn rc11_allows_relaxed_sb() {
+        assert!(observable(SB_RLX, "rc11"));
+        assert!(!observable(SB_RLX, "sc"));
+    }
+
+    const MP_REL_ACQ: &str = r#"
+C11 "MP+rel+acq"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_release);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, memory_order_acquire);
+  int r1 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=1 /\ P1:r1=0)
+"#;
+
+    #[test]
+    fn rc11_release_acquire_mp() {
+        assert!(!observable(MP_REL_ACQ, "rc11"), "rel/acq forbids MP");
+        // Drop the synchronisation: relaxed MP is observable.
+        let weak = MP_REL_ACQ
+            .replace("memory_order_release", "memory_order_relaxed")
+            .replace("memory_order_acquire", "memory_order_relaxed");
+        assert!(observable(&weak, "rc11"));
+    }
+
+    const MP_FENCES: &str = r#"
+C11 "MP+fences"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_release);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_thread_fence(memory_order_acquire);
+  int r1 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=1 /\ P1:r1=0)
+"#;
+
+    #[test]
+    fn rc11_fence_synchronisation() {
+        assert!(!observable(MP_FENCES, "rc11"), "fence-based sw forbids MP");
+    }
+
+    const SB_SC: &str = r#"
+C11 "SB+sc"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_seq_cst);
+  int r0 = atomic_load_explicit(y, memory_order_seq_cst);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(y, 1, memory_order_seq_cst);
+  int r0 = atomic_load_explicit(x, memory_order_seq_cst);
+}
+exists (P0:r0=0 /\ P1:r0=0)
+"#;
+
+    #[test]
+    fn rc11_sc_accesses_forbid_sb() {
+        assert!(!observable(SB_SC, "rc11"), "SC atomics forbid SB");
+    }
+
+    const SB_SC_FENCES: &str = r#"
+C11 "SB+sc-fences"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_seq_cst);
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_seq_cst);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P0:r0=0 /\ P1:r0=0)
+"#;
+
+    #[test]
+    fn rc11_sc_fences_forbid_sb() {
+        assert!(!observable(SB_SC_FENCES, "rc11"), "SC fences forbid SB");
+    }
+
+    #[test]
+    fn rc11_flags_races_on_plain_accesses() {
+        let racy = r#"
+C11 "race"
+{ int x = 0; }
+P0 (int* x) { *x = 1; }
+P1 (int* x) { int r0 = *x; }
+exists (P1:r0=1)
+"#;
+        let (_, r) = run(racy, "rc11");
+        assert!(r.has_flag("race"), "unordered plain accesses race");
+
+        let atomic = r#"
+C11 "norace"
+{ x = 0; }
+P0 (atomic_int* x) { atomic_store_explicit(x, 1, memory_order_relaxed); }
+P1 (atomic_int* x) { int r0 = atomic_load_explicit(x, memory_order_relaxed); }
+exists (P1:r0=1)
+"#;
+        let (_, r) = run(atomic, "rc11");
+        assert!(!r.has_flag("race"), "atomics never race");
+    }
+}

@@ -1,0 +1,387 @@
+//! Parser for the mini-Cat language.
+//!
+//! Operator precedence, loosest to tightest (matching herd's Cat):
+//! `|`  <  `\`  <  `&`  <  `;`  <  postfix (`?`, `+`, `*`, `^-1`).
+//!
+//! `include "file.cat"` statements are inlined at parse time via a resolver
+//! callback (the bundled registry, for the shipped models).
+
+use crate::ast::{CatExpr, CatProgram, CatStmt, CheckKind};
+use telechat_common::{Error, Result};
+use telechat_litmus::lex::{Cursor, Tok};
+
+/// Parses a Cat model; `resolve` maps an include path to its source text.
+///
+/// # Errors
+///
+/// Returns a parse error on malformed input or unresolvable includes.
+pub fn parse_cat(
+    name: &str,
+    src: &str,
+    resolve: &dyn Fn(&str) -> Option<String>,
+) -> Result<CatProgram> {
+    let mut cur = Cursor::new(src)?;
+    let mut program = CatProgram {
+        name: name.to_string(),
+        stmts: Vec::new(),
+    };
+    // Optional quoted model-name header.
+    if let Some(Tok::Str(_)) = cur.peek() {
+        if let Tok::Str(s) = cur.next()? {
+            if !s.is_empty() {
+                program.name = s;
+            }
+        }
+    }
+    parse_stmts(&mut cur, resolve, &mut program.stmts, 0)?;
+    Ok(program)
+}
+
+fn parse_stmts(
+    cur: &mut Cursor,
+    resolve: &dyn Fn(&str) -> Option<String>,
+    out: &mut Vec<CatStmt>,
+    depth: usize,
+) -> Result<()> {
+    if depth > 8 {
+        return Err(Error::parse("include nesting too deep (cycle?)"));
+    }
+    while !cur.at_end() {
+        if cur.accept_ident("include") {
+            let path = match cur.next()? {
+                Tok::Str(s) => s,
+                other => {
+                    return Err(Error::parse(format!(
+                        "expected include path string, found `{other}`"
+                    )))
+                }
+            };
+            let Some(text) = resolve(&path) else {
+                return Err(Error::parse(format!("cannot resolve include `{path}`")));
+            };
+            let mut inner = Cursor::new(&text)?;
+            if let Some(Tok::Str(_)) = inner.peek() {
+                inner.next()?; // skip nested name header
+            }
+            parse_stmts(&mut inner, resolve, out, depth + 1)?;
+            continue;
+        }
+        if cur.accept_ident("show") || cur.accept_ident("unshow") {
+            // Display directives: skip the name list (idents and commas).
+            loop {
+                match cur.peek() {
+                    Some(Tok::Ident(k))
+                        if !matches!(
+                            k.as_str(),
+                            "let" | "acyclic" | "irreflexive" | "empty" | "flag" | "include"
+                                | "show" | "unshow"
+                        ) =>
+                    {
+                        cur.next()?;
+                    }
+                    Some(Tok::Sym(",")) => {
+                        cur.next()?;
+                    }
+                    _ => break,
+                }
+            }
+            continue;
+        }
+        if cur.accept_ident("let") {
+            let recursive = cur.accept_ident("rec");
+            let mut bindings = Vec::new();
+            loop {
+                let name = cur.expect_ident()?;
+                cur.expect_sym("=")?;
+                let expr = parse_expr(cur)?;
+                bindings.push((name, expr));
+                if !cur.accept_ident("and") {
+                    break;
+                }
+            }
+            out.push(CatStmt::Let {
+                recursive,
+                bindings,
+            });
+            continue;
+        }
+        if cur.accept_ident("flag") {
+            let (kind, negated, expr, name) = parse_check_body(cur)?;
+            out.push(CatStmt::Flag {
+                kind,
+                negated,
+                expr,
+                name,
+            });
+            continue;
+        }
+        if matches!(cur.peek(), Some(Tok::Ident(k)) if is_check_kw(k)) ||
+            matches!(cur.peek(), Some(Tok::Sym("~")))
+        {
+            let (kind, negated, expr, name) = parse_check_body(cur)?;
+            out.push(CatStmt::Check {
+                kind,
+                negated,
+                expr,
+                name,
+            });
+            continue;
+        }
+        return Err(Error::parse_at(
+            format!("expected statement, found {}", cur.describe()),
+            cur.line(),
+        ));
+    }
+    Ok(())
+}
+
+fn is_check_kw(k: &str) -> bool {
+    matches!(k, "acyclic" | "irreflexive" | "empty")
+}
+
+fn parse_check_body(cur: &mut Cursor) -> Result<(CheckKind, bool, CatExpr, String)> {
+    let negated = cur.accept_sym("~");
+    let kw = cur.expect_ident()?;
+    let kind = match kw.as_str() {
+        "acyclic" => CheckKind::Acyclic,
+        "irreflexive" => CheckKind::Irreflexive,
+        "empty" => CheckKind::Empty,
+        other => {
+            return Err(Error::parse_at(
+                format!("expected check kind, found `{other}`"),
+                cur.line(),
+            ))
+        }
+    };
+    let expr = parse_expr(cur)?;
+    if !cur.accept_ident("as") {
+        return Err(Error::parse_at(
+            format!("expected `as <name>` after check, found {}", cur.describe()),
+            cur.line(),
+        ));
+    }
+    let name = cur.expect_ident()?;
+    Ok((kind, negated, expr, name))
+}
+
+/// `expr := diffs ('|' diffs)*`
+fn parse_expr(cur: &mut Cursor) -> Result<CatExpr> {
+    let mut e = parse_diff(cur)?;
+    while cur.accept_sym("|") {
+        let rhs = parse_diff(cur)?;
+        e = CatExpr::Union(Box::new(e), Box::new(rhs));
+    }
+    Ok(e)
+}
+
+/// `diffs := inters ('\' inters)*` (left associative)
+fn parse_diff(cur: &mut Cursor) -> Result<CatExpr> {
+    let mut e = parse_inter(cur)?;
+    while cur.accept_sym("\\") {
+        let rhs = parse_inter(cur)?;
+        e = CatExpr::Diff(Box::new(e), Box::new(rhs));
+    }
+    Ok(e)
+}
+
+/// `inters := seqs ('&' seqs)*`
+fn parse_inter(cur: &mut Cursor) -> Result<CatExpr> {
+    let mut e = parse_seq(cur)?;
+    while cur.accept_sym("&") {
+        let rhs = parse_seq(cur)?;
+        e = CatExpr::Inter(Box::new(e), Box::new(rhs));
+    }
+    Ok(e)
+}
+
+/// `seqs := postfix (';' postfix)*`
+fn parse_seq(cur: &mut Cursor) -> Result<CatExpr> {
+    let mut e = parse_postfix(cur)?;
+    while cur.accept_sym(";") {
+        let rhs = parse_postfix(cur)?;
+        e = CatExpr::Seq(Box::new(e), Box::new(rhs));
+    }
+    Ok(e)
+}
+
+/// `postfix := atom ('?' | '+' | '*' | '^-1')*`
+fn parse_postfix(cur: &mut Cursor) -> Result<CatExpr> {
+    let mut e = parse_atom(cur)?;
+    loop {
+        if cur.accept_sym("?") {
+            e = CatExpr::Opt(Box::new(e));
+        } else if cur.accept_sym("+") {
+            e = CatExpr::Plus(Box::new(e));
+        } else if cur.accept_sym("*") {
+            e = CatExpr::Star(Box::new(e));
+        } else if cur.accept_sym("^-") {
+            // `^-1` tokenizes as `^-` followed by the integer 1.
+            let one = cur.expect_int()?;
+            if one != 1 {
+                return Err(Error::parse_at(
+                    format!("expected `^-1`, found `^-{one}`"),
+                    cur.line(),
+                ));
+            }
+            e = CatExpr::Inverse(Box::new(e));
+        } else {
+            break;
+        }
+    }
+    Ok(e)
+}
+
+fn parse_atom(cur: &mut Cursor) -> Result<CatExpr> {
+    if cur.accept_sym("(") {
+        let e = parse_expr(cur)?;
+        cur.expect_sym(")")?;
+        return Ok(e);
+    }
+    if cur.accept_sym("[") {
+        let e = parse_expr(cur)?;
+        cur.expect_sym("]")?;
+        return Ok(CatExpr::IdOn(Box::new(e)));
+    }
+    match cur.peek() {
+        Some(Tok::Ident(id)) => {
+            let id = id.clone();
+            match id.as_str() {
+                "domain" | "range" | "cross" => {
+                    cur.next()?;
+                    cur.expect_sym("(")?;
+                    let a = parse_expr(cur)?;
+                    let e = match id.as_str() {
+                        "domain" => CatExpr::Domain(Box::new(a)),
+                        "range" => CatExpr::Range(Box::new(a)),
+                        "cross" => {
+                            cur.expect_sym(",")?;
+                            let b = parse_expr(cur)?;
+                            CatExpr::Cross(Box::new(a), Box::new(b))
+                        }
+                        _ => unreachable!(),
+                    };
+                    cur.expect_sym(")")?;
+                    Ok(e)
+                }
+                _ => {
+                    cur.next()?;
+                    Ok(CatExpr::Name(id))
+                }
+            }
+        }
+        _ => Err(Error::parse_at(
+            format!("expected expression, found {}", cur.describe()),
+            cur.line(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> CatProgram {
+        parse_cat("test", src, &|_| None).unwrap()
+    }
+
+    #[test]
+    fn parses_let_and_check() {
+        let p = parse(
+            r#""demo"
+let sb = po
+let eco = (rf | co | fr)+
+acyclic sb | rf as no_thin_air
+"#,
+        );
+        assert_eq!(p.name, "demo");
+        assert_eq!(p.stmts.len(), 3);
+        match &p.stmts[2] {
+            CatStmt::Check { kind, name, negated, .. } => {
+                assert_eq!(*kind, CheckKind::Acyclic);
+                assert_eq!(name, "no_thin_air");
+                assert!(!negated);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_union_loosest() {
+        let p = parse("let x = a | b ; c & d");
+        match &p.stmts[0] {
+            CatStmt::Let { bindings, .. } => {
+                // a | ((b;c) & d)
+                assert_eq!(bindings[0].1.to_string(), "(a | ((b ; c) & d))");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn postfix_and_brackets() {
+        let p = parse("let x = [W] ; (rf ; rmw)* ; po^-1 ; e+ ; f?");
+        match &p.stmts[0] {
+            CatStmt::Let { bindings, .. } => {
+                let s = bindings[0].1.to_string();
+                assert!(s.contains("(rf ; rmw)*"), "{s}");
+                assert!(s.contains("po^-1"), "{s}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flag_and_negation() {
+        let p = parse("let race = conflict \\ hb\nflag ~empty race as race");
+        match &p.stmts[1] {
+            CatStmt::Flag { negated, kind, name, .. } => {
+                assert!(*negated);
+                assert_eq!(*kind, CheckKind::Empty);
+                assert_eq!(name, "race");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn includes_are_inlined() {
+        let resolve = |p: &str| {
+            (p == "prelude.cat").then(|| "let rfe = rf & ext".to_string())
+        };
+        let p = parse_cat("m", "include \"prelude.cat\"\nlet x = rfe", &resolve).unwrap();
+        assert_eq!(p.stmts.len(), 2);
+    }
+
+    #[test]
+    fn missing_include_errors() {
+        let err = parse_cat("m", "include \"nope.cat\"", &|_| None).unwrap_err();
+        assert!(err.to_string().contains("nope.cat"));
+    }
+
+    #[test]
+    fn let_rec_groups() {
+        let p = parse("let rec a = b ; a and b = rf");
+        match &p.stmts[0] {
+            CatStmt::Let {
+                recursive,
+                bindings,
+            } => {
+                assert!(recursive);
+                assert_eq!(bindings.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn domain_range_cross() {
+        let p = parse("let l = domain(rmw)\nlet r = range(rmw)\nlet c = cross(W, R)");
+        assert_eq!(p.stmts.len(), 3);
+    }
+
+    #[test]
+    fn show_is_skipped() {
+        let p = parse("show rf, co\nlet x = po");
+        assert_eq!(p.stmts.len(), 1);
+    }
+}

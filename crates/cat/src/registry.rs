@@ -1,0 +1,192 @@
+//! The bundled model library and the [`CatModel`] handle.
+
+use crate::ast::CatProgram;
+use crate::eval::run_program;
+use crate::parse::parse_cat;
+use telechat_common::{Arch, Error, Result};
+use telechat_exec::{ConsistencyModel, Execution, Verdict};
+
+/// `(name, source)` pairs of every bundled `.cat` file.
+pub const BUNDLED: &[(&str, &str)] = &[
+    ("prelude", include_str!("../models/prelude.cat")),
+    ("rc11", include_str!("../models/rc11.cat")),
+    ("rc11-lb", include_str!("../models/rc11-lb.cat")),
+    ("sc", include_str!("../models/sc.cat")),
+    ("aarch64", include_str!("../models/aarch64.cat")),
+    ("armv7", include_str!("../models/armv7.cat")),
+    ("armv7-buggy", include_str!("../models/armv7-buggy.cat")),
+    ("x86tso", include_str!("../models/x86tso.cat")),
+    ("riscv", include_str!("../models/riscv.cat")),
+    ("ppc", include_str!("../models/ppc.cat")),
+    ("mips", include_str!("../models/mips.cat")),
+    ("hw-inorder", include_str!("../models/hw-inorder.cat")),
+];
+
+/// Names of the bundled models (excluding the prelude, which is only ever
+/// included).
+pub fn model_names() -> Vec<&'static str> {
+    BUNDLED
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| *n != "prelude")
+        .collect()
+}
+
+/// Resolves an include path against the bundled registry. `"prelude.cat"`
+/// and `"prelude"` both work.
+fn resolve_bundled(path: &str) -> Option<String> {
+    let stem = path.strip_suffix(".cat").unwrap_or(path);
+    BUNDLED
+        .iter()
+        .find(|(n, _)| *n == stem)
+        .map(|(_, src)| (*src).to_string())
+}
+
+/// A compiled consistency model: a parsed Cat program usable wherever a
+/// [`ConsistencyModel`] is expected.
+///
+/// ```
+/// use telechat_cat::CatModel;
+/// let rc11 = CatModel::bundled("rc11")?;
+/// assert_eq!(rc11.model_name(), "rc11");
+/// # Ok::<(), telechat_common::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CatModel {
+    program: CatProgram,
+}
+
+impl CatModel {
+    /// Loads a bundled model by name (see [`model_names`]).
+    ///
+    /// # Errors
+    ///
+    /// Unknown names and parse failures are reported as [`Error::Model`].
+    pub fn bundled(name: &str) -> Result<CatModel> {
+        let stem = name.strip_suffix(".cat").unwrap_or(name);
+        let src = resolve_bundled(stem)
+            .ok_or_else(|| Error::Model(format!("no bundled model `{name}`")))?;
+        CatModel::from_source(stem, &src)
+    }
+
+    /// Parses a model from source; includes resolve against the bundled
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse errors.
+    pub fn from_source(name: &str, src: &str) -> Result<CatModel> {
+        let program = parse_cat(name, src, &|p| resolve_bundled(p))?;
+        Ok(CatModel { program })
+    }
+
+    /// The default model for an architecture (paper Table II: "models
+    /// involved — source and architecture").
+    ///
+    /// # Errors
+    ///
+    /// Propagates load failures.
+    pub fn for_arch(arch: Arch) -> Result<CatModel> {
+        CatModel::bundled(arch.default_model())
+    }
+
+    /// The model name.
+    pub fn model_name(&self) -> &str {
+        &self.program.name
+    }
+
+    /// Judges one execution.
+    ///
+    /// # Errors
+    ///
+    /// Evaluation errors (type mismatch, unknown name) are [`Error::Model`];
+    /// they indicate a broken model, not a property of the execution.
+    pub fn check_execution(&self, x: &Execution) -> Result<Verdict> {
+        run_program(&self.program, x)
+    }
+}
+
+impl ConsistencyModel for CatModel {
+    fn name(&self) -> &str {
+        self.model_name()
+    }
+
+    /// # Panics
+    ///
+    /// Panics if the model fails to evaluate — bundled models are covered by
+    /// tests, so an evaluation error is a programming bug that must surface
+    /// loudly rather than silently allow/forbid executions.
+    fn check(&self, execution: &Execution) -> Verdict {
+        self.check_execution(execution)
+            .unwrap_or_else(|e| panic!("model `{}` failed to evaluate: {e}", self.model_name()))
+    }
+}
+
+/// A conjunction of models: allowed iff allowed by *all* parts (used by the
+/// simulated-hardware runner to intersect an architecture model with a chip
+/// strength profile).
+#[derive(Debug, Clone)]
+pub struct ModelIntersection {
+    /// Display name.
+    name: String,
+    parts: Vec<CatModel>,
+}
+
+impl ModelIntersection {
+    /// Intersects the given models.
+    pub fn new(parts: Vec<CatModel>) -> ModelIntersection {
+        let name = parts
+            .iter()
+            .map(CatModel::model_name)
+            .collect::<Vec<_>>()
+            .join("+");
+        ModelIntersection { name, parts }
+    }
+}
+
+impl ConsistencyModel for ModelIntersection {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn check(&self, execution: &Execution) -> Verdict {
+        let mut flags = Vec::new();
+        for m in &self.parts {
+            match m.check(execution) {
+                Verdict::Allowed { flags: f } => flags.extend(f),
+                forbidden @ Verdict::Forbidden { .. } => return forbidden,
+            }
+        }
+        Verdict::Allowed { flags }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_bundled_models_parse() {
+        for name in model_names() {
+            CatModel::bundled(name).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_model_errors() {
+        assert!(CatModel::bundled("bogus").is_err());
+    }
+
+    #[test]
+    fn arch_defaults_load() {
+        for arch in Arch::TARGETS {
+            CatModel::for_arch(arch).unwrap();
+        }
+        assert_eq!(CatModel::for_arch(Arch::C11).unwrap().model_name(), "rc11");
+    }
+
+    #[test]
+    fn cat_suffix_accepted() {
+        assert_eq!(CatModel::bundled("rc11.cat").unwrap().model_name(), "rc11");
+    }
+}

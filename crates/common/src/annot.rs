@@ -1,0 +1,342 @@
+//! Event annotations and the compact bitset that carries them.
+//!
+//! A single memory event can carry a C/C++ ordering (when it originates from
+//! a source litmus test) or an architecture-specific flavour (when it comes
+//! from disassembled code): acquire/release, exclusive, barrier kinds, and so
+//! on. Memory-model definitions written in the mini-Cat DSL refer to these
+//! annotations as named event sets (`ACQ`, `L`, `DMB.ISH`, …).
+
+use std::fmt;
+
+/// One annotation bit.
+///
+/// The set of annotations is the union of what the bundled C11 and
+/// architecture models need; each variant documents which world it belongs
+/// to. Annotations that only exist on one architecture are still defined for
+/// all — a model simply never mentions them and the corresponding Cat set is
+/// empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Annot {
+    // --- access strength (C11 and architectures) ---
+    /// Non-atomic (plain) access. C11 races on these are undefined behaviour.
+    NonAtomic = 0,
+    /// Atomic access (any ordering). The Cat set `A_` in C11 models.
+    Atomic,
+    /// `memory_order_relaxed`, or a plain architecture access on an atomic.
+    Relaxed,
+    /// `memory_order_acquire`; AArch64 `LDAR`'s acquire set `ACQ`.
+    Acquire,
+    /// `memory_order_release`; AArch64 `STLR`'s release set `REL`.
+    Release,
+    /// `memory_order_acq_rel` (only meaningful on RMWs and fences).
+    AcqRel,
+    /// `memory_order_seq_cst`.
+    SeqCst,
+    /// Acquire-PC: AArch64 `LDAPR` (weaker than `LDAR`; the Cat set `Q`).
+    AcquirePc,
+    /// Exclusive access (AArch64 `LDXR`/`STXR`, Armv7 `LDREX`/`STREX`,
+    /// RISC-V `LR`/`SC`, POWER `LWARX`/`STWCX.`, MIPS `LL`/`SC`).
+    Exclusive,
+    /// Event produced by the initial state (the implicit init writes).
+    Init,
+    /// Single-copy-atomic quad access (AArch64 LSE2 `LDP`/`STP` of a pair).
+    Quad,
+    /// The read half of a *write-only* RMW (AArch64 `STADD`, or `LDADD`
+    /// whose destination is the zero register). Such a read still
+    /// participates in `rf` and atomicity, but architecture barriers that
+    /// order *loads* do not see it — the root cause of the paper's §IV-B
+    /// heisenbugs.
+    NoRet,
+
+    // --- barriers: Arm ---
+    /// AArch64/Armv7 `DMB ISH` (full barrier).
+    DmbIsh,
+    /// AArch64 `DMB ISHLD` (load barrier).
+    DmbIshLd,
+    /// AArch64 `DMB ISHST` (store barrier).
+    DmbIshSt,
+    /// AArch64/Armv7 `ISB` instruction-sync barrier.
+    Isb,
+
+    // --- barriers: x86 ---
+    /// x86 `MFENCE`.
+    MFence,
+
+    // --- barriers: RISC-V ---
+    /// RISC-V `FENCE rw,rw`.
+    FenceRwRw,
+    /// RISC-V `FENCE r,rw`.
+    FenceRRw,
+    /// RISC-V `FENCE rw,w`.
+    FenceRwW,
+    /// RISC-V `FENCE r,r`.
+    FenceRR,
+    /// RISC-V `FENCE w,w`.
+    FenceWW,
+    /// RISC-V acquire bit on an AMO/LR/SC (`.aq`).
+    RiscvAq,
+    /// RISC-V release bit on an AMO/LR/SC (`.rl`).
+    RiscvRl,
+
+    // --- barriers: POWER ---
+    /// POWER `SYNC` (hwsync, full barrier).
+    Sync,
+    /// POWER `LWSYNC` (lightweight sync).
+    Lwsync,
+    /// POWER `ISYNC`.
+    Isync,
+
+    // --- barriers: MIPS ---
+    /// MIPS `SYNC` (full barrier).
+    MipsSync,
+}
+
+impl Annot {
+    /// All annotation variants, in bit order.
+    pub const ALL: [Annot; 28] = [
+        Annot::NonAtomic,
+        Annot::Atomic,
+        Annot::Relaxed,
+        Annot::Acquire,
+        Annot::Release,
+        Annot::AcqRel,
+        Annot::SeqCst,
+        Annot::AcquirePc,
+        Annot::Exclusive,
+        Annot::Init,
+        Annot::Quad,
+        Annot::NoRet,
+        Annot::DmbIsh,
+        Annot::DmbIshLd,
+        Annot::DmbIshSt,
+        Annot::Isb,
+        Annot::MFence,
+        Annot::FenceRwRw,
+        Annot::FenceRRw,
+        Annot::FenceRwW,
+        Annot::FenceRR,
+        Annot::FenceWW,
+        Annot::RiscvAq,
+        Annot::RiscvRl,
+        Annot::Sync,
+        Annot::Lwsync,
+        Annot::Isync,
+        Annot::MipsSync,
+    ];
+
+    /// The Cat set name this annotation is exposed under.
+    ///
+    /// Models written in the mini-Cat DSL select events by these names, e.g.
+    /// `[R & ACQ]` or `po; [DMB.ISH]; po`.
+    pub fn cat_name(self) -> &'static str {
+        match self {
+            Annot::NonAtomic => "NA",
+            Annot::Atomic => "A_",
+            Annot::Relaxed => "RLX",
+            Annot::Acquire => "ACQ",
+            Annot::Release => "REL",
+            Annot::AcqRel => "ACQREL",
+            Annot::SeqCst => "SC",
+            Annot::AcquirePc => "Q",
+            Annot::Exclusive => "X",
+            Annot::Init => "INIT",
+            Annot::Quad => "QUAD",
+            Annot::NoRet => "NORET",
+            Annot::DmbIsh => "DMB.ISH",
+            Annot::DmbIshLd => "DMB.ISHLD",
+            Annot::DmbIshSt => "DMB.ISHST",
+            Annot::Isb => "ISB",
+            Annot::MFence => "MFENCE",
+            Annot::FenceRwRw => "FENCE.RW.RW",
+            Annot::FenceRRw => "FENCE.R.RW",
+            Annot::FenceRwW => "FENCE.RW.W",
+            Annot::FenceRR => "FENCE.R.R",
+            Annot::FenceWW => "FENCE.W.W",
+            Annot::RiscvAq => "AQ",
+            Annot::RiscvRl => "RL",
+            Annot::Sync => "SYNC",
+            Annot::Lwsync => "LWSYNC",
+            Annot::Isync => "ISYNC",
+            Annot::MipsSync => "MIPSSYNC",
+        }
+    }
+
+    fn bit(self) -> u64 {
+        1u64 << (self as u8)
+    }
+}
+
+impl fmt::Display for Annot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.cat_name())
+    }
+}
+
+/// A set of [`Annot`] flags, packed into a `u64`.
+///
+/// ```
+/// use telechat_common::{Annot, AnnotSet};
+/// let a = AnnotSet::of(&[Annot::Atomic, Annot::Acquire]);
+/// assert!(a.contains(Annot::Acquire));
+/// assert!(!a.contains(Annot::Release));
+/// assert_eq!(a | AnnotSet::one(Annot::Release),
+///            AnnotSet::of(&[Annot::Atomic, Annot::Acquire, Annot::Release]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct AnnotSet(u64);
+
+impl AnnotSet {
+    /// The empty annotation set.
+    pub const EMPTY: AnnotSet = AnnotSet(0);
+
+    /// The empty annotation set (alias for [`AnnotSet::EMPTY`]).
+    pub fn new() -> Self {
+        Self::EMPTY
+    }
+
+    /// A singleton set.
+    pub fn one(a: Annot) -> Self {
+        AnnotSet(a.bit())
+    }
+
+    /// Builds a set from a slice of annotations.
+    pub fn of(annots: &[Annot]) -> Self {
+        annots.iter().fold(Self::EMPTY, |s, &a| s.with(a))
+    }
+
+    /// Returns this set with `a` added.
+    #[must_use]
+    pub fn with(self, a: Annot) -> Self {
+        AnnotSet(self.0 | a.bit())
+    }
+
+    /// Returns this set with `a` removed.
+    #[must_use]
+    pub fn without(self, a: Annot) -> Self {
+        AnnotSet(self.0 & !a.bit())
+    }
+
+    /// Adds `a` in place.
+    pub fn insert(&mut self, a: Annot) {
+        self.0 |= a.bit();
+    }
+
+    /// True if `a` is in the set.
+    pub fn contains(self, a: Annot) -> bool {
+        self.0 & a.bit() != 0
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if any of `annots` is present.
+    pub fn contains_any(self, annots: &[Annot]) -> bool {
+        annots.iter().any(|&a| self.contains(a))
+    }
+
+    /// Iterates the contained annotations in bit order.
+    pub fn iter(self) -> impl Iterator<Item = Annot> {
+        Annot::ALL.into_iter().filter(move |&a| self.contains(a))
+    }
+}
+
+impl std::ops::BitOr for AnnotSet {
+    type Output = AnnotSet;
+    fn bitor(self, rhs: AnnotSet) -> AnnotSet {
+        AnnotSet(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitAnd for AnnotSet {
+    type Output = AnnotSet;
+    fn bitand(self, rhs: AnnotSet) -> AnnotSet {
+        AnnotSet(self.0 & rhs.0)
+    }
+}
+
+impl FromIterator<Annot> for AnnotSet {
+    fn from_iter<I: IntoIterator<Item = Annot>>(iter: I) -> Self {
+        iter.into_iter().fold(Self::EMPTY, |s, a| s.with(a))
+    }
+}
+
+impl fmt::Display for AnnotSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for a in self.iter() {
+            if !first {
+                f.write_str("|")?;
+            }
+            write!(f, "{a}")?;
+            first = false;
+        }
+        if first {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_annots_have_distinct_bits() {
+        let mut seen = 0u64;
+        for a in Annot::ALL {
+            assert_eq!(seen & a.bit(), 0, "duplicate bit for {a:?}");
+            seen |= a.bit();
+        }
+        assert_eq!(seen.count_ones() as usize, Annot::ALL.len());
+    }
+
+    #[test]
+    fn all_annots_have_distinct_names() {
+        let mut names: Vec<_> = Annot::ALL.iter().map(|a| a.cat_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Annot::ALL.len());
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut s = AnnotSet::new();
+        assert!(s.is_empty());
+        s.insert(Annot::Acquire);
+        s.insert(Annot::Exclusive);
+        assert!(s.contains(Annot::Acquire));
+        assert!(s.contains(Annot::Exclusive));
+        let s = s.without(Annot::Acquire);
+        assert!(!s.contains(Annot::Acquire));
+        assert!(s.contains(Annot::Exclusive));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = AnnotSet::of(&[Annot::Atomic, Annot::Relaxed]);
+        let b = AnnotSet::of(&[Annot::Relaxed, Annot::SeqCst]);
+        assert_eq!(a & b, AnnotSet::one(Annot::Relaxed));
+        assert_eq!(
+            a | b,
+            AnnotSet::of(&[Annot::Atomic, Annot::Relaxed, Annot::SeqCst])
+        );
+    }
+
+    #[test]
+    fn iterator_matches_membership() {
+        let s = AnnotSet::of(&[Annot::DmbIsh, Annot::Init, Annot::NonAtomic]);
+        let items: Vec<_> = s.iter().collect();
+        assert_eq!(items, vec![Annot::NonAtomic, Annot::Init, Annot::DmbIsh]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AnnotSet::EMPTY.to_string(), "-");
+        let s = AnnotSet::of(&[Annot::Acquire, Annot::Atomic]);
+        assert_eq!(s.to_string(), "A_|ACQ");
+    }
+}

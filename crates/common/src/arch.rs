@@ -1,0 +1,137 @@
+//! The architectures (and the source language) a litmus test can target.
+
+use crate::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// A litmus-test dialect: the C/C++ source language or one of the six
+/// supported target instruction sets.
+///
+/// ```
+/// use telechat_common::Arch;
+/// assert_eq!("AArch64".parse::<Arch>().unwrap(), Arch::AArch64);
+/// assert_eq!(Arch::Ppc.to_string(), "PPC");
+/// assert!(Arch::AArch64.is_target());
+/// assert!(!Arch::C11.is_target());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Arch {
+    /// ISO C/C++ atomics (source language).
+    C11,
+    /// Armv8 AArch64 (64-bit, official model).
+    AArch64,
+    /// Armv7-a (32-bit, unofficial model).
+    Armv7,
+    /// Intel x86-64 (TSO).
+    X86_64,
+    /// RISC-V RV64 (official model).
+    RiscV,
+    /// IBM PowerPC (64-bit).
+    Ppc,
+    /// MIPS (64-bit).
+    Mips,
+}
+
+impl Arch {
+    /// All target architectures, in the order the paper's Table IV lists them.
+    pub const TARGETS: [Arch; 6] = [
+        Arch::AArch64,
+        Arch::Armv7,
+        Arch::RiscV,
+        Arch::Ppc,
+        Arch::X86_64,
+        Arch::Mips,
+    ];
+
+    /// True for compiled-code architectures (everything except [`Arch::C11`]).
+    pub fn is_target(self) -> bool {
+        !matches!(self, Arch::C11)
+    }
+
+    /// The default bundled memory-model name for this architecture.
+    pub fn default_model(self) -> &'static str {
+        match self {
+            Arch::C11 => "rc11",
+            Arch::AArch64 => "aarch64",
+            Arch::Armv7 => "armv7",
+            Arch::X86_64 => "x86tso",
+            Arch::RiscV => "riscv",
+            Arch::Ppc => "ppc",
+            Arch::Mips => "mips",
+        }
+    }
+
+    /// Short lowercase name used in profile identifiers (`llvm-O3-AArch64`).
+    pub fn profile_name(self) -> &'static str {
+        match self {
+            Arch::C11 => "c11",
+            Arch::AArch64 => "AArch64",
+            Arch::Armv7 => "ARMv7",
+            Arch::X86_64 => "x86_64",
+            Arch::RiscV => "RISCV",
+            Arch::Ppc => "PPC64",
+            Arch::Mips => "MIPS64",
+        }
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Arch::C11 => "C11",
+            Arch::AArch64 => "AArch64",
+            Arch::Armv7 => "ARMv7",
+            Arch::X86_64 => "x86-64",
+            Arch::RiscV => "RISC-V",
+            Arch::Ppc => "PPC",
+            Arch::Mips => "MIPS",
+        };
+        f.write_str(s)
+    }
+}
+
+impl FromStr for Arch {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "c" | "c11" | "c++" | "c/c++" => Ok(Arch::C11),
+            "aarch64" | "armv8" | "arm64" => Ok(Arch::AArch64),
+            "armv7" | "arm" | "armv7-a" => Ok(Arch::Armv7),
+            "x86-64" | "x86_64" | "x86" | "intel" => Ok(Arch::X86_64),
+            "risc-v" | "riscv" | "rv64" => Ok(Arch::RiscV),
+            "ppc" | "powerpc" | "power" => Ok(Arch::Ppc),
+            "mips" | "mips64" => Ok(Arch::Mips),
+            _ => Err(Error::parse(format!("unknown architecture `{s}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trip() {
+        for a in Arch::TARGETS {
+            assert_eq!(a.to_string().parse::<Arch>().unwrap(), a);
+        }
+        assert_eq!("C11".parse::<Arch>().unwrap(), Arch::C11);
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("arm64".parse::<Arch>().unwrap(), Arch::AArch64);
+        assert_eq!("power".parse::<Arch>().unwrap(), Arch::Ppc);
+        assert!("z80".parse::<Arch>().is_err());
+    }
+
+    #[test]
+    fn default_models_are_distinct() {
+        let mut names: Vec<_> = Arch::TARGETS.iter().map(|a| a.default_model()).collect();
+        names.push(Arch::C11.default_model());
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+}

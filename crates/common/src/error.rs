@@ -1,0 +1,106 @@
+//! The crate-family error type.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced anywhere in the Téléchat pipeline.
+///
+/// A single error enum is shared by all crates in the workspace: the pipeline
+/// stages compose (`diy → l2c → c2s → s2l → herd → mcompare`) and callers
+/// almost always propagate errors upward to the per-test verdict, so a shared
+/// type avoids a ladder of `From` conversions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A source text (litmus, assembly, Cat model, config) failed to parse.
+    Parse {
+        /// Human-readable description of the problem.
+        msg: String,
+        /// 1-based line number, when known.
+        line: Option<usize>,
+    },
+    /// A Cat model failed to evaluate (unknown identifier, type mismatch…).
+    Model(String),
+    /// A litmus program is ill-formed (undefined register, bad address…).
+    IllFormed(String),
+    /// The enumerator exceeded its step budget (state explosion).
+    Budget {
+        /// Number of enumeration steps performed before giving up.
+        steps: u64,
+    },
+    /// The simulation exceeded its wall-clock timeout.
+    Timeout {
+        /// The configured limit, in milliseconds.
+        limit_ms: u64,
+    },
+    /// A feature is not supported by the selected architecture or compiler.
+    Unsupported(String),
+    /// The compiler under test crashed (internal compiler error).
+    InternalCompilerError(String),
+}
+
+impl Error {
+    /// Creates a parse error with no line information.
+    pub fn parse(msg: impl Into<String>) -> Self {
+        Error::Parse {
+            msg: msg.into(),
+            line: None,
+        }
+    }
+
+    /// Creates a parse error at a specific 1-based line.
+    pub fn parse_at(msg: impl Into<String>, line: usize) -> Self {
+        Error::Parse {
+            msg: msg.into(),
+            line: Some(line),
+        }
+    }
+
+    /// True if this error is a resource exhaustion (budget or timeout), i.e.
+    /// the state-explosion behaviour the paper's §IV-E describes.
+    pub fn is_exhaustion(&self) -> bool {
+        matches!(self, Error::Budget { .. } | Error::Timeout { .. })
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { msg, line: Some(l) } => write!(f, "parse error at line {l}: {msg}"),
+            Error::Parse { msg, line: None } => write!(f, "parse error: {msg}"),
+            Error::Model(m) => write!(f, "model error: {m}"),
+            Error::IllFormed(m) => write!(f, "ill-formed program: {m}"),
+            Error::Budget { steps } => write!(f, "enumeration budget exhausted after {steps} steps"),
+            Error::Timeout { limit_ms } => write!(f, "simulation timed out after {limit_ms} ms"),
+            Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::InternalCompilerError(m) => write!(f, "internal compiler error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = Error::parse_at("unexpected token", 3);
+        assert_eq!(e.to_string(), "parse error at line 3: unexpected token");
+    }
+
+    #[test]
+    fn exhaustion_classification() {
+        assert!(Error::Budget { steps: 10 }.is_exhaustion());
+        assert!(Error::Timeout { limit_ms: 5 }.is_exhaustion());
+        assert!(!Error::parse("x").is_exhaustion());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,193 @@
+//! Identifier newtypes: threads, events, registers and shared locations.
+
+use std::fmt;
+
+/// Identifies one thread of a litmus test (`P0`, `P1`, …).
+///
+/// Thread ids are dense and small: litmus tests in this project have at most
+/// a handful of threads, so a `u8` payload is ample.
+///
+/// ```
+/// use telechat_common::ThreadId;
+/// assert_eq!(ThreadId(2).to_string(), "P2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// Zero-based index of the thread, as a `usize` for container indexing.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifies one event of a candidate execution.
+///
+/// Event ids are assigned densely by the enumerator, in program order within
+/// each thread, so they double as compact indices into relation bit-matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A thread-local register name (`r0`, `X2`, `W10`, `a5`, …).
+///
+/// Registers are compared textually; the ISA crates normalise aliases (for
+/// instance AArch64 `W`/`X` views of the same register) before constructing a
+/// `Reg`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(String);
+
+impl Reg {
+    /// Creates a register from its textual name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Reg(name.into())
+    }
+
+    /// The register's textual name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Reg {
+    fn from(s: &str) -> Self {
+        Reg::new(s)
+    }
+}
+
+impl From<String> for Reg {
+    fn from(s: String) -> Self {
+        Reg::new(s)
+    }
+}
+
+/// A symbolic shared-memory location (`x`, `y`, `ptr_x`, `x.hi`, …).
+///
+/// Litmus tests name locations symbolically; object files lay them out at
+/// numeric addresses and the `s2l` stage maps the addresses back to these
+/// symbols using the symbol table and debug information.
+///
+/// ```
+/// use telechat_common::Loc;
+/// let x = Loc::new("x");
+/// assert_eq!(x.as_str(), "x");
+/// assert_eq!(x.hi_half().as_str(), "x.hi");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(String);
+
+impl Loc {
+    /// Creates a location from its symbolic name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Loc(name.into())
+    }
+
+    /// The symbolic name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The low 64-bit half of a 128-bit location.
+    pub fn lo_half(&self) -> Loc {
+        Loc(format!("{}.lo", self.0))
+    }
+
+    /// The high 64-bit half of a 128-bit location.
+    pub fn hi_half(&self) -> Loc {
+        Loc(format!("{}.hi", self.0))
+    }
+
+    /// True if this location is one half of a split 128-bit location.
+    pub fn is_half(&self) -> bool {
+        self.0.ends_with(".lo") || self.0.ends_with(".hi")
+    }
+
+    /// For a half location, the base 128-bit location name.
+    pub fn half_base(&self) -> Option<Loc> {
+        self.0
+            .strip_suffix(".lo")
+            .or_else(|| self.0.strip_suffix(".hi"))
+            .map(Loc::new)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Loc {
+    fn from(s: &str) -> Self {
+        Loc::new(s)
+    }
+}
+
+impl From<String> for Loc {
+    fn from(s: String) -> Self {
+        Loc::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_display() {
+        assert_eq!(ThreadId(0).to_string(), "P0");
+        assert_eq!(ThreadId(7).to_string(), "P7");
+    }
+
+    #[test]
+    fn event_ordering_is_numeric() {
+        assert!(EventId(2) < EventId(10));
+    }
+
+    #[test]
+    fn reg_round_trip() {
+        let r = Reg::new("X12");
+        assert_eq!(r.name(), "X12");
+        assert_eq!(r.to_string(), "X12");
+        assert_eq!(Reg::from("X12"), r);
+    }
+
+    #[test]
+    fn loc_halves() {
+        let q = Loc::new("q");
+        assert!(!q.is_half());
+        let hi = q.hi_half();
+        assert!(hi.is_half());
+        assert_eq!(hi.half_base(), Some(q.clone()));
+        assert_eq!(q.lo_half().half_base(), Some(q));
+    }
+
+    #[test]
+    fn loc_ordering_textual() {
+        assert!(Loc::new("x") < Loc::new("y"));
+    }
+}

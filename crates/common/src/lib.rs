@@ -1,0 +1,39 @@
+//! Shared foundation types for the Téléchat reproduction.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * identifiers — [`ThreadId`], [`EventId`], [`Reg`], [`Loc`];
+//! * runtime values — [`Val`], which may be an integer or a symbolic address;
+//! * event annotations — [`Annot`] and the bitset [`AnnotSet`] that carries
+//!   both C/C++ memory orderings and architecture-specific access/fence
+//!   flavours on a single event;
+//! * final-state observations — [`StateKey`], [`Outcome`], [`OutcomeSet`];
+//! * the [`Arch`] enumeration of supported architectures;
+//! * the crate-wide [`Error`] type.
+//!
+//! # Example
+//!
+//! ```
+//! use telechat_common::{Outcome, OutcomeSet, StateKey, ThreadId, Val};
+//!
+//! let mut o = Outcome::new();
+//! o.set(StateKey::reg(ThreadId(1), "r0"), Val::Int(0));
+//! o.set(StateKey::loc("y"), Val::Int(2));
+//! let mut set = OutcomeSet::new();
+//! set.insert(o);
+//! assert_eq!(set.len(), 1);
+//! ```
+
+pub mod annot;
+pub mod arch;
+pub mod error;
+pub mod ids;
+pub mod outcome;
+pub mod value;
+
+pub use annot::{Annot, AnnotSet};
+pub use arch::Arch;
+pub use error::{Error, Result};
+pub use ids::{EventId, Loc, Reg, ThreadId};
+pub use outcome::{Outcome, OutcomeSet, StateKey};
+pub use value::Val;

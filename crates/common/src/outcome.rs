@@ -1,0 +1,328 @@
+//! Final-state observations: outcomes and sets of outcomes.
+//!
+//! An *outcome* (paper Def. II.2) is the result of one execution expressed as
+//! assignments to shared memory (`[y]=2`) and thread-local data (`P1:r0=1`).
+//! Comparing outcome *sets* of source and compiled programs is the heart of
+//! the `test_tv` technique.
+
+use crate::{Loc, Reg, ThreadId, Val};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One observable slot of the final state: a thread-local register or a
+/// shared memory location.
+///
+/// ```
+/// use telechat_common::{StateKey, ThreadId};
+/// assert_eq!(StateKey::reg(ThreadId(1), "r0").to_string(), "1:r0");
+/// assert_eq!(StateKey::loc("y").to_string(), "[y]");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum StateKey {
+    /// A thread-local register, e.g. `1:r0`.
+    Reg(ThreadId, Reg),
+    /// A shared memory location, e.g. `[y]`.
+    Loc(Loc),
+}
+
+impl StateKey {
+    /// Creates a register key.
+    pub fn reg(t: ThreadId, r: impl Into<Reg>) -> Self {
+        StateKey::Reg(t, r.into())
+    }
+
+    /// Creates a location key.
+    pub fn loc(l: impl Into<Loc>) -> Self {
+        StateKey::Loc(l.into())
+    }
+}
+
+impl fmt::Display for StateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateKey::Reg(t, r) => write!(f, "{}:{}", t.0, r),
+            StateKey::Loc(l) => write!(f, "[{l}]"),
+        }
+    }
+}
+
+/// One outcome: a finite map from observed state keys to values.
+///
+/// Outcomes are canonical — the underlying map is ordered — so structurally
+/// equal outcomes compare and hash equal, and sets of outcomes print in a
+/// stable order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Outcome(BTreeMap<StateKey, Val>);
+
+impl Outcome {
+    /// The empty outcome.
+    pub fn new() -> Self {
+        Outcome(BTreeMap::new())
+    }
+
+    /// Sets the value observed at `key`, returning any previous value.
+    pub fn set(&mut self, key: StateKey, val: Val) -> Option<Val> {
+        self.0.insert(key, val)
+    }
+
+    /// The value observed at `key`, if present.
+    pub fn get(&self, key: &StateKey) -> Option<&Val> {
+        self.0.get(key)
+    }
+
+    /// Number of observed slots.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if nothing is observed.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates `(key, value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (&StateKey, &Val)> {
+        self.0.iter()
+    }
+
+    /// Projects the outcome onto a set of keys (used by `mcompare` to
+    /// restrict attention to the observables both tests share).
+    #[must_use]
+    pub fn restrict(&self, keys: &BTreeSet<StateKey>) -> Outcome {
+        Outcome(
+            self.0
+                .iter()
+                .filter(|(k, _)| keys.contains(k))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        )
+    }
+
+    /// Rewrites keys through a mapping, dropping unmapped keys.
+    ///
+    /// This is the `m` of the paper's step 5: compiled-test observables
+    /// (registers, augmented globals) are renamed to the source observables
+    /// they implement before outcome sets are compared.
+    #[must_use]
+    pub fn map_keys(&self, f: impl Fn(&StateKey) -> Option<StateKey>) -> Outcome {
+        Outcome(
+            self.0
+                .iter()
+                .filter_map(|(k, v)| f(k).map(|k2| (k2, v.clone())))
+                .collect(),
+        )
+    }
+
+    /// The set of keys observed by this outcome.
+    pub fn keys(&self) -> BTreeSet<StateKey> {
+        self.0.keys().cloned().collect()
+    }
+}
+
+impl FromIterator<(StateKey, Val)> for Outcome {
+    fn from_iter<I: IntoIterator<Item = (StateKey, Val)>>(iter: I) -> Self {
+        Outcome(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (k, v) in &self.0 {
+            write!(f, " {k}={v};")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+/// A set of outcomes — the observable behaviour of a litmus test under a
+/// memory model (`outcomes_P` in the paper).
+///
+/// ```
+/// use telechat_common::{Outcome, OutcomeSet, StateKey, ThreadId, Val};
+/// let mut src = OutcomeSet::new();
+/// let mut tgt = OutcomeSet::new();
+/// let mut o = Outcome::new();
+/// o.set(StateKey::reg(ThreadId(0), "r0"), Val::Int(1));
+/// src.insert(o.clone());
+/// tgt.insert(o);
+/// assert!(tgt.is_subset(&src));
+/// assert!(tgt.difference(&src).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct OutcomeSet(BTreeSet<Outcome>);
+
+impl OutcomeSet {
+    /// The empty outcome set.
+    pub fn new() -> Self {
+        OutcomeSet(BTreeSet::new())
+    }
+
+    /// Inserts an outcome; returns true if it was new.
+    pub fn insert(&mut self, o: Outcome) -> bool {
+        self.0.insert(o)
+    }
+
+    /// Number of distinct outcomes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if there are no outcomes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, o: &Outcome) -> bool {
+        self.0.contains(o)
+    }
+
+    /// Iterates outcomes in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Outcome> {
+        self.0.iter()
+    }
+
+    /// Set inclusion: `self ⊆ other`. A compiled program is correct when its
+    /// outcomes are a subset of the source program's outcomes (paper eq. 1).
+    pub fn is_subset(&self, other: &OutcomeSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Strict inclusion: `self ⊂ other` (the paper's *negative difference*).
+    pub fn is_strict_subset(&self, other: &OutcomeSet) -> bool {
+        self.0.is_subset(&other.0) && self.0.len() < other.0.len()
+    }
+
+    /// Outcomes of `self` missing from `other` (the paper's *positive
+    /// differences* when `self` is the compiled set).
+    #[must_use]
+    pub fn difference(&self, other: &OutcomeSet) -> OutcomeSet {
+        OutcomeSet(self.0.difference(&other.0).cloned().collect())
+    }
+
+    /// Union of two outcome sets.
+    #[must_use]
+    pub fn union(&self, other: &OutcomeSet) -> OutcomeSet {
+        OutcomeSet(self.0.union(&other.0).cloned().collect())
+    }
+
+    /// Applies [`Outcome::map_keys`] to every member.
+    #[must_use]
+    pub fn map_keys(&self, f: impl Fn(&StateKey) -> Option<StateKey>) -> OutcomeSet {
+        self.0.iter().map(|o| o.map_keys(&f)).collect()
+    }
+
+    /// Applies [`Outcome::restrict`] to every member.
+    #[must_use]
+    pub fn restrict(&self, keys: &BTreeSet<StateKey>) -> OutcomeSet {
+        self.0.iter().map(|o| o.restrict(keys)).collect()
+    }
+}
+
+impl FromIterator<Outcome> for OutcomeSet {
+    fn from_iter<I: IntoIterator<Item = Outcome>>(iter: I) -> Self {
+        OutcomeSet(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Outcome> for OutcomeSet {
+    fn extend<I: IntoIterator<Item = Outcome>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a OutcomeSet {
+    type Item = &'a Outcome;
+    type IntoIter = std::collections::btree_set::Iter<'a, Outcome>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for OutcomeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for o in &self.0 {
+            writeln!(f, "{o}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(pairs: &[(&str, i64)]) -> Outcome {
+        pairs
+            .iter()
+            .map(|(k, v)| {
+                let key = if let Some((t, r)) = k.split_once(':') {
+                    StateKey::reg(ThreadId(t.parse().unwrap()), r.to_string())
+                } else {
+                    StateKey::loc(k.to_string())
+                };
+                (key, Val::Int(*v))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcome_is_canonical() {
+        let a = o(&[("0:r0", 1), ("y", 2)]);
+        let b = o(&[("y", 2), ("0:r0", 1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn display_format() {
+        let a = o(&[("1:r0", 0), ("y", 2)]);
+        assert_eq!(a.to_string(), "{ 1:r0=0; [y]=2; }");
+    }
+
+    #[test]
+    fn subset_and_difference() {
+        let mut src = OutcomeSet::new();
+        src.insert(o(&[("0:r0", 0)]));
+        src.insert(o(&[("0:r0", 1)]));
+        let mut tgt = OutcomeSet::new();
+        tgt.insert(o(&[("0:r0", 1)]));
+        tgt.insert(o(&[("0:r0", 2)]));
+        assert!(!tgt.is_subset(&src));
+        let positive = tgt.difference(&src);
+        assert_eq!(positive.len(), 1);
+        assert!(positive.contains(&o(&[("0:r0", 2)])));
+    }
+
+    #[test]
+    fn strict_subset() {
+        let mut big = OutcomeSet::new();
+        big.insert(o(&[("0:r0", 0)]));
+        big.insert(o(&[("0:r0", 1)]));
+        let mut small = OutcomeSet::new();
+        small.insert(o(&[("0:r0", 0)]));
+        assert!(small.is_strict_subset(&big));
+        assert!(!big.is_strict_subset(&big));
+    }
+
+    #[test]
+    fn restrict_drops_keys() {
+        let a = o(&[("0:r0", 1), ("y", 2)]);
+        let keys: BTreeSet<_> = [StateKey::loc("y")].into_iter().collect();
+        let r = a.restrict(&keys);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get(&StateKey::loc("y")), Some(&Val::Int(2)));
+    }
+
+    #[test]
+    fn map_keys_renames() {
+        let a = o(&[("1:X0", 7)]);
+        let mapped = a.map_keys(|k| match k {
+            StateKey::Reg(t, r) if r.name() == "X0" => {
+                Some(StateKey::reg(*t, "r0"))
+            }
+            _ => None,
+        });
+        assert_eq!(mapped, o(&[("1:r0", 7)]));
+    }
+}

@@ -1,0 +1,159 @@
+//! Runtime values: integers and symbolic addresses.
+
+use crate::Loc;
+use std::fmt;
+use std::ops::{Add, BitAnd, BitOr, BitXor, Sub};
+
+/// A value held in a register or a memory cell.
+///
+/// Litmus-scale programs manipulate two kinds of data: small integers and
+/// *addresses of shared locations*. Compiled code materialises addresses with
+/// instruction sequences (`ADRP`+`ADD`, literal-pool loads, …), so the
+/// enumerator must be able to store an address in a register or a memory cell
+/// (e.g. a literal-pool slot holding `&x`) and later dereference it.
+///
+/// ```
+/// use telechat_common::{Loc, Val};
+/// let v = Val::Int(1) + Val::Int(2);
+/// assert_eq!(v, Val::Int(3));
+/// assert!(Val::Addr(Loc::new("x")).as_loc().is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Val {
+    /// An integer value.
+    Int(i64),
+    /// The address of a symbolic shared location.
+    Addr(Loc),
+}
+
+impl Val {
+    /// The conventional zero value.
+    pub const ZERO: Val = Val::Int(0);
+
+    /// Returns the integer payload, if this is an integer.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Val::Int(i) => Some(*i),
+            Val::Addr(_) => None,
+        }
+    }
+
+    /// Returns the location payload, if this is an address.
+    pub fn as_loc(&self) -> Option<&Loc> {
+        match self {
+            Val::Int(_) => None,
+            Val::Addr(l) => Some(l),
+        }
+    }
+
+    /// True if the value is integer zero.
+    pub fn is_zero(&self) -> bool {
+        matches!(self, Val::Int(0))
+    }
+
+    /// Truth value under C semantics: zero is false, everything else true.
+    /// Addresses are always truthy.
+    pub fn is_truthy(&self) -> bool {
+        !self.is_zero()
+    }
+
+    /// Applies a binary integer operation, treating addresses as opaque.
+    ///
+    /// Address arithmetic other than identity is not meaningful at litmus
+    /// scale; mixed operands yield `None` so callers can reject the program.
+    pub fn int_op(a: &Val, b: &Val, f: impl FnOnce(i64, i64) -> i64) -> Option<Val> {
+        match (a, b) {
+            (Val::Int(x), Val::Int(y)) => Some(Val::Int(f(*x, *y))),
+            _ => None,
+        }
+    }
+}
+
+impl Default for Val {
+    fn default() -> Self {
+        Val::ZERO
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Addr(l) => write!(f, "&{l}"),
+        }
+    }
+}
+
+impl From<i64> for Val {
+    fn from(i: i64) -> Self {
+        Val::Int(i)
+    }
+}
+
+impl From<Loc> for Val {
+    fn from(l: Loc) -> Self {
+        Val::Addr(l)
+    }
+}
+
+macro_rules! saturating_binop {
+    ($trait:ident, $method:ident, $f:expr) => {
+        impl $trait for Val {
+            type Output = Val;
+            /// Wrapping integer arithmetic; panics on address operands, which
+            /// indicate an ill-formed litmus program.
+            fn $method(self, rhs: Val) -> Val {
+                #[allow(clippy::redundant_closure_call)]
+                Val::int_op(&self, &rhs, $f)
+                    .unwrap_or_else(|| panic!("arithmetic on address value"))
+            }
+        }
+    };
+}
+
+saturating_binop!(Add, add, |a: i64, b: i64| a.wrapping_add(b));
+saturating_binop!(Sub, sub, |a: i64, b: i64| a.wrapping_sub(b));
+saturating_binop!(BitAnd, bitand, |a: i64, b: i64| a & b);
+saturating_binop!(BitOr, bitor, |a: i64, b: i64| a | b);
+saturating_binop!(BitXor, bitxor, |a: i64, b: i64| a ^ b);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(Val::Int(-3).to_string(), "-3");
+        assert_eq!(Val::Addr(Loc::new("x")).to_string(), "&x");
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(Val::Int(2) + Val::Int(3), Val::Int(5));
+        assert_eq!(Val::Int(2) - Val::Int(3), Val::Int(-1));
+        assert_eq!(Val::Int(6) ^ Val::Int(6), Val::Int(0));
+        assert_eq!(Val::Int(6) & Val::Int(2), Val::Int(2));
+        assert_eq!(Val::Int(4) | Val::Int(2), Val::Int(6));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Val::Int(0).is_truthy());
+        assert!(Val::Int(1).is_truthy());
+        assert!(Val::Addr(Loc::new("x")).is_truthy());
+    }
+
+    #[test]
+    fn mixed_op_is_none() {
+        assert_eq!(
+            Val::int_op(&Val::Addr(Loc::new("x")), &Val::Int(1), |a, b| a + b),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arithmetic on address value")]
+    fn add_address_panics() {
+        let _ = Val::Addr(Loc::new("x")) + Val::Int(1);
+    }
+}

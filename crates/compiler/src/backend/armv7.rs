@@ -1,0 +1,256 @@
+//! The Armv7 back end: barrier-based mappings (`DMB ISH` everywhere) and
+//! `LDREX`/`STREX` reservation loops.
+
+use super::{AccessWidth, CondShape, Emitter, Ord11};
+use telechat_common::{Error, Loc, Reg, Result};
+use telechat_isa::armv7::ArmInstr;
+use telechat_isa::SymRef;
+use telechat_litmus::{BinOp, RmwOp};
+
+/// Emits Armv7 code for one thread.
+#[derive(Debug, Default)]
+pub struct ArmEmitter {
+    /// The emitted instructions.
+    pub code: Vec<ArmInstr>,
+    labels: usize,
+}
+
+impl ArmEmitter {
+    /// A fresh emitter.
+    pub fn new() -> ArmEmitter {
+        ArmEmitter::default()
+    }
+
+    fn fresh_label(&mut self, stem: &str) -> String {
+        self.labels += 1;
+        format!(".L{stem}{}", self.labels)
+    }
+
+    fn dmb(&mut self) {
+        self.code.push(ArmInstr::Dmb);
+    }
+}
+
+const POOL: &[&str] = &[
+    "r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12",
+];
+
+impl Emitter for ArmEmitter {
+    fn pool(&self) -> &'static [&'static str] {
+        POOL
+    }
+
+    fn norm(&self, phys: &str) -> Reg {
+        Reg::new(phys.to_ascii_uppercase())
+    }
+
+    fn label(&mut self, l: &str) {
+        self.code.push(ArmInstr::Label(l.to_string()));
+    }
+
+    fn jump(&mut self, l: &str) {
+        self.code.push(ArmInstr::B(l.to_string()));
+    }
+
+    fn branch(&mut self, shape: &CondShape, target: &str) -> Result<()> {
+        match shape {
+            CondShape::RegZero { reg, eq } => {
+                self.code.push(ArmInstr::CmpImm {
+                    a: reg.clone(),
+                    imm: 0,
+                });
+                self.code.push(if *eq {
+                    ArmInstr::Beq(target.to_string())
+                } else {
+                    ArmInstr::Bne(target.to_string())
+                });
+            }
+            CondShape::CmpImm { reg, imm, eq } => {
+                self.code.push(ArmInstr::CmpImm {
+                    a: reg.clone(),
+                    imm: *imm,
+                });
+                self.code.push(if *eq {
+                    ArmInstr::Beq(target.to_string())
+                } else {
+                    ArmInstr::Bne(target.to_string())
+                });
+            }
+            CondShape::CmpReg { a, b, eq } => {
+                self.code.push(ArmInstr::CmpReg {
+                    a: a.clone(),
+                    b: b.clone(),
+                });
+                self.code.push(if *eq {
+                    ArmInstr::Beq(target.to_string())
+                } else {
+                    ArmInstr::Bne(target.to_string())
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn mov_imm(&mut self, dst: &str, imm: i64) {
+        self.code.push(ArmInstr::MovImm {
+            dst: dst.to_string(),
+            imm,
+        });
+    }
+
+    fn mov_reg(&mut self, dst: &str, src: &str) {
+        self.code.push(ArmInstr::MovReg {
+            dst: dst.to_string(),
+            src: src.to_string(),
+        });
+    }
+
+    fn bin_op(&mut self, op: BinOp, dst: &str, a: &str, b: &str) -> Result<()> {
+        match op {
+            BinOp::Xor => self.code.push(ArmInstr::Eor {
+                dst: dst.to_string(),
+                a: a.to_string(),
+                b: b.to_string(),
+            }),
+            BinOp::Add => self.code.push(ArmInstr::AddReg {
+                dst: dst.to_string(),
+                a: a.to_string(),
+                b: b.to_string(),
+            }),
+            other => return Err(Error::Unsupported(format!("armv7 ALU `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn addr_of(&mut self, dst: &str, sym: &Loc, pic: bool) {
+        if pic {
+            // Literal-pool load: a real memory read of `lit.<sym>`.
+            self.code.push(ArmInstr::LdrLit {
+                dst: dst.to_string(),
+                sym: SymRef::Sym(sym.clone()),
+            });
+        } else {
+            self.code.push(ArmInstr::MovSym {
+                dst: dst.to_string(),
+                sym: SymRef::Sym(sym.clone()),
+            });
+        }
+    }
+
+    fn load(
+        &mut self,
+        width: AccessWidth,
+        dst: &str,
+        addr: &str,
+        ord: Ord11,
+        _readonly: bool,
+    ) -> Result<()> {
+        if width == AccessWidth::Pair {
+            return Err(Error::Unsupported("128-bit atomics on Armv7".into()));
+        }
+        if ord == Ord11::Sc {
+            self.dmb();
+        }
+        self.code.push(ArmInstr::Ldr {
+            dst: dst.to_string(),
+            base: addr.to_string(),
+        });
+        if matches!(ord, Ord11::Acq | Ord11::AcqRel | Ord11::Sc) {
+            self.dmb();
+        }
+        Ok(())
+    }
+
+    fn store(&mut self, width: AccessWidth, src: &str, addr: &str, ord: Ord11) -> Result<()> {
+        if width == AccessWidth::Pair {
+            return Err(Error::Unsupported("128-bit atomics on Armv7".into()));
+        }
+        if matches!(ord, Ord11::Rel | Ord11::AcqRel | Ord11::Sc) {
+            self.dmb();
+        }
+        self.code.push(ArmInstr::Str {
+            src: src.to_string(),
+            base: addr.to_string(),
+        });
+        if ord == Ord11::Sc {
+            self.dmb();
+        }
+        Ok(())
+    }
+
+    fn rmw(
+        &mut self,
+        op: &RmwOp,
+        dst: Option<&str>,
+        operand: &str,
+        expected: Option<&str>,
+        addr: &str,
+        ord: Ord11,
+        fresh: &mut dyn FnMut() -> Result<String>,
+    ) -> Result<()> {
+        let retry = self.fresh_label("retry");
+        let done = self.fresh_label("done");
+        if matches!(ord, Ord11::Rel | Ord11::AcqRel | Ord11::Sc) {
+            self.dmb();
+        }
+        let old = fresh()?;
+        let status = fresh()?;
+        self.code.push(ArmInstr::Label(retry.clone()));
+        self.code.push(ArmInstr::Ldrex {
+            dst: old.clone(),
+            base: addr.to_string(),
+        });
+        let new = match op {
+            RmwOp::FetchAdd => {
+                let n = fresh()?;
+                self.code.push(ArmInstr::AddReg {
+                    dst: n.clone(),
+                    a: old.clone(),
+                    b: operand.to_string(),
+                });
+                n
+            }
+            RmwOp::Swap => operand.to_string(),
+            RmwOp::CmpXchg { .. } => {
+                let e = expected.ok_or_else(|| {
+                    Error::InternalCompilerError("CAS without expected".into())
+                })?;
+                self.code.push(ArmInstr::CmpReg {
+                    a: old.clone(),
+                    b: e.to_string(),
+                });
+                self.code.push(ArmInstr::Bne(done.clone()));
+                operand.to_string()
+            }
+            other => return Err(Error::Unsupported(format!("armv7 RMW {other:?}"))),
+        };
+        self.code.push(ArmInstr::Strex {
+            status: status.clone(),
+            src: new,
+            base: addr.to_string(),
+        });
+        self.code.push(ArmInstr::CmpImm {
+            a: status,
+            imm: 0,
+        });
+        self.code.push(ArmInstr::Bne(retry));
+        self.code.push(ArmInstr::Label(done));
+        if matches!(ord, Ord11::Acq | Ord11::AcqRel | Ord11::Sc) {
+            self.dmb();
+        }
+        if let Some(d) = dst {
+            self.code.push(ArmInstr::MovReg {
+                dst: d.to_string(),
+                src: old,
+            });
+        }
+        Ok(())
+    }
+
+    fn fence(&mut self, ord: Ord11) -> Result<()> {
+        if !matches!(ord, Ord11::Na | Ord11::Rlx) {
+            self.dmb();
+        }
+        Ok(())
+    }
+}

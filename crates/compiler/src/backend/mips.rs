@@ -1,0 +1,247 @@
+//! The MIPS back end: `SYNC` everywhere and `LL`/`SC` loops.
+
+use super::{AccessWidth, CondShape, Emitter, Ord11};
+use telechat_common::{Error, Loc, Reg, Result};
+use telechat_isa::mips::MipsInstr;
+use telechat_isa::SymRef;
+use telechat_litmus::{BinOp, RmwOp};
+
+/// Emits MIPS64 code for one thread.
+#[derive(Debug, Default)]
+pub struct MipsEmitter {
+    /// The emitted instructions.
+    pub code: Vec<MipsInstr>,
+    labels: usize,
+}
+
+impl MipsEmitter {
+    /// A fresh emitter.
+    pub fn new() -> MipsEmitter {
+        MipsEmitter::default()
+    }
+
+    fn fresh_label(&mut self, stem: &str) -> String {
+        self.labels += 1;
+        format!(".L{stem}{}", self.labels)
+    }
+
+    fn sync(&mut self) {
+        self.code.push(MipsInstr::Sync);
+    }
+}
+
+const POOL: &[&str] = &[
+    "$2", "$3", "$4", "$5", "$6", "$7", "$8", "$9", "$10", "$11", "$12", "$13", "$14", "$15",
+];
+
+/// Reserved scratch for immediate compares (assembler temporary).
+const BR_SCRATCH: &str = "$at";
+
+impl Emitter for MipsEmitter {
+    fn pool(&self) -> &'static [&'static str] {
+        POOL
+    }
+
+    fn norm(&self, phys: &str) -> Reg {
+        Reg::new(phys.to_string())
+    }
+
+    fn label(&mut self, l: &str) {
+        self.code.push(MipsInstr::Label(l.to_string()));
+    }
+
+    fn jump(&mut self, l: &str) {
+        self.code.push(MipsInstr::B(l.to_string()));
+    }
+
+    fn branch(&mut self, shape: &CondShape, target: &str) -> Result<()> {
+        let (a, b, eq) = match shape {
+            CondShape::RegZero { reg, eq } => (reg.clone(), "$0".to_string(), *eq),
+            CondShape::CmpImm { reg, imm, eq } => {
+                if *imm == 0 {
+                    (reg.clone(), "$0".to_string(), *eq)
+                } else {
+                    self.code.push(MipsInstr::Li {
+                        dst: BR_SCRATCH.into(),
+                        imm: *imm,
+                    });
+                    (reg.clone(), BR_SCRATCH.to_string(), *eq)
+                }
+            }
+            CondShape::CmpReg { a, b, eq } => (a.clone(), b.clone(), *eq),
+        };
+        self.code.push(if eq {
+            MipsInstr::Beq {
+                a,
+                b,
+                label: target.to_string(),
+            }
+        } else {
+            MipsInstr::Bne {
+                a,
+                b,
+                label: target.to_string(),
+            }
+        });
+        Ok(())
+    }
+
+    fn mov_imm(&mut self, dst: &str, imm: i64) {
+        self.code.push(MipsInstr::Li {
+            dst: dst.to_string(),
+            imm,
+        });
+    }
+
+    fn mov_reg(&mut self, dst: &str, src: &str) {
+        self.code.push(MipsInstr::Move {
+            dst: dst.to_string(),
+            src: src.to_string(),
+        });
+    }
+
+    fn bin_op(&mut self, op: BinOp, dst: &str, a: &str, b: &str) -> Result<()> {
+        match op {
+            BinOp::Xor => self.code.push(MipsInstr::Xor {
+                dst: dst.to_string(),
+                a: a.to_string(),
+                b: b.to_string(),
+            }),
+            BinOp::Add => self.code.push(MipsInstr::Addu {
+                dst: dst.to_string(),
+                a: a.to_string(),
+                b: b.to_string(),
+            }),
+            other => return Err(Error::Unsupported(format!("mips ALU `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn addr_of(&mut self, dst: &str, sym: &Loc, pic: bool) {
+        if pic {
+            self.code.push(MipsInstr::LdGot {
+                dst: dst.to_string(),
+                sym: SymRef::Sym(sym.clone()),
+            });
+        } else {
+            self.code.push(MipsInstr::Dla {
+                dst: dst.to_string(),
+                sym: SymRef::Sym(sym.clone()),
+            });
+        }
+    }
+
+    fn load(
+        &mut self,
+        width: AccessWidth,
+        dst: &str,
+        addr: &str,
+        ord: Ord11,
+        _readonly: bool,
+    ) -> Result<()> {
+        if width == AccessWidth::Pair {
+            return Err(Error::Unsupported("128-bit atomics on MIPS".into()));
+        }
+        if ord == Ord11::Sc {
+            self.sync();
+        }
+        self.code.push(MipsInstr::Lw {
+            dst: dst.to_string(),
+            base: addr.to_string(),
+        });
+        if matches!(ord, Ord11::Acq | Ord11::AcqRel | Ord11::Sc) {
+            self.sync();
+        }
+        Ok(())
+    }
+
+    fn store(&mut self, width: AccessWidth, src: &str, addr: &str, ord: Ord11) -> Result<()> {
+        if width == AccessWidth::Pair {
+            return Err(Error::Unsupported("128-bit atomics on MIPS".into()));
+        }
+        if matches!(ord, Ord11::Rel | Ord11::AcqRel | Ord11::Sc) {
+            self.sync();
+        }
+        self.code.push(MipsInstr::Sw {
+            src: src.to_string(),
+            base: addr.to_string(),
+        });
+        if ord == Ord11::Sc {
+            self.sync();
+        }
+        Ok(())
+    }
+
+    fn rmw(
+        &mut self,
+        op: &RmwOp,
+        dst: Option<&str>,
+        operand: &str,
+        expected: Option<&str>,
+        addr: &str,
+        ord: Ord11,
+        fresh: &mut dyn FnMut() -> Result<String>,
+    ) -> Result<()> {
+        if matches!(ord, Ord11::Rel | Ord11::AcqRel | Ord11::Sc) {
+            self.sync();
+        }
+        let retry = self.fresh_label("retry");
+        let done = self.fresh_label("done");
+        let old = fresh()?;
+        let tmp = fresh()?;
+        self.code.push(MipsInstr::Label(retry.clone()));
+        self.code.push(MipsInstr::Ll {
+            dst: old.clone(),
+            base: addr.to_string(),
+        });
+        match op {
+            RmwOp::FetchAdd => {
+                self.code.push(MipsInstr::Addu {
+                    dst: tmp.clone(),
+                    a: old.clone(),
+                    b: operand.to_string(),
+                });
+            }
+            RmwOp::Swap => {
+                self.mov_reg(&tmp, operand);
+            }
+            RmwOp::CmpXchg { .. } => {
+                let e = expected.ok_or_else(|| {
+                    Error::InternalCompilerError("CAS without expected".into())
+                })?;
+                self.code.push(MipsInstr::Bne {
+                    a: old.clone(),
+                    b: e.to_string(),
+                    label: done.clone(),
+                });
+                self.mov_reg(&tmp, operand);
+            }
+            other => return Err(Error::Unsupported(format!("mips RMW {other:?}"))),
+        }
+        // MIPS SC: tmp ← 1 on success, 0 on failure.
+        self.code.push(MipsInstr::Sc {
+            src: tmp.clone(),
+            base: addr.to_string(),
+        });
+        self.code.push(MipsInstr::Beq {
+            a: tmp,
+            b: "$0".into(),
+            label: retry,
+        });
+        self.code.push(MipsInstr::Label(done));
+        if matches!(ord, Ord11::Acq | Ord11::AcqRel | Ord11::Sc) {
+            self.sync();
+        }
+        if let Some(d) = dst {
+            self.mov_reg(d, &old);
+        }
+        Ok(())
+    }
+
+    fn fence(&mut self, ord: Ord11) -> Result<()> {
+        if !matches!(ord, Ord11::Na | Ord11::Rlx) {
+            self.sync();
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,465 @@
+//! Instruction-selection framework shared by the six back ends.
+//!
+//! [`emit_thread`] walks a thread's IR and drives an architecture
+//! [`Emitter`]: it owns register allocation, expression lowering, branch
+//! shapes and address materialisation policy; the emitter supplies the
+//! architecture's instructions (and, for AArch64, the versioned bug paths).
+
+pub mod a64;
+pub mod armv7;
+pub mod mips;
+pub mod ppc;
+pub mod riscv;
+pub mod x86;
+
+use std::collections::BTreeMap;
+use telechat_common::{Annot, AnnotSet, Error, Loc, Reg, Result, Val};
+use telechat_litmus::{AddrExpr, BinOp, Expr, Instr, LitmusTest, RmwOp, Width};
+
+/// C11 ordering classes, extracted from an annotation set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ord11 {
+    /// Plain (non-atomic) access.
+    Na,
+    /// `memory_order_relaxed`.
+    Rlx,
+    /// `memory_order_acquire`.
+    Acq,
+    /// `memory_order_release`.
+    Rel,
+    /// `memory_order_acq_rel`.
+    AcqRel,
+    /// `memory_order_seq_cst`.
+    Sc,
+}
+
+/// Extracts the C11 ordering class of a source-level access.
+pub fn ord_of(annot: AnnotSet) -> Ord11 {
+    if annot.contains(Annot::NonAtomic) {
+        Ord11::Na
+    } else if annot.contains(Annot::SeqCst) {
+        Ord11::Sc
+    } else if annot.contains(Annot::AcqRel) {
+        Ord11::AcqRel
+    } else if annot.contains(Annot::Acquire) {
+        Ord11::Acq
+    } else if annot.contains(Annot::Release) {
+        Ord11::Rel
+    } else {
+        Ord11::Rlx
+    }
+}
+
+/// Branch shapes the front ends produce; every architecture can realise
+/// these three.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CondShape {
+    /// Branch when `reg != 0` (`eq == false`) or `reg == 0` (`eq == true`).
+    RegZero {
+        /// Tested register (physical name).
+        reg: String,
+        /// Branch on equality with zero?
+        eq: bool,
+    },
+    /// Compare a register with an immediate; branch on (in)equality.
+    CmpImm {
+        /// Compared register (physical name).
+        reg: String,
+        /// Immediate.
+        imm: i64,
+        /// Branch on equality?
+        eq: bool,
+    },
+    /// Compare two registers; branch on (in)equality.
+    CmpReg {
+        /// First register.
+        a: String,
+        /// Second register.
+        b: String,
+        /// Branch on equality?
+        eq: bool,
+    },
+}
+
+/// Access width class relevant to code generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessWidth {
+    /// Up to 64 bits: one register.
+    Scalar,
+    /// 128 bits: a register pair.
+    Pair,
+}
+
+/// What one back end must provide. The generic walker calls these in
+/// program order; implementations append to their instruction buffer.
+pub trait Emitter {
+    /// The physical register pool, in allocation order.
+    fn pool(&self) -> &'static [&'static str];
+
+    /// Canonicalises a physical register name to the [`Reg`] the ISA
+    /// lowering will use (e.g. AArch64 `w0` → `X0`).
+    fn norm(&self, phys: &str) -> Reg;
+
+    /// Emits a label.
+    fn label(&mut self, l: &str);
+    /// Emits an unconditional jump.
+    fn jump(&mut self, l: &str);
+    /// Emits a conditional branch.
+    fn branch(&mut self, shape: &CondShape, target: &str) -> Result<()>;
+    /// `dst ← imm`.
+    fn mov_imm(&mut self, dst: &str, imm: i64);
+    /// `dst ← src`.
+    fn mov_reg(&mut self, dst: &str, src: &str);
+    /// `dst ← a ⊕ b` for ⊕ ∈ {xor, add, sub, and, or}.
+    fn bin_op(&mut self, op: BinOp, dst: &str, a: &str, b: &str) -> Result<()>;
+    /// Materialises `&sym` into `dst`. `pic` selects GOT/TOC/literal-pool
+    /// loads (memory traffic) over direct materialisation.
+    fn addr_of(&mut self, dst: &str, sym: &Loc, pic: bool);
+    /// A load with the given C11 ordering.
+    fn load(&mut self, width: AccessWidth, dst: &str, addr: &str, ord: Ord11, readonly: bool)
+        -> Result<()>;
+    /// A store with the given C11 ordering.
+    fn store(&mut self, width: AccessWidth, src: &str, addr: &str, ord: Ord11) -> Result<()>;
+    /// An atomic RMW. `dst = None` means the old value is unused — the
+    /// paper's §IV-B bug paths live behind this case.
+    fn rmw(
+        &mut self,
+        op: &RmwOp,
+        dst: Option<&str>,
+        operand: &str,
+        expected: Option<&str>,
+        addr: &str,
+        ord: Ord11,
+        fresh: &mut dyn FnMut() -> Result<String>,
+    ) -> Result<()>;
+    /// A thread fence.
+    fn fence(&mut self, ord: Ord11) -> Result<()>;
+}
+
+/// Per-thread emission context: register allocation and label generation.
+pub struct ThreadCtx {
+    map: BTreeMap<Reg, String>,
+    next: usize,
+    labels: usize,
+    /// Released scratch registers, reused only once the pool is dry — so
+    /// small tests keep distinct registers (maximising what the s2l
+    /// optimiser can lift into litmus `reg_init`) while large tests degrade
+    /// gracefully instead of dying with an internal compiler error.
+    free: Vec<String>,
+}
+
+impl ThreadCtx {
+    /// A fresh context.
+    pub fn new() -> ThreadCtx {
+        ThreadCtx {
+            map: BTreeMap::new(),
+            next: 0,
+            labels: 0,
+            free: Vec::new(),
+        }
+    }
+
+    /// The physical register for an IR register, allocating on first use.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool is exhausted (internal compiler error — exactly
+    /// what a register allocator without spilling produces).
+    pub fn phys(&mut self, r: &Reg, pool: &'static [&'static str]) -> Result<String> {
+        if let Some(p) = self.map.get(r) {
+            return Ok(p.clone());
+        }
+        let p = pool
+            .get(self.next)
+            .ok_or_else(|| Error::InternalCompilerError("out of registers".into()))?;
+        self.next += 1;
+        self.map.insert(r.clone(), (*p).to_string());
+        Ok((*p).to_string())
+    }
+
+    /// A fresh scratch register: a brand-new pool entry while any remain,
+    /// else a recycled released scratch.
+    ///
+    /// # Errors
+    ///
+    /// Fails when both the pool and the free list are exhausted.
+    pub fn fresh(&mut self, pool: &'static [&'static str]) -> Result<String> {
+        if let Some(p) = pool.get(self.next) {
+            self.next += 1;
+            return Ok((*p).to_string());
+        }
+        self.free
+            .pop()
+            .ok_or_else(|| Error::InternalCompilerError("out of registers".into()))
+    }
+
+    /// Returns a scratch register to the free list.
+    pub fn release(&mut self, reg: String) {
+        self.free.push(reg);
+    }
+
+    /// A fresh local label.
+    pub fn fresh_label(&mut self, stem: &str) -> String {
+        self.labels += 1;
+        format!(".L{stem}{}", self.labels)
+    }
+
+    /// The final IR-register → physical-register assignment.
+    pub fn assignments(&self) -> impl Iterator<Item = (&Reg, &String)> {
+        self.map.iter()
+    }
+}
+
+impl Default for ThreadCtx {
+    fn default() -> Self {
+        ThreadCtx::new()
+    }
+}
+
+/// Walks a thread body, driving the emitter. Returns the context (whose
+/// register map feeds the compiled test's state mapping).
+///
+/// `frame` enables `-O0` behaviour: every materialised address and loaded
+/// value is *spilled* to the thread's stack frame and reloaded before use.
+/// The frame is modelled as a single location — litmus extraction cannot
+/// disambiguate `sp`-relative slots, matching herd's treatment of computed
+/// addresses — and this extra memory traffic is what makes unoptimised
+/// compiled tests explode under simulation (paper §IV-E / Fig. 11).
+///
+/// # Errors
+///
+/// Propagates emitter errors; rejects IR forms no C11 program produces
+/// (register-indirect addressing, store-exclusives).
+pub fn emit_thread<E: Emitter>(
+    e: &mut E,
+    test: &LitmusTest,
+    body: &[Instr],
+    pic: bool,
+    frame: Option<&Loc>,
+) -> Result<ThreadCtx> {
+    let mut cx = ThreadCtx::new();
+    let pool = e.pool();
+    // Spills a register to the frame slot (plain str/ldr traffic).
+    let spill = |e: &mut E, cx: &mut ThreadCtx, reg: &str| -> Result<()> {
+        if let Some(f) = frame {
+            let fa = cx.fresh(pool)?;
+            e.addr_of(&fa, f, false);
+            e.store(AccessWidth::Scalar, reg, &fa, Ord11::Na)?;
+            cx.release(fa);
+        }
+        Ok(())
+    };
+    // Reloads a just-spilled value from the frame into a fresh register,
+    // returning the register actually used for the access.
+    let reload = |e: &mut E, cx: &mut ThreadCtx, reg: &str| -> Result<String> {
+        if let Some(f) = frame {
+            let fa = cx.fresh(pool)?;
+            e.addr_of(&fa, f, false);
+            let r2 = cx.fresh(pool)?;
+            e.load(AccessWidth::Scalar, &r2, &fa, Ord11::Na, false)?;
+            cx.release(fa);
+            Ok(r2)
+        } else {
+            Ok(reg.to_string())
+        }
+    };
+    for ins in body {
+        match ins {
+            Instr::Label(l) => e.label(l),
+            Instr::Jump(l) => e.jump(l),
+            Instr::Nop => {}
+            Instr::Assign { dst, expr } => {
+                let d = cx.phys(dst, pool)?;
+                eval_expr(e, &mut cx, expr, &d, pic)?;
+            }
+            Instr::BranchIf { cond, target } => {
+                let shape = cond_shape(e, &mut cx, cond, false, pic)?;
+                e.branch(&shape, target)?;
+            }
+            Instr::Fence { annot } => e.fence(ord_of(*annot))?,
+            Instr::Load { dst, addr, annot } => {
+                let (loc, width, readonly) = resolve(test, addr)?;
+                let a = cx.fresh(pool)?;
+                e.addr_of(&a, &loc, pic);
+                spill(e, &mut cx, &a)?;
+                let a2 = reload(e, &mut cx, &a)?;
+                let d = cx.phys(dst, pool)?;
+                e.load(width, &d, &a2, ord_of(*annot), readonly)?;
+                spill(e, &mut cx, &d)?;
+                if a2 != a {
+                    cx.release(a2);
+                }
+                cx.release(a);
+            }
+            Instr::Store { addr, val, annot } => {
+                let (loc, width, _) = resolve(test, addr)?;
+                let a = cx.fresh(pool)?;
+                e.addr_of(&a, &loc, pic);
+                spill(e, &mut cx, &a)?;
+                let a2 = reload(e, &mut cx, &a)?;
+                let v = expr_to_reg(e, &mut cx, val, pic)?;
+                e.store(width, &v, &a2, ord_of(*annot))?;
+                if a2 != a {
+                    cx.release(a2);
+                }
+                cx.release(a);
+            }
+            Instr::Rmw {
+                dst,
+                addr,
+                op,
+                operand,
+                annot,
+                has_read_event: _,
+            } => {
+                let (loc, _, _) = resolve(test, addr)?;
+                let a = cx.fresh(pool)?;
+                e.addr_of(&a, &loc, pic);
+                let o = expr_to_reg(e, &mut cx, operand, pic)?;
+                let x = match op {
+                    RmwOp::CmpXchg { expected } => {
+                        Some(expr_to_reg(e, &mut cx, expected, pic)?)
+                    }
+                    _ => None,
+                };
+                let d = match dst {
+                    Some(r) => Some(cx.phys(r, pool)?),
+                    None => None,
+                };
+                // `cx` and `e` are disjoint, so the emitter can pull fresh
+                // scratch registers (for retry-loop status) on demand.
+                let mut next = || cx_fresh(&mut cx, pool);
+                e.rmw(op, d.as_deref(), &o, x.as_deref(), &a, ord_of(*annot), &mut next)?;
+            }
+            Instr::StoreExcl { .. } => {
+                return Err(Error::Unsupported(
+                    "store-exclusive is not a C11 source construct".into(),
+                ))
+            }
+        }
+    }
+    Ok(cx)
+}
+
+fn cx_fresh(cx: &mut ThreadCtx, pool: &'static [&'static str]) -> Result<String> {
+    cx.fresh(pool)
+}
+
+fn resolve(test: &LitmusTest, addr: &AddrExpr) -> Result<(Loc, AccessWidth, bool)> {
+    match addr {
+        AddrExpr::Sym(l) => {
+            let d = test
+                .loc_decl(l)
+                .ok_or_else(|| Error::IllFormed(format!("undeclared location `{l}`")))?;
+            let width = if d.width == Width::W128 {
+                AccessWidth::Pair
+            } else {
+                AccessWidth::Scalar
+            };
+            Ok((l.clone(), width, d.readonly))
+        }
+        AddrExpr::Reg(r) => Err(Error::Unsupported(format!(
+            "register-indirect source access via `{r}`"
+        ))),
+    }
+}
+
+/// Evaluates an expression into `dst`.
+fn eval_expr<E: Emitter>(
+    e: &mut E,
+    cx: &mut ThreadCtx,
+    expr: &Expr,
+    dst: &str,
+    pic: bool,
+) -> Result<()> {
+    match expr {
+        Expr::Lit(Val::Int(i)) => {
+            e.mov_imm(dst, *i);
+            Ok(())
+        }
+        Expr::Lit(Val::Addr(l)) => {
+            e.addr_of(dst, l, pic);
+            Ok(())
+        }
+        Expr::Reg(r) => {
+            let s = cx.phys(r, e.pool())?;
+            e.mov_reg(dst, &s);
+            Ok(())
+        }
+        Expr::Bin(op, a, b) => {
+            let ra = expr_to_reg(e, cx, a, pic)?;
+            let rb = expr_to_reg(e, cx, b, pic)?;
+            e.bin_op(*op, dst, &ra, &rb)
+        }
+    }
+}
+
+/// Evaluates an expression, reusing registers when it already is one.
+fn expr_to_reg<E: Emitter>(
+    e: &mut E,
+    cx: &mut ThreadCtx,
+    expr: &Expr,
+    pic: bool,
+) -> Result<String> {
+    if let Expr::Reg(r) = expr {
+        return cx.phys(r, e.pool());
+    }
+    let d = cx.fresh(e.pool())?;
+    eval_expr(e, cx, expr, &d, pic)?;
+    Ok(d)
+}
+
+/// Normalises a branch condition into a [`CondShape`]. `negate` flips the
+/// sense (used to unfold `(x == 0)` wrappers).
+fn cond_shape<E: Emitter>(
+    e: &mut E,
+    cx: &mut ThreadCtx,
+    cond: &Expr,
+    negate: bool,
+    pic: bool,
+) -> Result<CondShape> {
+    match cond {
+        // (x == 0) ≡ !x ; (x != 0) ≡ x — unfold recursively.
+        Expr::Bin(BinOp::Eq, x, z) if matches!(**z, Expr::Lit(Val::Int(0))) => {
+            cond_shape(e, cx, x, !negate, pic)
+        }
+        Expr::Bin(BinOp::Ne, x, z) if matches!(**z, Expr::Lit(Val::Int(0))) => {
+            cond_shape(e, cx, x, negate, pic)
+        }
+        Expr::Reg(r) => Ok(CondShape::RegZero {
+            reg: cx.phys(r, e.pool())?,
+            // plain register is "branch if non-zero"; negation tests zero.
+            eq: negate,
+        }),
+        Expr::Bin(BinOp::Eq, a, b) | Expr::Bin(BinOp::Ne, a, b) => {
+            let is_eq = matches!(cond, Expr::Bin(BinOp::Eq, _, _)) != negate;
+            match (&**a, &**b) {
+                (Expr::Reg(r), Expr::Lit(Val::Int(i))) | (Expr::Lit(Val::Int(i)), Expr::Reg(r)) => {
+                    Ok(CondShape::CmpImm {
+                        reg: cx.phys(r, e.pool())?,
+                        imm: *i,
+                        eq: is_eq,
+                    })
+                }
+                (Expr::Reg(ra), Expr::Reg(rb)) => Ok(CondShape::CmpReg {
+                    a: cx.phys(ra, e.pool())?,
+                    b: cx.phys(rb, e.pool())?,
+                    eq: is_eq,
+                }),
+                _ => {
+                    // General case: evaluate both sides.
+                    let ra = expr_to_reg(e, cx, a, pic)?;
+                    let rb = expr_to_reg(e, cx, b, pic)?;
+                    Ok(CondShape::CmpReg {
+                        a: ra,
+                        b: rb,
+                        eq: is_eq,
+                    })
+                }
+            }
+        }
+        other => Err(Error::Unsupported(format!(
+            "branch condition shape `{other}`"
+        ))),
+    }
+}

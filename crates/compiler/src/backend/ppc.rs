@@ -1,0 +1,240 @@
+//! The PowerPC back end: `SYNC`/`LWSYNC` mappings and `LWARX`/`STWCX.`
+//! reservation loops.
+
+use super::{AccessWidth, CondShape, Emitter, Ord11};
+use telechat_common::{Error, Loc, Reg, Result};
+use telechat_isa::ppc::PpcInstr;
+use telechat_isa::SymRef;
+use telechat_litmus::{BinOp, RmwOp};
+
+/// Emits PPC64 code for one thread.
+#[derive(Debug, Default)]
+pub struct PpcEmitter {
+    /// The emitted instructions.
+    pub code: Vec<PpcInstr>,
+    labels: usize,
+}
+
+impl PpcEmitter {
+    /// A fresh emitter.
+    pub fn new() -> PpcEmitter {
+        PpcEmitter::default()
+    }
+
+    fn fresh_label(&mut self, stem: &str) -> String {
+        self.labels += 1;
+        format!(".L{stem}{}", self.labels)
+    }
+}
+
+const POOL: &[&str] = &[
+    "r3", "r4", "r5", "r6", "r7", "r8", "r9", "r10", "r11", "r12", "r14", "r15", "r16", "r17",
+    "r18", "r19", "r20",
+];
+
+impl Emitter for PpcEmitter {
+    fn pool(&self) -> &'static [&'static str] {
+        POOL
+    }
+
+    fn norm(&self, phys: &str) -> Reg {
+        Reg::new(phys.to_ascii_lowercase())
+    }
+
+    fn label(&mut self, l: &str) {
+        self.code.push(PpcInstr::Label(l.to_string()));
+    }
+
+    fn jump(&mut self, l: &str) {
+        self.code.push(PpcInstr::B(l.to_string()));
+    }
+
+    fn branch(&mut self, shape: &CondShape, target: &str) -> Result<()> {
+        let eq = match shape {
+            CondShape::RegZero { reg, eq } => {
+                self.code.push(PpcInstr::Cmpwi {
+                    a: reg.clone(),
+                    imm: 0,
+                });
+                *eq
+            }
+            CondShape::CmpImm { reg, imm, eq } => {
+                self.code.push(PpcInstr::Cmpwi {
+                    a: reg.clone(),
+                    imm: *imm,
+                });
+                *eq
+            }
+            CondShape::CmpReg { a, b, eq } => {
+                self.code.push(PpcInstr::Cmpw {
+                    a: a.clone(),
+                    b: b.clone(),
+                });
+                *eq
+            }
+        };
+        self.code.push(if eq {
+            PpcInstr::Beq(target.to_string())
+        } else {
+            PpcInstr::Bne(target.to_string())
+        });
+        Ok(())
+    }
+
+    fn mov_imm(&mut self, dst: &str, imm: i64) {
+        self.code.push(PpcInstr::Li {
+            dst: dst.to_string(),
+            imm,
+        });
+    }
+
+    fn mov_reg(&mut self, dst: &str, src: &str) {
+        self.code.push(PpcInstr::Mr {
+            dst: dst.to_string(),
+            src: src.to_string(),
+        });
+    }
+
+    fn bin_op(&mut self, op: BinOp, dst: &str, a: &str, b: &str) -> Result<()> {
+        match op {
+            BinOp::Xor => self.code.push(PpcInstr::Xor {
+                dst: dst.to_string(),
+                a: a.to_string(),
+                b: b.to_string(),
+            }),
+            BinOp::Add => self.code.push(PpcInstr::Add {
+                dst: dst.to_string(),
+                a: a.to_string(),
+                b: b.to_string(),
+            }),
+            other => return Err(Error::Unsupported(format!("ppc ALU `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn addr_of(&mut self, dst: &str, sym: &Loc, pic: bool) {
+        if pic {
+            // TOC-slot load: a memory read of `toc.<sym>`.
+            self.code.push(PpcInstr::LdToc {
+                dst: dst.to_string(),
+                sym: SymRef::Sym(sym.clone()),
+            });
+        } else {
+            self.code.push(PpcInstr::AddisToc {
+                dst: dst.to_string(),
+                sym: SymRef::Sym(sym.clone()),
+            });
+        }
+    }
+
+    fn load(
+        &mut self,
+        width: AccessWidth,
+        dst: &str,
+        addr: &str,
+        ord: Ord11,
+        _readonly: bool,
+    ) -> Result<()> {
+        if width == AccessWidth::Pair {
+            return Err(Error::Unsupported("128-bit atomics on PPC".into()));
+        }
+        if ord == Ord11::Sc {
+            self.code.push(PpcInstr::Sync);
+        }
+        self.code.push(PpcInstr::Lwz {
+            dst: dst.to_string(),
+            base: addr.to_string(),
+        });
+        if matches!(ord, Ord11::Acq | Ord11::AcqRel | Ord11::Sc) {
+            self.code.push(PpcInstr::Lwsync);
+        }
+        Ok(())
+    }
+
+    fn store(&mut self, width: AccessWidth, src: &str, addr: &str, ord: Ord11) -> Result<()> {
+        if width == AccessWidth::Pair {
+            return Err(Error::Unsupported("128-bit atomics on PPC".into()));
+        }
+        match ord {
+            Ord11::Rel | Ord11::AcqRel => self.code.push(PpcInstr::Lwsync),
+            Ord11::Sc => self.code.push(PpcInstr::Sync),
+            _ => {}
+        }
+        self.code.push(PpcInstr::Stw {
+            src: src.to_string(),
+            base: addr.to_string(),
+        });
+        Ok(())
+    }
+
+    fn rmw(
+        &mut self,
+        op: &RmwOp,
+        dst: Option<&str>,
+        operand: &str,
+        expected: Option<&str>,
+        addr: &str,
+        ord: Ord11,
+        fresh: &mut dyn FnMut() -> Result<String>,
+    ) -> Result<()> {
+        match ord {
+            Ord11::Rel | Ord11::AcqRel => self.code.push(PpcInstr::Lwsync),
+            Ord11::Sc => self.code.push(PpcInstr::Sync),
+            _ => {}
+        }
+        let retry = self.fresh_label("retry");
+        let done = self.fresh_label("done");
+        let old = fresh()?;
+        self.code.push(PpcInstr::Label(retry.clone()));
+        self.code.push(PpcInstr::Lwarx {
+            dst: old.clone(),
+            base: addr.to_string(),
+        });
+        let new = match op {
+            RmwOp::FetchAdd => {
+                let n = fresh()?;
+                self.code.push(PpcInstr::Add {
+                    dst: n.clone(),
+                    a: old.clone(),
+                    b: operand.to_string(),
+                });
+                n
+            }
+            RmwOp::Swap => operand.to_string(),
+            RmwOp::CmpXchg { .. } => {
+                let e = expected.ok_or_else(|| {
+                    Error::InternalCompilerError("CAS without expected".into())
+                })?;
+                self.code.push(PpcInstr::Cmpw {
+                    a: old.clone(),
+                    b: e.to_string(),
+                });
+                self.code.push(PpcInstr::Bne(done.clone()));
+                operand.to_string()
+            }
+            other => return Err(Error::Unsupported(format!("ppc RMW {other:?}"))),
+        };
+        self.code.push(PpcInstr::Stwcx {
+            src: new,
+            base: addr.to_string(),
+        });
+        self.code.push(PpcInstr::Bne(retry));
+        self.code.push(PpcInstr::Label(done));
+        if matches!(ord, Ord11::Acq | Ord11::AcqRel | Ord11::Sc) {
+            self.code.push(PpcInstr::Lwsync);
+        }
+        if let Some(d) = dst {
+            self.mov_reg(d, &old);
+        }
+        Ok(())
+    }
+
+    fn fence(&mut self, ord: Ord11) -> Result<()> {
+        match ord {
+            Ord11::Na | Ord11::Rlx => {}
+            Ord11::Acq | Ord11::Rel | Ord11::AcqRel => self.code.push(PpcInstr::Lwsync),
+            Ord11::Sc => self.code.push(PpcInstr::Sync),
+        }
+        Ok(())
+    }
+}

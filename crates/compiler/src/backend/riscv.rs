@@ -1,0 +1,261 @@
+//! The RISC-V back end: fence-based mappings with `.aq`/`.rl` AMOs.
+
+use super::{AccessWidth, CondShape, Emitter, Ord11};
+use telechat_common::{Error, Loc, Reg, Result};
+use telechat_isa::riscv::{FenceKind, RvInstr};
+use telechat_isa::SymRef;
+use telechat_litmus::{BinOp, RmwOp};
+
+/// Emits RV64 code for one thread.
+#[derive(Debug, Default)]
+pub struct RvEmitter {
+    /// The emitted instructions.
+    pub code: Vec<RvInstr>,
+    labels: usize,
+}
+
+impl RvEmitter {
+    /// A fresh emitter.
+    pub fn new() -> RvEmitter {
+        RvEmitter::default()
+    }
+
+    fn fresh_label(&mut self, stem: &str) -> String {
+        self.labels += 1;
+        format!(".L{stem}{}", self.labels)
+    }
+
+    fn fence(&mut self, k: FenceKind) {
+        self.code.push(RvInstr::Fence(k));
+    }
+}
+
+const POOL: &[&str] = &[
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "t0", "t1", "t2", "t3", "t4", "t5", "s2",
+    "s3", "s4", "s5", "s6", "s7",
+];
+
+/// Reserved scratch for immediate-compare branches (not in the pool).
+const BR_SCRATCH: &str = "t6";
+
+impl Emitter for RvEmitter {
+    fn pool(&self) -> &'static [&'static str] {
+        POOL
+    }
+
+    fn norm(&self, phys: &str) -> Reg {
+        Reg::new(phys.to_ascii_lowercase())
+    }
+
+    fn label(&mut self, l: &str) {
+        self.code.push(RvInstr::Label(l.to_string()));
+    }
+
+    fn jump(&mut self, l: &str) {
+        self.code.push(RvInstr::J(l.to_string()));
+    }
+
+    fn branch(&mut self, shape: &CondShape, target: &str) -> Result<()> {
+        let (a, b, eq) = match shape {
+            CondShape::RegZero { reg, eq } => (reg.clone(), "zero".to_string(), *eq),
+            CondShape::CmpImm { reg, imm, eq } => {
+                if *imm == 0 {
+                    (reg.clone(), "zero".to_string(), *eq)
+                } else {
+                    self.code.push(RvInstr::Li {
+                        dst: BR_SCRATCH.into(),
+                        imm: *imm,
+                    });
+                    (reg.clone(), BR_SCRATCH.to_string(), *eq)
+                }
+            }
+            CondShape::CmpReg { a, b, eq } => (a.clone(), b.clone(), *eq),
+        };
+        self.code.push(if eq {
+            RvInstr::Beq {
+                a,
+                b,
+                label: target.to_string(),
+            }
+        } else {
+            RvInstr::Bne {
+                a,
+                b,
+                label: target.to_string(),
+            }
+        });
+        Ok(())
+    }
+
+    fn mov_imm(&mut self, dst: &str, imm: i64) {
+        self.code.push(RvInstr::Li {
+            dst: dst.to_string(),
+            imm,
+        });
+    }
+
+    fn mov_reg(&mut self, dst: &str, src: &str) {
+        self.code.push(RvInstr::Mv {
+            dst: dst.to_string(),
+            src: src.to_string(),
+        });
+    }
+
+    fn bin_op(&mut self, op: BinOp, dst: &str, a: &str, b: &str) -> Result<()> {
+        match op {
+            BinOp::Xor => self.code.push(RvInstr::Xor {
+                dst: dst.to_string(),
+                a: a.to_string(),
+                b: b.to_string(),
+            }),
+            BinOp::Add => self.code.push(RvInstr::Add {
+                dst: dst.to_string(),
+                a: a.to_string(),
+                b: b.to_string(),
+            }),
+            other => return Err(Error::Unsupported(format!("riscv ALU `{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn addr_of(&mut self, dst: &str, sym: &Loc, pic: bool) {
+        if pic {
+            self.code.push(RvInstr::LdGot {
+                dst: dst.to_string(),
+                sym: SymRef::Sym(sym.clone()),
+            });
+        } else {
+            self.code.push(RvInstr::La {
+                dst: dst.to_string(),
+                sym: SymRef::Sym(sym.clone()),
+            });
+        }
+    }
+
+    fn load(
+        &mut self,
+        width: AccessWidth,
+        dst: &str,
+        addr: &str,
+        ord: Ord11,
+        _readonly: bool,
+    ) -> Result<()> {
+        if width == AccessWidth::Pair {
+            return Err(Error::Unsupported("128-bit atomics on RISC-V".into()));
+        }
+        if ord == Ord11::Sc {
+            self.fence(FenceKind::RwRw);
+        }
+        self.code.push(RvInstr::Lw {
+            dst: dst.to_string(),
+            base: addr.to_string(),
+            aq: false,
+        });
+        if matches!(ord, Ord11::Acq | Ord11::AcqRel | Ord11::Sc) {
+            self.fence(FenceKind::RRw);
+        }
+        Ok(())
+    }
+
+    fn store(&mut self, width: AccessWidth, src: &str, addr: &str, ord: Ord11) -> Result<()> {
+        if width == AccessWidth::Pair {
+            return Err(Error::Unsupported("128-bit atomics on RISC-V".into()));
+        }
+        match ord {
+            Ord11::Rel | Ord11::AcqRel => self.fence(FenceKind::RwW),
+            Ord11::Sc => self.fence(FenceKind::RwRw),
+            _ => {}
+        }
+        self.code.push(RvInstr::Sw {
+            src: src.to_string(),
+            base: addr.to_string(),
+            rl: false,
+        });
+        Ok(())
+    }
+
+    fn rmw(
+        &mut self,
+        op: &RmwOp,
+        dst: Option<&str>,
+        operand: &str,
+        expected: Option<&str>,
+        addr: &str,
+        ord: Ord11,
+        fresh: &mut dyn FnMut() -> Result<String>,
+    ) -> Result<()> {
+        let aq = matches!(ord, Ord11::Acq | Ord11::AcqRel | Ord11::Sc);
+        let rl = matches!(ord, Ord11::Rel | Ord11::AcqRel | Ord11::Sc);
+        match op {
+            RmwOp::FetchAdd => {
+                let d = dst.map(str::to_string).unwrap_or_else(|| "zero".into());
+                self.code.push(RvInstr::Amoadd {
+                    dst: d,
+                    src: operand.to_string(),
+                    base: addr.to_string(),
+                    aq,
+                    rl,
+                });
+            }
+            RmwOp::Swap => {
+                let d = dst.map(str::to_string).unwrap_or_else(|| "zero".into());
+                self.code.push(RvInstr::Amoswap {
+                    dst: d,
+                    src: operand.to_string(),
+                    base: addr.to_string(),
+                    aq,
+                    rl,
+                });
+            }
+            RmwOp::CmpXchg { .. } => {
+                let e = expected.ok_or_else(|| {
+                    Error::InternalCompilerError("CAS without expected".into())
+                })?;
+                let retry = self.fresh_label("retry");
+                let done = self.fresh_label("done");
+                let old = fresh()?;
+                let status = fresh()?;
+                self.code.push(RvInstr::Label(retry.clone()));
+                self.code.push(RvInstr::Lr {
+                    dst: old.clone(),
+                    base: addr.to_string(),
+                    aq,
+                    rl: false,
+                });
+                self.code.push(RvInstr::Bne {
+                    a: old.clone(),
+                    b: e.to_string(),
+                    label: done.clone(),
+                });
+                self.code.push(RvInstr::Sc {
+                    status: status.clone(),
+                    src: operand.to_string(),
+                    base: addr.to_string(),
+                    aq: false,
+                    rl,
+                });
+                self.code.push(RvInstr::Bne {
+                    a: status,
+                    b: "zero".into(),
+                    label: retry,
+                });
+                self.code.push(RvInstr::Label(done));
+                if let Some(d) = dst {
+                    self.mov_reg(d, &old);
+                }
+            }
+            other => return Err(Error::Unsupported(format!("riscv RMW {other:?}"))),
+        }
+        Ok(())
+    }
+
+    fn fence(&mut self, ord: Ord11) -> Result<()> {
+        match ord {
+            Ord11::Na | Ord11::Rlx => {}
+            Ord11::Acq => self.fence(FenceKind::RRw),
+            Ord11::Rel => self.fence(FenceKind::RwW),
+            Ord11::AcqRel | Ord11::Sc => self.fence(FenceKind::RwRw),
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,223 @@
+//! The large-scale differential-testing campaign driver (paper §IV-D,
+//! Tables III/IV): run a test suite through many compiler profiles in
+//! parallel and tabulate positive/negative differences.
+
+use crate::pipeline::{PipelineConfig, Telechat, TestVerdict};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+use telechat_common::{Arch, Result};
+use telechat_compiler::{Compiler, CompilerFamily, CompilerId, OptLevel, Target};
+use telechat_litmus::LitmusTest;
+
+/// What to sweep (paper Table III: constructs × compiler × flags × arch).
+#[derive(Debug, Clone)]
+pub struct CampaignSpec {
+    /// Compilers under test.
+    pub compilers: Vec<CompilerId>,
+    /// Optimisation levels (unsupported family/level pairs are skipped,
+    /// like clang `-Og` in Table IV).
+    pub opts: Vec<OptLevel>,
+    /// Targets.
+    pub targets: Vec<Target>,
+    /// Source model name (`rc11`, or `rc11-lb` for the no-LB rerun).
+    pub source_model: String,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl CampaignSpec {
+    /// The paper's Table IV sweep over the six architectures, with the
+    /// artefact's compilers.
+    pub fn table_iv(source_model: &str) -> CampaignSpec {
+        CampaignSpec {
+            compilers: vec![CompilerId::llvm(11), CompilerId::gcc(10)],
+            opts: OptLevel::CAMPAIGN.to_vec(),
+            targets: Arch::TARGETS.iter().map(|&a| Target::new(a)).collect(),
+            source_model: source_model.to_string(),
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+        }
+    }
+}
+
+/// One cell of the campaign table: a (target, family, level) combination.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignCell {
+    /// Tests with positive differences (`+ve`).
+    pub positive: usize,
+    /// Tests with negative differences (`-ve`).
+    pub negative: usize,
+    /// Exact-match passes.
+    pub pass: usize,
+    /// Run-time crashes.
+    pub crashed: usize,
+    /// Racy sources, discounted.
+    pub racy: usize,
+    /// Pipeline errors (timeouts, unsupported constructs).
+    pub errors: usize,
+}
+
+impl CampaignCell {
+    /// Total tests binned into this cell.
+    pub fn total(&self) -> usize {
+        self.positive + self.negative + self.pass + self.crashed + self.racy + self.errors
+    }
+}
+
+/// Aggregated campaign results.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResult {
+    /// Cells keyed by (architecture, compiler family, optimisation level).
+    pub cells: BTreeMap<(Arch, CompilerFamily, OptLevel), CampaignCell>,
+    /// Number of source tests.
+    pub source_tests: usize,
+    /// Number of compiled tests produced (tests × applicable profiles).
+    pub compiled_tests: usize,
+}
+
+impl CampaignResult {
+    /// Sum of positive differences across all cells.
+    pub fn total_positive(&self) -> usize {
+        self.cells.values().map(|c| c.positive).sum()
+    }
+
+    /// Sum of negative differences across all cells.
+    pub fn total_negative(&self) -> usize {
+        self.cells.values().map(|c| c.negative).sum()
+    }
+
+    /// The cell for a combination, if populated.
+    pub fn cell(&self, arch: Arch, family: CompilerFamily, opt: OptLevel) -> Option<&CampaignCell> {
+        self.cells.get(&(arch, family, opt))
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    /// Renders the Table IV layout: one row pair (+ve / -ve) per
+    /// architecture, `clang/gcc` columns per optimisation level.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let opts = [
+            OptLevel::O1,
+            OptLevel::O2,
+            OptLevel::O3,
+            OptLevel::Ofast,
+            OptLevel::Og,
+        ];
+        writeln!(
+            f,
+            "{:22} {:>13} {:>13} {:>13} {:>13} {:>13}",
+            "", "-O1", "-O2", "-O3", "-Ofast", "-Og"
+        )?;
+        let archs: Vec<Arch> = {
+            let mut seen = Vec::new();
+            for (a, _, _) in self.cells.keys() {
+                if !seen.contains(a) {
+                    seen.push(*a);
+                }
+            }
+            seen
+        };
+        for arch in archs {
+            writeln!(f, "{arch} clang/gcc")?;
+            for (label, pick) in [
+                ("+ve", 0usize),
+                ("-ve", 1usize),
+            ] {
+                write!(f, "  {label:20}")?;
+                for opt in opts {
+                    let get = |fam| {
+                        self.cell(arch, fam, opt)
+                            .map(|c| if pick == 0 { c.positive } else { c.negative })
+                    };
+                    let clang = get(CompilerFamily::Llvm)
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "-".into());
+                    let gcc = get(CompilerFamily::Gcc)
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "-".into());
+                    write!(f, " {:>13}", format!("{clang}/{gcc}"))?;
+                }
+                writeln!(f)?;
+            }
+        }
+        writeln!(
+            f,
+            "total: {} source tests, {} compiled tests, {} +ve, {} -ve",
+            self.source_tests,
+            self.compiled_tests,
+            self.total_positive(),
+            self.total_negative()
+        )
+    }
+}
+
+/// Runs the campaign: every test × every applicable profile, in parallel.
+///
+/// # Errors
+///
+/// Fails only on configuration errors (unknown source model); per-test
+/// failures are counted in the cells' `errors`.
+pub fn run_campaign(
+    tests: &[LitmusTest],
+    spec: &CampaignSpec,
+    config: &PipelineConfig,
+) -> Result<CampaignResult> {
+    let tool = Telechat::with_config(&spec.source_model, config.clone())?;
+
+    // Work items: (test index, compiler).
+    let mut items = Vec::new();
+    for target in &spec.targets {
+        for id in &spec.compilers {
+            for &opt in &spec.opts {
+                if !opt.supported_by(id.family) {
+                    continue;
+                }
+                for t in 0..tests.len() {
+                    items.push((t, Compiler::new(*id, opt, *target)));
+                }
+            }
+        }
+    }
+
+    let result = Mutex::new(CampaignResult {
+        source_tests: tests.len(),
+        compiled_tests: items.len(),
+        ..CampaignResult::default()
+    });
+    let next = std::sync::atomic::AtomicUsize::new(0);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..spec.threads.max(1) {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some((tindex, compiler)) = items.get(i).copied() else {
+                    return;
+                };
+                let test = &tests[tindex];
+                let key = (
+                    compiler.target.arch,
+                    compiler.id.family,
+                    compiler.opt,
+                );
+                let outcome = tool.run(test, &compiler);
+                let mut res = result.lock().expect("campaign lock");
+                let cell = res.cells.entry(key).or_default();
+                match outcome {
+                    Ok(report) => match report.verdict {
+                        TestVerdict::Pass => cell.pass += 1,
+                        TestVerdict::NegativeDifference => cell.negative += 1,
+                        TestVerdict::PositiveDifference => cell.positive += 1,
+                        TestVerdict::RuntimeCrash => cell.crashed += 1,
+                        TestVerdict::SourceRace => cell.racy += 1,
+                    },
+                    Err(_) => cell.errors += 1,
+                }
+            });
+        }
+    })
+    .expect("campaign threads");
+
+    Ok(result.into_inner().expect("campaign lock"))
+}

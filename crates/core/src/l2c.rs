@@ -1,0 +1,129 @@
+//! The `litmus2c` (l2c) stage: prepares a source litmus test for
+//! compilation (paper Fig. 6, step 2).
+//!
+//! Besides rendering compilable C, l2c implements Téléchat's solution to
+//! the **local variable problem** (§IV-B): optimisations may delete
+//! thread-local data that the litmus condition needs, masking bugs. The
+//! augmentation appends, at the end of each thread, a store of every
+//! condition-observed local into a fresh global (`P1_r0` etc.), so the
+//! data persists through compilation. "The original code under test
+//! remains, but with the additional constraint that local data persists."
+
+use std::collections::BTreeSet;
+use telechat_common::{Annot, AnnotSet, Loc, Reg, StateKey, ThreadId};
+use telechat_litmus::{print, AddrExpr, Expr, Instr, LitmusTest, LocDecl};
+
+/// The output of l2c: the (possibly augmented) test, its C rendering, and
+/// the local→global persistence map.
+#[derive(Debug, Clone)]
+pub struct PreparedSource {
+    /// The test handed to the compiler (augmented if requested).
+    pub test: LitmusTest,
+    /// A compilable C translation unit.
+    pub c_source: String,
+    /// `(thread, local register, global location)` persistence triples.
+    pub augmented: Vec<(ThreadId, Reg, Loc)>,
+}
+
+/// Prepares a source test for compilation.
+///
+/// With `augment` set (the pipeline default), every register the condition
+/// or `locations` clause observes is stored to a fresh plain global at the
+/// end of its thread. The augmentation is optional — paper: "to allow
+/// thread-local optimisations to be tested" — and Fig. 9's deletion demo
+/// runs with it off.
+pub fn prepare(test: &LitmusTest, augment: bool) -> PreparedSource {
+    let mut out = test.clone();
+    let mut augmented = Vec::new();
+    if augment {
+        let observed: BTreeSet<(ThreadId, Reg)> = test
+            .observed_keys()
+            .into_iter()
+            .filter_map(|k| match k {
+                StateKey::Reg(t, r) => Some((t, r)),
+                StateKey::Loc(_) => None,
+            })
+            .collect();
+        for (t, r) in observed {
+            if t.index() >= out.threads.len() {
+                continue;
+            }
+            let global = Loc::new(format!("P{}_{}", t.0, r));
+            out.locs.push(LocDecl::plain(global.as_str(), 0));
+            out.threads[t.index()].push(Instr::Store {
+                addr: AddrExpr::Sym(global.clone()),
+                val: Expr::Reg(r.clone()),
+                annot: AnnotSet::one(Annot::NonAtomic),
+            });
+            augmented.push((t, r, global));
+        }
+    }
+    let c_source = print::to_c_program(&out);
+    PreparedSource {
+        test: out,
+        c_source,
+        augmented,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telechat_litmus::parse_c11;
+
+    const LB: &str = r#"
+C11 "LB"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (P0:r0=1 /\ P1:r0=1)
+"#;
+
+    #[test]
+    fn augmentation_adds_globals_and_stores() {
+        let t = parse_c11(LB).unwrap();
+        let p = prepare(&t, true);
+        assert_eq!(p.augmented.len(), 2);
+        assert!(p.test.loc_decl(&Loc::new("P0_r0")).is_some());
+        assert!(p.test.loc_decl(&Loc::new("P1_r0")).is_some());
+        // Each thread grew exactly one trailing store.
+        assert_eq!(p.test.threads[0].len(), t.threads[0].len() + 1);
+        assert!(matches!(
+            p.test.threads[0].last().unwrap(),
+            Instr::Store { .. }
+        ));
+        p.test.validate().unwrap();
+    }
+
+    #[test]
+    fn augmentation_makes_locals_used() {
+        // The whole point: dead-local elimination can no longer delete r0.
+        let t = parse_c11(LB).unwrap();
+        let p = prepare(&t, true);
+        let mut body = p.test.threads[0].clone();
+        telechat_compiler::passes::dead_local_elim(&mut body);
+        assert_eq!(body.len(), p.test.threads[0].len(), "nothing deleted");
+
+        let unaugmented = prepare(&t, false);
+        let mut body = unaugmented.test.threads[0].clone();
+        telechat_compiler::passes::dead_local_elim(&mut body);
+        assert!(
+            body.len() < unaugmented.test.threads[0].len(),
+            "without augmentation the load dies"
+        );
+    }
+
+    #[test]
+    fn c_source_is_rendered() {
+        let t = parse_c11(LB).unwrap();
+        let p = prepare(&t, true);
+        assert!(p.c_source.contains("void P0("));
+        assert!(p.c_source.contains("int P0_r0 = 0;"));
+    }
+}

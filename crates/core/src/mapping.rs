@@ -1,0 +1,174 @@
+//! State mappings `m` between source and compiled observables
+//! (paper Fig. 5, step 5: "state mappings m from outcomes of S to outcomes
+//! of C"; §III-D: "we added state mapping support to mcompare").
+
+use std::collections::BTreeMap;
+use telechat_common::{Loc, Reg, StateKey, ThreadId};
+use telechat_litmus::Condition;
+use telechat_common::OutcomeSet;
+
+/// A bidirectional renaming between source observables (litmus registers,
+/// locations) and compiled-test observables (physical registers, augmented
+/// globals).
+#[derive(Debug, Clone, Default)]
+pub struct StateMapping {
+    fwd: BTreeMap<StateKey, StateKey>,
+    rev: BTreeMap<StateKey, StateKey>,
+}
+
+impl StateMapping {
+    /// Builds the mapping for one compiled test.
+    ///
+    /// Priority per source register: the augmentation global (if l2c
+    /// persisted the local), else the physical register the compiler
+    /// allocated, else identity — an identity-mapped register is never
+    /// written by the compiled test and reads as zero, which reproduces
+    /// herd's behaviour on deleted locals (paper Fig. 9: "herd assumes
+    /// data is zero-initialised").
+    pub fn build(
+        source_keys: impl IntoIterator<Item = StateKey>,
+        augmented: &[(ThreadId, Reg, Loc)],
+        reg_map: &[(ThreadId, Reg, Reg)],
+    ) -> StateMapping {
+        let mut m = StateMapping::default();
+        for key in source_keys {
+            let target = match &key {
+                StateKey::Loc(_) => key.clone(),
+                StateKey::Reg(t, r) => {
+                    if let Some((_, _, g)) =
+                        augmented.iter().find(|(at, ar, _)| at == t && ar == r)
+                    {
+                        StateKey::Loc(g.clone())
+                    } else if let Some((_, _, phys)) =
+                        reg_map.iter().find(|(mt, mr, _)| mt == t && mr == r)
+                    {
+                        StateKey::Reg(*t, phys.clone())
+                    } else {
+                        key.clone()
+                    }
+                }
+            };
+            m.insert(key, target);
+        }
+        m
+    }
+
+    /// Adds one pair.
+    pub fn insert(&mut self, source: StateKey, target: StateKey) {
+        self.rev.insert(target.clone(), source.clone());
+        self.fwd.insert(source, target);
+    }
+
+    /// Source → target (identity for unmapped keys).
+    pub fn map_source_key(&self, k: &StateKey) -> StateKey {
+        self.fwd.get(k).cloned().unwrap_or_else(|| k.clone())
+    }
+
+    /// Target → source (identity for unmapped keys).
+    pub fn map_target_key(&self, k: &StateKey) -> StateKey {
+        self.rev.get(k).cloned().unwrap_or_else(|| k.clone())
+    }
+
+    /// Rewrites a source condition into target observables.
+    pub fn target_condition(&self, cond: &Condition) -> Condition {
+        Condition {
+            quantifier: cond.quantifier,
+            prop: cond.prop.map_keys(&|k| Some(self.map_source_key(k))),
+        }
+    }
+
+    /// Renames compiled-test outcomes back into source observables, so the
+    /// two outcome sets are directly comparable.
+    pub fn rename_target_outcomes(&self, outcomes: &OutcomeSet) -> OutcomeSet {
+        outcomes.map_keys(|k| Some(self.map_target_key(k)))
+    }
+
+    /// Number of mapped pairs.
+    pub fn len(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// True if no pairs are mapped.
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telechat_common::{Outcome, Val};
+    use telechat_litmus::{Prop, Quantifier};
+
+    #[test]
+    fn augmented_register_maps_to_global() {
+        let m = StateMapping::build(
+            [StateKey::reg(ThreadId(1), "r0")],
+            &[(ThreadId(1), Reg::new("r0"), Loc::new("P1_r0"))],
+            &[],
+        );
+        assert_eq!(
+            m.map_source_key(&StateKey::reg(ThreadId(1), "r0")),
+            StateKey::loc("P1_r0")
+        );
+        assert_eq!(
+            m.map_target_key(&StateKey::loc("P1_r0")),
+            StateKey::reg(ThreadId(1), "r0")
+        );
+    }
+
+    #[test]
+    fn register_falls_back_to_physical() {
+        let m = StateMapping::build(
+            [StateKey::reg(ThreadId(0), "r0")],
+            &[],
+            &[(ThreadId(0), Reg::new("r0"), Reg::new("X0"))],
+        );
+        assert_eq!(
+            m.map_source_key(&StateKey::reg(ThreadId(0), "r0")),
+            StateKey::reg(ThreadId(0), "X0")
+        );
+    }
+
+    #[test]
+    fn deleted_register_maps_to_itself() {
+        let m = StateMapping::build([StateKey::reg(ThreadId(0), "r0")], &[], &[]);
+        let k = StateKey::reg(ThreadId(0), "r0");
+        assert_eq!(m.map_source_key(&k), k);
+    }
+
+    #[test]
+    fn condition_translation() {
+        let m = StateMapping::build(
+            [StateKey::reg(ThreadId(1), "r0"), StateKey::loc("y")],
+            &[(ThreadId(1), Reg::new("r0"), Loc::new("P1_r0"))],
+            &[],
+        );
+        let cond = Condition {
+            quantifier: Quantifier::Exists,
+            prop: Prop::atom(StateKey::reg(ThreadId(1), "r0"), 0i64)
+                .and(Prop::atom(StateKey::loc("y"), 2i64)),
+        };
+        let t = m.target_condition(&cond);
+        assert_eq!(t.to_string(), "exists ([P1_r0]=0 /\\ [y]=2)");
+    }
+
+    #[test]
+    fn outcome_renaming_round_trips() {
+        let m = StateMapping::build(
+            [StateKey::reg(ThreadId(1), "r0")],
+            &[(ThreadId(1), Reg::new("r0"), Loc::new("P1_r0"))],
+            &[],
+        );
+        let mut target = OutcomeSet::new();
+        let mut o = Outcome::new();
+        o.set(StateKey::loc("P1_r0"), Val::Int(1));
+        target.insert(o);
+        let renamed = m.rename_target_outcomes(&target);
+        let got = renamed.iter().next().unwrap();
+        assert_eq!(
+            got.get(&StateKey::reg(ThreadId(1), "r0")),
+            Some(&Val::Int(1))
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! The Téléchat test environment `exec_tv` (paper Fig. 5): generate →
+//! prepare → compile → extract → simulate ×2 → compare.
+
+use crate::l2c::{self, PreparedSource};
+use crate::mapping::StateMapping;
+use crate::mcompare::{mcompare, Comparison};
+use crate::s2l::{self, S2lOptions};
+use std::time::Duration;
+use telechat_cat::CatModel;
+use telechat_common::{Error, OutcomeSet, Result};
+use telechat_compiler::{CompileOutput, Compiler};
+use telechat_exec::{simulate, SimConfig, SimResult};
+use telechat_isa::AsmTest;
+use telechat_litmus::LitmusTest;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Persist condition-observed locals into globals (the §IV-B fix).
+    pub augment: bool,
+    /// Run the s2l litmus optimisation (§IV-E).
+    pub optimise: bool,
+    /// Simulation limits for both source and target runs.
+    pub sim: SimConfig,
+    /// Override the architecture model (e.g. `armv7-buggy` for the model
+    /// bug study). `None` selects the target's default model.
+    pub target_model: Option<String>,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            augment: true,
+            optimise: true,
+            sim: SimConfig::default(),
+            target_model: None,
+        }
+    }
+}
+
+/// Per-test verdict (the paper's §II-B responses, refined).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestVerdict {
+    /// Compiled outcomes ⊆ source outcomes, with equality.
+    Pass,
+    /// Compiled outcomes ⊂ source outcomes (optimisation/architecture
+    /// strengthening — not a bug).
+    NegativeDifference,
+    /// Compiled outcomes ⊄ source outcomes — a candidate bug!
+    PositiveDifference,
+    /// An allowed execution of the compiled test writes to read-only
+    /// memory: run-time crash (paper bug [36]).
+    RuntimeCrash,
+    /// The source program has a data race — undefined behaviour, so any
+    /// compiled behaviour is permitted and the test is discounted
+    /// ("we ignore false positives on that basis", §IV-D).
+    SourceRace,
+}
+
+/// The full report for one test × one compiler profile.
+#[derive(Debug, Clone)]
+pub struct TestReport {
+    /// Source test name.
+    pub test_name: String,
+    /// Compiler profile (`clang-11-O3-AArch64`).
+    pub profile: String,
+    /// The verdict.
+    pub verdict: TestVerdict,
+    /// Source-model outcomes.
+    pub source_outcomes: OutcomeSet,
+    /// Compiled-test outcomes, renamed into source observables.
+    pub target_outcomes: OutcomeSet,
+    /// The positive differences, if any.
+    pub positive: OutcomeSet,
+    /// The negative differences, if any.
+    pub negative: OutcomeSet,
+    /// Wall-clock time of the source simulation.
+    pub source_time: Duration,
+    /// Wall-clock time of the compiled-test simulation — the number the
+    /// paper's Claim 5 reports in milliseconds.
+    pub target_time: Duration,
+    /// The extracted assembly litmus test (for logs and figures).
+    pub asm_test: AsmTest,
+}
+
+/// The Téléchat tool: a source model plus pipeline configuration.
+///
+/// ```no_run
+/// use telechat::{Telechat, PipelineConfig};
+/// use telechat_compiler::{Compiler, CompilerId, OptLevel, Target};
+/// use telechat_litmus::parse_c11;
+///
+/// let tool = Telechat::new("rc11")?;
+/// let test = parse_c11("...")?;
+/// let cc = Compiler::new(CompilerId::llvm(11), OptLevel::O3, Target::armv81_lse());
+/// let report = tool.run(&test, &cc)?;
+/// # Ok::<(), telechat_common::Error>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Telechat {
+    source_model: CatModel,
+    /// The pipeline configuration (public for tweaking between runs).
+    pub config: PipelineConfig,
+}
+
+impl Telechat {
+    /// A pipeline with the named source model and default configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model is not bundled.
+    pub fn new(source_model: &str) -> Result<Telechat> {
+        Ok(Telechat {
+            source_model: CatModel::bundled(source_model)?,
+            config: PipelineConfig::default(),
+        })
+    }
+
+    /// A pipeline with explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the model is not bundled.
+    pub fn with_config(source_model: &str, config: PipelineConfig) -> Result<Telechat> {
+        Ok(Telechat {
+            source_model: CatModel::bundled(source_model)?,
+            config,
+        })
+    }
+
+    /// The source model in use.
+    pub fn source_model(&self) -> &CatModel {
+        &self.source_model
+    }
+
+    /// Steps 2–4 of Fig. 5 without simulation: prepare, compile, extract.
+    /// Exposed separately so benchmarks can time the stages.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compilation and extraction failures.
+    pub fn extract(
+        &self,
+        test: &LitmusTest,
+        compiler: &Compiler,
+    ) -> Result<(PreparedSource, CompileOutput, StateMapping, AsmTest, LitmusTest)> {
+        let prepared = l2c::prepare(test, self.config.augment);
+        let compiled = compiler.compile(&prepared.test)?;
+        let mapping = StateMapping::build(
+            prepared.test.observed_keys(),
+            &prepared.augmented,
+            &compiled.reg_map,
+        );
+        let name = format!("{}.{}", compiled.profile, test.name);
+        let (asm, litmus) = s2l::object_to_litmus(
+            &compiled.object,
+            &name,
+            &test.condition,
+            &test.observed,
+            &mapping,
+            S2lOptions {
+                optimise: self.config.optimise,
+            },
+        )?;
+        Ok((prepared, compiled, mapping, asm, litmus))
+    }
+
+    /// Runs the whole `test_tv` check for one test and compiler.
+    ///
+    /// # Errors
+    ///
+    /// Returns simulation exhaustion ([`Error::Timeout`]/[`Error::Budget`])
+    /// — the behaviour unoptimised tests exhibit — and compilation or
+    /// extraction failures.
+    pub fn run(&self, test: &LitmusTest, compiler: &Compiler) -> Result<TestReport> {
+        let (prepared, _compiled, mapping, asm, target_litmus) =
+            self.extract(test, compiler)?;
+
+        // Step 3: simulate the source under the source model.
+        let source_result: SimResult =
+            simulate(&prepared.test, &self.source_model, &self.config.sim)?;
+
+        // Step 4: simulate the compiled test under the architecture model.
+        let target_model = match &self.config.target_model {
+            Some(name) => CatModel::bundled(name)?,
+            None => CatModel::for_arch(target_litmus.arch)?,
+        };
+        let target_result: SimResult =
+            simulate(&target_litmus, &target_model, &self.config.sim)?;
+
+        // Step 5: mcompare.
+        let cmp: Comparison =
+            mcompare(&source_result.outcomes, &target_result.outcomes, &mapping);
+
+        let verdict = if source_result.has_flag("race") {
+            TestVerdict::SourceRace
+        } else if target_result.crashed {
+            TestVerdict::RuntimeCrash
+        } else if !cmp.positive.is_empty() {
+            TestVerdict::PositiveDifference
+        } else if !cmp.negative.is_empty() {
+            TestVerdict::NegativeDifference
+        } else {
+            TestVerdict::Pass
+        };
+
+        Ok(TestReport {
+            test_name: test.name.clone(),
+            profile: compiler.profile_name(),
+            verdict,
+            source_outcomes: cmp.source.clone(),
+            target_outcomes: cmp.target.clone(),
+            positive: cmp.positive,
+            negative: cmp.negative,
+            source_time: source_result.elapsed,
+            target_time: target_result.elapsed,
+            asm_test: asm,
+        })
+    }
+
+    /// Simulates only the source side (used by baselines like C4 that
+    /// share Téléchat's source leg).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn simulate_source(&self, test: &LitmusTest) -> Result<SimResult> {
+        let prepared = l2c::prepare(test, self.config.augment);
+        simulate(&prepared.test, &self.source_model, &self.config.sim)
+    }
+}
+
+/// Convenience: is an error the state-explosion signature (timeout or
+/// budget exhaustion)?
+pub fn is_state_explosion(e: &Error) -> bool {
+    e.is_exhaustion()
+}

@@ -1,0 +1,410 @@
+//! The `assembly2litmus` (s2l) stage: from a linked object to an
+//! (optimised) assembly litmus test (paper Fig. 6, step 4).
+//!
+//! Two jobs:
+//!
+//! 1. **Symbolisation** — raw addresses in the disassembly are mapped back
+//!    to litmus variables through the symbol table and debug entries
+//!    (§III-D: "we use DWARF metadata to map numeric addresses to symbolic
+//!    locations");
+//! 2. **The litmus optimisation** (§IV-E) — address-materialisation
+//!    sequences (`ADRP x8, got.x; LDR x8, [x8]` and friends) are deleted
+//!    and replaced by litmus register initialisation (`0:X8 = &x`). The
+//!    locations those sequences read (GOT/TOC/literal-pool slots) drop out
+//!    of the test, which is what lets herd-style simulation terminate in
+//!    milliseconds instead of exploding.
+
+use telechat_common::{Arch, Loc, Reg, Result, StateKey, ThreadId, Val};
+use telechat_isa::{aarch64, armv7, mips, ppc, riscv, x86, AsmCode, AsmTest, SymRef};
+use telechat_litmus::{Condition, LitmusTest, LocDecl, Width};
+use telechat_objfile::ObjectFile;
+
+use crate::mapping::StateMapping;
+
+/// Options for the s2l stage.
+#[derive(Debug, Clone, Copy)]
+pub struct S2lOptions {
+    /// Apply the litmus optimisation (address-materialisation removal).
+    /// Off = the "unoptimised" extraction the Fig. 11 experiment times out
+    /// on.
+    pub optimise: bool,
+}
+
+impl Default for S2lOptions {
+    fn default() -> Self {
+        S2lOptions { optimise: true }
+    }
+}
+
+/// Builds an assembly litmus test from a linked object.
+///
+/// `source` supplies the original location declarations (for widths and
+/// `const`-ness); `mapping` carries the source→target observable renaming
+/// built by the pipeline; the produced test gets `mapping`-translated
+/// condition and observed keys.
+///
+/// # Errors
+///
+/// Propagates symbolisation failures (missing debug info).
+pub fn object_to_asm_test(
+    object: &ObjectFile,
+    test_name: &str,
+    source_condition: &Condition,
+    source_observed: &[StateKey],
+    mapping: &StateMapping,
+    options: S2lOptions,
+) -> Result<AsmTest> {
+    // 1. Symbolise: raw addresses → litmus variables.
+    let functions = object.symbolised_functions()?;
+
+    // 2. Optimise each thread, harvesting register initialisations. A
+    //    materialisation is lifted into `reg_init` only when its register
+    //    has no other definition in the thread (register reuse under
+    //    pressure would otherwise make the initial value wrong); any
+    //    materialisation left behind keeps its pointer slots alive.
+    let mut threads = Vec::with_capacity(functions.len());
+    let mut reg_init: Vec<(ThreadId, Reg, Val)> = Vec::new();
+    let mut fully_optimised = true;
+    for (tindex, f) in functions.iter().enumerate() {
+        let tid = ThreadId(tindex as u8);
+        let mut code = f.code.clone();
+        if options.optimise {
+            let defs = def_counts(&code);
+            let report = optimise_thread(&mut code, &defs);
+            for (reg, loc) in report.lifted {
+                reg_init.push((tid, reg, Val::Addr(loc)));
+            }
+            fully_optimised &= report.remaining == 0;
+        }
+        threads.push(code);
+    }
+
+    // 3. Location declarations from the object image. Pointer slots are
+    //    kept when any remaining code still reads them.
+    let keep_slots = !options.optimise || !fully_optimised;
+    let mut locs = Vec::new();
+    for sym in &object.symbols {
+        let is_slot = sym.name.starts_with("got.")
+            || sym.name.starts_with("toc.")
+            || sym.name.starts_with("lit.");
+        if is_slot && !keep_slots {
+            continue;
+        }
+        let init = object
+            .data_init
+            .get(&sym.name)
+            .cloned()
+            .unwrap_or(Val::Int(0));
+        let readonly = object
+            .debug_of(&sym.name)
+            .map(|d| d.readonly)
+            .unwrap_or(sym.section == ".rodata");
+        let width = if sym.size >= 16 { Width::W128 } else { Width::W64 };
+        locs.push(LocDecl {
+            loc: Loc::new(sym.name.clone()),
+            init,
+            width,
+            readonly,
+            atomic: true,
+        });
+    }
+
+    // 4. Condition and observed keys in target terms.
+    let condition = mapping.target_condition(source_condition);
+    let observed: Vec<StateKey> = source_observed
+        .iter()
+        .map(|k| mapping.map_source_key(k))
+        .collect();
+
+    Ok(AsmTest {
+        name: test_name.to_string(),
+        locs,
+        reg_init,
+        threads,
+        condition,
+        observed,
+    })
+}
+
+/// The result of optimising one thread.
+#[derive(Debug, Clone, Default)]
+pub struct OptimiseReport {
+    /// `(register, location)` pairs lifted into litmus `reg_init`.
+    pub lifted: Vec<(Reg, Loc)>,
+    /// Materialisation sequences that had to stay (register reused).
+    pub remaining: usize,
+}
+
+/// Definition counts per (normalised) register, from the lowered IR — the
+/// safety condition for lifting: only singly-defined registers can carry
+/// their address as an *initial* value.
+pub fn def_counts(code: &AsmCode) -> std::collections::BTreeMap<Reg, usize> {
+    let mut counts = std::collections::BTreeMap::new();
+    if let Ok(ir) = code.lower() {
+        for ins in &ir {
+            if let Some(d) = ins.def_reg() {
+                *counts.entry(d.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Removes address-materialisation sequences from one thread, returning
+/// the `(register, location)` pairs that become litmus register
+/// initialisation. "On each thread Téléchat removes around 4 lines of
+/// (compiled) code per access" (§IV-D).
+pub fn optimise_thread(
+    code: &mut AsmCode,
+    defs: &std::collections::BTreeMap<Reg, usize>,
+) -> OptimiseReport {
+    // `expected` = how many IR definitions the materialisation itself
+    // contributes (2 for AArch64's ADRP pairs, 1 elsewhere).
+    let single = |reg: &Reg, expected: usize| defs.get(reg).copied().unwrap_or(0) == expected;
+    match code {
+        AsmCode::A64(v) => optimise_a64(v, &|r| single(r, 2)),
+        AsmCode::Armv7(v) => optimise_armv7(v, &|r| single(r, 1)),
+        AsmCode::X86(v) => optimise_x86(v, &|r| single(r, 1)),
+        AsmCode::RiscV(v) => optimise_riscv(v, &|r| single(r, 1)),
+        AsmCode::Ppc(v) => optimise_ppc(v, &|r| single(r, 1)),
+        AsmCode::Mips(v) => optimise_mips(v, &|r| single(r, 1)),
+    }
+}
+
+fn sym_of(s: &SymRef) -> Option<Loc> {
+    s.as_sym().cloned()
+}
+
+fn optimise_a64(
+    v: &mut Vec<aarch64::A64Instr>,
+    liftable: &dyn Fn(&Reg) -> bool,
+) -> OptimiseReport {
+    use aarch64::A64Instr as I;
+    let mut report = OptimiseReport::default();
+    let mut i = 0;
+    while i < v.len() {
+        // adrp d, got.l ; ldr d, [d, :got_lo12:l]   (PIC)
+        if i + 1 < v.len() {
+            if let (I::Adrp { dst: d1, sym: s1 }, I::LdrGot { dst: d2, base, sym: s2 }) =
+                (&v[i], &v[i + 1])
+            {
+                if d1 == d2 && d1 == base {
+                    if let (Some(slot), Some(l)) = (sym_of(s1), sym_of(s2)) {
+                        if slot.as_str() == format!("got.{l}") {
+                            let r = aarch64::norm_reg(d1);
+                            if liftable(&r) {
+                                report.lifted.push((r, l));
+                                v.drain(i..i + 2);
+                            } else {
+                                report.remaining += 1;
+                                i += 2;
+                            }
+                            continue;
+                        }
+                    }
+                }
+            }
+            // adrp d, l ; add d, d, :lo12:l   (non-PIC)
+            if let (I::Adrp { dst: d1, sym: s1 }, I::AddLo12 { dst: d2, src, sym: s2 }) =
+                (&v[i], &v[i + 1])
+            {
+                if d1 == d2 && d1 == src && sym_of(s1) == sym_of(s2) {
+                    if let Some(l) = sym_of(s1) {
+                        let r = aarch64::norm_reg(d1);
+                        if liftable(&r) {
+                            report.lifted.push((r, l));
+                            v.drain(i..i + 2);
+                        } else {
+                            report.remaining += 1;
+                            i += 2;
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+        if matches!(v[i], I::Ret) {
+            v.remove(i);
+            continue;
+        }
+        i += 1;
+    }
+    report
+}
+
+fn optimise_armv7(
+    v: &mut Vec<armv7::ArmInstr>,
+    liftable: &dyn Fn(&Reg) -> bool,
+) -> OptimiseReport {
+    use armv7::ArmInstr as I;
+    let mut report = OptimiseReport::default();
+    v.retain_mut(|ins| match ins {
+        I::LdrLit { dst, sym } | I::MovSym { dst, sym } => {
+            match sym.as_sym().cloned() {
+                Some(l) => {
+                    let r = Reg::new(dst.to_ascii_uppercase());
+                    if liftable(&r) {
+                        report.lifted.push((r, l));
+                        false
+                    } else {
+                        report.remaining += 1;
+                        true
+                    }
+                }
+                None => true,
+            }
+        }
+        I::Bx => false,
+        _ => true,
+    });
+    report
+}
+
+fn optimise_x86(
+    v: &mut Vec<x86::X86Instr>,
+    liftable: &dyn Fn(&Reg) -> bool,
+) -> OptimiseReport {
+    use x86::X86Instr as I;
+    let mut report = OptimiseReport::default();
+    v.retain_mut(|ins| match ins {
+        I::Lea { dst, sym } => match sym.as_sym().cloned() {
+            Some(l) => {
+                let canon = match dst.as_str() {
+                    "eax" => "RAX",
+                    "ebx" => "RBX",
+                    "ecx" => "RCX",
+                    "edx" => "RDX",
+                    "esi" => "RSI",
+                    "edi" => "RDI",
+                    other => return {
+                        let r = Reg::new(other.to_ascii_uppercase());
+                        if liftable(&r) {
+                            report.lifted.push((r, l));
+                            false
+                        } else {
+                            report.remaining += 1;
+                            true
+                        }
+                    },
+                };
+                let r = Reg::new(canon);
+                if liftable(&r) {
+                    report.lifted.push((r, l));
+                    false
+                } else {
+                    report.remaining += 1;
+                    true
+                }
+            }
+            None => true,
+        },
+        I::Ret => false,
+        _ => true,
+    });
+    report
+}
+
+fn optimise_riscv(
+    v: &mut Vec<riscv::RvInstr>,
+    liftable: &dyn Fn(&Reg) -> bool,
+) -> OptimiseReport {
+    use riscv::RvInstr as I;
+    let mut report = OptimiseReport::default();
+    v.retain_mut(|ins| match ins {
+        I::LdGot { dst, sym } | I::La { dst, sym } => match sym.as_sym().cloned() {
+            Some(l) => {
+                let r = Reg::new(dst.to_ascii_lowercase());
+                if liftable(&r) {
+                    report.lifted.push((r, l));
+                    false
+                } else {
+                    report.remaining += 1;
+                    true
+                }
+            }
+            None => true,
+        },
+        I::Ret => false,
+        _ => true,
+    });
+    report
+}
+
+fn optimise_ppc(
+    v: &mut Vec<ppc::PpcInstr>,
+    liftable: &dyn Fn(&Reg) -> bool,
+) -> OptimiseReport {
+    use ppc::PpcInstr as I;
+    let mut report = OptimiseReport::default();
+    v.retain_mut(|ins| match ins {
+        I::LdToc { dst, sym } | I::AddisToc { dst, sym } => match sym.as_sym().cloned() {
+            Some(l) => {
+                let r = Reg::new(dst.to_ascii_lowercase());
+                if liftable(&r) {
+                    report.lifted.push((r, l));
+                    false
+                } else {
+                    report.remaining += 1;
+                    true
+                }
+            }
+            None => true,
+        },
+        I::Blr => false,
+        _ => true,
+    });
+    report
+}
+
+fn optimise_mips(
+    v: &mut Vec<mips::MipsInstr>,
+    liftable: &dyn Fn(&Reg) -> bool,
+) -> OptimiseReport {
+    use mips::MipsInstr as I;
+    let mut report = OptimiseReport::default();
+    v.retain_mut(|ins| match ins {
+        I::LdGot { dst, sym } | I::Dla { dst, sym } => match sym.as_sym().cloned() {
+            Some(l) => {
+                let r = Reg::new(dst.clone());
+                if liftable(&r) {
+                    report.lifted.push((r, l));
+                    false
+                } else {
+                    report.remaining += 1;
+                    true
+                }
+            }
+            None => true,
+        },
+        I::Jr => false,
+        _ => true,
+    });
+    report
+}
+
+/// Convenience: run s2l and lower straight to a simulable litmus test.
+///
+/// # Errors
+///
+/// Propagates s2l and lowering failures.
+pub fn object_to_litmus(
+    object: &ObjectFile,
+    test_name: &str,
+    source_condition: &Condition,
+    source_observed: &[StateKey],
+    mapping: &StateMapping,
+    options: S2lOptions,
+) -> Result<(AsmTest, LitmusTest)> {
+    let asm = object_to_asm_test(
+        object,
+        test_name,
+        source_condition,
+        source_observed,
+        mapping,
+        options,
+    )?;
+    let litmus = asm.to_litmus()?;
+    debug_assert_eq!(litmus.arch, asm.arch());
+    debug_assert_ne!(litmus.arch, Arch::C11);
+    Ok((asm, litmus))
+}

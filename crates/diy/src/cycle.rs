@@ -1,0 +1,582 @@
+//! Litmus-test synthesis from cycles of candidate relaxations — the core
+//! `diy` algorithm (Alglave et al., *Fences in Weak Memory Models*).
+//!
+//! A cycle alternates program-order edges (possibly fenced or
+//! dependency-carrying) with communication edges (`Rfe`, `Fre`, `Coe`).
+//! Walking the cycle yields one event per edge endpoint; threads switch on
+//! communication edges, locations change on different-location po edges.
+//! The generated `exists` clause is the unique final state that *witnesses*
+//! the cycle — observable only if some edge of the cycle is relaxed.
+
+use std::fmt;
+use telechat_common::{Annot, AnnotSet, Error, Reg, Result, StateKey, ThreadId, Val};
+use telechat_litmus::{AddrExpr, Condition, Expr, Instr, LitmusTest, LocDecl, Prop, RmwOp};
+
+/// Direction of an event: read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// A read.
+    R,
+    /// A write.
+    W,
+}
+
+/// The access flavour used for an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// An atomic access with the given C11 ordering.
+    Atomic(Annot),
+    /// A plain (non-atomic) access.
+    Plain,
+    /// A read-modify-write standing in for the event: `exchange` for a
+    /// write slot, `fetch_add` for a read slot. The result is *kept* in a
+    /// register (the discarded-result variants come from
+    /// [`crate::families`]).
+    Rmw(Annot),
+}
+
+impl AccessKind {
+    fn annot(&self) -> AnnotSet {
+        match self {
+            AccessKind::Atomic(o) | AccessKind::Rmw(o) => {
+                AnnotSet::of(&[Annot::Atomic, *o])
+            }
+            AccessKind::Plain => AnnotSet::one(Annot::NonAtomic),
+        }
+    }
+}
+
+/// One edge of a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Program order to the next event, same thread. `sameloc` keeps the
+    /// location (e.g. coherence shapes); otherwise the location advances.
+    Po {
+        /// Same location?
+        sameloc: bool,
+    },
+    /// Program order with a fence of the given C11 ordering between.
+    Fenced {
+        /// Fence ordering (`Relaxed` fences exist and order nothing —
+        /// the Fig. 7 shape).
+        order: Annot,
+    },
+    /// An artificial data/address dependency (`xor r,r` idiom) from a read
+    /// to the next access, same thread, different location.
+    Dp,
+    /// A control dependency: the read guards a branch over the next access.
+    Ctrl,
+    /// Reads-from external: this write is read by a new thread.
+    Rfe,
+    /// From-read external: this read is overwritten by a new thread.
+    Fre,
+    /// Coherence external: this write is co-before a write on a new thread.
+    Coe,
+}
+
+impl Edge {
+    /// Does the edge switch threads (communication edge)?
+    pub fn is_comm(self) -> bool {
+        matches!(self, Edge::Rfe | Edge::Fre | Edge::Coe)
+    }
+
+    /// The direction of the event at the *source* of this edge.
+    pub fn src_dir(self) -> Option<Dir> {
+        match self {
+            Edge::Rfe | Edge::Coe => Some(Dir::W),
+            Edge::Fre => Some(Dir::R),
+            Edge::Dp | Edge::Ctrl => Some(Dir::R),
+            Edge::Po { .. } | Edge::Fenced { .. } => None, // any
+        }
+    }
+
+    /// The direction of the event at the *target* of this edge.
+    pub fn dst_dir(self) -> Option<Dir> {
+        match self {
+            Edge::Rfe => Some(Dir::R),
+            Edge::Fre | Edge::Coe => Some(Dir::W),
+            _ => None, // any
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edge::Po { sameloc: true } => write!(f, "pos"),
+            Edge::Po { sameloc: false } => write!(f, "pod"),
+            Edge::Fenced { order } => write!(f, "fen[{order}]"),
+            Edge::Dp => write!(f, "dp"),
+            Edge::Ctrl => write!(f, "ctrl"),
+            Edge::Rfe => write!(f, "rfe"),
+            Edge::Fre => write!(f, "fre"),
+            Edge::Coe => write!(f, "coe"),
+        }
+    }
+}
+
+/// One event slot discovered by the cycle walk.
+#[derive(Debug, Clone)]
+struct Slot {
+    thread: usize,
+    loc: usize,
+    dir: Dir,
+    /// Incoming po-ish edge (fence/dep) from the previous slot, if same
+    /// thread.
+    in_edge: Option<Edge>,
+}
+
+/// A cycle plus per-event access kinds, ready to synthesise.
+#[derive(Debug, Clone)]
+pub struct CycleSpec {
+    /// Test name.
+    pub name: String,
+    /// The edges, in order; `edges[i]` connects event `i` to `i+1 (mod n)`.
+    pub edges: Vec<Edge>,
+    /// Access kind per event (same length as `edges`); defaults to relaxed
+    /// atomics when shorter.
+    pub kinds: Vec<AccessKind>,
+}
+
+impl CycleSpec {
+    /// A cycle with all-relaxed atomic accesses.
+    pub fn new(name: impl Into<String>, edges: Vec<Edge>) -> CycleSpec {
+        CycleSpec {
+            name: name.into(),
+            edges,
+            kinds: Vec::new(),
+        }
+    }
+
+    /// Overrides the access kind of event `i`.
+    #[must_use]
+    pub fn kind(mut self, i: usize, k: AccessKind) -> CycleSpec {
+        while self.kinds.len() < self.edges.len() {
+            self.kinds.push(AccessKind::Atomic(Annot::Relaxed));
+        }
+        self.kinds[i] = k;
+        self
+    }
+
+    /// Synthesises the litmus test witnessing this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IllFormed`] if the cycle is inconsistent: direction
+    /// clashes, no communication edge, or failure to return to the first
+    /// event's thread and location.
+    pub fn synthesise(&self) -> Result<LitmusTest> {
+        let n = self.edges.len();
+        if n < 2 {
+            return Err(Error::IllFormed("cycle needs at least two edges".into()));
+        }
+        if !self.edges.iter().any(|e| e.is_comm()) {
+            return Err(Error::IllFormed(
+                "cycle needs at least one communication edge".into(),
+            ));
+        }
+        // Determine event directions: each event is target of edge i-1 and
+        // source of edge i; constraints must agree.
+        let mut dirs: Vec<Option<Dir>> = vec![None; n];
+        for i in 0..n {
+            let src = self.edges[i].src_dir();
+            let dst_prev = self.edges[(i + n - 1) % n].dst_dir();
+            let d = match (src, dst_prev) {
+                (Some(a), Some(b)) if a != b => {
+                    return Err(Error::IllFormed(format!(
+                        "event {i}: direction clash {a:?} vs {b:?}"
+                    )))
+                }
+                (Some(a), _) | (_, Some(a)) => Some(a),
+                (None, None) => None,
+            };
+            dirs[i] = d;
+        }
+        // Unconstrained events default to writes (harmless filler).
+        let dirs: Vec<Dir> = dirs.into_iter().map(|d| d.unwrap_or(Dir::W)).collect();
+
+        // Walk: assign threads and locations. Locations advance on every
+        // different-location program-order edge, modulo the total number of
+        // such edges — diy's wrap-around, which is what closes the cycle.
+        let advancing = |e: &Edge| !e.is_comm() && !matches!(e, Edge::Po { sameloc: true });
+        let nlocs = self.edges.iter().filter(|e| advancing(e)).count().max(1);
+        let mut slots: Vec<Slot> = Vec::with_capacity(n);
+        let mut thread = 0usize;
+        let mut loc = 0usize;
+        let max_loc = nlocs - 1;
+        slots.push(Slot {
+            thread,
+            loc,
+            dir: dirs[0],
+            in_edge: None,
+        });
+        for i in 0..n - 1 {
+            let e = self.edges[i];
+            if e.is_comm() {
+                thread += 1;
+                // communication stays on the same location
+            } else if advancing(&e) {
+                loc = (loc + 1) % nlocs;
+            }
+            slots.push(Slot {
+                thread,
+                loc,
+                dir: dirs[i + 1],
+                in_edge: (!e.is_comm()).then_some(e),
+            });
+        }
+        // The final edge must close the cycle back to event 0.
+        let last = self.edges[n - 1];
+        if !last.is_comm() {
+            return Err(Error::IllFormed(
+                "the final edge must be a communication edge".into(),
+            ));
+        }
+        if slots[n - 1].loc != slots[0].loc {
+            return Err(Error::IllFormed(format!(
+                "cycle does not close: last location {} vs first {}",
+                slots[n - 1].loc, slots[0].loc
+            )));
+        }
+
+        self.build_test(&slots, max_loc)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn build_test(&self, slots: &[Slot], max_loc: usize) -> Result<LitmusTest> {
+        let n = slots.len();
+        let loc_name = |i: usize| format!("{}", (b'x' + (i as u8 % 3)) as char)
+            .repeat(i / 3 + 1);
+        let kinds: Vec<AccessKind> = (0..n)
+            .map(|i| {
+                self.kinds
+                    .get(i)
+                    .copied()
+                    .unwrap_or(AccessKind::Atomic(Annot::Relaxed))
+            })
+            .collect();
+
+        // Write values: per location, number the writes 1, 2, … in slot
+        // order (the co order the condition pins down).
+        let mut next_value = vec![0i64; max_loc + 1];
+        let mut value: Vec<Option<i64>> = vec![None; n];
+        for (i, s) in slots.iter().enumerate() {
+            if s.dir == Dir::W {
+                next_value[s.loc] += 1;
+                value[i] = Some(next_value[s.loc]);
+            }
+        }
+
+        // Registers: one per read, per thread.
+        let nthreads = slots.last().expect("nonempty").thread + 1;
+        let mut reg_counter = vec![0usize; nthreads];
+        let mut regs: Vec<Option<Reg>> = vec![None; n];
+        for (i, s) in slots.iter().enumerate() {
+            if s.dir == Dir::R || matches!(kinds[i], AccessKind::Rmw(_)) {
+                let r = Reg::new(format!("r{}", reg_counter[s.thread]));
+                reg_counter[s.thread] += 1;
+                regs[i] = Some(r);
+            }
+        }
+
+        // Emit thread bodies.
+        let mut threads: Vec<Vec<Instr>> = vec![Vec::new(); nthreads];
+        let mut label_counter = 0usize;
+        for (i, s) in slots.iter().enumerate() {
+            let body = &mut threads[s.thread];
+            // Incoming intra-thread edge: fences and dependencies.
+            match s.in_edge {
+                Some(Edge::Fenced { order }) => {
+                    if order != Annot::NonAtomic {
+                        body.push(Instr::Fence {
+                            annot: AnnotSet::of(&[Annot::Atomic, order]),
+                        });
+                    }
+                }
+                Some(Edge::Dp) => {
+                    // xor the previous read into a fresh dep register used
+                    // below via `dep + value`.
+                }
+                Some(Edge::Ctrl) => {}
+                _ => {}
+            }
+            let loc = loc_name(s.loc);
+            let annot = kinds[i].annot();
+            // The value expression for writes, threading dependencies.
+            let dep_expr = |base: i64| -> Expr {
+                if matches!(s.in_edge, Some(Edge::Dp)) {
+                    // previous slot in the same thread is a read with a reg
+                    let prev = regs[i - 1].clone().expect("dp source is a read");
+                    Expr::bin(
+                        telechat_litmus::BinOp::Add,
+                        Expr::int(base),
+                        Expr::bin(
+                            telechat_litmus::BinOp::Xor,
+                            Expr::Reg(prev.clone()),
+                            Expr::Reg(prev),
+                        ),
+                    )
+                } else {
+                    Expr::int(base)
+                }
+            };
+            let push_access = |body: &mut Vec<Instr>| match (s.dir, &kinds[i]) {
+                (Dir::W, AccessKind::Rmw(_)) => body.push(Instr::Rmw {
+                    dst: regs[i].clone(),
+                    addr: AddrExpr::sym(loc.clone()),
+                    op: RmwOp::Swap,
+                    operand: dep_expr(value[i].expect("writes have values")),
+                    annot,
+                    has_read_event: true,
+                }),
+                (Dir::W, _) => body.push(Instr::Store {
+                    addr: AddrExpr::sym(loc.clone()),
+                    val: dep_expr(value[i].expect("writes have values")),
+                    annot,
+                }),
+                (Dir::R, AccessKind::Rmw(_)) => body.push(Instr::Rmw {
+                    dst: regs[i].clone(),
+                    addr: AddrExpr::sym(loc.clone()),
+                    op: RmwOp::FetchAdd,
+                    operand: Expr::int(0),
+                    annot,
+                    has_read_event: true,
+                }),
+                (Dir::R, _) => body.push(Instr::Load {
+                    dst: regs[i].clone().expect("reads have registers"),
+                    addr: AddrExpr::sym(loc.clone()),
+                    annot,
+                }),
+            };
+            if matches!(s.in_edge, Some(Edge::Ctrl)) {
+                // if (prev == observed) { access } else { access } — both
+                // arms identical, so only the *control* dependency orders.
+                let prev = regs[i - 1].clone().expect("ctrl source is a read");
+                label_counter += 1;
+                let lelse = format!(".else{label_counter}");
+                let lend = format!(".end{label_counter}");
+                body.push(Instr::BranchIf {
+                    cond: Expr::eq(
+                        Expr::eq(Expr::Reg(prev), Expr::int(1)),
+                        Expr::int(0),
+                    ),
+                    target: lelse.clone(),
+                });
+                push_access(body);
+                body.push(Instr::Jump(lend.clone()));
+                body.push(Instr::Label(lelse));
+                push_access(body);
+                body.push(Instr::Label(lend));
+            } else {
+                push_access(body);
+            }
+        }
+
+        // The witness condition.
+        let mut atoms: Vec<Prop> = Vec::new();
+        for (i, s) in slots.iter().enumerate() {
+            let j = (i + 1) % n;
+            match self.edges[i] {
+                Edge::Rfe => {
+                    // Reader observes this write's value.
+                    let r = regs[j].clone().expect("rfe target reads");
+                    atoms.push(Prop::atom(
+                        StateKey::Reg(ThreadId(slots[j].thread as u8), r),
+                        value[i].expect("rfe source writes"),
+                    ));
+                }
+                Edge::Fre => {
+                    // This read observes the co-predecessor of the next
+                    // write: one less than its value (0 = init).
+                    let r = regs[i].clone().expect("fre source reads");
+                    atoms.push(Prop::atom(
+                        StateKey::Reg(ThreadId(s.thread as u8), r),
+                        value[j].expect("fre target writes") - 1,
+                    ));
+                }
+                Edge::Coe => {
+                    // The next write is co-last for the location.
+                    atoms.push(Prop::atom(
+                        StateKey::loc(loc_name(slots[j].loc)),
+                        value[j].expect("coe target writes"),
+                    ));
+                }
+                _ => {}
+            }
+        }
+        let prop = atoms
+            .into_iter()
+            .reduce(Prop::and)
+            .unwrap_or(Prop::True);
+
+        let locs = (0..=max_loc)
+            .map(|i| {
+                let atomic = !(0..n).any(|e| {
+                    slots[e].loc == i && matches!(kinds[e], AccessKind::Plain)
+                });
+                LocDecl {
+                    loc: loc_name(i).into(),
+                    init: Val::Int(0),
+                    width: telechat_litmus::Width::W64,
+                    readonly: false,
+                    atomic,
+                }
+            })
+            .collect();
+
+        let test = LitmusTest {
+            name: self.name.clone(),
+            arch: telechat_common::Arch::C11,
+            locs,
+            reg_init: Vec::new(),
+            threads,
+            condition: Condition::exists(prop),
+            observed: Vec::new(),
+        };
+        test.validate()?;
+        Ok(test)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lb_cycle_synthesises() {
+        // LB: R x; po; W y — rfe → R y; po; W x — rfe → (back).
+        let t = CycleSpec::new(
+            "LB",
+            vec![
+                Edge::Po { sameloc: false },
+                Edge::Rfe,
+                Edge::Po { sameloc: false },
+                Edge::Rfe,
+            ],
+        )
+        .synthesise()
+        .unwrap();
+        assert_eq!(t.thread_count(), 2);
+        assert_eq!(t.locs.len(), 2);
+        // Atom order follows the cycle walk (P1's observation first).
+        assert_eq!(
+            t.condition.to_string(),
+            "exists (1:r0=1 /\\ 0:r0=1)",
+            "{t}"
+        );
+    }
+
+    #[test]
+    fn sb_cycle_synthesises() {
+        // SB: W x; po; R y — fre → W y; po; R x — fre → (back).
+        let t = CycleSpec::new(
+            "SB",
+            vec![
+                Edge::Po { sameloc: false },
+                Edge::Fre,
+                Edge::Po { sameloc: false },
+                Edge::Fre,
+            ],
+        )
+        .synthesise()
+        .unwrap();
+        assert_eq!(t.thread_count(), 2);
+        assert_eq!(t.condition.to_string(), "exists (0:r0=0 /\\ 1:r0=0)");
+    }
+
+    #[test]
+    fn mp_cycle_synthesises() {
+        // MP: W x; po; W y — rfe → R y; po; R x — fre → (back).
+        let t = CycleSpec::new(
+            "MP",
+            vec![
+                Edge::Po { sameloc: false },
+                Edge::Rfe,
+                Edge::Po { sameloc: false },
+                Edge::Fre,
+            ],
+        )
+        .synthesise()
+        .unwrap();
+        assert_eq!(t.thread_count(), 2);
+        // P1 reads y=1 (rfe) and x=0 (fre).
+        assert_eq!(t.condition.to_string(), "exists (1:r0=1 /\\ 1:r1=0)");
+    }
+
+    #[test]
+    fn three_thread_chain() {
+        // LB3 (the Fig. 11 shape): three threads of R;F;W.
+        let t = CycleSpec::new(
+            "LB3",
+            vec![
+                Edge::Fenced {
+                    order: Annot::Relaxed,
+                },
+                Edge::Rfe,
+                Edge::Fenced {
+                    order: Annot::Relaxed,
+                },
+                Edge::Rfe,
+                Edge::Fenced {
+                    order: Annot::Relaxed,
+                },
+                Edge::Rfe,
+            ],
+        )
+        .synthesise()
+        .unwrap();
+        assert_eq!(t.thread_count(), 3);
+        assert_eq!(t.locs.len(), 3);
+    }
+
+    #[test]
+    fn rejects_cycles_without_comm() {
+        let err = CycleSpec::new(
+            "bad",
+            vec![Edge::Po { sameloc: false }, Edge::Po { sameloc: false }],
+        )
+        .synthesise()
+        .unwrap_err();
+        assert!(err.to_string().contains("communication"));
+    }
+
+    #[test]
+    fn rejects_direction_clash() {
+        // Rfe target must read, but Rfe source must write: W—rfe→?—rfe→…
+        // the middle event would need to be both R (target) and W (source).
+        let err = CycleSpec::new("bad", vec![Edge::Rfe, Edge::Rfe])
+            .synthesise()
+            .unwrap_err();
+        assert!(err.to_string().contains("direction clash"), "{err}");
+    }
+
+    #[test]
+    fn dependency_edges_produce_dep_code() {
+        let t = CycleSpec::new("LB+deps", vec![Edge::Dp, Edge::Rfe, Edge::Dp, Edge::Rfe])
+            .synthesise()
+            .unwrap();
+        // Stores' values mention the previous read's register.
+        let has_dep = t.threads.iter().any(|b| {
+            b.iter().any(|i| match i {
+                Instr::Store { val, .. } => !val.regs_read().is_empty(),
+                _ => false,
+            })
+        });
+        assert!(has_dep, "{t}");
+    }
+
+    #[test]
+    fn ctrl_edges_produce_branches() {
+        let t = CycleSpec::new(
+            "LB+ctrls",
+            vec![Edge::Ctrl, Edge::Rfe, Edge::Ctrl, Edge::Rfe],
+        )
+        .synthesise()
+        .unwrap();
+        let branches = t.threads[0]
+            .iter()
+            .filter(|i| matches!(i, Instr::BranchIf { .. }))
+            .count();
+        assert_eq!(branches, 1, "{t}");
+    }
+}

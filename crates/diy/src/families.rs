@@ -1,0 +1,198 @@
+//! The classic litmus families and their ordering/operation variants.
+
+use crate::cycle::{AccessKind, CycleSpec, Edge};
+use telechat_common::{Annot, Result};
+use telechat_litmus::{Instr, LitmusTest, RmwOp};
+
+/// A named family: a cycle shape generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Message passing: `W x; W y ∥ R y; R x`.
+    Mp,
+    /// Load buffering: `R x; W y ∥ R y; W x` — the paper's Fig. 7 shape.
+    Lb,
+    /// Store buffering: `W x; R y ∥ W y; R x`.
+    Sb,
+    /// S: `W x=2; W y ∥ R y; W x=1` (coherence + message).
+    S,
+    /// R: `W x; W y=1 ∥ W y=2; R x`.
+    R,
+    /// 2+2W: `W x=1; W y=2 ∥ W y=1; W x=2`.
+    W2Plus2,
+    /// Write-to-read causality, 3 threads.
+    Wrc,
+    /// ISA2: 3-thread message chain.
+    Isa2,
+    /// 3-thread load buffering (the Fig. 11 shape).
+    Lb3,
+}
+
+impl Family {
+    /// All families.
+    pub const ALL: [Family; 9] = [
+        Family::Mp,
+        Family::Lb,
+        Family::Sb,
+        Family::S,
+        Family::R,
+        Family::W2Plus2,
+        Family::Wrc,
+        Family::Isa2,
+        Family::Lb3,
+    ];
+
+    /// Short name used in generated test names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Family::Mp => "MP",
+            Family::Lb => "LB",
+            Family::Sb => "SB",
+            Family::S => "S",
+            Family::R => "R",
+            Family::W2Plus2 => "2+2W",
+            Family::Wrc => "WRC",
+            Family::Isa2 => "ISA2",
+            Family::Lb3 => "LB3",
+        }
+    }
+
+    /// The family's edge cycle, with the given intra-thread edge in every
+    /// program-order position (plain po, fenced, dependency or control).
+    pub fn edges(self, po: Edge) -> Vec<Edge> {
+        match self {
+            Family::Mp => vec![po, Edge::Rfe, po, Edge::Fre],
+            Family::Lb => vec![po, Edge::Rfe, po, Edge::Rfe],
+            Family::Sb => vec![po, Edge::Fre, po, Edge::Fre],
+            Family::S => vec![po, Edge::Rfe, po, Edge::Coe],
+            Family::R => vec![po, Edge::Coe, po, Edge::Fre],
+            Family::W2Plus2 => vec![po, Edge::Coe, po, Edge::Coe],
+            Family::Wrc => vec![Edge::Rfe, po, Edge::Rfe, po, Edge::Fre],
+            Family::Isa2 => vec![po, Edge::Rfe, po, Edge::Rfe, po, Edge::Fre],
+            Family::Lb3 => vec![po, Edge::Rfe, po, Edge::Rfe, po, Edge::Rfe],
+        }
+    }
+
+    /// Generates the family with a uniform intra-thread edge and uniform
+    /// access kind.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cycle synthesis failures (for `Dp`/`Ctrl` edges, some
+    /// positions do not read and the shape is rejected).
+    pub fn generate(self, name: &str, po: Edge, kind: AccessKind) -> Result<LitmusTest> {
+        let edges = self.edges(po);
+        let mut spec = CycleSpec::new(name, edges.clone());
+        for i in 0..edges.len() {
+            spec = spec.kind(i, kind);
+        }
+        spec.synthesise()
+    }
+}
+
+/// Variant transformations applied after synthesis.
+pub mod variants {
+    use super::*;
+
+    /// Discards every RMW result (`dst = None`): the shape behind the
+    /// §IV-B heisenbugs — "the value read into P1:r1 is unused".
+    pub fn discard_rmw_results(test: &mut LitmusTest) {
+        for body in &mut test.threads {
+            for ins in body {
+                if let Instr::Rmw { dst, .. } = ins {
+                    *dst = None;
+                }
+            }
+        }
+        // Registers of discarded RMWs no longer exist: drop their atoms
+        // would change the condition; instead the condition keys keep
+        // reading zero-initialised registers, matching herd.
+    }
+
+    /// Replaces the first store of thread 0 with an `exchange` whose result
+    /// is discarded — the exact Fig. 1 shape when applied to `MP+fences`.
+    pub fn first_store_to_discarded_exchange(test: &mut LitmusTest, order: Annot) {
+        for body in &mut test.threads {
+            for ins in body.iter_mut() {
+                if let Instr::Store { addr, val, .. } = ins {
+                    *ins = Instr::Rmw {
+                        dst: None,
+                        addr: addr.clone(),
+                        op: RmwOp::Swap,
+                        operand: val.clone(),
+                        annot: telechat_common::AnnotSet::of(&[Annot::Atomic, order]),
+                        has_read_event: true,
+                    };
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_families_synthesise_relaxed() {
+        for fam in Family::ALL {
+            let t = fam
+                .generate(
+                    fam.tag(),
+                    Edge::Po { sameloc: false },
+                    AccessKind::Atomic(Annot::Relaxed),
+                )
+                .unwrap_or_else(|e| panic!("{}: {e}", fam.tag()));
+            assert!(t.thread_count() >= 2, "{}", fam.tag());
+        }
+    }
+
+    #[test]
+    fn fenced_variants_synthesise() {
+        for fam in [Family::Mp, Family::Lb, Family::Sb] {
+            for order in [Annot::Relaxed, Annot::Release, Annot::SeqCst] {
+                fam.generate(
+                    "t",
+                    Edge::Fenced { order },
+                    AccessKind::Atomic(Annot::Relaxed),
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn dependency_variants_where_applicable() {
+        // LB's po positions start at reads, so Dp applies.
+        Family::Lb
+            .generate("LB+dps", Edge::Dp, AccessKind::Atomic(Annot::Relaxed))
+            .unwrap();
+        Family::Lb
+            .generate("LB+ctrls", Edge::Ctrl, AccessKind::Atomic(Annot::Relaxed))
+            .unwrap();
+        // SB's po positions start at writes: Dp must be rejected.
+        assert!(Family::Sb
+            .generate("SB+dps", Edge::Dp, AccessKind::Atomic(Annot::Relaxed))
+            .is_err());
+    }
+
+    #[test]
+    fn rmw_variant_and_discard() {
+        let mut t = Family::Mp
+            .generate(
+                "MP+rmw",
+                Edge::Fenced {
+                    order: Annot::Release,
+                },
+                AccessKind::Atomic(Annot::Relaxed),
+            )
+            .unwrap();
+        variants::first_store_to_discarded_exchange(&mut t, Annot::Release);
+        let has_discarded_rmw = t.threads.iter().any(|b| {
+            b.iter()
+                .any(|i| matches!(i, Instr::Rmw { dst: None, .. }))
+        });
+        assert!(has_discarded_rmw, "{t}");
+        t.validate().unwrap();
+    }
+}

@@ -1,0 +1,32 @@
+//! `diy`-style litmus-test generation (paper §II-A: "The diy tool
+//! generates litmus tests from executions").
+//!
+//! A test is synthesised from a *cycle of candidate relaxations*: if every
+//! edge of the cycle holds (no relaxation), the final state named by the
+//! generated `exists` clause is unreachable; observing it witnesses a
+//! relaxation. [`CycleSpec`] is the generic engine, [`Family`] the classic
+//! shapes (MP, LB, SB, …), [`Config`] the `c11.conf`-style suite
+//! enumerator that feeds the Table IV campaign.
+//!
+//! # Example
+//!
+//! ```
+//! use telechat_diy::{AccessKind, Edge, Family};
+//! use telechat_common::Annot;
+//!
+//! let lb = Family::Lb.generate(
+//!     "LB",
+//!     Edge::Po { sameloc: false },
+//!     AccessKind::Atomic(Annot::Relaxed),
+//! )?;
+//! assert_eq!(lb.thread_count(), 2);
+//! # Ok::<(), telechat_common::Error>(())
+//! ```
+
+pub mod conf;
+pub mod cycle;
+pub mod families;
+
+pub use conf::Config;
+pub use cycle::{AccessKind, CycleSpec, Dir, Edge};
+pub use families::{variants, Family};

@@ -1,0 +1,123 @@
+//! Simulation configuration and results.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+use telechat_common::OutcomeSet;
+
+/// Limits and switches for one simulation run.
+///
+/// The defaults mirror the paper's artefact: a 120-second timeout
+/// (`TIMEOUT=120.0` in the Makefile), loop unroll factor 2, and exclusives
+/// that always succeed (herd's `-speedcheck`-style fast path).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Backward-jump bound per label (loop unroll factor).
+    pub unroll: usize,
+    /// Fix-point rounds for the candidate-value pools.
+    pub max_pool_iters: usize,
+    /// Interpreter instruction-step budget (all threads, all forks).
+    pub max_steps: u64,
+    /// Candidate-execution budget (rf × co combinations examined).
+    pub max_candidates: u64,
+    /// Wall-clock limit for the whole simulation.
+    pub timeout: Option<Duration>,
+    /// Explore store-exclusive failure paths (off = exclusives always
+    /// succeed, the common litmus assumption).
+    pub excl_fail_paths: bool,
+    /// Keep allowed executions (for rendering figures); bounded by
+    /// `max_kept`.
+    pub keep_executions: bool,
+    /// Maximum executions kept when `keep_executions` is set.
+    pub max_kept: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            unroll: 2,
+            max_pool_iters: 4,
+            max_steps: 4_000_000,
+            max_candidates: 4_000_000,
+            timeout: Some(Duration::from_secs(120)),
+            excl_fail_paths: false,
+            keep_executions: false,
+            max_kept: 64,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with a short timeout, for large campaigns.
+    pub fn fast() -> SimConfig {
+        SimConfig {
+            timeout: Some(Duration::from_secs(5)),
+            max_steps: 400_000,
+            max_candidates: 200_000,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Keeps allowed executions for rendering.
+    #[must_use]
+    pub fn keeping_executions(mut self) -> SimConfig {
+        self.keep_executions = true;
+        self
+    }
+
+    /// Sets the wall-clock timeout.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> SimConfig {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// The result of simulating a litmus test under a model.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Outcomes of all allowed executions (paper Def. II.2).
+    pub outcomes: OutcomeSet,
+    /// Number of candidate executions examined.
+    pub candidates: u64,
+    /// Number of allowed executions.
+    pub allowed: u64,
+    /// Flag checks that fired on at least one allowed execution
+    /// (e.g. `race`, `const-write`).
+    pub flags: BTreeSet<String>,
+    /// True if an allowed execution wrote to a `const` (read-only) location
+    /// — a runtime crash in the compiled program (paper bug [36]).
+    pub crashed: bool,
+    /// Allowed executions, when [`SimConfig::keep_executions`] was set.
+    pub executions: Vec<crate::event::Execution>,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl SimResult {
+    /// True if any allowed execution fired the named flag.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.contains(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_artefact() {
+        let c = SimConfig::default();
+        assert_eq!(c.unroll, 2);
+        assert_eq!(c.timeout, Some(Duration::from_secs(120)));
+        assert!(!c.excl_fail_paths);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::fast()
+            .keeping_executions()
+            .with_timeout(Duration::from_millis(10));
+        assert!(c.keep_executions);
+        assert_eq!(c.timeout, Some(Duration::from_millis(10)));
+    }
+}

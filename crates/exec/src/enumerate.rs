@@ -1,0 +1,644 @@
+//! Candidate-execution enumeration and the top-level simulator.
+//!
+//! This is the herd-equivalent core (paper §II-A): enumerate every candidate
+//! execution of a litmus test — combinations of per-thread traces, a
+//! reads-from assignment and a per-location coherence order — filter them
+//! through a consistency model, and collect the outcomes of the allowed
+//! ones.
+//!
+//! The enumeration cost is the product of per-thread trace counts, rf
+//! choices per read and coherence permutations per location. That product is
+//! what explodes on unoptimised compiled tests (paper §IV-E / Fig. 11) and
+//! what the Téléchat `s2l` optimiser tames.
+
+use crate::config::{SimConfig, SimResult};
+use crate::event::{Event, EventKind, Execution, INIT_THREAD};
+use crate::model::ConsistencyModel;
+use crate::rel::Relation;
+use crate::trace::{interpret_thread, value_pools, InterpBudget, Trace};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+use telechat_common::{
+    Annot, AnnotSet, Error, EventId, Loc, Outcome, OutcomeSet, Reg, Result, StateKey, ThreadId,
+    Val,
+};
+use telechat_litmus::LitmusTest;
+
+/// Simulates `test` under `model` (the paper's `herd(P, M)`).
+///
+/// # Errors
+///
+/// * [`Error::Timeout`] / [`Error::Budget`] on state explosion — the
+///   behaviour the paper reports for unoptimised compiled tests;
+/// * [`Error::IllFormed`] if the test is structurally invalid.
+pub fn simulate(
+    test: &LitmusTest,
+    model: &dyn ConsistencyModel,
+    config: &SimConfig,
+) -> Result<SimResult> {
+    test.validate()?;
+    let start = Instant::now();
+    let deadline = config.timeout.map(|t| start + t);
+    let mut budget = InterpBudget::new(config.max_steps);
+
+    let pools = value_pools(test, config.unroll, config.max_pool_iters, &mut budget)?;
+    let mut thread_traces: Vec<Vec<Trace>> = Vec::with_capacity(test.threads.len());
+    for t in 0..test.threads.len() {
+        let mut traces = interpret_thread(
+            test,
+            ThreadId(t as u8),
+            &pools,
+            config.unroll,
+            config.excl_fail_paths,
+            &mut budget,
+        )?;
+        traces.retain(|tr| tr.complete);
+        traces.dedup();
+        thread_traces.push(traces);
+    }
+
+    let observed = test.observed_keys();
+    let readonly: BTreeSet<Loc> = test
+        .locs
+        .iter()
+        .filter(|d| d.readonly)
+        .map(|d| d.loc.clone())
+        .collect();
+
+    let mut result = SimResult {
+        outcomes: OutcomeSet::new(),
+        candidates: 0,
+        allowed: 0,
+        flags: BTreeSet::new(),
+        crashed: false,
+        executions: Vec::new(),
+        elapsed: start.elapsed(),
+    };
+
+    // If any thread has no complete trace there are no executions.
+    if thread_traces.iter().any(Vec::is_empty) {
+        result.elapsed = start.elapsed();
+        return Ok(result);
+    }
+
+    // Odometer over per-thread trace choices.
+    let mut combo: Vec<usize> = vec![0; thread_traces.len()];
+    loop {
+        let traces: Vec<&Trace> = combo
+            .iter()
+            .enumerate()
+            .map(|(t, &i)| &thread_traces[t][i])
+            .collect();
+        enumerate_combo(
+            test, &traces, model, config, &observed, &readonly, deadline, &mut result,
+        )?;
+
+        // Advance the odometer.
+        let mut t = 0;
+        loop {
+            if t == combo.len() {
+                result.elapsed = start.elapsed();
+                return Ok(result);
+            }
+            combo[t] += 1;
+            if combo[t] < thread_traces[t].len() {
+                break;
+            }
+            combo[t] = 0;
+            t += 1;
+        }
+    }
+}
+
+/// Combined event graph for one trace combination (rf/co not yet chosen).
+struct Combined {
+    events: Vec<Event>,
+    po: Relation,
+    rmw: Relation,
+    addr: Relation,
+    data: Relation,
+    ctrl: Relation,
+    /// Non-init read event ids, in id order.
+    reads: Vec<EventId>,
+    /// Writes per location (init write first), in id order.
+    writes_by_loc: BTreeMap<Loc, Vec<EventId>>,
+    /// Init write id per location.
+    init_of: BTreeMap<Loc, EventId>,
+    /// Final register file per thread.
+    final_regs: BTreeMap<(ThreadId, Reg), Val>,
+}
+
+fn build_combined(test: &LitmusTest, traces: &[&Trace]) -> Combined {
+    let mut events = Vec::new();
+    let mut init_of = BTreeMap::new();
+    let mut writes_by_loc: BTreeMap<Loc, Vec<EventId>> = BTreeMap::new();
+
+    for (i, d) in test.locs.iter().enumerate() {
+        let id = EventId(events.len() as u32);
+        events.push(Event {
+            id,
+            thread: INIT_THREAD,
+            po_index: i,
+            kind: EventKind::Write,
+            loc: Some(d.loc.clone()),
+            val: Some(d.init.clone()),
+            annot: AnnotSet::one(Annot::Init),
+        });
+        init_of.insert(d.loc.clone(), id);
+        writes_by_loc.insert(d.loc.clone(), vec![id]);
+    }
+
+    let mut po = Relation::new();
+    let mut rmw = Relation::new();
+    let mut addr = Relation::new();
+    let mut data = Relation::new();
+    let mut ctrl = Relation::new();
+    let mut reads = Vec::new();
+    let mut final_regs = BTreeMap::new();
+
+    for (tindex, trace) in traces.iter().enumerate() {
+        let thread = ThreadId(tindex as u8);
+        let base = events.len() as u32;
+        let gid = |local: usize| EventId(base + local as u32);
+        for (j, te) in trace.events.iter().enumerate() {
+            let id = gid(j);
+            events.push(Event {
+                id,
+                thread,
+                po_index: j,
+                kind: te.kind,
+                loc: te.loc.clone(),
+                val: te.val.clone(),
+                annot: te.annot,
+            });
+            match te.kind {
+                EventKind::Read => reads.push(id),
+                EventKind::Write => {
+                    let loc = te.loc.clone().expect("writes have locations");
+                    writes_by_loc.entry(loc).or_default().push(id);
+                }
+                EventKind::Fence => {}
+            }
+            // Transitive program order within the thread.
+            for k in 0..j {
+                po.insert(gid(k), id);
+            }
+        }
+        for &(r, w) in &trace.rmw_pairs {
+            rmw.insert(gid(r), gid(w));
+        }
+        for &(a, b) in &trace.addr_deps {
+            addr.insert(gid(a), gid(b));
+        }
+        for &(a, b) in &trace.data_deps {
+            data.insert(gid(a), gid(b));
+        }
+        for &(a, b) in &trace.ctrl_deps {
+            ctrl.insert(gid(a), gid(b));
+        }
+        for (r, v) in &trace.final_regs {
+            final_regs.insert((thread, r.clone()), v.clone());
+        }
+    }
+
+    Combined {
+        events,
+        po,
+        rmw,
+        addr,
+        data,
+        ctrl,
+        reads,
+        writes_by_loc,
+        init_of,
+        final_regs,
+    }
+}
+
+/// All permutations of `items` (Heap's algorithm, deterministic order).
+fn permutations(items: &[EventId]) -> Vec<Vec<EventId>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    permute(&mut work, 0, &mut out);
+    out
+}
+
+fn permute(work: &mut Vec<EventId>, k: usize, out: &mut Vec<Vec<EventId>>) {
+    if k == work.len() {
+        out.push(work.clone());
+        return;
+    }
+    for i in k..work.len() {
+        work.swap(k, i);
+        permute(work, k + 1, out);
+        work.swap(k, i);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn enumerate_combo(
+    test: &LitmusTest,
+    traces: &[&Trace],
+    model: &dyn ConsistencyModel,
+    config: &SimConfig,
+    observed: &BTreeSet<StateKey>,
+    readonly: &BTreeSet<Loc>,
+    deadline: Option<Instant>,
+    result: &mut SimResult,
+) -> Result<()> {
+    let combined = build_combined(test, traces);
+
+    // rf candidates per read: same location, same value, not po-later in the
+    // same thread (reading from one's own future violates coherence in every
+    // bundled model, so pruning it early is sound).
+    let mut rf_choices: Vec<Vec<EventId>> = Vec::with_capacity(combined.reads.len());
+    for &r in &combined.reads {
+        let re = &combined.events[r.index()];
+        let loc = re.loc.clone().expect("reads have locations");
+        let val = re.val.clone().expect("reads have values");
+        let empty = Vec::new();
+        let cands: Vec<EventId> = combined
+            .writes_by_loc
+            .get(&loc)
+            .unwrap_or(&empty)
+            .iter()
+            .copied()
+            .filter(|&w| {
+                let we = &combined.events[w.index()];
+                if we.val.as_ref() != Some(&val) {
+                    return false;
+                }
+                // Exclude same-thread po-later-or-equal writes.
+                !(we.thread == re.thread && we.po_index >= re.po_index)
+            })
+            .collect();
+        if cands.is_empty() {
+            return Ok(()); // read unjustifiable: no execution from this combo
+        }
+        rf_choices.push(cands);
+    }
+
+    // Coherence permutations per location (non-init writes).
+    let locs: Vec<Loc> = combined.writes_by_loc.keys().cloned().collect();
+    let mut co_choices: Vec<Vec<Vec<EventId>>> = Vec::with_capacity(locs.len());
+    for loc in &locs {
+        let writes = &combined.writes_by_loc[loc];
+        co_choices.push(permutations(&writes[1..])); // element 0 is init
+    }
+
+    // The execution skeleton is fixed for the combo; rf/co/outcome vary.
+    let mut execution = Execution {
+        events: combined.events.clone(),
+        po: combined.po.clone(),
+        rf: Relation::new(),
+        co: Relation::new(),
+        rmw: combined.rmw.clone(),
+        addr: combined.addr.clone(),
+        data: combined.data.clone(),
+        ctrl: combined.ctrl.clone(),
+        outcome: Outcome::new(),
+    };
+
+    // Pre-compute the register part of the outcome (fixed per combo).
+    let mut reg_outcome = Outcome::new();
+    for key in observed {
+        if let StateKey::Reg(t, r) = key {
+            let v = combined
+                .final_regs
+                .get(&(*t, r.clone()))
+                .cloned()
+                .unwrap_or(Val::Int(0));
+            reg_outcome.set(key.clone(), v);
+        }
+    }
+
+    let mut rf_odo = vec![0usize; rf_choices.len()];
+    loop {
+        // Build rf for this choice.
+        let mut rf = Relation::new();
+        for (i, &r) in combined.reads.iter().enumerate() {
+            rf.insert(rf_choices[i][rf_odo[i]], r);
+        }
+
+        let mut co_odo = vec![0usize; co_choices.len()];
+        loop {
+            result.candidates += 1;
+            if result.candidates > config.max_candidates {
+                return Err(Error::Budget {
+                    steps: result.candidates,
+                });
+            }
+            if result.candidates % 256 == 0 {
+                if let Some(d) = deadline {
+                    if Instant::now() > d {
+                        let limit_ms = config
+                            .timeout
+                            .map(|t| t.as_millis() as u64)
+                            .unwrap_or(0);
+                        return Err(Error::Timeout { limit_ms });
+                    }
+                }
+            }
+
+            // Build co: per location, init first then the chosen permutation,
+            // transitively closed.
+            let mut co = Relation::new();
+            let mut last_write: BTreeMap<&Loc, EventId> = BTreeMap::new();
+            for (li, loc) in locs.iter().enumerate() {
+                let perm = &co_choices[li][co_odo[li]];
+                let init = combined.init_of[loc];
+                let mut chain: Vec<EventId> = Vec::with_capacity(perm.len() + 1);
+                chain.push(init);
+                chain.extend(perm.iter().copied());
+                for a in 0..chain.len() {
+                    for b in (a + 1)..chain.len() {
+                        co.insert(chain[a], chain[b]);
+                    }
+                }
+                last_write.insert(loc, *chain.last().expect("non-empty"));
+            }
+
+            execution.rf = rf.clone();
+            execution.co = co;
+
+            // Outcome: registers (fixed) + observed locations (co-final).
+            let mut outcome = reg_outcome.clone();
+            for key in observed {
+                if let StateKey::Loc(l) = key {
+                    let v = last_write
+                        .get(l)
+                        .map(|w| {
+                            execution.events[w.index()]
+                                .val
+                                .clone()
+                                .expect("writes have values")
+                        })
+                        .unwrap_or_else(|| test.init_of(l));
+                    outcome.set(key.clone(), v);
+                }
+            }
+            execution.outcome = outcome;
+
+            match model.check(&execution) {
+                crate::model::Verdict::Allowed { flags } => {
+                    result.allowed += 1;
+                    result.flags.extend(flags);
+                    if !readonly.is_empty()
+                        && execution.events.iter().any(|e| {
+                            e.kind == EventKind::Write
+                                && !e.is_init()
+                                && e.loc.as_ref().is_some_and(|l| readonly.contains(l))
+                        })
+                    {
+                        result.crashed = true;
+                    }
+                    result.outcomes.insert(execution.outcome.clone());
+                    if config.keep_executions && result.executions.len() < config.max_kept {
+                        result.executions.push(execution.clone());
+                    }
+                }
+                crate::model::Verdict::Forbidden { .. } => {}
+            }
+
+            // Advance co odometer.
+            let mut li = 0;
+            loop {
+                if li == co_choices.len() {
+                    break;
+                }
+                co_odo[li] += 1;
+                if co_odo[li] < co_choices[li].len() {
+                    break;
+                }
+                co_odo[li] = 0;
+                li += 1;
+            }
+            if li == co_choices.len() {
+                break;
+            }
+        }
+
+        // Advance rf odometer.
+        let mut i = 0;
+        loop {
+            if i == rf_choices.len() {
+                return Ok(());
+            }
+            rf_odo[i] += 1;
+            if rf_odo[i] < rf_choices[i].len() {
+                break;
+            }
+            rf_odo[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AllowAll, CoherenceOnly, SeqCstRef};
+    use telechat_litmus::parse_c11;
+
+    fn sim(src: &str, model: &dyn ConsistencyModel) -> SimResult {
+        let test = parse_c11(src).unwrap();
+        simulate(&test, model, &SimConfig::default()).unwrap()
+    }
+
+    const SB: &str = r#"
+C11 "SB"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P0:r0=0 /\ P1:r0=0)
+"#;
+
+    #[test]
+    fn sb_has_four_outcomes_unconstrained() {
+        let r = sim(SB, &AllowAll);
+        // (r0,r1) in {0,1}²
+        assert_eq!(r.outcomes.len(), 4);
+        assert!(r.candidates >= 4);
+    }
+
+    #[test]
+    fn sc_forbids_sb_weak_outcome() {
+        let test = parse_c11(SB).unwrap();
+        let r = simulate(&test, &SeqCstRef, &SimConfig::default()).unwrap();
+        assert_eq!(r.outcomes.len(), 3, "{}", r.outcomes);
+        assert!(!test.condition.holds(&r.outcomes));
+        // Coherence-only allows all four.
+        let r = simulate(&test, &CoherenceOnly, &SimConfig::default()).unwrap();
+        assert!(test.condition.holds(&r.outcomes));
+    }
+
+    const LB: &str = r#"
+C11 "LB"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (P0:r0=1 /\ P1:r0=1)
+"#;
+
+    #[test]
+    fn lb_weak_outcome_needs_weak_model() {
+        let test = parse_c11(LB).unwrap();
+        let sc = simulate(&test, &SeqCstRef, &SimConfig::default()).unwrap();
+        assert!(!test.condition.holds(&sc.outcomes), "SC forbids LB");
+        assert_eq!(sc.outcomes.len(), 3);
+        let weak = simulate(&test, &CoherenceOnly, &SimConfig::default()).unwrap();
+        assert!(test.condition.holds(&weak.outcomes), "coherence allows LB");
+        assert_eq!(weak.outcomes.len(), 4);
+    }
+
+    #[test]
+    fn coherence_corr() {
+        // CoRR: two reads of the same location in one thread must not see
+        // values in anti-coherence order.
+        let src = r#"
+C11 "CoRR"
+{ x = 0; }
+P0 (atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  int r1 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=1 /\ P1:r1=0)
+"#;
+        let test = parse_c11(src).unwrap();
+        let r = simulate(&test, &CoherenceOnly, &SimConfig::default()).unwrap();
+        assert!(
+            !test.condition.holds(&r.outcomes),
+            "new-then-old read is anti-coherent: {}",
+            r.outcomes
+        );
+        // But with no model at all the candidate exists.
+        let r = simulate(&test, &AllowAll, &SimConfig::default()).unwrap();
+        assert!(test.condition.holds(&r.outcomes));
+    }
+
+    #[test]
+    fn rmw_atomicity_enforced() {
+        // Two parallel fetch_adds must not both read 0 (one must see the
+        // other) — the classic increment-atomicity test.
+        let src = r#"
+C11 "2+FA"
+{ x = 0; }
+P0 (atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+exists (P0:r0=0 /\ P1:r0=0)
+"#;
+        let test = parse_c11(src).unwrap();
+        let r = simulate(&test, &CoherenceOnly, &SimConfig::default()).unwrap();
+        assert!(
+            !test.condition.holds(&r.outcomes),
+            "atomicity violated: {}",
+            r.outcomes
+        );
+        // Final value must be 2 in every execution where both RMWs ran.
+        let obs = simulate(
+            &parse_c11(
+                r#"
+C11 "2+FA+final"
+{ x = 0; }
+P0 (atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x) {
+  int r0 = atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+forall ([x]=2)
+"#,
+            )
+            .unwrap(),
+            &CoherenceOnly,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(obs.outcomes.len(), 1);
+    }
+
+    #[test]
+    fn observed_location_final_values() {
+        let src = r#"
+C11 "finals"
+{ x = 0; }
+P0 (atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x) {
+  atomic_store_explicit(x, 2, memory_order_relaxed);
+}
+exists (x=1 \/ x=2)
+"#;
+        let test = parse_c11(src).unwrap();
+        let r = simulate(&test, &SeqCstRef, &SimConfig::default()).unwrap();
+        // Both coherence orders are allowed: final x ∈ {1, 2}.
+        assert_eq!(r.outcomes.len(), 2, "{}", r.outcomes);
+        assert!(test.condition.holds(&r.outcomes));
+    }
+
+    #[test]
+    fn crash_detection_on_const_write() {
+        let src = r#"
+C11 "const-write"
+{ const c = 5; }
+P0 (atomic_int* c) {
+  atomic_store_explicit(c, 1, memory_order_relaxed);
+}
+exists (true)
+"#;
+        let test = parse_c11(src).unwrap();
+        let r = simulate(&test, &AllowAll, &SimConfig::default()).unwrap();
+        assert!(r.crashed, "store to const location must flag a crash");
+    }
+
+    #[test]
+    fn budget_error_on_tiny_candidate_limit() {
+        let test = parse_c11(SB).unwrap();
+        let cfg = SimConfig {
+            max_candidates: 2,
+            ..SimConfig::default()
+        };
+        let err = simulate(&test, &AllowAll, &cfg).unwrap_err();
+        assert!(err.is_exhaustion());
+    }
+
+    #[test]
+    fn deterministic_results() {
+        let test = parse_c11(SB).unwrap();
+        let a = simulate(&test, &SeqCstRef, &SimConfig::default()).unwrap();
+        let b = simulate(&test, &SeqCstRef, &SimConfig::default()).unwrap();
+        assert_eq!(a.outcomes, b.outcomes);
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn keeps_executions_when_asked() {
+        let test = parse_c11(SB).unwrap();
+        let cfg = SimConfig::default().keeping_executions();
+        let r = simulate(&test, &SeqCstRef, &cfg).unwrap();
+        assert_eq!(r.executions.len() as u64, r.allowed.min(64));
+        for x in &r.executions {
+            assert!(!x.rf.is_empty());
+        }
+    }
+}

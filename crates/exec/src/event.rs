@@ -1,0 +1,347 @@
+//! Events and candidate executions.
+
+use crate::rel::{EventSet, Relation};
+use std::fmt;
+use telechat_common::{Annot, AnnotSet, EventId, Loc, Outcome, ThreadId, Val};
+
+/// The pseudo-thread that owns the initial-state writes.
+pub const INIT_THREAD: ThreadId = ThreadId(u8::MAX);
+
+/// The kind of a memory event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A read of a shared location.
+    Read,
+    /// A write of a shared location (including the implicit init writes).
+    Write,
+    /// A fence.
+    Fence,
+}
+
+/// One node of an execution graph (paper Def. II.1: "nodes are events").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Dense id; doubles as index into `Execution::events`.
+    pub id: EventId,
+    /// Owning thread ([`INIT_THREAD`] for init writes).
+    pub thread: ThreadId,
+    /// Position within the thread (program order index).
+    pub po_index: usize,
+    /// Read, write or fence.
+    pub kind: EventKind,
+    /// The location touched (`None` for fences).
+    pub loc: Option<Loc>,
+    /// Value read or written (`None` for fences).
+    pub val: Option<Val>,
+    /// Ordering/flavour annotations.
+    pub annot: AnnotSet,
+}
+
+impl Event {
+    /// True for the implicit initial-state writes.
+    pub fn is_init(&self) -> bool {
+        self.thread == INIT_THREAD
+    }
+
+    /// True if the event reads or writes `loc`.
+    pub fn touches(&self, loc: &Loc) -> bool {
+        self.loc.as_ref() == Some(loc)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = match self.kind {
+            EventKind::Read => "R",
+            EventKind::Write => "W",
+            EventKind::Fence => "F",
+        };
+        write!(f, "{}: {kind}", self.id)?;
+        if let Some(l) = &self.loc {
+            write!(f, "[{l}]")?;
+        }
+        if let Some(v) = &self.val {
+            write!(f, "={v}")?;
+        }
+        write!(f, " ({})", self.annot)?;
+        if !self.is_init() {
+            write!(f, " @{}#{}", self.thread, self.po_index)?;
+        }
+        Ok(())
+    }
+}
+
+/// A candidate execution: events plus the base relations (paper Def. II.1).
+///
+/// `po`, `rf`, `co` and the dependency relations are built by the
+/// enumerator; everything else (`fr`, `po-loc`, `ext`, …) is derived on
+/// demand. A consistency model decides whether the candidate is *allowed*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Execution {
+    /// All events; `events[i].id == EventId(i)`. Init writes come first.
+    pub events: Vec<Event>,
+    /// Program order: transitive, intra-thread, init writes excluded.
+    pub po: Relation,
+    /// Reads-from: one edge `(w, r)` per read `r` (the justifying write).
+    pub rf: Relation,
+    /// Coherence: per-location total order over writes, transitive, with the
+    /// init write first.
+    pub co: Relation,
+    /// Read→write pairs of atomic RMW operations.
+    pub rmw: Relation,
+    /// Address dependencies (read → dependent access).
+    pub addr: Relation,
+    /// Data dependencies (read → store whose value depends on it).
+    pub data: Relation,
+    /// Control dependencies (read → po-later event after a dependent branch).
+    pub ctrl: Relation,
+    /// The final-state observation this execution produces.
+    pub outcome: Outcome,
+}
+
+impl Execution {
+    /// The set of all events.
+    pub fn universe(&self) -> EventSet {
+        self.events.iter().map(|e| e.id).collect()
+    }
+
+    /// Events of a given kind.
+    pub fn kind_set(&self, kind: EventKind) -> EventSet {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Reads (`R`).
+    pub fn reads(&self) -> EventSet {
+        self.kind_set(EventKind::Read)
+    }
+
+    /// Writes (`W`), including init writes.
+    pub fn writes(&self) -> EventSet {
+        self.kind_set(EventKind::Write)
+    }
+
+    /// Fences (`F`).
+    pub fn fences(&self) -> EventSet {
+        self.kind_set(EventKind::Fence)
+    }
+
+    /// Memory accesses (`M = R | W`).
+    pub fn accesses(&self) -> EventSet {
+        self.reads().union(&self.writes())
+    }
+
+    /// Init writes (`IW`).
+    pub fn init_writes(&self) -> EventSet {
+        self.events
+            .iter()
+            .filter(|e| e.is_init())
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Events carrying an annotation.
+    pub fn annot_set(&self, a: Annot) -> EventSet {
+        self.events
+            .iter()
+            .filter(|e| e.annot.contains(a))
+            .map(|e| e.id)
+            .collect()
+    }
+
+    /// Same-location pairs (`loc`), over accesses only, excluding identity.
+    pub fn loc_rel(&self) -> Relation {
+        let mut r = Relation::new();
+        for a in &self.events {
+            if a.kind == EventKind::Fence || a.loc.is_none() {
+                continue;
+            }
+            for b in &self.events {
+                if b.kind == EventKind::Fence || a.id == b.id {
+                    continue;
+                }
+                if a.loc == b.loc {
+                    r.insert(a.id, b.id);
+                }
+            }
+        }
+        r
+    }
+
+    /// Different-thread pairs (`ext`), init events considered external to
+    /// every thread.
+    pub fn ext_rel(&self) -> Relation {
+        let mut r = Relation::new();
+        for a in &self.events {
+            for b in &self.events {
+                if a.id != b.id && (a.thread != b.thread || a.is_init() || b.is_init()) {
+                    r.insert(a.id, b.id);
+                }
+            }
+        }
+        r
+    }
+
+    /// Same-thread pairs (`int`), excluding identity.
+    pub fn int_rel(&self) -> Relation {
+        let mut r = Relation::new();
+        for a in &self.events {
+            for b in &self.events {
+                if a.id != b.id && a.thread == b.thread && !a.is_init() {
+                    r.insert(a.id, b.id);
+                }
+            }
+        }
+        r
+    }
+
+    /// From-read (`fr = rf⁻¹ ; co`, minus identity).
+    pub fn fr(&self) -> Relation {
+        let fr = self.rf.inverse().seq(&self.co);
+        fr.iter().filter(|(a, b)| a != b).collect()
+    }
+
+    /// Program order restricted to same location (`po-loc`).
+    pub fn po_loc(&self) -> Relation {
+        self.po.inter(&self.loc_rel())
+    }
+
+    /// The event with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (enumerator-internal invariant).
+    pub fn event(&self, id: EventId) -> &Event {
+        &self.events[id.index()]
+    }
+
+    /// Pretty multi-line rendering of the execution graph (events plus the
+    /// communication edges), used by the figure regenerators.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for e in &self.events {
+            if e.is_init() {
+                continue;
+            }
+            let _ = writeln!(s, "  {e}");
+        }
+        let edge = |name: &str, r: &Relation, s: &mut String| {
+            for (a, b) in r.iter() {
+                let _ = writeln!(s, "  {a} -{name}-> {b}");
+            }
+        };
+        edge("rf", &self.rf, &mut s);
+        edge("co", &self.co, &mut s);
+        edge("fr", &self.fr(), &mut s);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telechat_common::StateKey;
+
+    /// Hand-builds the classic MP execution:
+    /// init: W x=0 (e0), W y=0 (e1)
+    /// P0:   W x=1 (e2), W y=1 (e3)
+    /// P1:   R y=1 (e4), R x=0 (e5)
+    fn mp_execution() -> Execution {
+        let ev = |id: u32, thread, po_index, kind, loc: &str, val: i64| Event {
+            id: EventId(id),
+            thread,
+            po_index,
+            kind,
+            loc: Some(Loc::new(loc)),
+            val: Some(Val::Int(val)),
+            annot: AnnotSet::EMPTY,
+        };
+        let events = vec![
+            ev(0, INIT_THREAD, 0, EventKind::Write, "x", 0),
+            ev(1, INIT_THREAD, 1, EventKind::Write, "y", 0),
+            ev(2, ThreadId(0), 0, EventKind::Write, "x", 1),
+            ev(3, ThreadId(0), 1, EventKind::Write, "y", 1),
+            ev(4, ThreadId(1), 0, EventKind::Read, "y", 1),
+            ev(5, ThreadId(1), 1, EventKind::Read, "x", 0),
+        ];
+        let mut po = Relation::new();
+        po.insert(EventId(2), EventId(3));
+        po.insert(EventId(4), EventId(5));
+        let mut rf = Relation::new();
+        rf.insert(EventId(3), EventId(4)); // r(y)=1 from W y=1
+        rf.insert(EventId(0), EventId(5)); // r(x)=0 from init
+        let mut co = Relation::new();
+        co.insert(EventId(0), EventId(2)); // x: init -> 1
+        co.insert(EventId(1), EventId(3)); // y: init -> 1
+        let mut outcome = Outcome::new();
+        outcome.set(StateKey::reg(ThreadId(1), "r0"), Val::Int(1));
+        outcome.set(StateKey::reg(ThreadId(1), "r1"), Val::Int(0));
+        Execution {
+            events,
+            po,
+            rf,
+            co,
+            rmw: Relation::new(),
+            addr: Relation::new(),
+            data: Relation::new(),
+            ctrl: Relation::new(),
+            outcome,
+        }
+    }
+
+    #[test]
+    fn base_sets() {
+        let x = mp_execution();
+        assert_eq!(x.reads().len(), 2);
+        assert_eq!(x.writes().len(), 4);
+        assert_eq!(x.init_writes().len(), 2);
+        assert_eq!(x.accesses().len(), 6);
+        assert!(x.fences().is_empty());
+    }
+
+    #[test]
+    fn fr_derivation() {
+        let x = mp_execution();
+        let fr = x.fr();
+        // e5 reads x=0 from init (e0); co has e0->e2; so fr(e5, e2).
+        assert!(fr.contains(EventId(5), EventId(2)));
+        assert_eq!(fr.len(), 1);
+    }
+
+    #[test]
+    fn loc_and_ext() {
+        let x = mp_execution();
+        let loc = x.loc_rel();
+        assert!(loc.contains(EventId(2), EventId(5))); // both x
+        assert!(!loc.contains(EventId(2), EventId(3))); // x vs y
+        let ext = x.ext_rel();
+        assert!(ext.contains(EventId(2), EventId(4)));
+        assert!(!ext.contains(EventId(2), EventId(3)));
+        let int = x.int_rel();
+        assert!(int.contains(EventId(2), EventId(3)));
+        assert!(!int.contains(EventId(0), EventId(1))); // init not int
+    }
+
+    #[test]
+    fn the_mp_cycle_is_visible() {
+        // The classic violation: po(2,3) rf(3,4) po(4,5) fr(5,2) is a cycle
+        // in po|rf|fr — the "message passing" shape a strong model forbids.
+        let x = mp_execution();
+        let hb = x.po.union(&x.rf).union(&x.fr());
+        assert!(!hb.is_acyclic());
+    }
+
+    #[test]
+    fn display_and_render() {
+        let x = mp_execution();
+        let e = x.event(EventId(4));
+        assert_eq!(e.to_string(), "e4: R[y]=1 (-) @P1#0");
+        let rendered = x.render();
+        assert!(rendered.contains("-rf->"));
+        assert!(rendered.contains("-fr->"));
+    }
+}

@@ -1,0 +1,45 @@
+//! A herd-style axiomatic simulator for litmus tests.
+//!
+//! Given a [`telechat_litmus::LitmusTest`] and a [`ConsistencyModel`], the
+//! [`simulate`] function enumerates every candidate execution — per-thread
+//! traces × reads-from assignments × coherence orders — filters them through
+//! the model and collects the outcomes of the allowed executions (paper
+//! §II-A, Def. II.1/II.2).
+//!
+//! # Example
+//!
+//! ```
+//! use telechat_exec::{simulate, SeqCstRef, SimConfig};
+//! use telechat_litmus::parse_c11;
+//!
+//! let test = parse_c11(r#"
+//! C11 "SB"
+//! { x = 0; y = 0; }
+//! P0 (atomic_int* x, atomic_int* y) {
+//!   atomic_store_explicit(x, 1, memory_order_relaxed);
+//!   int r0 = atomic_load_explicit(y, memory_order_relaxed);
+//! }
+//! P1 (atomic_int* x, atomic_int* y) {
+//!   atomic_store_explicit(y, 1, memory_order_relaxed);
+//!   int r0 = atomic_load_explicit(x, memory_order_relaxed);
+//! }
+//! exists (P0:r0=0 /\ P1:r0=0)
+//! "#)?;
+//! let result = simulate(&test, &SeqCstRef, &SimConfig::default())?;
+//! assert!(!test.condition.holds(&result.outcomes)); // SC forbids SB
+//! # Ok::<(), telechat_common::Error>(())
+//! ```
+
+pub mod config;
+pub mod enumerate;
+pub mod event;
+pub mod model;
+pub mod rel;
+pub mod trace;
+
+pub use config::{SimConfig, SimResult};
+pub use enumerate::simulate;
+pub use event::{Event, EventKind, Execution, INIT_THREAD};
+pub use model::{AllowAll, CoherenceOnly, ConsistencyModel, SeqCstRef, Verdict};
+pub use rel::{EventSet, Relation};
+pub use trace::{interpret_thread, value_pools, InterpBudget, Trace, TraceEvent, ValuePools};

@@ -1,0 +1,179 @@
+//! The consistency-model interface.
+//!
+//! The enumerator produces candidate executions; a [`ConsistencyModel`]
+//! filters out the forbidden ones (paper §II-A: "a memory consistency model
+//! filters out forbidden executions of a litmus test"). The real models live
+//! in `telechat-cat` as mini-Cat programs; this crate only defines the
+//! interface plus two built-in reference models used for testing and as the
+//! strongest/weakest bounds.
+
+use crate::event::Execution;
+
+/// A model's judgement of one candidate execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The execution is allowed; `flags` carries any `flag` checks that
+    /// fired (e.g. `race` for a C11 data race, `const-write` for a store to
+    /// read-only memory).
+    Allowed {
+        /// Names of fired flag checks.
+        flags: Vec<String>,
+    },
+    /// The execution is forbidden by the named rule.
+    Forbidden {
+        /// Name of the first violated check.
+        rule: String,
+    },
+}
+
+impl Verdict {
+    /// Allowed with no flags.
+    pub fn allowed() -> Verdict {
+        Verdict::Allowed { flags: Vec::new() }
+    }
+
+    /// True if allowed (flags or not).
+    pub fn is_allowed(&self) -> bool {
+        matches!(self, Verdict::Allowed { .. })
+    }
+}
+
+/// A memory consistency model: a predicate over candidate executions.
+pub trait ConsistencyModel: Send + Sync {
+    /// Model name (e.g. `rc11`, `aarch64`).
+    fn name(&self) -> &str;
+
+    /// Judges one candidate execution.
+    fn check(&self, execution: &Execution) -> Verdict;
+}
+
+/// The weakest model: every candidate execution is allowed. Useful as an
+/// upper bound and in enumerator tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AllowAll;
+
+impl ConsistencyModel for AllowAll {
+    fn name(&self) -> &str {
+        "allow-all"
+    }
+
+    fn check(&self, _execution: &Execution) -> Verdict {
+        Verdict::allowed()
+    }
+}
+
+/// Lamport sequential consistency: `acyclic (po | rf | co | fr)` — the
+/// strongest bundled model, used as a reference bound and in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SeqCstRef;
+
+impl ConsistencyModel for SeqCstRef {
+    fn name(&self) -> &str {
+        "sc-ref"
+    }
+
+    fn check(&self, x: &Execution) -> Verdict {
+        let com = x.po.union(&x.rf).union(&x.co).union(&x.fr());
+        if com.is_acyclic() {
+            Verdict::allowed()
+        } else {
+            Verdict::Forbidden {
+                rule: "sc".into(),
+            }
+        }
+    }
+}
+
+/// SC-per-location only (coherence): `acyclic (po-loc | rf | co | fr)` plus
+/// RMW atomicity. Allows every reordering across locations — close to the
+/// weakest *plausible* hardware, handy for differential bounds in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoherenceOnly;
+
+impl ConsistencyModel for CoherenceOnly {
+    fn name(&self) -> &str {
+        "coherence"
+    }
+
+    fn check(&self, x: &Execution) -> Verdict {
+        let com = x.po_loc().union(&x.rf).union(&x.co).union(&x.fr());
+        if !com.is_acyclic() {
+            return Verdict::Forbidden {
+                rule: "coherence".into(),
+            };
+        }
+        // Atomicity: no write intervenes between an RMW's read and write.
+        let fre = x.fr().inter(&x.ext_rel());
+        let coe = x.co.inter(&x.ext_rel());
+        if !x.rmw.inter(&fre.seq(&coe)).is_empty() {
+            return Verdict::Forbidden {
+                rule: "atomicity".into(),
+            };
+        }
+        Verdict::allowed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventKind, INIT_THREAD};
+    use crate::rel::Relation;
+    use telechat_common::{AnnotSet, EventId, Loc, Outcome, ThreadId, Val};
+
+    fn sb_violation() -> Execution {
+        // SB weak outcome: both reads see 0 — a (po|rf|co|fr) cycle.
+        let ev = |id: u32, thread, po_index, kind, loc: &str, val: i64| Event {
+            id: EventId(id),
+            thread,
+            po_index,
+            kind,
+            loc: Some(Loc::new(loc)),
+            val: Some(Val::Int(val)),
+            annot: AnnotSet::EMPTY,
+        };
+        let events = vec![
+            ev(0, INIT_THREAD, 0, EventKind::Write, "x", 0),
+            ev(1, INIT_THREAD, 1, EventKind::Write, "y", 0),
+            ev(2, ThreadId(0), 0, EventKind::Write, "x", 1),
+            ev(3, ThreadId(0), 1, EventKind::Read, "y", 0),
+            ev(4, ThreadId(1), 0, EventKind::Write, "y", 1),
+            ev(5, ThreadId(1), 1, EventKind::Read, "x", 0),
+        ];
+        let mut po = Relation::new();
+        po.insert(EventId(2), EventId(3));
+        po.insert(EventId(4), EventId(5));
+        let mut rf = Relation::new();
+        rf.insert(EventId(1), EventId(3));
+        rf.insert(EventId(0), EventId(5));
+        let mut co = Relation::new();
+        co.insert(EventId(0), EventId(2));
+        co.insert(EventId(1), EventId(4));
+        Execution {
+            events,
+            po,
+            rf,
+            co,
+            rmw: Relation::new(),
+            addr: Relation::new(),
+            data: Relation::new(),
+            ctrl: Relation::new(),
+            outcome: Outcome::new(),
+        }
+    }
+
+    #[test]
+    fn sc_forbids_store_buffering() {
+        let x = sb_violation();
+        assert!(!SeqCstRef.check(&x).is_allowed());
+        assert!(AllowAll.check(&x).is_allowed());
+        // Coherence alone allows SB (the cycle crosses locations).
+        assert!(CoherenceOnly.check(&x).is_allowed());
+    }
+
+    #[test]
+    fn verdict_helpers() {
+        assert!(Verdict::allowed().is_allowed());
+        assert!(!Verdict::Forbidden { rule: "r".into() }.is_allowed());
+    }
+}

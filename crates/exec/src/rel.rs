@@ -1,0 +1,500 @@
+//! Relational algebra over events.
+//!
+//! Memory models are predicates over *relations on events* (paper Def. II.1).
+//! This module provides the finite relation type the enumerator builds and
+//! the mini-Cat evaluator computes with: union, intersection, difference,
+//! composition, inverses, closures, and the acyclicity/irreflexivity checks
+//! models are made of.
+//!
+//! Events in one candidate execution are dense `EventId`s, so a relation is
+//! a sorted set of id pairs. Sizes are litmus-scale (tens of events), which
+//! keeps the straightforward set representation both simple and fast enough;
+//! the super-linear cost of closure computation on larger event graphs is
+//! exactly the state-explosion behaviour §IV-E of the paper describes.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use telechat_common::EventId;
+
+/// A set of events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct EventSet(BTreeSet<EventId>);
+
+impl EventSet {
+    /// The empty set.
+    pub fn new() -> EventSet {
+        EventSet(BTreeSet::new())
+    }
+
+    /// Inserts an event.
+    pub fn insert(&mut self, e: EventId) -> bool {
+        self.0.insert(e)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, e: EventId) -> bool {
+        self.0.contains(&e)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates events in id order.
+    pub fn iter(&self) -> impl Iterator<Item = EventId> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &EventSet) -> EventSet {
+        EventSet(self.0.union(&other.0).copied().collect())
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn inter(&self, other: &EventSet) -> EventSet {
+        EventSet(self.0.intersection(&other.0).copied().collect())
+    }
+
+    /// Set difference.
+    #[must_use]
+    pub fn diff(&self, other: &EventSet) -> EventSet {
+        EventSet(self.0.difference(&other.0).copied().collect())
+    }
+
+    /// The identity relation on this set (`[S]` in Cat).
+    #[must_use]
+    pub fn identity(&self) -> Relation {
+        Relation(self.0.iter().map(|&e| (e, e)).collect())
+    }
+
+    /// Cartesian product `self × other` (`S * T` in Cat).
+    #[must_use]
+    pub fn cross(&self, other: &EventSet) -> Relation {
+        let mut r = BTreeSet::new();
+        for &a in &self.0 {
+            for &b in &other.0 {
+                r.insert((a, b));
+            }
+        }
+        Relation(r)
+    }
+}
+
+impl FromIterator<EventId> for EventSet {
+    fn from_iter<I: IntoIterator<Item = EventId>>(iter: I) -> Self {
+        EventSet(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for EventSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, e) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A binary relation over events: a sorted set of `(from, to)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation(BTreeSet<(EventId, EventId)>);
+
+impl Relation {
+    /// The empty relation.
+    pub fn new() -> Relation {
+        Relation(BTreeSet::new())
+    }
+
+    /// Inserts an edge.
+    pub fn insert(&mut self, from: EventId, to: EventId) -> bool {
+        self.0.insert((from, to))
+    }
+
+    /// Edge membership.
+    pub fn contains(&self, from: EventId, to: EventId) -> bool {
+        self.0.contains(&(from, to))
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if the relation has no edges (`empty r` in Cat).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates edges in order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, EventId)> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Union (`r | s`).
+    #[must_use]
+    pub fn union(&self, other: &Relation) -> Relation {
+        Relation(self.0.union(&other.0).copied().collect())
+    }
+
+    /// Intersection (`r & s`).
+    #[must_use]
+    pub fn inter(&self, other: &Relation) -> Relation {
+        Relation(self.0.intersection(&other.0).copied().collect())
+    }
+
+    /// Difference (`r \ s`).
+    #[must_use]
+    pub fn diff(&self, other: &Relation) -> Relation {
+        Relation(self.0.difference(&other.0).copied().collect())
+    }
+
+    /// Relational composition (`r ; s`): `{(a,c) | ∃b. r(a,b) ∧ s(b,c)}`.
+    #[must_use]
+    pub fn seq(&self, other: &Relation) -> Relation {
+        let mut out = BTreeSet::new();
+        for &(a, b) in &self.0 {
+            // Iterate other edges starting at b.
+            for &(b2, c) in other.0.range((b, EventId(0))..=(b, EventId(u32::MAX))) {
+                debug_assert_eq!(b, b2);
+                out.insert((a, c));
+            }
+        }
+        Relation(out)
+    }
+
+    /// Inverse (`r^-1`).
+    #[must_use]
+    pub fn inverse(&self) -> Relation {
+        Relation(self.0.iter().map(|&(a, b)| (b, a)).collect())
+    }
+
+    /// Transitive closure (`r+`).
+    #[must_use]
+    pub fn transitive_closure(&self) -> Relation {
+        let mut closure = self.clone();
+        loop {
+            let step = closure.seq(self);
+            let merged = closure.union(&step);
+            if merged.len() == closure.len() {
+                return closure;
+            }
+            closure = merged;
+        }
+    }
+
+    /// Reflexive-transitive closure over a universe of events (`r*`).
+    ///
+    /// Cat's `r*` is reflexive over *all* events of the execution, so the
+    /// universe must be supplied.
+    #[must_use]
+    pub fn reflexive_transitive_closure(&self, universe: &EventSet) -> Relation {
+        self.transitive_closure().union(&universe.identity())
+    }
+
+    /// Reflexive closure over a universe (`r?`).
+    #[must_use]
+    pub fn optional(&self, universe: &EventSet) -> Relation {
+        self.union(&universe.identity())
+    }
+
+    /// The set of edge sources (`domain(r)`).
+    pub fn domain(&self) -> EventSet {
+        self.0.iter().map(|&(a, _)| a).collect()
+    }
+
+    /// The set of edge targets (`range(r)`).
+    pub fn range(&self) -> EventSet {
+        self.0.iter().map(|&(_, b)| b).collect()
+    }
+
+    /// Restricts edge sources to `s` (`[s];r`).
+    #[must_use]
+    pub fn restrict_domain(&self, s: &EventSet) -> Relation {
+        Relation(
+            self.0
+                .iter()
+                .filter(|(a, _)| s.contains(*a))
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Restricts edge targets to `s` (`r;[s]`).
+    #[must_use]
+    pub fn restrict_range(&self, s: &EventSet) -> Relation {
+        Relation(
+            self.0
+                .iter()
+                .filter(|(_, b)| s.contains(*b))
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// True if the relation has no edge `(e, e)` (`irreflexive r` in Cat).
+    pub fn is_irreflexive(&self) -> bool {
+        self.0.iter().all(|(a, b)| a != b)
+    }
+
+    /// True if the relation is acyclic (`acyclic r` in Cat): its transitive
+    /// closure is irreflexive.
+    pub fn is_acyclic(&self) -> bool {
+        // Kahn's algorithm over the edge set — cheaper than computing the
+        // full closure just to test reflexivity.
+        let nodes: BTreeSet<EventId> = self
+            .0
+            .iter()
+            .flat_map(|&(a, b)| [a, b])
+            .collect();
+        let mut indegree: std::collections::BTreeMap<EventId, usize> =
+            nodes.iter().map(|&n| (n, 0)).collect();
+        for &(_, b) in &self.0 {
+            *indegree.get_mut(&b).expect("node present") += 1;
+        }
+        let mut queue: Vec<EventId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut visited = 0usize;
+        while let Some(n) = queue.pop() {
+            visited += 1;
+            for &(a, b) in self.0.range((n, EventId(0))..=(n, EventId(u32::MAX))) {
+                debug_assert_eq!(a, n);
+                let d = indegree.get_mut(&b).expect("node present");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(b);
+                }
+            }
+        }
+        visited == nodes.len()
+    }
+
+    /// A topological order of the nodes if the relation is acyclic.
+    pub fn topological_order(&self) -> Option<Vec<EventId>> {
+        if !self.is_acyclic() {
+            return None;
+        }
+        let nodes: BTreeSet<EventId> = self.0.iter().flat_map(|&(a, b)| [a, b]).collect();
+        let mut indegree: std::collections::BTreeMap<EventId, usize> =
+            nodes.iter().map(|&n| (n, 0)).collect();
+        for &(_, b) in &self.0 {
+            *indegree.get_mut(&b).expect("node") += 1;
+        }
+        let mut queue: std::collections::BTreeSet<EventId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut order = Vec::with_capacity(nodes.len());
+        while let Some(&n) = queue.iter().next() {
+            queue.remove(&n);
+            order.push(n);
+            for &(_, b) in self.0.range((n, EventId(0))..=(n, EventId(u32::MAX))) {
+                let d = indegree.get_mut(&b).expect("node");
+                *d -= 1;
+                if *d == 0 {
+                    queue.insert(b);
+                }
+            }
+        }
+        Some(order)
+    }
+}
+
+impl FromIterator<(EventId, EventId)> for Relation {
+    fn from_iter<I: IntoIterator<Item = (EventId, EventId)>>(iter: I) -> Self {
+        Relation(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (a, b)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}->{b}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(pairs: &[(u32, u32)]) -> Relation {
+        pairs
+            .iter()
+            .map(|&(a, b)| (EventId(a), EventId(b)))
+            .collect()
+    }
+
+    fn set(ids: &[u32]) -> EventSet {
+        ids.iter().map(|&i| EventId(i)).collect()
+    }
+
+    #[test]
+    fn seq_composes() {
+        let r = rel(&[(0, 1), (1, 2)]);
+        let s = rel(&[(1, 5), (2, 6)]);
+        assert_eq!(r.seq(&s), rel(&[(0, 5), (1, 6)]));
+    }
+
+    #[test]
+    fn transitive_closure_chains() {
+        let r = rel(&[(0, 1), (1, 2), (2, 3)]);
+        let tc = r.transitive_closure();
+        assert!(tc.contains(EventId(0), EventId(3)));
+        assert_eq!(tc.len(), 6);
+    }
+
+    #[test]
+    fn acyclicity() {
+        assert!(rel(&[(0, 1), (1, 2)]).is_acyclic());
+        assert!(!rel(&[(0, 1), (1, 0)]).is_acyclic());
+        assert!(!rel(&[(0, 0)]).is_acyclic());
+        assert!(Relation::new().is_acyclic());
+    }
+
+    #[test]
+    fn irreflexivity() {
+        assert!(rel(&[(0, 1)]).is_irreflexive());
+        assert!(!rel(&[(0, 1), (2, 2)]).is_irreflexive());
+    }
+
+    #[test]
+    fn identity_and_cross() {
+        let s = set(&[1, 2]);
+        assert_eq!(s.identity(), rel(&[(1, 1), (2, 2)]));
+        assert_eq!(
+            s.cross(&set(&[7])),
+            rel(&[(1, 7), (2, 7)])
+        );
+    }
+
+    #[test]
+    fn domain_range_restrict() {
+        let r = rel(&[(0, 1), (2, 3)]);
+        assert_eq!(r.domain(), set(&[0, 2]));
+        assert_eq!(r.range(), set(&[1, 3]));
+        assert_eq!(r.restrict_domain(&set(&[0])), rel(&[(0, 1)]));
+        assert_eq!(r.restrict_range(&set(&[3])), rel(&[(2, 3)]));
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let r = rel(&[(2, 1), (1, 0)]);
+        let order = r.topological_order().unwrap();
+        let pos = |e: u32| order.iter().position(|&x| x == EventId(e)).unwrap();
+        assert!(pos(2) < pos(1));
+        assert!(pos(1) < pos(0));
+        assert_eq!(rel(&[(0, 1), (1, 0)]).topological_order(), None);
+    }
+
+    #[test]
+    fn optional_is_reflexive_over_universe() {
+        let r = rel(&[(0, 1)]);
+        let u = set(&[0, 1, 2]);
+        let opt = r.optional(&u);
+        assert!(opt.contains(EventId(2), EventId(2)));
+        assert!(opt.contains(EventId(0), EventId(1)));
+        assert_eq!(opt.len(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_relation(max_node: u32, max_edges: usize) -> impl Strategy<Value = Relation> {
+        proptest::collection::btree_set((0..max_node, 0..max_node), 0..max_edges).prop_map(|s| {
+            s.into_iter()
+                .map(|(a, b)| (EventId(a), EventId(b)))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn closure_is_idempotent(r in arb_relation(8, 20)) {
+            let c1 = r.transitive_closure();
+            let c2 = c1.transitive_closure();
+            prop_assert_eq!(c1, c2);
+        }
+
+        #[test]
+        fn closure_contains_relation(r in arb_relation(8, 20)) {
+            let c = r.transitive_closure();
+            prop_assert!(r.iter().all(|(a, b)| c.contains(a, b)));
+        }
+
+        #[test]
+        fn inverse_is_involutive(r in arb_relation(8, 20)) {
+            prop_assert_eq!(r.inverse().inverse(), r);
+        }
+
+        #[test]
+        fn seq_associative(
+            r in arb_relation(6, 12),
+            s in arb_relation(6, 12),
+            t in arb_relation(6, 12),
+        ) {
+            prop_assert_eq!(r.seq(&s).seq(&t), r.seq(&s.seq(&t)));
+        }
+
+        #[test]
+        fn union_distributes_over_seq(
+            r in arb_relation(6, 12),
+            s in arb_relation(6, 12),
+            t in arb_relation(6, 12),
+        ) {
+            prop_assert_eq!(
+                r.union(&s).seq(&t),
+                r.seq(&t).union(&s.seq(&t))
+            );
+        }
+
+        #[test]
+        fn acyclic_iff_topological_order_exists(r in arb_relation(8, 20)) {
+            prop_assert_eq!(r.is_acyclic(), r.topological_order().is_some());
+        }
+
+        #[test]
+        fn topological_order_sound(r in arb_relation(8, 20)) {
+            if let Some(order) = r.topological_order() {
+                let pos: std::collections::BTreeMap<_, _> =
+                    order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+                for (a, b) in r.iter() {
+                    prop_assert!(pos[&a] < pos[&b], "edge {a}->{b} violates order");
+                }
+            }
+        }
+
+        #[test]
+        fn acyclic_relation_closure_is_irreflexive(r in arb_relation(8, 20)) {
+            prop_assert_eq!(r.is_acyclic(), r.transitive_closure().is_irreflexive());
+        }
+
+        #[test]
+        fn inverse_of_seq_flips(r in arb_relation(6, 12), s in arb_relation(6, 12)) {
+            prop_assert_eq!(r.seq(&s).inverse(), s.inverse().seq(&r.inverse()));
+        }
+    }
+}

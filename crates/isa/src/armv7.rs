@@ -1,0 +1,344 @@
+//! The Armv7-A (32-bit) instruction subset.
+//!
+//! Armv7 has no acquire/release instructions: compilers order atomics with
+//! `DMB ISH` barriers, and implement RMWs with `LDREX`/`STREX` loops.
+//! Addresses are materialised with `MOVW`/`MOVT` pairs (no memory traffic)
+//! or literal-pool loads (`ldr r1, =x` — a real memory read, feeding the
+//! unoptimised-test state explosion exactly like AArch64 GOT loads).
+
+use crate::operand::SymRef;
+use std::fmt;
+use telechat_common::{Annot, AnnotSet, Error, Loc, Reg, Result};
+use telechat_litmus::{AddrExpr, BinOp, Expr, Instr};
+
+type R = String;
+
+/// One Armv7 instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArmInstr {
+    /// A branch target.
+    Label(String),
+    /// `mov r0, #1`
+    MovImm {
+        /// Destination register.
+        dst: R,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// `mov r0, r1`
+    MovReg {
+        /// Destination register.
+        dst: R,
+        /// Source register.
+        src: R,
+    },
+    /// `movw r1, :lower16:x` + `movt r1, :upper16:x` collapsed: address
+    /// materialisation without memory traffic (`-O1` and above).
+    MovSym {
+        /// Destination register.
+        dst: R,
+        /// The symbol whose address is materialised.
+        sym: SymRef,
+    },
+    /// `ldr r1, =x` — literal-pool load: a *memory read* of the pool slot.
+    LdrLit {
+        /// Destination register.
+        dst: R,
+        /// The symbol whose address the pool slot holds.
+        sym: SymRef,
+    },
+    /// `ldr r0, [r1]`
+    Ldr {
+        /// Destination register.
+        dst: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `str r0, [r1]`
+    Str {
+        /// Source register.
+        src: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `ldrex r0, [r1]`
+    Ldrex {
+        /// Destination register.
+        dst: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `strex r2, r0, [r1]` (status ← 0 on success).
+    Strex {
+        /// Status register.
+        status: R,
+        /// Source register.
+        src: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `dmb ish`
+    Dmb,
+    /// `isb`
+    Isb,
+    /// `eor r2, r0, r1`
+    Eor {
+        /// Destination register.
+        dst: R,
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `add r2, r0, r1`
+    AddReg {
+        /// Destination register.
+        dst: R,
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `cmp r0, #imm`
+    CmpImm {
+        /// Compared register.
+        a: R,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `cmp r0, r1`
+    CmpReg {
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `bne label`
+    Bne(String),
+    /// `beq label`
+    Beq(String),
+    /// `b label`
+    B(String),
+    /// `bx lr`
+    Bx,
+}
+
+impl fmt::Display for ArmInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ArmInstr::*;
+        match self {
+            Label(l) => write!(f, "{l}:"),
+            MovImm { dst, imm } => write!(f, "mov {dst}, #{imm}"),
+            MovReg { dst, src } => write!(f, "mov {dst}, {src}"),
+            MovSym { dst, sym } => write!(f, "movw {dst}, :lower16:{sym}"),
+            LdrLit { dst, sym } => write!(f, "ldr {dst}, ={sym}"),
+            Ldr { dst, base } => write!(f, "ldr {dst}, [{base}]"),
+            Str { src, base } => write!(f, "str {src}, [{base}]"),
+            Ldrex { dst, base } => write!(f, "ldrex {dst}, [{base}]"),
+            Strex { status, src, base } => write!(f, "strex {status}, {src}, [{base}]"),
+            Dmb => write!(f, "dmb ish"),
+            Isb => write!(f, "isb"),
+            Eor { dst, a, b } => write!(f, "eor {dst}, {a}, {b}"),
+            AddReg { dst, a, b } => write!(f, "add {dst}, {a}, {b}"),
+            CmpImm { a, imm } => write!(f, "cmp {a}, #{imm}"),
+            CmpReg { a, b } => write!(f, "cmp {a}, {b}"),
+            Bne(l) => write!(f, "bne {l}"),
+            Beq(l) => write!(f, "beq {l}"),
+            B(l) => write!(f, "b {l}"),
+            Bx => write!(f, "bx lr"),
+        }
+    }
+}
+
+fn reg(name: &str) -> Reg {
+    Reg::new(name.to_ascii_uppercase())
+}
+
+/// The literal-pool slot holding `&sym`.
+pub fn lit_slot(sym: &Loc) -> Loc {
+    Loc::new(format!("lit.{sym}"))
+}
+
+fn sym_loc(sym: &SymRef, ctx: &str) -> Result<Loc> {
+    sym.as_sym()
+        .cloned()
+        .ok_or_else(|| Error::IllFormed(format!("{ctx}: unresolved address `{sym}`")))
+}
+
+/// Lowers a thread of Armv7 instructions to the unified IR.
+///
+/// # Errors
+///
+/// Returns [`Error::IllFormed`] for unresolved symbol references.
+pub fn lower(code: &[ArmInstr]) -> Result<Vec<Instr>> {
+    let mut out = Vec::new();
+    for ins in code {
+        use ArmInstr::*;
+        match ins {
+            Label(l) => out.push(Instr::Label(l.clone())),
+            MovImm { dst, imm } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::int(*imm),
+            }),
+            MovReg { dst, src } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::reg(reg(src)),
+            }),
+            MovSym { dst, sym } => {
+                let loc = sym_loc(sym, "movw")?;
+                out.push(Instr::Assign {
+                    dst: reg(dst),
+                    expr: Expr::Lit(telechat_common::Val::Addr(loc)),
+                });
+            }
+            LdrLit { dst, sym } => {
+                // Load the address from the literal pool: the base register
+                // conceptually points at the pool slot; we model the slot as
+                // a shared location `lit.<sym>` and read it directly.
+                let loc = sym_loc(sym, "ldr =")?;
+                out.push(Instr::Load {
+                    dst: reg(dst),
+                    addr: AddrExpr::Sym(lit_slot(&loc)),
+                    annot: AnnotSet::one(Annot::Relaxed),
+                });
+            }
+            Ldr { dst, base } => out.push(Instr::Load {
+                dst: reg(dst),
+                addr: AddrExpr::Reg(reg(base)),
+                annot: AnnotSet::one(Annot::Relaxed),
+            }),
+            Str { src, base } => out.push(Instr::Store {
+                addr: AddrExpr::Reg(reg(base)),
+                val: Expr::reg(reg(src)),
+                annot: AnnotSet::one(Annot::Relaxed),
+            }),
+            Ldrex { dst, base } => out.push(Instr::Load {
+                dst: reg(dst),
+                addr: AddrExpr::Reg(reg(base)),
+                annot: AnnotSet::of(&[Annot::Relaxed, Annot::Exclusive]),
+            }),
+            Strex { status, src, base } => out.push(Instr::StoreExcl {
+                success: reg(status),
+                addr: AddrExpr::Reg(reg(base)),
+                val: Expr::reg(reg(src)),
+                annot: AnnotSet::of(&[Annot::Relaxed, Annot::Exclusive]),
+            }),
+            Dmb => out.push(Instr::Fence {
+                annot: AnnotSet::one(Annot::DmbIsh),
+            }),
+            Isb => out.push(Instr::Fence {
+                annot: AnnotSet::one(Annot::Isb),
+            }),
+            Eor { dst, a, b } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::bin(BinOp::Xor, Expr::reg(reg(a)), Expr::reg(reg(b))),
+            }),
+            AddReg { dst, a, b } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::bin(BinOp::Add, Expr::reg(reg(a)), Expr::reg(reg(b))),
+            }),
+            CmpImm { a, imm } => out.push(Instr::Assign {
+                dst: Reg::new("CPSR"),
+                expr: Expr::bin(BinOp::Sub, Expr::reg(reg(a)), Expr::int(*imm)),
+            }),
+            CmpReg { a, b } => out.push(Instr::Assign {
+                dst: Reg::new("CPSR"),
+                expr: Expr::bin(BinOp::Sub, Expr::reg(reg(a)), Expr::reg(reg(b))),
+            }),
+            Bne(l) => out.push(Instr::BranchIf {
+                cond: Expr::ne(Expr::reg("CPSR"), Expr::int(0)),
+                target: l.clone(),
+            }),
+            Beq(l) => out.push(Instr::BranchIf {
+                cond: Expr::eq(Expr::reg("CPSR"), Expr::int(0)),
+                target: l.clone(),
+            }),
+            B(l) => out.push(Instr::Jump(l.clone())),
+            Bx => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Rewrites every symbol reference through `f` (see `aarch64::map_syms`).
+pub fn map_syms(code: &mut [ArmInstr], f: &dyn Fn(&SymRef) -> SymRef) {
+    for ins in code {
+        match ins {
+            ArmInstr::MovSym { sym, .. } | ArmInstr::LdrLit { sym, .. } => *sym = f(sym),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            ArmInstr::Strex {
+                status: "r2".into(),
+                src: "r0".into(),
+                base: "r1".into()
+            }
+            .to_string(),
+            "strex r2, r0, [r1]"
+        );
+        assert_eq!(ArmInstr::Dmb.to_string(), "dmb ish");
+        assert_eq!(
+            ArmInstr::LdrLit {
+                dst: "r1".into(),
+                sym: "x".into()
+            }
+            .to_string(),
+            "ldr r1, =x"
+        );
+    }
+
+    #[test]
+    fn literal_pool_load_touches_memory() {
+        let ir = lower(&[ArmInstr::LdrLit {
+            dst: "r1".into(),
+            sym: "x".into(),
+        }])
+        .unwrap();
+        match &ir[0] {
+            Instr::Load { addr, .. } => {
+                assert_eq!(addr.as_sym().unwrap(), &Loc::new("lit.x"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn movw_does_not_touch_memory() {
+        let ir = lower(&[ArmInstr::MovSym {
+            dst: "r1".into(),
+            sym: "x".into(),
+        }])
+        .unwrap();
+        assert!(matches!(&ir[0], Instr::Assign { .. }));
+    }
+
+    #[test]
+    fn exclusives_lower() {
+        let ir = lower(&[
+            ArmInstr::Ldrex {
+                dst: "r0".into(),
+                base: "r1".into(),
+            },
+            ArmInstr::Strex {
+                status: "r2".into(),
+                src: "r3".into(),
+                base: "r1".into(),
+            },
+        ])
+        .unwrap();
+        match &ir[0] {
+            Instr::Load { annot, .. } => assert!(annot.contains(Annot::Exclusive)),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(&ir[1], Instr::StoreExcl { .. }));
+    }
+}

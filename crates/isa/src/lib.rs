@@ -1,0 +1,32 @@
+//! Instruction-set definitions for the six target architectures.
+//!
+//! Each architecture module provides a typed instruction enum, an
+//! assembly-syntax `Display` implementation, and a `lower` function that
+//! translates instructions to the unified IR of `telechat-litmus` —
+//! carrying the architecture's ordering annotations (acquire/release,
+//! exclusives, barrier kinds, write-only atomics) for the Cat models.
+//!
+//! [`AsmTest`] packages typed thread bodies with a litmus skeleton; it is
+//! the `C = comp(S)` of the paper's `test_tv`.
+//!
+//! # Example
+//!
+//! ```
+//! use telechat_isa::aarch64::{lower, A64Instr};
+//!
+//! let ir = lower(&[A64Instr::Ldar { dst: "w0".into(), base: "x1".into() }])?;
+//! assert_eq!(ir.len(), 1);
+//! # Ok::<(), telechat_common::Error>(())
+//! ```
+
+pub mod aarch64;
+pub mod armv7;
+pub mod asmtest;
+pub mod mips;
+pub mod operand;
+pub mod ppc;
+pub mod riscv;
+pub mod x86;
+
+pub use asmtest::{AsmCode, AsmTest};
+pub use operand::{RmwOrd, SymRef, PAIR_SHIFT};

@@ -1,0 +1,312 @@
+//! The MIPS64 instruction subset.
+//!
+//! MIPS orders with `SYNC` and implements RMWs with `LL`/`SC`. Note the SC
+//! status convention differs from every other ISA here: MIPS `SC rt`
+//! writes **1 into rt on success** and 0 on failure, so lowering inverts
+//! the unified [`Instr::StoreExcl`] status (0 = success).
+
+use crate::operand::SymRef;
+use std::fmt;
+use telechat_common::{Annot, AnnotSet, Error, Loc, Reg, Result};
+use telechat_litmus::{AddrExpr, BinOp, Expr, Instr};
+
+type R = String;
+
+/// One MIPS64 instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MipsInstr {
+    /// A branch target.
+    Label(String),
+    /// `li $2, 1`
+    Li {
+        /// Destination register.
+        dst: R,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `move $2, $3`
+    Move {
+        /// Destination register.
+        dst: R,
+        /// Source register.
+        src: R,
+    },
+    /// `dla $2, x` — address materialisation (no memory traffic).
+    Dla {
+        /// Destination register.
+        dst: R,
+        /// Symbol.
+        sym: SymRef,
+    },
+    /// `ld $2, %got(x)($gp)` — GOT load (memory read of the slot).
+    LdGot {
+        /// Destination register.
+        dst: R,
+        /// Symbol whose GOT slot is read.
+        sym: SymRef,
+    },
+    /// `lw $2, 0($3)`
+    Lw {
+        /// Destination register.
+        dst: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `sw $2, 0($3)`
+    Sw {
+        /// Source register.
+        src: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `ll $2, 0($3)` — load-linked.
+    Ll {
+        /// Destination register.
+        dst: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `sc $2, 0($3)` — store-conditional; `$2` ← 1 on success.
+    Sc {
+        /// Source/status register (MIPS reuses it).
+        src: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `sync`
+    Sync,
+    /// `addu $4, $2, $3`
+    Addu {
+        /// Destination register.
+        dst: R,
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `xor $4, $2, $3`
+    Xor {
+        /// Destination register.
+        dst: R,
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `bne $2, $3, label` (with its architectural delay slot filled by the
+    /// assembler; we model the branch alone).
+    Bne {
+        /// First operand.
+        a: R,
+        /// Second operand (often `$0`).
+        b: R,
+        /// Target label.
+        label: String,
+    },
+    /// `beq $2, $3, label`
+    Beq {
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+        /// Target label.
+        label: String,
+    },
+    /// `b label`
+    B(String),
+    /// `jr $ra`
+    Jr,
+}
+
+impl fmt::Display for MipsInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use MipsInstr::*;
+        match self {
+            Label(l) => write!(f, "{l}:"),
+            Li { dst, imm } => write!(f, "li {dst}, {imm}"),
+            Move { dst, src } => write!(f, "move {dst}, {src}"),
+            Dla { dst, sym } => write!(f, "dla {dst}, {sym}"),
+            LdGot { dst, sym } => write!(f, "ld {dst}, %got({sym})($gp)"),
+            Lw { dst, base } => write!(f, "lw {dst}, 0({base})"),
+            Sw { src, base } => write!(f, "sw {src}, 0({base})"),
+            Ll { dst, base } => write!(f, "ll {dst}, 0({base})"),
+            Sc { src, base } => write!(f, "sc {src}, 0({base})"),
+            Sync => write!(f, "sync"),
+            Addu { dst, a, b } => write!(f, "addu {dst}, {a}, {b}"),
+            Xor { dst, a, b } => write!(f, "xor {dst}, {a}, {b}"),
+            Bne { a, b, label } => write!(f, "bne {a}, {b}, {label}"),
+            Beq { a, b, label } => write!(f, "beq {a}, {b}, {label}"),
+            B(l) => write!(f, "b {l}"),
+            Jr => write!(f, "jr $ra"),
+        }
+    }
+}
+
+fn is_zero(name: &str) -> bool {
+    matches!(name, "$0" | "$zero")
+}
+
+fn reg(name: &str) -> Reg {
+    Reg::new(name.to_string())
+}
+
+fn src_expr(name: &str) -> Expr {
+    if is_zero(name) {
+        Expr::int(0)
+    } else {
+        Expr::Reg(reg(name))
+    }
+}
+
+/// The GOT slot location for a symbol.
+pub fn got_slot(sym: &Loc) -> Loc {
+    Loc::new(format!("got.{sym}"))
+}
+
+fn sym_loc(sym: &SymRef, ctx: &str) -> Result<Loc> {
+    sym.as_sym()
+        .cloned()
+        .ok_or_else(|| Error::IllFormed(format!("{ctx}: unresolved address `{sym}`")))
+}
+
+/// Lowers a thread of MIPS instructions to the unified IR.
+///
+/// # Errors
+///
+/// Returns [`Error::IllFormed`] for unresolved symbol references.
+pub fn lower(code: &[MipsInstr]) -> Result<Vec<Instr>> {
+    let mut out = Vec::new();
+    for ins in code {
+        use MipsInstr::*;
+        match ins {
+            Label(l) => out.push(Instr::Label(l.clone())),
+            Li { dst, imm } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::int(*imm),
+            }),
+            Move { dst, src } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: src_expr(src),
+            }),
+            Dla { dst, sym } => {
+                let loc = sym_loc(sym, "dla")?;
+                out.push(Instr::Assign {
+                    dst: reg(dst),
+                    expr: Expr::Lit(telechat_common::Val::Addr(loc)),
+                });
+            }
+            LdGot { dst, sym } => {
+                let loc = sym_loc(sym, "got load")?;
+                out.push(Instr::Load {
+                    dst: reg(dst),
+                    addr: AddrExpr::Sym(got_slot(&loc)),
+                    annot: AnnotSet::one(Annot::Relaxed),
+                });
+            }
+            Lw { dst, base } => out.push(Instr::Load {
+                dst: reg(dst),
+                addr: AddrExpr::Reg(reg(base)),
+                annot: AnnotSet::one(Annot::Relaxed),
+            }),
+            Sw { src, base } => out.push(Instr::Store {
+                addr: AddrExpr::Reg(reg(base)),
+                val: src_expr(src),
+                annot: AnnotSet::one(Annot::Relaxed),
+            }),
+            Ll { dst, base } => out.push(Instr::Load {
+                dst: reg(dst),
+                addr: AddrExpr::Reg(reg(base)),
+                annot: AnnotSet::of(&[Annot::Relaxed, Annot::Exclusive]),
+            }),
+            Sc { src, base } => {
+                // MIPS: rt ← 1 on success. Our StoreExcl: status ← 0 on
+                // success. Store into a scratch status then invert into rt.
+                let scratch = Reg::new("$sc_status");
+                out.push(Instr::StoreExcl {
+                    success: scratch.clone(),
+                    addr: AddrExpr::Reg(reg(base)),
+                    val: src_expr(src),
+                    annot: AnnotSet::of(&[Annot::Relaxed, Annot::Exclusive]),
+                });
+                out.push(Instr::Assign {
+                    dst: reg(src),
+                    expr: Expr::eq(Expr::Reg(scratch), Expr::int(0)),
+                });
+            }
+            Sync => out.push(Instr::Fence {
+                annot: AnnotSet::one(Annot::MipsSync),
+            }),
+            Addu { dst, a, b } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::bin(BinOp::Add, src_expr(a), src_expr(b)),
+            }),
+            Xor { dst, a, b } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::bin(BinOp::Xor, src_expr(a), src_expr(b)),
+            }),
+            Bne { a, b, label } => out.push(Instr::BranchIf {
+                cond: Expr::ne(src_expr(a), src_expr(b)),
+                target: label.clone(),
+            }),
+            Beq { a, b, label } => out.push(Instr::BranchIf {
+                cond: Expr::eq(src_expr(a), src_expr(b)),
+                target: label.clone(),
+            }),
+            B(l) => out.push(Instr::Jump(l.clone())),
+            Jr => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Rewrites every symbol reference through `f` (see `aarch64::map_syms`).
+pub fn map_syms(code: &mut [MipsInstr], f: &dyn Fn(&SymRef) -> SymRef) {
+    for ins in code {
+        match ins {
+            MipsInstr::Dla { sym, .. } | MipsInstr::LdGot { sym, .. } => *sym = f(sym),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            MipsInstr::Ll {
+                dst: "$2".into(),
+                base: "$3".into()
+            }
+            .to_string(),
+            "ll $2, 0($3)"
+        );
+        assert_eq!(MipsInstr::Sync.to_string(), "sync");
+    }
+
+    #[test]
+    fn sc_status_convention_inverted() {
+        let ir = lower(&[MipsInstr::Sc {
+            src: "$2".into(),
+            base: "$3".into(),
+        }])
+        .unwrap();
+        assert_eq!(ir.len(), 2, "store-excl + status inversion");
+        assert!(matches!(&ir[0], Instr::StoreExcl { .. }));
+        match &ir[1] {
+            Instr::Assign { dst, .. } => assert_eq!(dst, &Reg::new("$2")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_annotation() {
+        let ir = lower(&[MipsInstr::Sync]).unwrap();
+        match &ir[0] {
+            Instr::Fence { annot } => assert!(annot.contains(Annot::MipsSync)),
+            other => panic!("{other:?}"),
+        }
+    }
+}

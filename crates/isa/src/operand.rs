@@ -1,0 +1,119 @@
+//! Operand types shared by the six instruction sets.
+
+use std::fmt;
+use telechat_common::Loc;
+
+/// A symbol reference as it appears in (dis)assembled code: either resolved
+/// to a symbolic location or still a raw address that the `s2l` stage must
+/// map back through the symbol table and debug info (paper §III-D).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymRef {
+    /// A resolved symbolic location.
+    Sym(Loc),
+    /// A raw virtual address from a disassembly listing.
+    Addr(u64),
+}
+
+impl SymRef {
+    /// The symbolic location, if resolved.
+    pub fn as_sym(&self) -> Option<&Loc> {
+        match self {
+            SymRef::Sym(l) => Some(l),
+            SymRef::Addr(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for SymRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymRef::Sym(l) => write!(f, "{l}"),
+            SymRef::Addr(a) => write!(f, "{a:#x}"),
+        }
+    }
+}
+
+impl From<Loc> for SymRef {
+    fn from(l: Loc) -> Self {
+        SymRef::Sym(l)
+    }
+}
+
+impl From<&str> for SymRef {
+    fn from(s: &str) -> Self {
+        SymRef::Sym(Loc::new(s))
+    }
+}
+
+/// Memory-ordering variant of an LSE-style atomic (AArch64 `SWP`/`SWPA`/
+/// `SWPL`/`SWPAL`, RISC-V `.aq`/`.rl` bits, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOrd {
+    /// No ordering (relaxed).
+    Rlx,
+    /// Acquire.
+    Acq,
+    /// Release.
+    Rel,
+    /// Acquire + release.
+    AcqRel,
+}
+
+impl RmwOrd {
+    /// Mnemonic suffix in the AArch64 convention (`""`, `"a"`, `"l"`, `"al"`).
+    pub fn a64_suffix(self) -> &'static str {
+        match self {
+            RmwOrd::Rlx => "",
+            RmwOrd::Acq => "a",
+            RmwOrd::Rel => "l",
+            RmwOrd::AcqRel => "al",
+        }
+    }
+
+    /// Parses an AArch64 suffix.
+    pub fn from_a64_suffix(s: &str) -> Option<RmwOrd> {
+        match s {
+            "" => Some(RmwOrd::Rlx),
+            "a" => Some(RmwOrd::Acq),
+            "l" => Some(RmwOrd::Rel),
+            "al" => Some(RmwOrd::AcqRel),
+            _ => None,
+        }
+    }
+
+    /// True if the variant has acquire semantics.
+    pub fn acquires(self) -> bool {
+        matches!(self, RmwOrd::Acq | RmwOrd::AcqRel)
+    }
+
+    /// True if the variant has release semantics.
+    pub fn releases(self) -> bool {
+        matches!(self, RmwOrd::Rel | RmwOrd::AcqRel)
+    }
+}
+
+/// The shift used to pack 128-bit register pairs into one composite value:
+/// `composite = lo + (hi << PAIR_SHIFT)`. Litmus values are tiny, so 16
+/// bits per half is ample and keeps printed values readable.
+pub const PAIR_SHIFT: i64 = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symref_display() {
+        assert_eq!(SymRef::from("x").to_string(), "x");
+        assert_eq!(SymRef::Addr(0x11000).to_string(), "0x11000");
+    }
+
+    #[test]
+    fn rmw_ord_suffixes() {
+        for ord in [RmwOrd::Rlx, RmwOrd::Acq, RmwOrd::Rel, RmwOrd::AcqRel] {
+            assert_eq!(RmwOrd::from_a64_suffix(ord.a64_suffix()), Some(ord));
+        }
+        assert_eq!(RmwOrd::from_a64_suffix("zz"), None);
+        assert!(RmwOrd::AcqRel.acquires() && RmwOrd::AcqRel.releases());
+        assert!(!RmwOrd::Rlx.acquires() && !RmwOrd::Rlx.releases());
+    }
+}

@@ -1,0 +1,351 @@
+//! The IBM PowerPC (64-bit) instruction subset.
+//!
+//! Ordering comes from `SYNC` (full) and `LWSYNC` (lightweight) barriers;
+//! RMWs are `LWARX`/`STWCX.` reservation loops whose status lands in CR0.
+//! Addresses are materialised via the TOC: `ld r9, x@toc(r2)` is a *memory
+//! read* of the TOC slot (the POWER twin of AArch64 GOT loads).
+
+use crate::operand::SymRef;
+use std::fmt;
+use telechat_common::{Annot, AnnotSet, Error, Loc, Reg, Result};
+use telechat_litmus::{AddrExpr, BinOp, Expr, Instr};
+
+type R = String;
+
+/// One PowerPC instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PpcInstr {
+    /// A branch target.
+    Label(String),
+    /// `li r3, 1`
+    Li {
+        /// Destination register.
+        dst: R,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `mr r3, r4`
+    Mr {
+        /// Destination register.
+        dst: R,
+        /// Source register.
+        src: R,
+    },
+    /// `addis r9, r2, x@toc@ha; addi r9, r9, x@toc@l` collapsed: address
+    /// materialisation without memory traffic (small code model).
+    AddisToc {
+        /// Destination register.
+        dst: R,
+        /// Symbol.
+        sym: SymRef,
+    },
+    /// `ld r9, x@toc(r2)` — TOC slot load (memory read of the slot).
+    LdToc {
+        /// Destination register.
+        dst: R,
+        /// Symbol whose TOC slot is read.
+        sym: SymRef,
+    },
+    /// `lwz r3, 0(r9)`
+    Lwz {
+        /// Destination register.
+        dst: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `stw r3, 0(r9)`
+    Stw {
+        /// Source register.
+        src: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `lwarx r3, 0, r9` — load-reserve.
+    Lwarx {
+        /// Destination register.
+        dst: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `stwcx. r3, 0, r9` — store-conditional (CR0.eq ← success).
+    Stwcx {
+        /// Source register.
+        src: R,
+        /// Base address register.
+        base: R,
+    },
+    /// `sync` — full barrier.
+    Sync,
+    /// `lwsync` — lightweight barrier.
+    Lwsync,
+    /// `isync`.
+    Isync,
+    /// `add r5, r3, r4`
+    Add {
+        /// Destination register.
+        dst: R,
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `cmpw r3, r4` (sets CR0).
+    Cmpw {
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `xor r5, r3, r4`
+    Xor {
+        /// Destination register.
+        dst: R,
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `cmpwi r3, imm` (sets CR0).
+    Cmpwi {
+        /// Compared register.
+        a: R,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `bne label` (on CR0).
+    Bne(String),
+    /// `beq label`.
+    Beq(String),
+    /// `b label`.
+    B(String),
+    /// `blr`.
+    Blr,
+}
+
+impl fmt::Display for PpcInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use PpcInstr::*;
+        match self {
+            Label(l) => write!(f, "{l}:"),
+            Li { dst, imm } => write!(f, "li {dst}, {imm}"),
+            Mr { dst, src } => write!(f, "mr {dst}, {src}"),
+            AddisToc { dst, sym } => write!(f, "addis {dst}, r2, {sym}@toc@ha"),
+            LdToc { dst, sym } => write!(f, "ld {dst}, {sym}@toc(r2)"),
+            Lwz { dst, base } => write!(f, "lwz {dst}, 0({base})"),
+            Stw { src, base } => write!(f, "stw {src}, 0({base})"),
+            Lwarx { dst, base } => write!(f, "lwarx {dst}, 0, {base}"),
+            Stwcx { src, base } => write!(f, "stwcx. {src}, 0, {base}"),
+            Sync => write!(f, "sync"),
+            Lwsync => write!(f, "lwsync"),
+            Isync => write!(f, "isync"),
+            Add { dst, a, b } => write!(f, "add {dst}, {a}, {b}"),
+            Cmpw { a, b } => write!(f, "cmpw {a}, {b}"),
+            Xor { dst, a, b } => write!(f, "xor {dst}, {a}, {b}"),
+            Cmpwi { a, imm } => write!(f, "cmpwi {a}, {imm}"),
+            Bne(l) => write!(f, "bne {l}"),
+            Beq(l) => write!(f, "beq {l}"),
+            B(l) => write!(f, "b {l}"),
+            Blr => write!(f, "blr"),
+        }
+    }
+}
+
+fn reg(name: &str) -> Reg {
+    Reg::new(name.to_ascii_lowercase())
+}
+
+/// The TOC slot location for a symbol.
+pub fn toc_slot(sym: &Loc) -> Loc {
+    Loc::new(format!("toc.{sym}"))
+}
+
+fn sym_loc(sym: &SymRef, ctx: &str) -> Result<Loc> {
+    sym.as_sym()
+        .cloned()
+        .ok_or_else(|| Error::IllFormed(format!("{ctx}: unresolved address `{sym}`")))
+}
+
+/// Lowers a thread of PowerPC instructions to the unified IR.
+///
+/// `stwcx.` writes its success bit to the pseudo-register `CR0` with the
+/// convention 0 = success, matching [`Instr::StoreExcl`]; `beq`/`bne` after
+/// a `stwcx.` therefore test `CR0` as the compiler emitted them
+/// (success sets CR0.eq, and `bne- retry` loops re-run on failure).
+///
+/// # Errors
+///
+/// Returns [`Error::IllFormed`] for unresolved symbol references.
+pub fn lower(code: &[PpcInstr]) -> Result<Vec<Instr>> {
+    let mut out = Vec::new();
+    for ins in code {
+        use PpcInstr::*;
+        match ins {
+            Label(l) => out.push(Instr::Label(l.clone())),
+            Li { dst, imm } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::int(*imm),
+            }),
+            Mr { dst, src } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::reg(reg(src)),
+            }),
+            AddisToc { dst, sym } => {
+                let loc = sym_loc(sym, "addis")?;
+                out.push(Instr::Assign {
+                    dst: reg(dst),
+                    expr: Expr::Lit(telechat_common::Val::Addr(loc)),
+                });
+            }
+            LdToc { dst, sym } => {
+                let loc = sym_loc(sym, "toc load")?;
+                out.push(Instr::Load {
+                    dst: reg(dst),
+                    addr: AddrExpr::Sym(toc_slot(&loc)),
+                    annot: AnnotSet::one(Annot::Relaxed),
+                });
+            }
+            Lwz { dst, base } => out.push(Instr::Load {
+                dst: reg(dst),
+                addr: AddrExpr::Reg(reg(base)),
+                annot: AnnotSet::one(Annot::Relaxed),
+            }),
+            Stw { src, base } => out.push(Instr::Store {
+                addr: AddrExpr::Reg(reg(base)),
+                val: Expr::reg(reg(src)),
+                annot: AnnotSet::one(Annot::Relaxed),
+            }),
+            Lwarx { dst, base } => out.push(Instr::Load {
+                dst: reg(dst),
+                addr: AddrExpr::Reg(reg(base)),
+                annot: AnnotSet::of(&[Annot::Relaxed, Annot::Exclusive]),
+            }),
+            Stwcx { src, base } => out.push(Instr::StoreExcl {
+                success: Reg::new("CR0"),
+                addr: AddrExpr::Reg(reg(base)),
+                val: Expr::reg(reg(src)),
+                annot: AnnotSet::of(&[Annot::Relaxed, Annot::Exclusive]),
+            }),
+            Sync => out.push(Instr::Fence {
+                annot: AnnotSet::one(Annot::Sync),
+            }),
+            Lwsync => out.push(Instr::Fence {
+                annot: AnnotSet::one(Annot::Lwsync),
+            }),
+            Isync => out.push(Instr::Fence {
+                annot: AnnotSet::one(Annot::Isync),
+            }),
+            Add { dst, a, b } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::bin(BinOp::Add, Expr::reg(reg(a)), Expr::reg(reg(b))),
+            }),
+            Cmpw { a, b } => out.push(Instr::Assign {
+                dst: Reg::new("CR0"),
+                expr: Expr::bin(BinOp::Sub, Expr::reg(reg(a)), Expr::reg(reg(b))),
+            }),
+            Xor { dst, a, b } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::bin(BinOp::Xor, Expr::reg(reg(a)), Expr::reg(reg(b))),
+            }),
+            Cmpwi { a, imm } => out.push(Instr::Assign {
+                dst: Reg::new("CR0"),
+                expr: Expr::bin(BinOp::Sub, Expr::reg(reg(a)), Expr::int(*imm)),
+            }),
+            Bne(l) => out.push(Instr::BranchIf {
+                cond: Expr::ne(Expr::reg("CR0"), Expr::int(0)),
+                target: l.clone(),
+            }),
+            Beq(l) => out.push(Instr::BranchIf {
+                cond: Expr::eq(Expr::reg("CR0"), Expr::int(0)),
+                target: l.clone(),
+            }),
+            B(l) => out.push(Instr::Jump(l.clone())),
+            Blr => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Rewrites every symbol reference through `f` (see `aarch64::map_syms`).
+pub fn map_syms(code: &mut [PpcInstr], f: &dyn Fn(&SymRef) -> SymRef) {
+    for ins in code {
+        match ins {
+            PpcInstr::AddisToc { sym, .. } | PpcInstr::LdToc { sym, .. } => *sym = f(sym),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            PpcInstr::Lwarx {
+                dst: "r3".into(),
+                base: "r9".into()
+            }
+            .to_string(),
+            "lwarx r3, 0, r9"
+        );
+        assert_eq!(PpcInstr::Lwsync.to_string(), "lwsync");
+        assert_eq!(
+            PpcInstr::LdToc {
+                dst: "r9".into(),
+                sym: "x".into()
+            }
+            .to_string(),
+            "ld r9, x@toc(r2)"
+        );
+    }
+
+    #[test]
+    fn toc_load_reads_memory() {
+        let ir = lower(&[PpcInstr::LdToc {
+            dst: "r9".into(),
+            sym: "x".into(),
+        }])
+        .unwrap();
+        match &ir[0] {
+            Instr::Load { addr, .. } => {
+                assert_eq!(addr.as_sym().unwrap(), &Loc::new("toc.x"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reservation_loop_lowering() {
+        let ir = lower(&[
+            PpcInstr::Label("retry".into()),
+            PpcInstr::Lwarx {
+                dst: "r3".into(),
+                base: "r9".into(),
+            },
+            PpcInstr::Stwcx {
+                src: "r4".into(),
+                base: "r9".into(),
+            },
+            PpcInstr::Bne("retry".into()),
+        ])
+        .unwrap();
+        assert!(matches!(&ir[2], Instr::StoreExcl { .. }));
+        match &ir[3] {
+            Instr::BranchIf { target, .. } => assert_eq!(target, "retry"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn barrier_annotations() {
+        let ir = lower(&[PpcInstr::Sync, PpcInstr::Lwsync]).unwrap();
+        match (&ir[0], &ir[1]) {
+            (Instr::Fence { annot: a }, Instr::Fence { annot: b }) => {
+                assert!(a.contains(Annot::Sync));
+                assert!(b.contains(Annot::Lwsync));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

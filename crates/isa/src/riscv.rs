@@ -1,0 +1,501 @@
+//! The RISC-V RV64 instruction subset.
+//!
+//! Ordering comes from `FENCE` instructions and the `.aq`/`.rl` bits on
+//! AMOs and `LR`/`SC`. Addresses are materialised with the `la` pseudo
+//! (AUIPC+ADDI, no memory traffic) or GOT loads under PIC.
+
+use crate::operand::SymRef;
+use std::fmt;
+use telechat_common::{Annot, AnnotSet, Error, Loc, Reg, Result};
+use telechat_litmus::{AddrExpr, BinOp, Expr, Instr, RmwOp};
+
+type R = String;
+
+/// The pre/post sets of a `FENCE` instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FenceKind {
+    /// `fence rw,rw` — full fence.
+    RwRw,
+    /// `fence r,rw` — acquire-style fence.
+    RRw,
+    /// `fence rw,w` — release-style fence.
+    RwW,
+}
+
+impl FenceKind {
+    fn text(self) -> &'static str {
+        match self {
+            FenceKind::RwRw => "rw,rw",
+            FenceKind::RRw => "r,rw",
+            FenceKind::RwW => "rw,w",
+        }
+    }
+
+    fn annot(self) -> Annot {
+        match self {
+            FenceKind::RwRw => Annot::FenceRwRw,
+            FenceKind::RRw => Annot::FenceRRw,
+            FenceKind::RwW => Annot::FenceRwW,
+        }
+    }
+}
+
+/// One RV64 instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RvInstr {
+    /// A branch target.
+    Label(String),
+    /// `li a0, 1`
+    Li {
+        /// Destination register.
+        dst: R,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `mv a0, a1`
+    Mv {
+        /// Destination register.
+        dst: R,
+        /// Source register.
+        src: R,
+    },
+    /// `la a0, x` — address materialisation (no memory traffic).
+    La {
+        /// Destination register.
+        dst: R,
+        /// Symbol.
+        sym: SymRef,
+    },
+    /// `ld a0, x@got(gp)` style GOT load — a memory read of the GOT slot.
+    LdGot {
+        /// Destination register.
+        dst: R,
+        /// Symbol whose GOT slot is read.
+        sym: SymRef,
+    },
+    /// `lw a0, 0(a1)`
+    Lw {
+        /// Destination register.
+        dst: R,
+        /// Base address register.
+        base: R,
+        /// Acquire bit (`lr.w.aq`-style semantics on plain loads never
+        /// happens; kept false except through AMO lowering).
+        aq: bool,
+    },
+    /// `sw a0, 0(a1)`
+    Sw {
+        /// Source register.
+        src: R,
+        /// Base address register.
+        base: R,
+        /// Release bit.
+        rl: bool,
+    },
+    /// `lr.w[.aq[.rl]] a0, (a1)`
+    Lr {
+        /// Destination register.
+        dst: R,
+        /// Base address register.
+        base: R,
+        /// Acquire bit.
+        aq: bool,
+        /// Release bit.
+        rl: bool,
+    },
+    /// `sc.w[.aq][.rl] a2, a0, (a1)` (status ← 0 on success).
+    Sc {
+        /// Status register.
+        status: R,
+        /// Source register.
+        src: R,
+        /// Base address register.
+        base: R,
+        /// Acquire bit.
+        aq: bool,
+        /// Release bit.
+        rl: bool,
+    },
+    /// `amoadd.w[.aq][.rl] a0, a2, (a1)`
+    Amoadd {
+        /// Destination (old value) register; `zero` discards it.
+        dst: R,
+        /// Addend register.
+        src: R,
+        /// Base address register.
+        base: R,
+        /// Acquire bit.
+        aq: bool,
+        /// Release bit.
+        rl: bool,
+    },
+    /// `amoswap.w[.aq][.rl] a0, a2, (a1)`
+    Amoswap {
+        /// Destination (old value) register; `zero` discards it.
+        dst: R,
+        /// New-value register.
+        src: R,
+        /// Base address register.
+        base: R,
+        /// Acquire bit.
+        aq: bool,
+        /// Release bit.
+        rl: bool,
+    },
+    /// `fence pre,post`
+    Fence(FenceKind),
+    /// `add a2, a0, a1`
+    Add {
+        /// Destination register.
+        dst: R,
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `xor a2, a0, a1`
+    Xor {
+        /// Destination register.
+        dst: R,
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `bne a0, a1, label`
+    Bne {
+        /// First operand.
+        a: R,
+        /// Second operand (often `zero`).
+        b: R,
+        /// Target label.
+        label: String,
+    },
+    /// `beq a0, a1, label`
+    Beq {
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+        /// Target label.
+        label: String,
+    },
+    /// `j label`
+    J(String),
+    /// `ret`
+    Ret,
+}
+
+impl fmt::Display for RvInstr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use RvInstr::*;
+        let bits = |aq: bool, rl: bool| -> String {
+            let mut s = String::new();
+            if aq {
+                s.push_str(".aq");
+            }
+            if rl {
+                s.push_str(".rl");
+            }
+            s
+        };
+        match self {
+            Label(l) => write!(f, "{l}:"),
+            Li { dst, imm } => write!(f, "li {dst}, {imm}"),
+            Mv { dst, src } => write!(f, "mv {dst}, {src}"),
+            La { dst, sym } => write!(f, "la {dst}, {sym}"),
+            LdGot { dst, sym } => write!(f, "ld {dst}, {sym}@got(gp)"),
+            Lw { dst, base, .. } => write!(f, "lw {dst}, 0({base})"),
+            Sw { src, base, .. } => write!(f, "sw {src}, 0({base})"),
+            Lr { dst, base, aq, rl } => write!(f, "lr.w{} {dst}, ({base})", bits(*aq, *rl)),
+            Sc {
+                status,
+                src,
+                base,
+                aq,
+                rl,
+            } => write!(f, "sc.w{} {status}, {src}, ({base})", bits(*aq, *rl)),
+            Amoadd {
+                dst,
+                src,
+                base,
+                aq,
+                rl,
+            } => write!(f, "amoadd.w{} {dst}, {src}, ({base})", bits(*aq, *rl)),
+            Amoswap {
+                dst,
+                src,
+                base,
+                aq,
+                rl,
+            } => write!(f, "amoswap.w{} {dst}, {src}, ({base})", bits(*aq, *rl)),
+            Fence(k) => write!(f, "fence {}", k.text()),
+            Add { dst, a, b } => write!(f, "add {dst}, {a}, {b}"),
+            Xor { dst, a, b } => write!(f, "xor {dst}, {a}, {b}"),
+            Bne { a, b, label } => write!(f, "bne {a}, {b}, {label}"),
+            Beq { a, b, label } => write!(f, "beq {a}, {b}, {label}"),
+            J(l) => write!(f, "j {l}"),
+            Ret => write!(f, "ret"),
+        }
+    }
+}
+
+fn is_zero(name: &str) -> bool {
+    matches!(name.to_ascii_lowercase().as_str(), "zero" | "x0")
+}
+
+fn reg(name: &str) -> Reg {
+    Reg::new(name.to_ascii_lowercase())
+}
+
+fn src_expr(name: &str) -> Expr {
+    if is_zero(name) {
+        Expr::int(0)
+    } else {
+        Expr::Reg(reg(name))
+    }
+}
+
+/// The GOT slot location for a symbol.
+pub fn got_slot(sym: &Loc) -> Loc {
+    Loc::new(format!("got.{sym}"))
+}
+
+fn amo_annot(aq: bool, rl: bool) -> AnnotSet {
+    let mut a = AnnotSet::new();
+    if aq {
+        a.insert(Annot::RiscvAq);
+    }
+    if rl {
+        a.insert(Annot::RiscvRl);
+    }
+    if a.is_empty() {
+        a.insert(Annot::Relaxed);
+    }
+    a
+}
+
+fn sym_loc(sym: &SymRef, ctx: &str) -> Result<Loc> {
+    sym.as_sym()
+        .cloned()
+        .ok_or_else(|| Error::IllFormed(format!("{ctx}: unresolved address `{sym}`")))
+}
+
+/// Lowers a thread of RV64 instructions to the unified IR.
+///
+/// # Errors
+///
+/// Returns [`Error::IllFormed`] for unresolved symbol references.
+pub fn lower(code: &[RvInstr]) -> Result<Vec<Instr>> {
+    let mut out = Vec::new();
+    for ins in code {
+        use RvInstr::*;
+        match ins {
+            Label(l) => out.push(Instr::Label(l.clone())),
+            Li { dst, imm } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::int(*imm),
+            }),
+            Mv { dst, src } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: src_expr(src),
+            }),
+            La { dst, sym } => {
+                let loc = sym_loc(sym, "la")?;
+                out.push(Instr::Assign {
+                    dst: reg(dst),
+                    expr: Expr::Lit(telechat_common::Val::Addr(loc)),
+                });
+            }
+            LdGot { dst, sym } => {
+                let loc = sym_loc(sym, "got load")?;
+                out.push(Instr::Load {
+                    dst: reg(dst),
+                    addr: AddrExpr::Sym(got_slot(&loc)),
+                    annot: AnnotSet::one(Annot::Relaxed),
+                });
+            }
+            Lw { dst, base, aq } => {
+                let mut a = AnnotSet::one(Annot::Relaxed);
+                if *aq {
+                    a.insert(Annot::RiscvAq);
+                }
+                out.push(Instr::Load {
+                    dst: reg(dst),
+                    addr: AddrExpr::Reg(reg(base)),
+                    annot: a,
+                });
+            }
+            Sw { src, base, rl } => {
+                let mut a = AnnotSet::one(Annot::Relaxed);
+                if *rl {
+                    a.insert(Annot::RiscvRl);
+                }
+                out.push(Instr::Store {
+                    addr: AddrExpr::Reg(reg(base)),
+                    val: src_expr(src),
+                    annot: a,
+                });
+            }
+            Lr { dst, base, aq, rl } => out.push(Instr::Load {
+                dst: reg(dst),
+                addr: AddrExpr::Reg(reg(base)),
+                annot: amo_annot(*aq, *rl).with(Annot::Exclusive),
+            }),
+            Sc {
+                status,
+                src,
+                base,
+                aq,
+                rl,
+            } => out.push(Instr::StoreExcl {
+                success: reg(status),
+                addr: AddrExpr::Reg(reg(base)),
+                val: src_expr(src),
+                annot: amo_annot(*aq, *rl).with(Annot::Exclusive),
+            }),
+            Amoadd {
+                dst,
+                src,
+                base,
+                aq,
+                rl,
+            } => out.push(amo(RmwOp::FetchAdd, dst, src, base, *aq, *rl)),
+            Amoswap {
+                dst,
+                src,
+                base,
+                aq,
+                rl,
+            } => out.push(amo(RmwOp::Swap, dst, src, base, *aq, *rl)),
+            Fence(k) => out.push(Instr::Fence {
+                annot: AnnotSet::one(k.annot()),
+            }),
+            Add { dst, a, b } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::bin(BinOp::Add, src_expr(a), src_expr(b)),
+            }),
+            Xor { dst, a, b } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::bin(BinOp::Xor, src_expr(a), src_expr(b)),
+            }),
+            Bne { a, b, label } => out.push(Instr::BranchIf {
+                cond: Expr::ne(src_expr(a), src_expr(b)),
+                target: label.clone(),
+            }),
+            Beq { a, b, label } => out.push(Instr::BranchIf {
+                cond: Expr::eq(src_expr(a), src_expr(b)),
+                target: label.clone(),
+            }),
+            J(l) => out.push(Instr::Jump(l.clone())),
+            Ret => {}
+        }
+    }
+    Ok(out)
+}
+
+fn amo(op: RmwOp, dst: &str, src: &str, base: &str, aq: bool, rl: bool) -> Instr {
+    let dead = is_zero(dst);
+    Instr::Rmw {
+        dst: (!dead).then(|| reg(dst)),
+        addr: AddrExpr::Reg(reg(base)),
+        op,
+        operand: src_expr(src),
+        annot: amo_annot(aq, rl),
+        // RVWMO: an AMO with a dead destination still performs an ordered
+        // read — unlike AArch64's ST<op> aliases, there is no weaker
+        // write-only form, so the read event stays visible.
+        has_read_event: true,
+    }
+}
+
+/// Rewrites every symbol reference through `f` (see `aarch64::map_syms`).
+pub fn map_syms(code: &mut [RvInstr], f: &dyn Fn(&SymRef) -> SymRef) {
+    for ins in code {
+        match ins {
+            RvInstr::La { sym, .. } | RvInstr::LdGot { sym, .. } => *sym = f(sym),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            RvInstr::Amoadd {
+                dst: "a0".into(),
+                src: "a2".into(),
+                base: "a1".into(),
+                aq: true,
+                rl: true
+            }
+            .to_string(),
+            "amoadd.w.aq.rl a0, a2, (a1)"
+        );
+        assert_eq!(RvInstr::Fence(FenceKind::RRw).to_string(), "fence r,rw");
+    }
+
+    #[test]
+    fn aq_rl_annotations() {
+        let ir = lower(&[RvInstr::Amoswap {
+            dst: "a0".into(),
+            src: "a2".into(),
+            base: "a1".into(),
+            aq: true,
+            rl: false,
+        }])
+        .unwrap();
+        match &ir[0] {
+            Instr::Rmw { annot, .. } => {
+                assert!(annot.contains(Annot::RiscvAq));
+                assert!(!annot.contains(Annot::RiscvRl));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_destination_amo_keeps_its_read() {
+        let ir = lower(&[RvInstr::Amoadd {
+            dst: "zero".into(),
+            src: "a2".into(),
+            base: "a1".into(),
+            aq: false,
+            rl: false,
+        }])
+        .unwrap();
+        match &ir[0] {
+            Instr::Rmw {
+                dst,
+                has_read_event,
+                ..
+            } => {
+                assert_eq!(*dst, None);
+                assert!(
+                    has_read_event,
+                    "RISC-V has no write-only AMO form — unlike AArch64 STADD"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn got_load_reads_memory() {
+        let ir = lower(&[RvInstr::LdGot {
+            dst: "a0".into(),
+            sym: "x".into(),
+        }])
+        .unwrap();
+        match &ir[0] {
+            Instr::Load { addr, .. } => {
+                assert_eq!(addr.as_sym().unwrap(), &Loc::new("got.x"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,371 @@
+//! The Intel x86-64 instruction subset.
+//!
+//! x86 addresses shared globals RIP-relatively (`mov eax, [rip+x]`), so
+//! compiled x86 tests need *no* address-materialisation instructions — one
+//! reason the paper's x86 rows stay cheap to simulate. Ordering comes from
+//! TSO itself plus `MFENCE` and `LOCK`-prefixed RMWs (annotated as
+//! [`Annot::Exclusive`] for the `x86tso.cat` model's `X` set).
+
+use crate::operand::SymRef;
+use std::fmt;
+use telechat_common::{Annot, AnnotSet, Error, Loc, Reg, Result};
+use telechat_litmus::{AddrExpr, BinOp, Expr, Instr, RmwOp};
+
+type R = String;
+
+/// A memory operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Mem {
+    /// `[rip + sym]` — direct symbolic access.
+    RipRel(SymRef),
+    /// `[reg]` — register-indirect.
+    Reg(R),
+}
+
+impl fmt::Display for Mem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Mem::RipRel(s) => write!(f, "[rip+{s}]"),
+            Mem::Reg(r) => write!(f, "[{r}]"),
+        }
+    }
+}
+
+/// One x86-64 instruction (Intel syntax).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum X86Instr {
+    /// A branch target.
+    Label(String),
+    /// `mov eax, 1`
+    MovImm {
+        /// Destination register.
+        dst: R,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `mov eax, [mem]` — load.
+    MovLoad {
+        /// Destination register.
+        dst: R,
+        /// Source memory operand.
+        src: Mem,
+    },
+    /// `mov [mem], eax` — store.
+    MovStore {
+        /// Destination memory operand.
+        dst: Mem,
+        /// Source register.
+        src: R,
+    },
+    /// `lea rax, [rip+x]` — address materialisation (no memory traffic).
+    Lea {
+        /// Destination register.
+        dst: R,
+        /// The symbol.
+        sym: SymRef,
+    },
+    /// `xchg [mem], eax` — atomic exchange (implicitly locked).
+    Xchg {
+        /// Memory operand.
+        mem: Mem,
+        /// Exchanged register (receives the old value).
+        reg: R,
+    },
+    /// `lock xadd [mem], eax` — atomic fetch-add.
+    LockXadd {
+        /// Memory operand.
+        mem: Mem,
+        /// Addend register (receives the old value).
+        reg: R,
+    },
+    /// `lock add [mem], eax` — atomic add, old value discarded.
+    LockAdd {
+        /// Memory operand.
+        mem: Mem,
+        /// Addend register.
+        reg: R,
+    },
+    /// `add eax, ebx` — two-operand add (`dst += src`).
+    Add {
+        /// Destination (and first operand).
+        dst: R,
+        /// Second operand.
+        src: R,
+    },
+    /// `lock cmpxchg [mem], reg` — compare-and-swap; the expected value is
+    /// in `eax` and `eax` receives the old value (x86 convention).
+    LockCmpxchg {
+        /// Memory operand.
+        mem: Mem,
+        /// New-value register.
+        new: R,
+    },
+    /// `mfence`
+    Mfence,
+    /// `xor edx, edx` style dependency/zeroing idiom.
+    Xor {
+        /// Destination register.
+        dst: R,
+        /// First operand.
+        a: R,
+        /// Second operand.
+        b: R,
+    },
+    /// `cmp eax, imm`
+    CmpImm {
+        /// Compared register.
+        a: R,
+        /// Immediate.
+        imm: i64,
+    },
+    /// `jne label`
+    Jne(String),
+    /// `je label`
+    Je(String),
+    /// `jmp label`
+    Jmp(String),
+    /// `ret`
+    Ret,
+}
+
+impl fmt::Display for X86Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use X86Instr::*;
+        match self {
+            Label(l) => write!(f, "{l}:"),
+            MovImm { dst, imm } => write!(f, "mov {dst}, {imm}"),
+            MovLoad { dst, src } => write!(f, "mov {dst}, {src}"),
+            MovStore { dst, src } => write!(f, "mov {dst}, {src}"),
+            Lea { dst, sym } => write!(f, "lea {dst}, [rip+{sym}]"),
+            Xchg { mem, reg } => write!(f, "xchg {mem}, {reg}"),
+            LockXadd { mem, reg } => write!(f, "lock xadd {mem}, {reg}"),
+            LockAdd { mem, reg } => write!(f, "lock add {mem}, {reg}"),
+            Add { dst, src } => write!(f, "add {dst}, {src}"),
+            LockCmpxchg { mem, new } => write!(f, "lock cmpxchg {mem}, {new}"),
+            Mfence => write!(f, "mfence"),
+            Xor { dst, a, b } => write!(f, "xor {dst}, {a} ; {b}"),
+            CmpImm { a, imm } => write!(f, "cmp {a}, {imm}"),
+            Jne(l) => write!(f, "jne {l}"),
+            Je(l) => write!(f, "je {l}"),
+            Jmp(l) => write!(f, "jmp {l}"),
+            Ret => write!(f, "ret"),
+        }
+    }
+}
+
+fn reg(name: &str) -> Reg {
+    // eax/rax are views of the same register; canonicalise to the r-form.
+    let lower = name.to_ascii_lowercase();
+    let canon = match lower.as_str() {
+        "eax" => "rax",
+        "ebx" => "rbx",
+        "ecx" => "rcx",
+        "edx" => "rdx",
+        "esi" => "rsi",
+        "edi" => "rdi",
+        other => other,
+    };
+    Reg::new(canon.to_ascii_uppercase())
+}
+
+fn mem_addr(m: &Mem, ctx: &str) -> Result<AddrExpr> {
+    match m {
+        Mem::RipRel(SymRef::Sym(l)) => Ok(AddrExpr::Sym(l.clone())),
+        Mem::RipRel(SymRef::Addr(a)) => Err(Error::IllFormed(format!(
+            "{ctx}: unresolved address {a:#x}"
+        ))),
+        Mem::Reg(r) => Ok(AddrExpr::Reg(reg(r))),
+    }
+}
+
+/// Lowers a thread of x86-64 instructions to the unified IR.
+///
+/// # Errors
+///
+/// Returns [`Error::IllFormed`] for unresolved RIP-relative addresses.
+pub fn lower(code: &[X86Instr]) -> Result<Vec<Instr>> {
+    let mut out = Vec::new();
+    for ins in code {
+        use X86Instr::*;
+        match ins {
+            Label(l) => out.push(Instr::Label(l.clone())),
+            MovImm { dst, imm } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::int(*imm),
+            }),
+            MovLoad { dst, src } => out.push(Instr::Load {
+                dst: reg(dst),
+                addr: mem_addr(src, "mov load")?,
+                annot: AnnotSet::one(Annot::Relaxed),
+            }),
+            MovStore { dst, src } => out.push(Instr::Store {
+                addr: mem_addr(dst, "mov store")?,
+                val: Expr::reg(reg(src)),
+                annot: AnnotSet::one(Annot::Relaxed),
+            }),
+            Lea { dst, sym } => {
+                let loc: Loc = sym
+                    .as_sym()
+                    .cloned()
+                    .ok_or_else(|| Error::IllFormed("lea: unresolved address".into()))?;
+                out.push(Instr::Assign {
+                    dst: reg(dst),
+                    expr: Expr::Lit(telechat_common::Val::Addr(loc)),
+                });
+            }
+            Xchg { mem, reg: r } => out.push(Instr::Rmw {
+                dst: Some(reg(r)),
+                addr: mem_addr(mem, "xchg")?,
+                op: RmwOp::Swap,
+                operand: Expr::reg(reg(r)),
+                annot: AnnotSet::one(Annot::Exclusive),
+                has_read_event: true,
+            }),
+            LockXadd { mem, reg: r } => out.push(Instr::Rmw {
+                dst: Some(reg(r)),
+                addr: mem_addr(mem, "xadd")?,
+                op: RmwOp::FetchAdd,
+                operand: Expr::reg(reg(r)),
+                annot: AnnotSet::one(Annot::Exclusive),
+                has_read_event: true,
+            }),
+            LockAdd { mem, reg: r } => out.push(Instr::Rmw {
+                dst: None,
+                addr: mem_addr(mem, "lock add")?,
+                op: RmwOp::FetchAdd,
+                operand: Expr::reg(reg(r)),
+                annot: AnnotSet::one(Annot::Exclusive),
+                // x86's locked-add read is still globally ordered (TSO has
+                // no load-only barriers), so the read event stays visible.
+                has_read_event: true,
+            }),
+            Add { dst, src } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::bin(BinOp::Add, Expr::reg(reg(dst)), Expr::reg(reg(src))),
+            }),
+            LockCmpxchg { mem, new } => out.push(Instr::Rmw {
+                dst: Some(reg("eax")),
+                addr: mem_addr(mem, "cmpxchg")?,
+                op: RmwOp::CmpXchg {
+                    expected: Expr::reg(reg("eax")),
+                },
+                operand: Expr::reg(reg(new)),
+                annot: AnnotSet::one(Annot::Exclusive),
+                has_read_event: true,
+            }),
+            Mfence => out.push(Instr::Fence {
+                annot: AnnotSet::one(Annot::MFence),
+            }),
+            Xor { dst, a, b } => out.push(Instr::Assign {
+                dst: reg(dst),
+                expr: Expr::bin(BinOp::Xor, Expr::reg(reg(a)), Expr::reg(reg(b))),
+            }),
+            CmpImm { a, imm } => out.push(Instr::Assign {
+                dst: Reg::new("FLAGS"),
+                expr: Expr::bin(BinOp::Sub, Expr::reg(reg(a)), Expr::int(*imm)),
+            }),
+            Jne(l) => out.push(Instr::BranchIf {
+                cond: Expr::ne(Expr::reg("FLAGS"), Expr::int(0)),
+                target: l.clone(),
+            }),
+            Je(l) => out.push(Instr::BranchIf {
+                cond: Expr::eq(Expr::reg("FLAGS"), Expr::int(0)),
+                target: l.clone(),
+            }),
+            Jmp(l) => out.push(Instr::Jump(l.clone())),
+            Ret => {}
+        }
+    }
+    Ok(out)
+}
+
+/// Rewrites every symbol reference through `f` (see `aarch64::map_syms`).
+pub fn map_syms(code: &mut [X86Instr], f: &dyn Fn(&SymRef) -> SymRef) {
+    let map_mem = |m: &mut Mem, f: &dyn Fn(&SymRef) -> SymRef| {
+        if let Mem::RipRel(s) = m {
+            *s = f(s);
+        }
+    };
+    for ins in code {
+        match ins {
+            X86Instr::MovLoad { src, .. } => map_mem(src, f),
+            X86Instr::MovStore { dst, .. } => map_mem(dst, f),
+            X86Instr::Xchg { mem, .. }
+            | X86Instr::LockXadd { mem, .. }
+            | X86Instr::LockAdd { mem, .. } => map_mem(mem, f),
+            X86Instr::Lea { sym, .. } => *sym = f(sym),
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rip_relative_is_direct_symbolic() {
+        let ir = lower(&[X86Instr::MovLoad {
+            dst: "eax".into(),
+            src: Mem::RipRel("x".into()),
+        }])
+        .unwrap();
+        match &ir[0] {
+            Instr::Load { addr, .. } => assert_eq!(addr.as_sym().unwrap(), &Loc::new("x")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn register_views_unify() {
+        assert_eq!(reg("eax"), reg("rax"));
+        assert_ne!(reg("eax"), reg("rbx"));
+    }
+
+    #[test]
+    fn locked_ops_are_exclusive() {
+        let ir = lower(&[X86Instr::Xchg {
+            mem: Mem::RipRel("x".into()),
+            reg: "eax".into(),
+        }])
+        .unwrap();
+        match &ir[0] {
+            Instr::Rmw { annot, op, .. } => {
+                assert!(annot.contains(Annot::Exclusive));
+                assert_eq!(*op, RmwOp::Swap);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            X86Instr::MovLoad {
+                dst: "eax".into(),
+                src: Mem::RipRel("y".into())
+            }
+            .to_string(),
+            "mov eax, [rip+y]"
+        );
+        assert_eq!(X86Instr::Mfence.to_string(), "mfence");
+        assert_eq!(
+            X86Instr::LockXadd {
+                mem: Mem::Reg("rbx".into()),
+                reg: "eax".into()
+            }
+            .to_string(),
+            "lock xadd [rbx], eax"
+        );
+    }
+
+    #[test]
+    fn unresolved_address_errors() {
+        let err = lower(&[X86Instr::MovLoad {
+            dst: "eax".into(),
+            src: Mem::RipRel(SymRef::Addr(0x4000)),
+        }])
+        .unwrap_err();
+        assert!(matches!(err, Error::IllFormed(_)));
+    }
+}

@@ -1,0 +1,327 @@
+//! Programmatic construction of litmus tests.
+//!
+//! The generator (`telechat-diy`), the compiler back-ends and many tests
+//! build litmus programs directly rather than going through text; these
+//! builders keep that code readable.
+//!
+//! ```
+//! use telechat_common::{Annot, Arch, StateKey, ThreadId};
+//! use telechat_litmus::{Prop, TestBuilder};
+//!
+//! let test = TestBuilder::new("SB", Arch::C11)
+//!     .atomic_loc("x", 0)
+//!     .atomic_loc("y", 0)
+//!     .thread(|t| {
+//!         t.store_sym("x", 1, &[Annot::Atomic, Annot::Relaxed]);
+//!         t.load_sym("r0", "y", &[Annot::Atomic, Annot::Relaxed]);
+//!     })
+//!     .thread(|t| {
+//!         t.store_sym("y", 1, &[Annot::Atomic, Annot::Relaxed]);
+//!         t.load_sym("r0", "x", &[Annot::Atomic, Annot::Relaxed]);
+//!     })
+//!     .exists(
+//!         Prop::atom(StateKey::reg(ThreadId(0), "r0"), 0i64)
+//!             .and(Prop::atom(StateKey::reg(ThreadId(1), "r0"), 0i64)),
+//!     );
+//! assert_eq!(test.thread_count(), 2);
+//! ```
+
+use crate::cond::{Condition, Prop};
+use crate::ir::{AddrExpr, Expr, Instr, RmwOp};
+use crate::test::{LitmusTest, LocDecl, Width};
+use telechat_common::{Annot, AnnotSet, Arch, Reg, StateKey, ThreadId, Val};
+
+/// Builder for a [`LitmusTest`].
+#[derive(Debug, Clone)]
+pub struct TestBuilder {
+    name: String,
+    arch: Arch,
+    locs: Vec<LocDecl>,
+    reg_init: Vec<(ThreadId, Reg, Val)>,
+    threads: Vec<Vec<Instr>>,
+    observed: Vec<StateKey>,
+}
+
+impl TestBuilder {
+    /// Starts a test with the given name and dialect.
+    pub fn new(name: impl Into<String>, arch: Arch) -> TestBuilder {
+        TestBuilder {
+            name: name.into(),
+            arch,
+            locs: Vec::new(),
+            reg_init: Vec::new(),
+            threads: Vec::new(),
+            observed: Vec::new(),
+        }
+    }
+
+    /// Declares a 64-bit atomic location.
+    #[must_use]
+    pub fn atomic_loc(mut self, name: &str, init: i64) -> Self {
+        self.locs.push(LocDecl::atomic(name, init));
+        self
+    }
+
+    /// Declares a 64-bit plain location.
+    #[must_use]
+    pub fn plain_loc(mut self, name: &str, init: i64) -> Self {
+        self.locs.push(LocDecl::plain(name, init));
+        self
+    }
+
+    /// Declares a location with full control.
+    #[must_use]
+    pub fn loc(mut self, decl: LocDecl) -> Self {
+        self.locs.push(decl);
+        self
+    }
+
+    /// Declares a 128-bit atomic location.
+    #[must_use]
+    pub fn wide_loc(mut self, name: &str, init: i64) -> Self {
+        self.locs
+            .push(LocDecl::atomic(name, init).with_width(Width::W128));
+        self
+    }
+
+    /// Sets an initial register value.
+    #[must_use]
+    pub fn reg_init(mut self, t: ThreadId, r: impl Into<Reg>, v: impl Into<Val>) -> Self {
+        self.reg_init.push((t, r.into(), v.into()));
+        self
+    }
+
+    /// Adds a thread built by `f`.
+    #[must_use]
+    pub fn thread(mut self, f: impl FnOnce(&mut ThreadBuilder)) -> Self {
+        let mut tb = ThreadBuilder {
+            body: Vec::new(),
+            label_counter: 0,
+        };
+        f(&mut tb);
+        self.threads.push(tb.body);
+        self
+    }
+
+    /// Adds an already-built thread body.
+    #[must_use]
+    pub fn raw_thread(mut self, body: Vec<Instr>) -> Self {
+        self.threads.push(body);
+        self
+    }
+
+    /// Adds extra observed state keys.
+    #[must_use]
+    pub fn observe(mut self, key: StateKey) -> Self {
+        self.observed.push(key);
+        self
+    }
+
+    /// Finishes with an `exists` condition.
+    pub fn exists(self, prop: Prop) -> LitmusTest {
+        self.condition(Condition::exists(prop))
+    }
+
+    /// Finishes with a `~exists` condition.
+    pub fn not_exists(self, prop: Prop) -> LitmusTest {
+        self.condition(Condition::not_exists(prop))
+    }
+
+    /// Finishes with a `forall` condition.
+    pub fn forall(self, prop: Prop) -> LitmusTest {
+        self.condition(Condition::forall(prop))
+    }
+
+    /// Finishes with an arbitrary condition.
+    pub fn condition(self, condition: Condition) -> LitmusTest {
+        LitmusTest {
+            name: self.name,
+            arch: self.arch,
+            locs: self.locs,
+            reg_init: self.reg_init,
+            threads: self.threads,
+            condition,
+            observed: self.observed,
+        }
+    }
+}
+
+/// Builder for one thread body.
+#[derive(Debug, Clone)]
+pub struct ThreadBuilder {
+    body: Vec<Instr>,
+    label_counter: usize,
+}
+
+impl ThreadBuilder {
+    /// Appends a raw instruction.
+    pub fn push(&mut self, i: Instr) -> &mut Self {
+        self.body.push(i);
+        self
+    }
+
+    /// `dst = load(loc)` with the given annotations.
+    pub fn load_sym(&mut self, dst: &str, loc: &str, annots: &[Annot]) -> &mut Self {
+        self.push(Instr::Load {
+            dst: Reg::new(dst),
+            addr: AddrExpr::sym(loc),
+            annot: AnnotSet::of(annots),
+        })
+    }
+
+    /// `store(loc, val)` with the given annotations.
+    pub fn store_sym(&mut self, loc: &str, val: i64, annots: &[Annot]) -> &mut Self {
+        self.push(Instr::Store {
+            addr: AddrExpr::sym(loc),
+            val: Expr::int(val),
+            annot: AnnotSet::of(annots),
+        })
+    }
+
+    /// `store(loc, expr)` with the given annotations.
+    pub fn store_expr(&mut self, loc: &str, val: Expr, annots: &[Annot]) -> &mut Self {
+        self.push(Instr::Store {
+            addr: AddrExpr::sym(loc),
+            val,
+            annot: AnnotSet::of(annots),
+        })
+    }
+
+    /// A fence with the given annotations.
+    pub fn fence(&mut self, annots: &[Annot]) -> &mut Self {
+        self.push(Instr::Fence {
+            annot: AnnotSet::of(annots),
+        })
+    }
+
+    /// `dst = fetch_add(loc, operand)`; pass `None` to discard the result.
+    pub fn fetch_add(
+        &mut self,
+        dst: Option<&str>,
+        loc: &str,
+        operand: i64,
+        annots: &[Annot],
+    ) -> &mut Self {
+        self.push(Instr::Rmw {
+            dst: dst.map(Reg::new),
+            addr: AddrExpr::sym(loc),
+            op: RmwOp::FetchAdd,
+            operand: Expr::int(operand),
+            annot: AnnotSet::of(annots),
+            has_read_event: true,
+        })
+    }
+
+    /// `dst = exchange(loc, operand)`; pass `None` to discard the result.
+    pub fn exchange(
+        &mut self,
+        dst: Option<&str>,
+        loc: &str,
+        operand: i64,
+        annots: &[Annot],
+    ) -> &mut Self {
+        self.push(Instr::Rmw {
+            dst: dst.map(Reg::new),
+            addr: AddrExpr::sym(loc),
+            op: RmwOp::Swap,
+            operand: Expr::int(operand),
+            annot: AnnotSet::of(annots),
+            has_read_event: true,
+        })
+    }
+
+    /// `dst = expr`.
+    pub fn assign(&mut self, dst: &str, expr: Expr) -> &mut Self {
+        self.push(Instr::Assign {
+            dst: Reg::new(dst),
+            expr,
+        })
+    }
+
+    /// Emits `if (reg == val) { then() }` using a fresh label pair.
+    pub fn if_eq(
+        &mut self,
+        reg: &str,
+        val: i64,
+        then: impl FnOnce(&mut ThreadBuilder),
+    ) -> &mut Self {
+        self.label_counter += 1;
+        let skip = format!(".skip{}", self.label_counter);
+        self.push(Instr::BranchIf {
+            cond: Expr::ne(Expr::reg(reg), Expr::int(val)),
+            target: skip.clone(),
+        });
+        then(self);
+        self.push(Instr::Label(skip));
+        self
+    }
+
+    /// The instructions built so far.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.body
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_mp() {
+        let t = TestBuilder::new("MP", Arch::C11)
+            .atomic_loc("x", 0)
+            .atomic_loc("y", 0)
+            .thread(|t| {
+                t.store_sym("x", 1, &[Annot::Atomic, Annot::Relaxed]);
+                t.fence(&[Annot::Atomic, Annot::Release]);
+                t.store_sym("y", 1, &[Annot::Atomic, Annot::Relaxed]);
+            })
+            .thread(|t| {
+                t.load_sym("r0", "y", &[Annot::Atomic, Annot::Relaxed]);
+                t.fence(&[Annot::Atomic, Annot::Acquire]);
+                t.load_sym("r1", "x", &[Annot::Atomic, Annot::Relaxed]);
+            })
+            .exists(
+                Prop::atom(StateKey::reg(ThreadId(1), "r0"), 1i64)
+                    .and(Prop::atom(StateKey::reg(ThreadId(1), "r1"), 0i64)),
+            );
+        t.validate().unwrap();
+        assert_eq!(t.loc_count(), 6);
+    }
+
+    #[test]
+    fn if_eq_creates_control_flow() {
+        let t = TestBuilder::new("ctrl", Arch::C11)
+            .atomic_loc("x", 0)
+            .atomic_loc("y", 0)
+            .thread(|t| {
+                t.load_sym("r0", "x", &[Annot::Atomic, Annot::Relaxed]);
+                t.if_eq("r0", 1, |t| {
+                    t.store_sym("y", 1, &[Annot::Atomic, Annot::Relaxed]);
+                });
+            })
+            .exists(Prop::True);
+        t.validate().unwrap();
+        assert!(t.threads[0]
+            .iter()
+            .any(|i| matches!(i, Instr::BranchIf { .. })));
+    }
+
+    #[test]
+    fn reg_init_and_observe() {
+        let t = TestBuilder::new("t", Arch::AArch64)
+            .atomic_loc("x", 0)
+            .reg_init(ThreadId(0), "X0", Val::Addr("x".into()))
+            .thread(|t| {
+                t.push(Instr::Load {
+                    dst: Reg::new("X1"),
+                    addr: AddrExpr::reg("X0"),
+                    annot: AnnotSet::one(Annot::Relaxed),
+                });
+            })
+            .observe(StateKey::loc("x"))
+            .exists(Prop::True);
+        assert_eq!(t.reg_init.len(), 1);
+        assert_eq!(t.observed_keys().len(), 1);
+    }
+}

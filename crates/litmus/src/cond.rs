@@ -1,0 +1,327 @@
+//! Final-state conditions: `exists`, `~exists` and `forall` predicates.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use telechat_common::{Outcome, OutcomeSet, StateKey, Val};
+
+/// The quantifier of a litmus condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Quantifier {
+    /// `exists` — some execution satisfies the predicate.
+    Exists,
+    /// `~exists` — no execution satisfies the predicate.
+    NotExists,
+    /// `forall` — every execution satisfies the predicate.
+    Forall,
+}
+
+impl fmt::Display for Quantifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Quantifier::Exists => "exists",
+            Quantifier::NotExists => "~exists",
+            Quantifier::Forall => "forall",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A boolean predicate over one outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Prop {
+    /// Always true.
+    True,
+    /// `key = value`. A key absent from the outcome makes the atom false.
+    Atom(StateKey, Val),
+    /// Negation.
+    Not(Box<Prop>),
+    /// Conjunction (`/\`). Empty conjunction is true.
+    And(Vec<Prop>),
+    /// Disjunction (`\/`). Empty disjunction is false.
+    Or(Vec<Prop>),
+}
+
+impl Prop {
+    /// `key = value` shorthand.
+    pub fn atom(key: StateKey, val: impl Into<Val>) -> Prop {
+        Prop::Atom(key, val.into())
+    }
+
+    /// Conjunction of two propositions, flattening nested `And`s.
+    pub fn and(self, other: Prop) -> Prop {
+        match (self, other) {
+            (Prop::And(mut a), Prop::And(b)) => {
+                a.extend(b);
+                Prop::And(a)
+            }
+            (Prop::And(mut a), p) => {
+                a.push(p);
+                Prop::And(a)
+            }
+            (p, Prop::And(mut b)) => {
+                b.insert(0, p);
+                Prop::And(b)
+            }
+            (a, b) => Prop::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction of two propositions, flattening nested `Or`s.
+    pub fn or(self, other: Prop) -> Prop {
+        match (self, other) {
+            (Prop::Or(mut a), Prop::Or(b)) => {
+                a.extend(b);
+                Prop::Or(a)
+            }
+            (Prop::Or(mut a), p) => {
+                a.push(p);
+                Prop::Or(a)
+            }
+            (p, Prop::Or(mut b)) => {
+                b.insert(0, p);
+                Prop::Or(b)
+            }
+            (a, b) => Prop::Or(vec![a, b]),
+        }
+    }
+
+    /// Evaluates the predicate against one outcome.
+    pub fn eval(&self, outcome: &Outcome) -> bool {
+        match self {
+            Prop::True => true,
+            Prop::Atom(k, v) => outcome.get(k) == Some(v),
+            Prop::Not(p) => !p.eval(outcome),
+            Prop::And(ps) => ps.iter().all(|p| p.eval(outcome)),
+            Prop::Or(ps) => ps.iter().any(|p| p.eval(outcome)),
+        }
+    }
+
+    /// Every state key mentioned by the predicate. The enumerator must
+    /// observe (at least) these keys for [`Prop::eval`] to be meaningful.
+    pub fn keys(&self) -> BTreeSet<StateKey> {
+        let mut out = BTreeSet::new();
+        self.collect_keys(&mut out);
+        out
+    }
+
+    fn collect_keys(&self, out: &mut BTreeSet<StateKey>) {
+        match self {
+            Prop::True => {}
+            Prop::Atom(k, _) => {
+                out.insert(k.clone());
+            }
+            Prop::Not(p) => p.collect_keys(out),
+            Prop::And(ps) | Prop::Or(ps) => {
+                for p in ps {
+                    p.collect_keys(out);
+                }
+            }
+        }
+    }
+
+    /// Rewrites every atom's key, dropping atoms whose key maps to `None`
+    /// (they become `True`, which is what `mcompare`'s state-mapping step
+    /// wants: unmapped observables are unconstrained).
+    #[must_use]
+    pub fn map_keys(&self, f: &impl Fn(&StateKey) -> Option<StateKey>) -> Prop {
+        match self {
+            Prop::True => Prop::True,
+            Prop::Atom(k, v) => match f(k) {
+                Some(k2) => Prop::Atom(k2, v.clone()),
+                None => Prop::True,
+            },
+            Prop::Not(p) => Prop::Not(Box::new(p.map_keys(f))),
+            Prop::And(ps) => Prop::And(ps.iter().map(|p| p.map_keys(f)).collect()),
+            Prop::Or(ps) => Prop::Or(ps.iter().map(|p| p.map_keys(f)).collect()),
+        }
+    }
+}
+
+impl fmt::Display for Prop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Prop::True => write!(f, "true"),
+            Prop::Atom(k, v) => write!(f, "{k}={v}"),
+            Prop::Not(p) => write!(f, "~({p})"),
+            Prop::And(ps) => {
+                let parts: Vec<_> = ps.iter().map(|p| format!("{p}")).collect();
+                write!(f, "({})", parts.join(" /\\ "))
+            }
+            Prop::Or(ps) => {
+                let parts: Vec<_> = ps.iter().map(|p| format!("{p}")).collect();
+                write!(f, "({})", parts.join(" \\/ "))
+            }
+        }
+    }
+}
+
+/// The final-state condition of a litmus test.
+///
+/// ```
+/// use telechat_common::{Outcome, OutcomeSet, StateKey, ThreadId, Val};
+/// use telechat_litmus::{Condition, Prop, Quantifier};
+///
+/// let cond = Condition::exists(Prop::atom(StateKey::reg(ThreadId(0), "r0"), 1i64));
+/// let mut outs = OutcomeSet::new();
+/// let mut o = Outcome::new();
+/// o.set(StateKey::reg(ThreadId(0), "r0"), Val::Int(1));
+/// outs.insert(o);
+/// assert!(cond.holds(&outs));
+/// assert_eq!(cond.witnesses(&outs).len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Condition {
+    /// The quantifier.
+    pub quantifier: Quantifier,
+    /// The per-outcome predicate.
+    pub prop: Prop,
+}
+
+impl Condition {
+    /// `exists (prop)`.
+    pub fn exists(prop: Prop) -> Condition {
+        Condition {
+            quantifier: Quantifier::Exists,
+            prop,
+        }
+    }
+
+    /// `~exists (prop)`.
+    pub fn not_exists(prop: Prop) -> Condition {
+        Condition {
+            quantifier: Quantifier::NotExists,
+            prop,
+        }
+    }
+
+    /// `forall (prop)`.
+    pub fn forall(prop: Prop) -> Condition {
+        Condition {
+            quantifier: Quantifier::Forall,
+            prop,
+        }
+    }
+
+    /// Evaluates the condition over a set of outcomes.
+    pub fn holds(&self, outcomes: &OutcomeSet) -> bool {
+        match self.quantifier {
+            Quantifier::Exists => outcomes.iter().any(|o| self.prop.eval(o)),
+            Quantifier::NotExists => !outcomes.iter().any(|o| self.prop.eval(o)),
+            Quantifier::Forall => outcomes.iter().all(|o| self.prop.eval(o)),
+        }
+    }
+
+    /// The outcomes satisfying the predicate (the `exists` witnesses).
+    pub fn witnesses<'a>(&self, outcomes: &'a OutcomeSet) -> Vec<&'a Outcome> {
+        outcomes.iter().filter(|o| self.prop.eval(o)).collect()
+    }
+
+    /// State keys mentioned by the condition.
+    pub fn keys(&self) -> BTreeSet<StateKey> {
+        self.prop.keys()
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.quantifier, self.prop)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telechat_common::ThreadId;
+
+    fn key(s: &str) -> StateKey {
+        match s.split_once(':') {
+            Some((t, r)) => StateKey::reg(ThreadId(t.parse().unwrap()), r.to_string()),
+            None => StateKey::loc(s.to_string()),
+        }
+    }
+
+    fn outcome(pairs: &[(&str, i64)]) -> Outcome {
+        pairs
+            .iter()
+            .map(|(k, v)| (key(k), Val::Int(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn atom_eval_and_missing_key() {
+        let p = Prop::atom(key("0:r0"), 1i64);
+        assert!(p.eval(&outcome(&[("0:r0", 1)])));
+        assert!(!p.eval(&outcome(&[("0:r0", 0)])));
+        assert!(!p.eval(&outcome(&[("1:r0", 1)])), "missing key is false");
+    }
+
+    #[test]
+    fn connectives() {
+        let p = Prop::atom(key("0:r0"), 1i64).and(Prop::atom(key("1:r0"), 0i64));
+        assert!(p.eval(&outcome(&[("0:r0", 1), ("1:r0", 0)])));
+        assert!(!p.eval(&outcome(&[("0:r0", 1), ("1:r0", 1)])));
+
+        let q = Prop::atom(key("x"), 2i64).or(Prop::atom(key("x"), 3i64));
+        assert!(q.eval(&outcome(&[("x", 3)])));
+        assert!(!q.eval(&outcome(&[("x", 1)])));
+
+        let n = Prop::Not(Box::new(Prop::True));
+        assert!(!n.eval(&Outcome::new()));
+    }
+
+    #[test]
+    fn and_flattens() {
+        let p = Prop::atom(key("a"), 1i64)
+            .and(Prop::atom(key("b"), 2i64))
+            .and(Prop::atom(key("c"), 3i64));
+        match p {
+            Prop::And(v) => assert_eq!(v.len(), 3),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quantifiers() {
+        let mut outs = OutcomeSet::new();
+        outs.insert(outcome(&[("0:r0", 0)]));
+        outs.insert(outcome(&[("0:r0", 1)]));
+
+        let hit = Prop::atom(key("0:r0"), 1i64);
+        assert!(Condition::exists(hit.clone()).holds(&outs));
+        assert!(!Condition::not_exists(hit.clone()).holds(&outs));
+        assert!(!Condition::forall(hit).holds(&outs));
+
+        let miss = Prop::atom(key("0:r0"), 9i64);
+        assert!(!Condition::exists(miss.clone()).holds(&outs));
+        assert!(Condition::not_exists(miss).holds(&outs));
+    }
+
+    #[test]
+    fn keys_collected() {
+        let p = Prop::atom(key("0:r0"), 1i64).and(Prop::atom(key("y"), 2i64));
+        let keys = p.keys();
+        assert!(keys.contains(&key("0:r0")));
+        assert!(keys.contains(&key("y")));
+        assert_eq!(keys.len(), 2);
+    }
+
+    #[test]
+    fn display_round() {
+        let c = Condition::exists(
+            Prop::atom(key("1:r0"), 0i64).and(Prop::atom(key("y"), 2i64)),
+        );
+        assert_eq!(c.to_string(), "exists (1:r0=0 /\\ [y]=2)");
+    }
+
+    #[test]
+    fn map_keys_drops_to_true() {
+        let p = Prop::atom(key("1:X0"), 1i64).and(Prop::atom(key("y"), 2i64));
+        let mapped = p.map_keys(&|k| match k {
+            StateKey::Loc(_) => Some(k.clone()),
+            StateKey::Reg(..) => None,
+        });
+        // Register atom became True; conjunction now only constrains y.
+        assert!(mapped.eval(&outcome(&[("y", 2)])));
+        assert!(!mapped.eval(&outcome(&[("y", 1)])));
+    }
+}

@@ -1,0 +1,517 @@
+//! The unified thread IR.
+//!
+//! Both C11 litmus-test bodies and disassembled ISA instructions lower to
+//! this small instruction set, so one candidate-execution enumerator serves
+//! every architecture (mirroring how herd handles many ISAs with one engine).
+//! Memory-ordering information travels as an [`AnnotSet`] on each
+//! memory-touching instruction; the Cat models interpret those annotations.
+
+use std::fmt;
+use telechat_common::{AnnotSet, Loc, Reg, Val};
+
+/// A pure (side-effect free) value expression over thread-local registers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal value.
+    Lit(Val),
+    /// The current value of a register (registers read as 0 before first
+    /// write, matching herd's zero-initialised registers).
+    Reg(Reg),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Literal integer shorthand.
+    pub fn int(i: i64) -> Expr {
+        Expr::Lit(Val::Int(i))
+    }
+
+    /// Register shorthand.
+    pub fn reg(r: impl Into<Reg>) -> Expr {
+        Expr::Reg(r.into())
+    }
+
+    /// `a op b` shorthand.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// `a == b`, producing 1 or 0.
+    pub fn eq(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Eq, a, b)
+    }
+
+    /// `a != b`, producing 1 or 0.
+    pub fn ne(a: Expr, b: Expr) -> Expr {
+        Expr::bin(BinOp::Ne, a, b)
+    }
+
+    /// Registers this expression reads, in syntactic order (with duplicates).
+    pub fn regs_read(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        self.collect_regs(&mut out);
+        out
+    }
+
+    fn collect_regs(&self, out: &mut Vec<Reg>) {
+        match self {
+            Expr::Lit(_) => {}
+            Expr::Reg(r) => out.push(r.clone()),
+            Expr::Bin(_, a, b) => {
+                a.collect_regs(out);
+                b.collect_regs(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Reg(r) => write!(f, "{r}"),
+            Expr::Bin(op, a, b) => write!(f, "({a} {op} {b})"),
+        }
+    }
+}
+
+/// Binary operators available to thread-local computation.
+///
+/// Comparisons evaluate to integer 1 (true) or 0 (false), C-style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise exclusive or (the classic artificial-dependency idiom).
+    Xor,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Equality test.
+    Eq,
+    /// Inequality test.
+    Ne,
+    /// Logical shift left (used when packing 128-bit register pairs).
+    Shl,
+    /// Logical shift right (used when unpacking 128-bit register pairs).
+    Shr,
+}
+
+impl BinOp {
+    /// Applies the operator to two values.
+    ///
+    /// Comparisons are defined on any pair of values; arithmetic requires two
+    /// integers and returns `None` otherwise.
+    pub fn apply(self, a: &Val, b: &Val) -> Option<Val> {
+        match self {
+            BinOp::Add => Val::int_op(a, b, i64::wrapping_add),
+            BinOp::Sub => Val::int_op(a, b, i64::wrapping_sub),
+            BinOp::Xor => Val::int_op(a, b, |x, y| x ^ y),
+            BinOp::And => Val::int_op(a, b, |x, y| x & y),
+            BinOp::Or => Val::int_op(a, b, |x, y| x | y),
+            BinOp::Eq => Some(Val::Int(i64::from(a == b))),
+            BinOp::Ne => Some(Val::Int(i64::from(a != b))),
+            BinOp::Shl => Val::int_op(a, b, |x, y| x.wrapping_shl(y as u32)),
+            BinOp::Shr => Val::int_op(a, b, |x, y| {
+                ((x as u64).wrapping_shr(y as u32)) as i64
+            }),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Xor => "^",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The address operand of a memory access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AddrExpr {
+    /// A direct symbolic location (`x`). Source-level accesses and optimised
+    /// assembly accesses use this form.
+    Sym(Loc),
+    /// An indirect access through a register that holds an address
+    /// (`[X0]`). Unoptimised compiled code materialises addresses into
+    /// registers (literal-pool loads, `ADRP`+`ADD`), then accesses through
+    /// them; the `s2l` optimiser rewrites such accesses to [`AddrExpr::Sym`].
+    Reg(Reg),
+}
+
+impl AddrExpr {
+    /// Symbolic-address shorthand.
+    pub fn sym(l: impl Into<Loc>) -> AddrExpr {
+        AddrExpr::Sym(l.into())
+    }
+
+    /// Register-indirect shorthand.
+    pub fn reg(r: impl Into<Reg>) -> AddrExpr {
+        AddrExpr::Reg(r.into())
+    }
+
+    /// The symbolic location, if the address is direct.
+    pub fn as_sym(&self) -> Option<&Loc> {
+        match self {
+            AddrExpr::Sym(l) => Some(l),
+            AddrExpr::Reg(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for AddrExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrExpr::Sym(l) => write!(f, "{l}"),
+            AddrExpr::Reg(r) => write!(f, "[{r}]"),
+        }
+    }
+}
+
+/// Read-modify-write flavours.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RmwOp {
+    /// `atomic_fetch_add`: new = old + operand.
+    FetchAdd,
+    /// `atomic_fetch_sub`: new = old - operand.
+    FetchSub,
+    /// `atomic_fetch_or`: new = old | operand.
+    FetchOr,
+    /// `atomic_fetch_xor`: new = old ^ operand.
+    FetchXor,
+    /// `atomic_exchange`: new = operand.
+    Swap,
+    /// `atomic_compare_exchange`: writes operand only if old == `expected`.
+    /// On failure the write does not happen (the read still does).
+    CmpXchg {
+        /// The expected (compare) value.
+        expected: Expr,
+    },
+}
+
+impl RmwOp {
+    /// The value written by a *successful* RMW, given the value read and the
+    /// evaluated operand. Returns `None` on type mismatch.
+    pub fn new_value(&self, old: &Val, operand: &Val) -> Option<Val> {
+        match self {
+            RmwOp::FetchAdd => Val::int_op(old, operand, i64::wrapping_add),
+            RmwOp::FetchSub => Val::int_op(old, operand, i64::wrapping_sub),
+            RmwOp::FetchOr => Val::int_op(old, operand, |a, b| a | b),
+            RmwOp::FetchXor => Val::int_op(old, operand, |a, b| a ^ b),
+            RmwOp::Swap | RmwOp::CmpXchg { .. } => Some(operand.clone()),
+        }
+    }
+
+    /// C11 function-name stem (`fetch_add`, `exchange`, …).
+    pub fn c11_name(&self) -> &'static str {
+        match self {
+            RmwOp::FetchAdd => "fetch_add",
+            RmwOp::FetchSub => "fetch_sub",
+            RmwOp::FetchOr => "fetch_or",
+            RmwOp::FetchXor => "fetch_xor",
+            RmwOp::Swap => "exchange",
+            RmwOp::CmpXchg { .. } => "compare_exchange_strong",
+        }
+    }
+}
+
+/// One IR instruction.
+///
+/// Control flow is by labels and (conditional) jumps; the enumerator unrolls
+/// bounded loops, so any backwards jump is executed at most the configured
+/// unroll factor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = expr` — thread-local computation, no memory event.
+    Assign {
+        /// Destination register.
+        dst: Reg,
+        /// Value computed.
+        expr: Expr,
+    },
+    /// A memory load: `dst = *addr`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address read.
+        addr: AddrExpr,
+        /// Ordering/flavour annotations (e.g. `Atomic|Acquire`).
+        annot: AnnotSet,
+    },
+    /// A memory store: `*addr = val`.
+    Store {
+        /// Address written.
+        addr: AddrExpr,
+        /// Value stored.
+        val: Expr,
+        /// Ordering/flavour annotations.
+        annot: AnnotSet,
+    },
+    /// An atomic read-modify-write. Produces a read event and (if the
+    /// operation succeeds) a write event linked by the `rmw` relation.
+    ///
+    /// `dst = None` models source programs that discard the old value — and
+    /// compiled forms like AArch64 `STADD` (or `LDADD` with the zero
+    /// register) whose *read has no consumer*; the paper's §IV-B bugs hinge
+    /// on exactly this distinction.
+    Rmw {
+        /// Register receiving the old value, if any.
+        dst: Option<Reg>,
+        /// Address operated on.
+        addr: AddrExpr,
+        /// RMW flavour.
+        op: RmwOp,
+        /// The operand expression.
+        operand: Expr,
+        /// Ordering/flavour annotations.
+        annot: AnnotSet,
+        /// If false, the instruction's read event is *invisible to barriers
+        /// that order reads* — modelling AArch64 write-only atomics (`STADD`
+        /// and friends), per §B2.3.9 of the Arm ARM.
+        has_read_event: bool,
+    },
+    /// A memory fence.
+    Fence {
+        /// Fence kind annotation(s), e.g. `DmbIsh` or `SeqCst`.
+        annot: AnnotSet,
+    },
+    /// A load-exclusive / store-exclusive *store* half.
+    ///
+    /// `success` receives 0 on success and 1 on failure (AArch64 `STXR`
+    /// convention). On success a write event is emitted and linked by `rmw`
+    /// to the thread's most recent exclusive load of the same address.
+    StoreExcl {
+        /// Status register (0 = store happened).
+        success: Reg,
+        /// Address written.
+        addr: AddrExpr,
+        /// Value stored.
+        val: Expr,
+        /// Ordering/flavour annotations.
+        annot: AnnotSet,
+    },
+    /// A jump target.
+    Label(String),
+    /// An unconditional jump.
+    Jump(String),
+    /// A conditional jump: taken when `cond` evaluates truthy (non-zero).
+    BranchIf {
+        /// Condition expression; reading registers here creates control
+        /// dependencies from the loads that produced them.
+        cond: Expr,
+        /// Target label.
+        target: String,
+    },
+    /// No operation (keeps instruction indices stable across rewrites).
+    Nop,
+}
+
+impl Instr {
+    /// True if the instruction can produce at least one memory event.
+    pub fn touches_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. }
+                | Instr::Store { .. }
+                | Instr::Rmw { .. }
+                | Instr::Fence { .. }
+                | Instr::StoreExcl { .. }
+        )
+    }
+
+    /// The label defined by this instruction, if any.
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            Instr::Label(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The destination register written by this instruction, if any.
+    pub fn def_reg(&self) -> Option<&Reg> {
+        match self {
+            Instr::Assign { dst, .. } | Instr::Load { dst, .. } => Some(dst),
+            Instr::Rmw { dst, .. } => dst.as_ref(),
+            Instr::StoreExcl { success, .. } => Some(success),
+            _ => None,
+        }
+    }
+
+    /// Registers read by this instruction (operands, addresses, conditions).
+    pub fn regs_read(&self) -> Vec<Reg> {
+        let mut out = Vec::new();
+        let addr_regs = |addr: &AddrExpr, out: &mut Vec<Reg>| {
+            if let AddrExpr::Reg(r) = addr {
+                out.push(r.clone());
+            }
+        };
+        match self {
+            Instr::Assign { expr, .. } => expr.collect_regs(&mut out),
+            Instr::Load { addr, .. } => addr_regs(addr, &mut out),
+            Instr::Store { addr, val, .. } => {
+                addr_regs(addr, &mut out);
+                val.collect_regs(&mut out);
+            }
+            Instr::Rmw {
+                addr, op, operand, ..
+            } => {
+                addr_regs(addr, &mut out);
+                operand.collect_regs(&mut out);
+                if let RmwOp::CmpXchg { expected } = op {
+                    expected.collect_regs(&mut out);
+                }
+            }
+            Instr::StoreExcl { addr, val, .. } => {
+                addr_regs(addr, &mut out);
+                val.collect_regs(&mut out);
+            }
+            Instr::BranchIf { cond, .. } => cond.collect_regs(&mut out),
+            Instr::Fence { .. } | Instr::Label(_) | Instr::Jump(_) | Instr::Nop => {}
+        }
+        out
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Assign { dst, expr } => write!(f, "{dst} := {expr}"),
+            Instr::Load { dst, addr, annot } => write!(f, "{dst} := load[{annot}] {addr}"),
+            Instr::Store { addr, val, annot } => write!(f, "store[{annot}] {addr} := {val}"),
+            Instr::Rmw {
+                dst,
+                addr,
+                op,
+                operand,
+                annot,
+                has_read_event,
+            } => {
+                let dst = dst
+                    .as_ref()
+                    .map(|r| format!("{r} := "))
+                    .unwrap_or_default();
+                let ro = if *has_read_event { "" } else { " (write-only)" };
+                write!(
+                    f,
+                    "{dst}rmw.{}[{annot}] {addr}, {operand}{ro}",
+                    op.c11_name()
+                )
+            }
+            Instr::Fence { annot } => write!(f, "fence[{annot}]"),
+            Instr::StoreExcl {
+                success,
+                addr,
+                val,
+                annot,
+            } => write!(f, "{success} := store-excl[{annot}] {addr} := {val}"),
+            Instr::Label(l) => write!(f, "{l}:"),
+            Instr::Jump(l) => write!(f, "goto {l}"),
+            Instr::BranchIf { cond, target } => write!(f, "if {cond} goto {target}"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telechat_common::Annot;
+
+    #[test]
+    fn expr_eval_helpers() {
+        let e = Expr::bin(BinOp::Add, Expr::int(1), Expr::reg("r0"));
+        assert_eq!(e.regs_read(), vec![Reg::new("r0")]);
+        assert_eq!(e.to_string(), "(1 + r0)");
+    }
+
+    #[test]
+    fn binop_apply() {
+        assert_eq!(
+            BinOp::Add.apply(&Val::Int(2), &Val::Int(3)),
+            Some(Val::Int(5))
+        );
+        assert_eq!(
+            BinOp::Eq.apply(&Val::Int(2), &Val::Int(2)),
+            Some(Val::Int(1))
+        );
+        assert_eq!(
+            BinOp::Ne.apply(&Val::Int(2), &Val::Int(2)),
+            Some(Val::Int(0))
+        );
+        assert_eq!(
+            BinOp::Add.apply(&Val::Addr(Loc::new("x")), &Val::Int(3)),
+            None
+        );
+        // Comparing an address with an int is defined (inequality).
+        assert_eq!(
+            BinOp::Eq.apply(&Val::Addr(Loc::new("x")), &Val::Int(3)),
+            Some(Val::Int(0))
+        );
+    }
+
+    #[test]
+    fn rmw_new_values() {
+        assert_eq!(
+            RmwOp::FetchAdd.new_value(&Val::Int(1), &Val::Int(2)),
+            Some(Val::Int(3))
+        );
+        assert_eq!(
+            RmwOp::Swap.new_value(&Val::Int(1), &Val::Int(9)),
+            Some(Val::Int(9))
+        );
+        let cas = RmwOp::CmpXchg {
+            expected: Expr::int(0),
+        };
+        assert_eq!(cas.new_value(&Val::Int(0), &Val::Int(7)), Some(Val::Int(7)));
+    }
+
+    #[test]
+    fn instr_reg_uses() {
+        let i = Instr::Store {
+            addr: AddrExpr::reg("X1"),
+            val: Expr::reg("W2"),
+            annot: AnnotSet::one(Annot::Relaxed),
+        };
+        assert_eq!(i.regs_read(), vec![Reg::new("X1"), Reg::new("W2")]);
+        assert_eq!(i.def_reg(), None);
+
+        let i = Instr::Load {
+            dst: Reg::new("r0"),
+            addr: AddrExpr::sym("x"),
+            annot: AnnotSet::EMPTY,
+        };
+        assert_eq!(i.def_reg(), Some(&Reg::new("r0")));
+        assert!(i.touches_memory());
+    }
+
+    #[test]
+    fn display_smoke() {
+        let i = Instr::Rmw {
+            dst: None,
+            addr: AddrExpr::sym("y"),
+            op: RmwOp::FetchAdd,
+            operand: Expr::int(1),
+            annot: AnnotSet::of(&[Annot::Atomic, Annot::Relaxed]),
+            has_read_event: false,
+        };
+        let s = i.to_string();
+        assert!(s.contains("fetch_add"), "{s}");
+        assert!(s.contains("write-only"), "{s}");
+    }
+
+    use telechat_common::Loc;
+}

@@ -1,0 +1,417 @@
+//! A small shared tokenizer for litmus-family text formats.
+//!
+//! Handles C-style comments (`//…`, `/*…*/`), string literals, integers
+//! (decimal and hex), identifiers (including dotted names like `DMB.ISH`)
+//! and multi-character symbols (`/\`, `\/`, `==`, `!=`). Used by the C11
+//! litmus parser here and by the assembly litmus parsers in `telechat-isa`.
+
+use std::fmt;
+use telechat_common::{Error, Result};
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token payload.
+    pub kind: Tok,
+    /// 1-based line number where the token starts.
+    pub line: usize,
+}
+
+/// Token payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (may contain `.` and `_`).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Double-quoted string literal (quotes stripped).
+    Str(String),
+    /// Punctuation / operator, e.g. `(`, `;`, `==`, `/\`.
+    Sym(&'static str),
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Str(s) => write!(f, "\"{s}\""),
+            Tok::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+const SYMBOLS2: &[&str] = &[
+    "/\\", "\\/", "==", "!=", "->", "&&", "||", "^-", "<=", ">=", "**",
+];
+const SYMBOLS1: &[&str] = &[
+    "(", ")", "{", "}", "[", "]", ";", ",", "=", "*", ":", "&", "+", "-", "^", "|", "~", "\\",
+    "?", "<", ">", "!", "#", "@", "%", "$", "/",
+];
+
+/// Tokenizes `src`.
+///
+/// Lines beginning with `#` (preprocessor directives like the `#define
+/// relaxed memory_order_relaxed` aliases litmus tests carry) are skipped
+/// whole.
+///
+/// # Errors
+///
+/// Returns a parse error on unterminated strings/comments or characters
+/// outside the token alphabet.
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < bytes.len() {
+        let c = bytes[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Preprocessor directive: skip to end of line.
+        if c == '#' {
+            while i < bytes.len() && bytes[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] == '/' {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] == '*' {
+                let start_line = line;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Error::parse_at("unterminated block comment", start_line));
+                    }
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == '*' && bytes[i + 1] == '/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // String literal.
+        if c == '"' {
+            let start_line = line;
+            let mut s = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(Error::parse_at("unterminated string literal", start_line));
+                }
+                if bytes[i] == '"' {
+                    i += 1;
+                    break;
+                }
+                if bytes[i] == '\n' {
+                    line += 1;
+                }
+                s.push(bytes[i]);
+                i += 1;
+            }
+            toks.push(Token {
+                kind: Tok::Str(s),
+                line: start_line,
+            });
+            continue;
+        }
+        // Number (decimal or 0x hex); a leading `-` is tokenized separately
+        // and folded by the expression parsers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut radix = 10;
+            if c == '0' && i + 1 < bytes.len() && (bytes[i + 1] == 'x' || bytes[i + 1] == 'X') {
+                radix = 16;
+                i += 2;
+            }
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric()) {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            let digits = if radix == 16 { &text[2..] } else { &text[..] };
+            let value = i64::from_str_radix(digits, radix)
+                .map_err(|_| Error::parse_at(format!("bad integer literal `{text}`"), line))?;
+            toks.push(Token {
+                kind: Tok::Int(value),
+                line,
+            });
+            continue;
+        }
+        // Identifier: letters, digits, `_` and `.` (Cat set names, labels).
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
+            {
+                i += 1;
+            }
+            let text: String = bytes[start..i].iter().collect();
+            toks.push(Token {
+                kind: Tok::Ident(text),
+                line,
+            });
+            continue;
+        }
+        // Two-char symbols first.
+        if i + 1 < bytes.len() {
+            let pair: String = [bytes[i], bytes[i + 1]].iter().collect();
+            if let Some(sym) = SYMBOLS2.iter().find(|s| **s == pair) {
+                toks.push(Token {
+                    kind: Tok::Sym(sym),
+                    line,
+                });
+                i += 2;
+                continue;
+            }
+        }
+        let single: String = c.to_string();
+        if let Some(sym) = SYMBOLS1.iter().find(|s| **s == single) {
+            toks.push(Token {
+                kind: Tok::Sym(sym),
+                line,
+            });
+            i += 1;
+            continue;
+        }
+        return Err(Error::parse_at(format!("unexpected character `{c}`"), line));
+    }
+    Ok(toks)
+}
+
+/// A cursor over a token stream with the usual expect/accept helpers.
+#[derive(Debug, Clone)]
+pub struct Cursor {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Creates a cursor over tokenized `src`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tokenizer errors.
+    pub fn new(src: &str) -> Result<Cursor> {
+        Ok(Cursor {
+            toks: tokenize(src)?,
+            pos: 0,
+        })
+    }
+
+    /// The current token, if any.
+    pub fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|t| &t.kind)
+    }
+
+    /// The token after the current one, if any.
+    pub fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    /// The current line number (or the last token's line at end of input).
+    pub fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(1, |t| t.line)
+    }
+
+    /// True at end of input.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Consumes and returns the next token.
+    ///
+    /// # Errors
+    ///
+    /// Fails at end of input.
+    pub fn next(&mut self) -> Result<Tok> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .ok_or_else(|| Error::parse("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t.kind.clone())
+    }
+
+    /// Consumes the next token if it equals the symbol `s`.
+    pub fn accept_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Sym(t)) if *t == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the next token if it is the identifier `kw`.
+    pub fn accept_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(t)) if t == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Requires the symbol `s`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a parse error naming the expected symbol.
+    pub fn expect_sym(&mut self, s: &str) -> Result<()> {
+        if self.accept_sym(s) {
+            Ok(())
+        } else {
+            Err(Error::parse_at(
+                format!("expected `{s}`, found {}", self.describe()),
+                self.line(),
+            ))
+        }
+    }
+
+    /// Requires and returns any identifier.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not an identifier.
+    pub fn expect_ident(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(Error::parse_at(
+                format!("expected identifier, found {}", self.describe()),
+                self.line(),
+            )),
+        }
+    }
+
+    /// Requires and returns an integer, folding a leading minus sign.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the next token is not an integer literal.
+    pub fn expect_int(&mut self) -> Result<i64> {
+        let neg = self.accept_sym("-");
+        match self.peek() {
+            Some(Tok::Int(i)) => {
+                let v = *i;
+                self.pos += 1;
+                Ok(if neg { -v } else { v })
+            }
+            _ => Err(Error::parse_at(
+                format!("expected integer, found {}", self.describe()),
+                self.line(),
+            )),
+        }
+    }
+
+    /// Human-readable description of the current token, for error messages.
+    pub fn describe(&self) -> String {
+        match self.peek() {
+            Some(t) => format!("`{t}`"),
+            None => "end of input".into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let toks = tokenize("P0 (x) { r0 = 1; }").unwrap();
+        let kinds: Vec<_> = toks.into_iter().map(|t| t.kind).collect();
+        assert_eq!(kinds[0], Tok::Ident("P0".into()));
+        assert_eq!(kinds[1], Tok::Sym("("));
+        assert!(kinds.contains(&Tok::Int(1)));
+    }
+
+    #[test]
+    fn comments_and_defines_skipped() {
+        let toks = tokenize(
+            "// line comment\n#define relaxed memory_order_relaxed\n/* block\ncomment */ x",
+        )
+        .unwrap();
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, Tok::Ident("x".into()));
+        assert_eq!(toks[0].line, 4);
+    }
+
+    #[test]
+    fn condition_symbols() {
+        let toks = tokenize(r"exists (P1:r0=0 /\ y=2 \/ ~x)").unwrap();
+        let syms: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match &t.kind {
+                Tok::Sym(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert!(syms.contains(&"/\\"));
+        assert!(syms.contains(&"\\/"));
+        assert!(syms.contains(&"~"));
+    }
+
+    #[test]
+    fn hex_and_negative() {
+        let toks = tokenize("0x10 -3").unwrap();
+        assert_eq!(toks[0].kind, Tok::Int(16));
+        // minus is a separate symbol; folding happens in expect_int
+        assert_eq!(toks[1].kind, Tok::Sym("-"));
+        assert_eq!(toks[2].kind, Tok::Int(3));
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        let toks = tokenize("DMB.ISH").unwrap();
+        assert_eq!(toks[0].kind, Tok::Ident("DMB.ISH".into()));
+    }
+
+    #[test]
+    fn string_literal() {
+        let toks = tokenize("C11 \"MP+rel+acq\"").unwrap();
+        assert_eq!(toks[1].kind, Tok::Str("MP+rel+acq".into()));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"abc").is_err());
+        assert!(tokenize("/* abc").is_err());
+    }
+
+    #[test]
+    fn cursor_helpers() {
+        let mut c = Cursor::new("foo ( 42 ; -7").unwrap();
+        assert_eq!(c.expect_ident().unwrap(), "foo");
+        assert!(c.accept_sym("("));
+        assert_eq!(c.expect_int().unwrap(), 42);
+        assert!(c.expect_sym(";").is_ok());
+        assert_eq!(c.expect_int().unwrap(), -7);
+        assert!(c.at_end());
+        assert!(c.next().is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Litmus tests and the unified thread IR.
+//!
+//! A litmus test (paper §II-A) has a fixed initial state, a small concurrent
+//! program and a predicate over the final state. This crate defines:
+//!
+//! * [`Instr`] — the unified thread IR both C/C++ litmus tests and
+//!   disassembled ISA code lower to (mirroring herd's internal AST);
+//! * [`LitmusTest`] — the test container: location declarations, register
+//!   initialisation, thread bodies and the final-state [`Condition`];
+//! * a parser for the C11 litmus dialect ([`parse_c11`]) and printers that
+//!   render a test back as litmus text ([`print::to_litmus`]) or as a
+//!   compilable C program ([`print::to_c_program`], used by the `l2c` stage).
+//!
+//! # Example
+//!
+//! ```
+//! use telechat_litmus::parse_c11;
+//!
+//! let test = parse_c11(r#"
+//! C11 "SB"
+//! { x = 0; y = 0; }
+//! P0 (atomic_int* x, atomic_int* y) {
+//!   atomic_store_explicit(x, 1, memory_order_relaxed);
+//!   int r0 = atomic_load_explicit(y, memory_order_relaxed);
+//! }
+//! P1 (atomic_int* x, atomic_int* y) {
+//!   atomic_store_explicit(y, 1, memory_order_relaxed);
+//!   int r0 = atomic_load_explicit(x, memory_order_relaxed);
+//! }
+//! exists (P0:r0=0 /\ P1:r0=0)
+//! "#)?;
+//! assert_eq!(test.threads.len(), 2);
+//! # Ok::<(), telechat_common::Error>(())
+//! ```
+
+pub mod builder;
+pub mod cond;
+pub mod ir;
+pub mod lex;
+pub mod parse_c;
+pub mod print;
+pub mod test;
+
+pub use builder::{TestBuilder, ThreadBuilder};
+pub use cond::{Condition, Prop, Quantifier};
+pub use ir::{AddrExpr, BinOp, Expr, Instr, RmwOp};
+pub use parse_c::parse_c11;
+pub use test::{LitmusTest, LocDecl, Width};

@@ -1,0 +1,829 @@
+//! Parser for the C11 litmus-test dialect.
+//!
+//! The accepted format follows herd's C frontend closely (see paper Fig. 1):
+//!
+//! ```text
+//! C11 "MP+exchange"
+//! { x = 0; y = 0; }
+//! P0 (atomic_int* y, atomic_int* x) {
+//!   atomic_store_explicit(x, 1, memory_order_relaxed);
+//!   atomic_thread_fence(memory_order_release);
+//!   atomic_store_explicit(y, 1, memory_order_relaxed);
+//! }
+//! P1 (atomic_int* y, atomic_int* x) {
+//!   atomic_exchange_explicit(y, 2, memory_order_release);
+//!   atomic_thread_fence(memory_order_acquire);
+//!   int r0 = atomic_load_explicit(x, memory_order_relaxed);
+//! }
+//! exists (P1:r0=0 /\ y=2)
+//! ```
+//!
+//! `#define` lines are skipped by the tokenizer, so the shorthand-order
+//! idiom (`#define relaxed memory_order_relaxed` … `store(x,1,relaxed)`)
+//! works: order arguments accept both long and short names.
+
+use crate::cond::{Condition, Prop, Quantifier};
+use crate::ir::{AddrExpr, BinOp, Expr, Instr, RmwOp};
+use crate::lex::{Cursor, Tok};
+use crate::test::{LitmusTest, LocDecl, Width};
+use telechat_common::{Annot, AnnotSet, Arch, Error, Loc, Reg, Result, StateKey, ThreadId, Val};
+
+/// Parses a C11 litmus test.
+///
+/// # Errors
+///
+/// Returns a parse error (with line information) on malformed input, and an
+/// [`Error::IllFormed`] if the parsed test fails [`LitmusTest::validate`].
+pub fn parse_c11(src: &str) -> Result<LitmusTest> {
+    let mut p = Parser {
+        cur: Cursor::new(src)?,
+        label_counter: 0,
+    };
+    let test = p.parse_test()?;
+    test.validate()?;
+    Ok(test)
+}
+
+struct Parser {
+    cur: Cursor,
+    label_counter: usize,
+}
+
+impl Parser {
+    fn parse_test(&mut self) -> Result<LitmusTest> {
+        // Header: `C11 "name"` (or `C "name"`).
+        let dialect = self.cur.expect_ident()?;
+        if dialect != "C11" && dialect != "C" {
+            return Err(Error::parse_at(
+                format!("expected `C` or `C11` header, found `{dialect}`"),
+                self.cur.line(),
+            ));
+        }
+        let name = match self.cur.peek() {
+            Some(Tok::Str(_)) => match self.cur.next()? {
+                Tok::Str(s) => s,
+                _ => unreachable!(),
+            },
+            Some(Tok::Ident(_)) => self.cur.expect_ident()?,
+            _ => {
+                return Err(Error::parse_at(
+                    format!("expected test name, found {}", self.cur.describe()),
+                    self.cur.line(),
+                ))
+            }
+        };
+
+        let (locs, reg_init) = self.parse_init()?;
+
+        let mut threads = Vec::new();
+        while matches!(self.cur.peek(), Some(Tok::Ident(s)) if is_thread_name(s)) {
+            let (tid, body) = self.parse_thread()?;
+            if tid.index() != threads.len() {
+                return Err(Error::parse_at(
+                    format!("threads must be declared in order; found P{}", tid.0),
+                    self.cur.line(),
+                ));
+            }
+            threads.push(body);
+        }
+        if threads.is_empty() {
+            return Err(Error::parse_at("test declares no threads", self.cur.line()));
+        }
+
+        let condition = self.parse_condition()?;
+        let observed = self.parse_locations()?;
+
+        Ok(LitmusTest {
+            name,
+            arch: Arch::C11,
+            locs,
+            reg_init,
+            threads,
+            condition,
+            observed,
+        })
+    }
+
+    fn parse_init(&mut self) -> Result<(Vec<LocDecl>, Vec<(ThreadId, Reg, Val)>)> {
+        self.cur.expect_sym("{")?;
+        let mut locs = Vec::new();
+        let mut reg_init = Vec::new();
+        while !self.cur.accept_sym("}") {
+            // `N:reg = value` (register init) or `[qualifiers] name = value`.
+            if let Some(Tok::Int(t)) = self.cur.peek() {
+                let t = *t;
+                if matches!(self.cur.peek2(), Some(Tok::Sym(":"))) {
+                    self.cur.next()?;
+                    self.cur.expect_sym(":")?;
+                    let reg = self.cur.expect_ident()?;
+                    self.cur.expect_sym("=")?;
+                    let val = self.parse_value()?;
+                    self.cur.expect_sym(";")?;
+                    reg_init.push((ThreadId(t as u8), Reg::new(reg), val));
+                    continue;
+                }
+            }
+            let mut readonly = false;
+            let mut atomic = true;
+            let mut width = Width::W64;
+            let name;
+            loop {
+                // Pointer-spelled initialisation (`*x = 0`, paper Fig. 1) and
+                // pointer declarators (`int *x`) — stars are layout noise.
+                while self.cur.accept_sym("*") {}
+                let ident = self.cur.expect_ident()?;
+                match ident.as_str() {
+                    "const" => readonly = true,
+                    "volatile" | "_Atomic" | "atomic_int" | "atomic_long" => atomic = true,
+                    "int" | "long" | "plain" => atomic = false,
+                    "int128" | "wide" | "__int128" => width = Width::W128,
+                    "uint8_t" | "int8_t" | "char" => {
+                        atomic = false;
+                        width = Width::W8
+                    }
+                    "uint16_t" | "int16_t" | "short" => {
+                        atomic = false;
+                        width = Width::W16
+                    }
+                    "uint32_t" | "int32_t" => {
+                        atomic = false;
+                        width = Width::W32
+                    }
+                    _ => {
+                        name = ident;
+                        break;
+                    }
+                }
+            }
+            // Allow `*x = 0` pointer-spelled initialisation.
+            let _ = name; // `name` assigned in loop break
+            self.cur.expect_sym("=")?;
+            let init = self.parse_value()?;
+            self.cur.expect_sym(";")?;
+            locs.push(LocDecl {
+                loc: Loc::new(name),
+                init,
+                width,
+                readonly,
+                atomic,
+            });
+        }
+        Ok((locs, reg_init))
+    }
+
+    fn parse_value(&mut self) -> Result<Val> {
+        if self.cur.accept_sym("&") {
+            let l = self.cur.expect_ident()?;
+            Ok(Val::Addr(Loc::new(l)))
+        } else {
+            Ok(Val::Int(self.cur.expect_int()?))
+        }
+    }
+
+    fn parse_thread(&mut self) -> Result<(ThreadId, Vec<Instr>)> {
+        let name = self.cur.expect_ident()?;
+        let tid = thread_id(&name, self.cur.line())?;
+        // Parameter list: skipped — parameters are the shared locations,
+        // which the init block already declares.
+        if self.cur.accept_sym("(") {
+            let mut depth = 1usize;
+            while depth > 0 {
+                match self.cur.next()? {
+                    Tok::Sym("(") => depth += 1,
+                    Tok::Sym(")") => depth -= 1,
+                    _ => {}
+                }
+            }
+        }
+        self.cur.expect_sym("{")?;
+        let mut body = Vec::new();
+        while !self.cur.accept_sym("}") {
+            self.parse_stmt(&mut body)?;
+        }
+        Ok((tid, body))
+    }
+
+    fn fresh_label(&mut self, stem: &str) -> String {
+        self.label_counter += 1;
+        format!(".{stem}{}", self.label_counter)
+    }
+
+    fn parse_stmt(&mut self, out: &mut Vec<Instr>) -> Result<()> {
+        // Empty statement.
+        if self.cur.accept_sym(";") {
+            return Ok(());
+        }
+        // Label: `ident:` .
+        if let (Some(Tok::Ident(l)), Some(Tok::Sym(":"))) = (self.cur.peek(), self.cur.peek2()) {
+            let l = l.clone();
+            self.cur.next()?;
+            self.cur.next()?;
+            out.push(Instr::Label(l));
+            return Ok(());
+        }
+        // `goto L;`
+        if self.cur.accept_ident("goto") {
+            let l = self.cur.expect_ident()?;
+            self.cur.expect_sym(";")?;
+            out.push(Instr::Jump(l));
+            return Ok(());
+        }
+        // `if (E) { .. } [else { .. }]`
+        if self.cur.accept_ident("if") {
+            return self.parse_if(out);
+        }
+        // `*x = E;` — plain store through a location parameter.
+        if self.cur.accept_sym("*") {
+            let loc = self.cur.expect_ident()?;
+            self.cur.expect_sym("=")?;
+            let val = self.parse_expr()?;
+            self.cur.expect_sym(";")?;
+            out.push(Instr::Store {
+                addr: AddrExpr::sym(loc),
+                val,
+                annot: AnnotSet::one(Annot::NonAtomic),
+            });
+            return Ok(());
+        }
+        // `atomic_thread_fence(order);`
+        if self.cur.accept_ident("atomic_thread_fence") {
+            self.cur.expect_sym("(")?;
+            let ord = self.parse_order()?;
+            self.cur.expect_sym(")")?;
+            self.cur.expect_sym(";")?;
+            out.push(Instr::Fence {
+                annot: AnnotSet::one(ord).with(Annot::Atomic),
+            });
+            return Ok(());
+        }
+        // `atomic_store[_explicit](x, E [, order]);`
+        if let Some(Tok::Ident(id)) = self.cur.peek() {
+            if id == "atomic_store_explicit" || id == "atomic_store" {
+                let explicit = id == "atomic_store_explicit";
+                self.cur.next()?;
+                self.cur.expect_sym("(")?;
+                let loc = self.parse_loc_arg()?;
+                self.cur.expect_sym(",")?;
+                let val = self.parse_expr()?;
+                let ord = if explicit {
+                    self.cur.expect_sym(",")?;
+                    self.parse_order()?
+                } else {
+                    Annot::SeqCst
+                };
+                self.cur.expect_sym(")")?;
+                self.cur.expect_sym(";")?;
+                out.push(Instr::Store {
+                    addr: AddrExpr::Sym(loc),
+                    val,
+                    annot: AnnotSet::of(&[Annot::Atomic, ord]),
+                });
+                return Ok(());
+            }
+        }
+        // Declaration or assignment or discarded call.
+        // `int r0 = RHS;` | `r0 = RHS;` | `atomic_*(...);`
+        let mut dst: Option<Reg> = None;
+        if self.cur.accept_ident("int") || self.cur.accept_ident("long") {
+            let r = self.cur.expect_ident()?;
+            dst = Some(Reg::new(r));
+            self.cur.expect_sym("=")?;
+        } else if let (Some(Tok::Ident(r)), Some(Tok::Sym("="))) =
+            (self.cur.peek(), self.cur.peek2())
+        {
+            if !r.starts_with("atomic_") {
+                let r = r.clone();
+                self.cur.next()?;
+                self.cur.next()?;
+                dst = Some(Reg::new(r));
+            }
+        }
+        self.parse_rhs(dst, out)?;
+        self.cur.expect_sym(";")?;
+        Ok(())
+    }
+
+    /// Parses the right-hand side of a (possibly discarded) statement and
+    /// pushes the corresponding instruction.
+    fn parse_rhs(&mut self, dst: Option<Reg>, out: &mut Vec<Instr>) -> Result<()> {
+        // Atomic load.
+        if let Some(Tok::Ident(id)) = self.cur.peek() {
+            let id = id.clone();
+            if id == "atomic_load_explicit" || id == "atomic_load" {
+                self.cur.next()?;
+                self.cur.expect_sym("(")?;
+                let loc = self.parse_loc_arg()?;
+                let ord = if id.ends_with("_explicit") {
+                    self.cur.expect_sym(",")?;
+                    self.parse_order()?
+                } else {
+                    Annot::SeqCst
+                };
+                self.cur.expect_sym(")")?;
+                out.push(Instr::Load {
+                    dst: dst.unwrap_or_else(|| Reg::new("_")),
+                    addr: AddrExpr::Sym(loc),
+                    annot: AnnotSet::of(&[Annot::Atomic, ord]),
+                });
+                return Ok(());
+            }
+            // RMW family.
+            let rmw = match id.as_str() {
+                "atomic_fetch_add_explicit" | "atomic_fetch_add" => Some(RmwOp::FetchAdd),
+                "atomic_fetch_sub_explicit" | "atomic_fetch_sub" => Some(RmwOp::FetchSub),
+                "atomic_fetch_or_explicit" | "atomic_fetch_or" => Some(RmwOp::FetchOr),
+                "atomic_fetch_xor_explicit" | "atomic_fetch_xor" => Some(RmwOp::FetchXor),
+                "atomic_exchange_explicit" | "atomic_exchange" => Some(RmwOp::Swap),
+                _ => None,
+            };
+            if let Some(op) = rmw {
+                self.cur.next()?;
+                self.cur.expect_sym("(")?;
+                let loc = self.parse_loc_arg()?;
+                self.cur.expect_sym(",")?;
+                let operand = self.parse_expr()?;
+                let ord = if id.ends_with("_explicit") {
+                    self.cur.expect_sym(",")?;
+                    self.parse_order()?
+                } else {
+                    Annot::SeqCst
+                };
+                self.cur.expect_sym(")")?;
+                out.push(Instr::Rmw {
+                    dst,
+                    addr: AddrExpr::Sym(loc),
+                    op,
+                    operand,
+                    annot: AnnotSet::of(&[Annot::Atomic, ord]),
+                    has_read_event: true,
+                });
+                return Ok(());
+            }
+        }
+        // Plain load: `*x`.
+        if self.cur.accept_sym("*") {
+            let loc = self.cur.expect_ident()?;
+            out.push(Instr::Load {
+                dst: dst.unwrap_or_else(|| Reg::new("_")),
+                addr: AddrExpr::sym(loc),
+                annot: AnnotSet::one(Annot::NonAtomic),
+            });
+            return Ok(());
+        }
+        // Pure expression.
+        let expr = self.parse_expr()?;
+        let dst = dst.ok_or_else(|| {
+            Error::parse_at("expression statement has no effect", self.cur.line())
+        })?;
+        out.push(Instr::Assign { dst, expr });
+        Ok(())
+    }
+
+    fn parse_if(&mut self, out: &mut Vec<Instr>) -> Result<()> {
+        self.cur.expect_sym("(")?;
+        let cond = self.parse_expr()?;
+        self.cur.expect_sym(")")?;
+        // `if (E) goto L;` — the un-structured form printers emit.
+        if self.cur.accept_ident("goto") {
+            let target = self.cur.expect_ident()?;
+            self.cur.expect_sym(";")?;
+            out.push(Instr::BranchIf { cond, target });
+            return Ok(());
+        }
+        let else_label = self.fresh_label("else");
+        let end_label = self.fresh_label("endif");
+        // Jump to else-part when the condition is false.
+        out.push(Instr::BranchIf {
+            cond: Expr::eq(cond, Expr::int(0)),
+            target: else_label.clone(),
+        });
+        self.cur.expect_sym("{")?;
+        while !self.cur.accept_sym("}") {
+            self.parse_stmt(out)?;
+        }
+        if self.cur.accept_ident("else") {
+            out.push(Instr::Jump(end_label.clone()));
+            out.push(Instr::Label(else_label));
+            self.cur.expect_sym("{")?;
+            while !self.cur.accept_sym("}") {
+                self.parse_stmt(out)?;
+            }
+            out.push(Instr::Label(end_label));
+        } else {
+            out.push(Instr::Label(else_label));
+        }
+        Ok(())
+    }
+
+    /// A location argument: `x` or `&x` (herd allows both spellings).
+    fn parse_loc_arg(&mut self) -> Result<Loc> {
+        let _ = self.cur.accept_sym("&");
+        Ok(Loc::new(self.cur.expect_ident()?))
+    }
+
+    fn parse_order(&mut self) -> Result<Annot> {
+        let name = self.cur.expect_ident()?;
+        order_annot(&name)
+            .ok_or_else(|| Error::parse_at(format!("unknown memory order `{name}`"), self.cur.line()))
+    }
+
+    // --- expressions (C subset) -------------------------------------------
+
+    fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_bin(0)
+    }
+
+    fn parse_bin(&mut self, min_prec: u8) -> Result<Expr> {
+        let mut lhs = self.parse_atom()?;
+        loop {
+            let (op, prec) = match self.cur.peek() {
+                Some(Tok::Sym("==")) => (BinOp::Eq, 1),
+                Some(Tok::Sym("!=")) => (BinOp::Ne, 1),
+                Some(Tok::Sym("|")) => (BinOp::Or, 2),
+                Some(Tok::Sym("^")) => (BinOp::Xor, 3),
+                Some(Tok::Sym("&")) => (BinOp::And, 4),
+                Some(Tok::Sym("+")) => (BinOp::Add, 5),
+                Some(Tok::Sym("-")) => (BinOp::Sub, 5),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.cur.next()?;
+            let rhs = self.parse_bin(prec + 1)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr> {
+        if self.cur.accept_sym("(") {
+            let e = self.parse_expr()?;
+            self.cur.expect_sym(")")?;
+            return Ok(e);
+        }
+        if self.cur.accept_sym("-") {
+            let i = self.cur.expect_int()?;
+            return Ok(Expr::int(-i));
+        }
+        match self.cur.peek() {
+            Some(Tok::Int(_)) => Ok(Expr::int(self.cur.expect_int()?)),
+            Some(Tok::Ident(_)) => Ok(Expr::reg(self.cur.expect_ident()?)),
+            _ => Err(Error::parse_at(
+                format!("expected expression, found {}", self.cur.describe()),
+                self.cur.line(),
+            )),
+        }
+    }
+
+    // --- condition ---------------------------------------------------------
+
+    fn parse_condition(&mut self) -> Result<Condition> {
+        let quantifier = if self.cur.accept_sym("~") {
+            if !self.cur.accept_ident("exists") {
+                return Err(Error::parse_at(
+                    "expected `exists` after `~`",
+                    self.cur.line(),
+                ));
+            }
+            Quantifier::NotExists
+        } else if self.cur.accept_ident("exists") {
+            Quantifier::Exists
+        } else if self.cur.accept_ident("forall") {
+            Quantifier::Forall
+        } else {
+            return Err(Error::parse_at(
+                format!(
+                    "expected `exists`, `~exists` or `forall`, found {}",
+                    self.cur.describe()
+                ),
+                self.cur.line(),
+            ));
+        };
+        self.cur.expect_sym("(")?;
+        let prop = self.parse_prop_or()?;
+        self.cur.expect_sym(")")?;
+        Ok(Condition { quantifier, prop })
+    }
+
+    fn parse_prop_or(&mut self) -> Result<Prop> {
+        let mut p = self.parse_prop_and()?;
+        while self.cur.accept_sym("\\/") {
+            let q = self.parse_prop_and()?;
+            p = p.or(q);
+        }
+        Ok(p)
+    }
+
+    fn parse_prop_and(&mut self) -> Result<Prop> {
+        let mut p = self.parse_prop_atom()?;
+        while self.cur.accept_sym("/\\") {
+            let q = self.parse_prop_atom()?;
+            p = p.and(q);
+        }
+        Ok(p)
+    }
+
+    fn parse_prop_atom(&mut self) -> Result<Prop> {
+        if self.cur.accept_sym("~") {
+            let p = self.parse_prop_atom()?;
+            return Ok(Prop::Not(Box::new(p)));
+        }
+        if self.cur.accept_sym("(") {
+            let p = self.parse_prop_or()?;
+            self.cur.expect_sym(")")?;
+            return Ok(p);
+        }
+        if self.cur.accept_ident("true") {
+            return Ok(Prop::True);
+        }
+        let key = self.parse_state_key()?;
+        self.cur.expect_sym("=")?;
+        let val = self.parse_value()?;
+        Ok(Prop::Atom(key, val))
+    }
+
+    fn parse_state_key(&mut self) -> Result<StateKey> {
+        // `[x]` — explicit location.
+        if self.cur.accept_sym("[") {
+            let l = self.cur.expect_ident()?;
+            self.cur.expect_sym("]")?;
+            return Ok(StateKey::loc(l));
+        }
+        // `N:reg`.
+        if let (Some(Tok::Int(t)), Some(Tok::Sym(":"))) = (self.cur.peek(), self.cur.peek2()) {
+            let t = *t;
+            self.cur.next()?;
+            self.cur.next()?;
+            let r = self.cur.expect_ident()?;
+            return Ok(StateKey::reg(ThreadId(t as u8), r));
+        }
+        // `Pn:reg` or bare location name.
+        let id = self.cur.expect_ident()?;
+        if is_thread_name(&id) && matches!(self.cur.peek(), Some(Tok::Sym(":"))) {
+            self.cur.next()?;
+            let r = self.cur.expect_ident()?;
+            let tid = thread_id(&id, self.cur.line())?;
+            return Ok(StateKey::reg(tid, r));
+        }
+        Ok(StateKey::loc(id))
+    }
+
+    fn parse_locations(&mut self) -> Result<Vec<StateKey>> {
+        let mut out = Vec::new();
+        if self.cur.accept_ident("locations") {
+            self.cur.expect_sym("[")?;
+            while !self.cur.accept_sym("]") {
+                out.push(self.parse_state_key()?);
+                let _ = self.cur.accept_sym(";");
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn is_thread_name(s: &str) -> bool {
+    s.len() >= 2 && s.starts_with('P') && s[1..].chars().all(|c| c.is_ascii_digit())
+}
+
+fn thread_id(s: &str, line: usize) -> Result<ThreadId> {
+    s[1..]
+        .parse::<u8>()
+        .map(ThreadId)
+        .map_err(|_| Error::parse_at(format!("bad thread name `{s}`"), line))
+}
+
+/// Maps a memory-order spelling (long or short) to its annotation.
+pub fn order_annot(name: &str) -> Option<Annot> {
+    match name {
+        "memory_order_relaxed" | "relaxed" | "rlx" | "mo_relaxed" => Some(Annot::Relaxed),
+        "memory_order_acquire" | "acquire" | "acq" | "mo_acquire" => Some(Annot::Acquire),
+        "memory_order_release" | "release" | "rel" | "mo_release" => Some(Annot::Release),
+        "memory_order_acq_rel" | "acq_rel" | "mo_acq_rel" => Some(Annot::AcqRel),
+        "memory_order_seq_cst" | "seq_cst" | "sc" | "mo_seq_cst" => Some(Annot::SeqCst),
+        // Consume is treated as acquire, as every production compiler does.
+        "memory_order_consume" | "consume" => Some(Annot::Acquire),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MP_EXCHANGE: &str = r#"
+C11 "MP+exchange"
+{ x = 0; y = 0; }
+P0 (atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_release);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+P1 (atomic_int* y, atomic_int* x) {
+  atomic_exchange_explicit(y, 2, memory_order_release);
+  atomic_thread_fence(memory_order_acquire);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=0 /\ y=2)
+"#;
+
+    #[test]
+    fn parses_fig1() {
+        let t = parse_c11(MP_EXCHANGE).unwrap();
+        assert_eq!(t.name, "MP+exchange");
+        assert_eq!(t.threads.len(), 2);
+        assert_eq!(t.locs.len(), 2);
+        // P1's first instruction is a discarded exchange.
+        match &t.threads[1][0] {
+            Instr::Rmw { dst, op, .. } => {
+                assert_eq!(*dst, None);
+                assert_eq!(*op, RmwOp::Swap);
+            }
+            other => panic!("expected rmw, got {other:?}"),
+        }
+        assert_eq!(t.condition.quantifier, Quantifier::Exists);
+        assert_eq!(t.condition.keys().len(), 2);
+    }
+
+    #[test]
+    fn parses_defines_and_short_orders() {
+        let t = parse_c11(
+            r#"
+C11 "LB+fences"
+#define relaxed memory_order_relaxed
+{ x = 0; y = 0; }
+P0 (atomic_int* x) {
+  int r0 = atomic_load_explicit(x, relaxed);
+  atomic_thread_fence(relaxed);
+  atomic_store_explicit(y, 1, relaxed);
+}
+P1 (atomic_int* y) {
+  int r0 = atomic_load_explicit(y, relaxed);
+  atomic_thread_fence(relaxed);
+  atomic_store_explicit(x, 1, relaxed);
+}
+exists (P0:r0=1 /\ P1:r0=1)
+"#,
+        )
+        .unwrap();
+        assert_eq!(t.threads[0].len(), 3);
+        match &t.threads[0][1] {
+            Instr::Fence { annot } => assert!(annot.contains(Annot::Relaxed)),
+            other => panic!("expected fence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_plain_accesses() {
+        let t = parse_c11(
+            r#"
+C "LB-plain"
+{ int x = 0; int y = 0; }
+P0 (int* x, int* y) {
+  int r0 = *x;
+  *y = 1;
+}
+P1 (int* x, int* y) {
+  int r0 = *y;
+  *x = 1;
+}
+exists (P0:r0=1 /\ P1:r0=1)
+"#,
+        )
+        .unwrap();
+        assert!(!t.locs[0].atomic);
+        match &t.threads[0][0] {
+            Instr::Load { annot, .. } => assert!(annot.contains(Annot::NonAtomic)),
+            other => panic!("{other:?}"),
+        }
+        match &t.threads[0][1] {
+            Instr::Store { annot, .. } => assert!(annot.contains(Annot::NonAtomic)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_with_control_dependency() {
+        let t = parse_c11(
+            r#"
+C11 "ctrl"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  if (r0 == 1) {
+    atomic_store_explicit(y, 1, memory_order_relaxed);
+  } else {
+    atomic_store_explicit(y, 2, memory_order_relaxed);
+  }
+}
+P1 (atomic_int* y) {
+  int r1 = atomic_load_explicit(y, memory_order_relaxed);
+}
+exists (P1:r1=1)
+"#,
+        )
+        .unwrap();
+        let branches = t.threads[0]
+            .iter()
+            .filter(|i| matches!(i, Instr::BranchIf { .. }))
+            .count();
+        assert_eq!(branches, 1);
+        let labels = t.threads[0]
+            .iter()
+            .filter(|i| matches!(i, Instr::Label(_)))
+            .count();
+        assert_eq!(labels, 2, "else and endif labels");
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn parses_fetch_add_and_const() {
+        let t = parse_c11(
+            r#"
+C11 "rmw"
+{ x = 0; const c = 5; }
+P0 (atomic_int* x) {
+  int r1 = atomic_fetch_add_explicit(x, 1, memory_order_relaxed);
+}
+exists (P0:r1=0)
+"#,
+        )
+        .unwrap();
+        assert!(t.locs[1].readonly);
+        match &t.threads[0][0] {
+            Instr::Rmw { dst, op, .. } => {
+                assert_eq!(dst.as_ref().map(|r| r.name().to_string()), Some("r1".into()));
+                assert_eq!(*op, RmwOp::FetchAdd);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_disjunctive_condition_and_locations() {
+        let t = parse_c11(
+            r#"
+C11 "cond"
+{ x = 0; }
+P0 (atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_seq_cst);
+}
+exists (P0:r0=0 \/ (P0:r0=1 /\ [x]=1))
+locations [x; 0:r0;]
+"#,
+        )
+        .unwrap();
+        assert_eq!(t.observed.len(), 2);
+        match &t.condition.prop {
+            Prop::Or(ps) => assert_eq!(ps.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_order() {
+        let err = parse_c11(
+            r#"
+C11 "bad"
+{ x = 0; }
+P0 (atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_bogus);
+}
+exists (x=1)
+"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("memory_order_bogus"), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_order_threads() {
+        let err = parse_c11(
+            r#"
+C11 "bad"
+{ x = 0; }
+P1 (atomic_int* x) { int r0 = atomic_load_explicit(x, memory_order_relaxed); }
+exists (true)
+"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("order"), "{err}");
+    }
+
+    #[test]
+    fn register_init_with_address() {
+        let t = parse_c11(
+            r#"
+C11 "reginit"
+{ x = 7; 0:r2 = &x; }
+P0 (atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P0:r0=7)
+"#,
+        )
+        .unwrap();
+        assert_eq!(t.reg_init.len(), 1);
+        assert_eq!(t.reg_init[0].2, Val::Addr(Loc::new("x")));
+    }
+}

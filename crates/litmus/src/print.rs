@@ -1,0 +1,305 @@
+//! Printers: litmus text and compilable C.
+//!
+//! [`to_litmus`] renders a test in the dialect [`crate::parse_c11`] accepts
+//! (round-trippable for C11 tests). [`to_c_program`] renders a test as a
+//! standalone C translation unit — the `l2c` stage of the pipeline (paper
+//! Fig. 6) hands this to the compiler under test.
+
+use crate::cond::Prop;
+use crate::ir::{AddrExpr, Expr, Instr};
+use crate::test::{LitmusTest, Width};
+use std::fmt::Write as _;
+use telechat_common::{Annot, AnnotSet, StateKey};
+
+/// Renders a C11 test in litmus format.
+///
+/// The output parses back with [`crate::parse_c11`] to an equivalent test.
+/// Assembly-arch tests are rendered with generic IR mnemonics (useful for
+/// debugging; the `telechat-isa` printers produce real assembly syntax).
+pub fn to_litmus(test: &LitmusTest) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "C11 \"{}\"", test.name);
+    let mut init = String::new();
+    for d in &test.locs {
+        let mut quals = String::new();
+        if d.readonly {
+            quals.push_str("const ");
+        }
+        if !d.atomic {
+            quals.push_str("int ");
+        }
+        if d.width == Width::W128 {
+            quals.push_str("wide ");
+        }
+        let _ = write!(init, "{quals}{} = {}; ", d.loc, d.init);
+    }
+    for (t, r, v) in &test.reg_init {
+        let _ = write!(init, "{}:{} = {}; ", t.0, r, v);
+    }
+    let _ = writeln!(s, "{{ {init}}}");
+    for (tid, body) in test.threads.iter().enumerate() {
+        let _ = writeln!(s, "P{tid} () {{");
+        for i in body {
+            let _ = writeln!(s, "{}", c_stmt(i, 2));
+        }
+        let _ = writeln!(s, "}}");
+    }
+    let _ = write!(s, "{}", condition_text(test));
+    if !test.observed.is_empty() {
+        let keys: Vec<String> = test.observed.iter().map(key_text).collect();
+        let _ = write!(s, "\nlocations [{};]", keys.join("; "));
+    }
+    s.push('\n');
+    s
+}
+
+fn condition_text(test: &LitmusTest) -> String {
+    format!(
+        "{} ({})",
+        test.condition.quantifier,
+        prop_text(&test.condition.prop)
+    )
+}
+
+fn key_text(k: &StateKey) -> String {
+    match k {
+        StateKey::Reg(t, r) => format!("{}:{}", t.0, r),
+        StateKey::Loc(l) => format!("[{l}]"),
+    }
+}
+
+fn prop_text(p: &Prop) -> String {
+    match p {
+        Prop::True => "true".into(),
+        Prop::Atom(k, v) => format!("{}={}", key_text(k), v),
+        Prop::Not(q) => format!("~({})", prop_text(q)),
+        Prop::And(ps) => ps
+            .iter()
+            .map(prop_text)
+            .collect::<Vec<_>>()
+            .join(" /\\ "),
+        Prop::Or(ps) => {
+            let parts: Vec<String> = ps
+                .iter()
+                .map(|q| match q {
+                    Prop::And(_) => format!("({})", prop_text(q)),
+                    _ => prop_text(q),
+                })
+                .collect();
+            parts.join(" \\/ ")
+        }
+    }
+}
+
+/// Renders a C11 test as a standalone, compilable C translation unit.
+///
+/// Each thread becomes a function `P<n>` taking pointers to the shared
+/// locations; a comment carries the litmus condition. This is what `l2c`
+/// feeds to the compiler under test.
+pub fn to_c_program(test: &LitmusTest) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "// litmus test `{}` prepared by l2c", test.name);
+    let _ = writeln!(s, "#include <stdatomic.h>\n");
+    for d in &test.locs {
+        let base = match (d.atomic, d.width) {
+            (true, Width::W128) => "_Atomic __int128",
+            (true, _) => "atomic_int",
+            (false, Width::W128) => "__int128",
+            (false, _) => "int",
+        };
+        let cq = if d.readonly { "const " } else { "" };
+        let _ = writeln!(s, "{cq}{base} {} = {};", d.loc, d.init);
+    }
+    let _ = writeln!(s);
+    for (tid, body) in test.threads.iter().enumerate() {
+        let params: Vec<String> = test
+            .locs
+            .iter()
+            .map(|d| {
+                let base = if d.atomic { "atomic_int" } else { "int" };
+                let cq = if d.readonly { "const " } else { "" };
+                format!("{cq}{base}* {}", d.loc)
+            })
+            .collect();
+        let _ = writeln!(s, "void P{tid}({}) {{", params.join(", "));
+        for i in body {
+            let _ = writeln!(s, "{}", c_stmt(i, 2));
+        }
+        let _ = writeln!(s, "}}\n");
+    }
+    let _ = writeln!(s, "// {}", condition_text(test));
+    s
+}
+
+/// Renders one IR instruction as a C statement (indented by `indent`).
+fn c_stmt(i: &Instr, indent: usize) -> String {
+    let pad = " ".repeat(indent);
+    let ord = |a: AnnotSet| -> &'static str {
+        if a.contains(Annot::SeqCst) {
+            "memory_order_seq_cst"
+        } else if a.contains(Annot::AcqRel) {
+            "memory_order_acq_rel"
+        } else if a.contains(Annot::Acquire) {
+            "memory_order_acquire"
+        } else if a.contains(Annot::Release) {
+            "memory_order_release"
+        } else {
+            "memory_order_relaxed"
+        }
+    };
+    let addr = |a: &AddrExpr| -> String {
+        match a {
+            AddrExpr::Sym(l) => l.to_string(),
+            AddrExpr::Reg(r) => format!("(*(atomic_int**)&{r})"),
+        }
+    };
+    match i {
+        Instr::Assign { dst, expr } => format!("{pad}int {dst} = {};", c_expr(expr)),
+        Instr::Load { dst, addr: a, annot } => {
+            if annot.contains(Annot::NonAtomic) {
+                format!("{pad}int {dst} = *{};", addr(a))
+            } else {
+                format!(
+                    "{pad}int {dst} = atomic_load_explicit({}, {});",
+                    addr(a),
+                    ord(*annot)
+                )
+            }
+        }
+        Instr::Store { addr: a, val, annot } => {
+            if annot.contains(Annot::NonAtomic) {
+                format!("{pad}*{} = {};", addr(a), c_expr(val))
+            } else {
+                format!(
+                    "{pad}atomic_store_explicit({}, {}, {});",
+                    addr(a),
+                    c_expr(val),
+                    ord(*annot)
+                )
+            }
+        }
+        Instr::Rmw {
+            dst,
+            addr: a,
+            op,
+            operand,
+            annot,
+            ..
+        } => {
+            let call = format!(
+                "atomic_{}_explicit({}, {}, {})",
+                op.c11_name(),
+                addr(a),
+                c_expr(operand),
+                ord(*annot)
+            );
+            match dst {
+                Some(d) => format!("{pad}int {d} = {call};"),
+                None => format!("{pad}{call};"),
+            }
+        }
+        Instr::Fence { annot } => {
+            format!("{pad}atomic_thread_fence({});", ord(*annot))
+        }
+        Instr::StoreExcl {
+            success,
+            addr: a,
+            val,
+            ..
+        } => format!(
+            "{pad}int {success} = !__builtin_store_excl({}, {});",
+            addr(a),
+            c_expr(val)
+        ),
+        Instr::Label(l) => format!("{l}:;"),
+        Instr::Jump(l) => format!("{pad}goto {l};"),
+        Instr::BranchIf { cond, target } => {
+            format!("{pad}if ({}) goto {target};", c_expr(cond))
+        }
+        Instr::Nop => format!("{pad};"),
+    }
+}
+
+fn c_expr(e: &Expr) -> String {
+    match e {
+        Expr::Lit(v) => v.to_string(),
+        Expr::Reg(r) => r.to_string(),
+        Expr::Bin(op, a, b) => format!("({} {} {})", c_expr(a), op, c_expr(b)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_c::parse_c11;
+
+    const MP: &str = r#"
+C11 "MP"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_release);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  int r1 = atomic_fetch_add_explicit(y, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_acquire);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=0 /\ y=2)
+"#;
+
+    #[test]
+    fn litmus_round_trip() {
+        let t1 = parse_c11(MP).unwrap();
+        let printed = to_litmus(&t1);
+        let t2 = parse_c11(&printed).unwrap_or_else(|e| panic!("{e}\n---\n{printed}"));
+        assert_eq!(t1.locs, t2.locs);
+        assert_eq!(t1.threads, t2.threads);
+        assert_eq!(t1.condition, t2.condition);
+    }
+
+    #[test]
+    fn c_program_contains_functions_and_condition() {
+        let t = parse_c11(MP).unwrap();
+        let c = to_c_program(&t);
+        assert!(c.contains("void P0("));
+        assert!(c.contains("void P1("));
+        assert!(c.contains("atomic_fetch_add_explicit"));
+        assert!(c.contains("exists"));
+        assert!(c.contains("#include <stdatomic.h>"));
+    }
+
+    #[test]
+    fn const_qualifier_survives() {
+        let t = parse_c11(
+            r#"
+C11 "c"
+{ const x = 1; }
+P0 (atomic_int* x) { int r0 = atomic_load_explicit(x, memory_order_seq_cst); }
+exists (P0:r0=1)
+"#,
+        )
+        .unwrap();
+        let c = to_c_program(&t);
+        assert!(c.contains("const atomic_int x = 1;"), "{c}");
+        let printed = to_litmus(&t);
+        let t2 = parse_c11(&printed).unwrap();
+        assert!(t2.locs[0].readonly);
+    }
+
+    #[test]
+    fn or_condition_round_trip() {
+        let t1 = parse_c11(
+            r#"
+C11 "c"
+{ x = 0; }
+P0 (atomic_int* x) { int r0 = atomic_load_explicit(x, memory_order_relaxed); }
+exists (P0:r0=0 \/ (P0:r0=1 /\ [x]=1))
+"#,
+        )
+        .unwrap();
+        let t2 = parse_c11(&to_litmus(&t1)).unwrap();
+        assert_eq!(t1.condition, t2.condition);
+    }
+}

@@ -1,0 +1,547 @@
+//! Miniature object files: sections, symbols, relocations and a DWARF-like
+//! variable map.
+//!
+//! The paper's §III-D names the central engineering challenge of Téléchat:
+//! *compiled programs represent memory locations as binary addresses laid
+//! out in ELF sections, while litmus tests use symbolic variables*. This
+//! crate reproduces that gap faithfully at miniature scale:
+//!
+//! * the compiler emits functions whose instructions carry **symbolic**
+//!   operands plus a relocation table (`-c` object emission);
+//! * [`ObjectFile::link`] lays data out into `.data`/`.rodata`/`.got`
+//!   sections, assigns numeric addresses and rewrites instruction operands
+//!   to raw addresses (what `objdump` shows on a linked binary);
+//! * [`ObjectFile::disassemble`] produces an `objdump -d`-style listing;
+//! * [`ObjectFile::symbolise`] maps an address back to its symbol using the
+//!   symbol table and debug entries — the `s2l` stage's input.
+//!
+//! # Example
+//!
+//! ```
+//! use telechat_objfile::ObjectFile;
+//! use telechat_common::{Arch, Val};
+//! use telechat_litmus::Width;
+//!
+//! let mut obj = ObjectFile::new(Arch::AArch64);
+//! obj.add_data("x", Val::Int(0), Width::W64, false);
+//! obj.link();
+//! let addr = obj.symbol("x").unwrap().addr;
+//! assert_eq!(obj.symbolise(addr).unwrap().as_str(), "x");
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use telechat_common::{Arch, Error, Loc, Result, Val};
+use telechat_isa::{aarch64, armv7, mips, ppc, riscv, x86, AsmCode, SymRef};
+use telechat_litmus::Width;
+
+/// A loadable section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Section {
+    /// Section name (`.data`, `.rodata`, `.got`, `.text`).
+    pub name: String,
+    /// Base virtual address after linking.
+    pub base: u64,
+    /// Size in bytes.
+    pub size: u64,
+    /// True for read-only sections (stores here crash at run time).
+    pub readonly: bool,
+}
+
+/// A data symbol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name (the litmus location).
+    pub name: String,
+    /// Assigned virtual address (0 before linking).
+    pub addr: u64,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Containing section name.
+    pub section: String,
+}
+
+/// A DWARF-like debug entry tying a symbol to its C declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DebugVar {
+    /// Symbol name.
+    pub symbol: String,
+    /// Source-level type (e.g. `atomic_int`, `const _Atomic __int128`).
+    pub c_type: String,
+    /// True if declared `const` (lives in `.rodata`).
+    pub readonly: bool,
+}
+
+/// A relocation: instruction `index` of function `func` refers to `symbol`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reloc {
+    /// Function (thread) name, e.g. `P0`.
+    pub func: String,
+    /// Symbol-slot index within the function (in operand-visit order).
+    pub index: usize,
+    /// Referenced symbol.
+    pub symbol: String,
+}
+
+/// A compiled function: a thread body in typed instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Function name (`P0`, `P1`, …).
+    pub name: String,
+    /// The instructions.
+    pub code: AsmCode,
+    /// Text-section address of the first instruction (after linking).
+    pub offset: u64,
+}
+
+/// One line of a disassembly listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListingLine {
+    /// Instruction virtual address.
+    pub addr: u64,
+    /// Rendered instruction text.
+    pub text: String,
+}
+
+/// An `objdump -d`-style listing of one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Listing {
+    /// Function name.
+    pub func: String,
+    /// The lines.
+    pub lines: Vec<ListingLine>,
+}
+
+impl fmt::Display for Listing {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "<{}>:", self.func)?;
+        for l in &self.lines {
+            writeln!(f, "  {:#08x}:\t{}", l.addr, l.text)?;
+        }
+        Ok(())
+    }
+}
+
+const DATA_BASE: u64 = 0x11000;
+const RODATA_BASE: u64 = 0x20000;
+const GOT_BASE: u64 = 0x30000;
+const TEXT_BASE: u64 = 0x40000;
+const INSTR_BYTES: u64 = 4;
+
+/// A miniature relocatable object file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectFile {
+    /// Target architecture.
+    pub arch: Arch,
+    /// Sections (populated by [`ObjectFile::link`]).
+    pub sections: Vec<Section>,
+    /// Data symbols.
+    pub symbols: Vec<Symbol>,
+    /// Debug (DWARF-like) entries.
+    pub debug: Vec<DebugVar>,
+    /// Functions in emission order.
+    pub functions: Vec<Function>,
+    /// Relocations (recorded at emission, resolved by linking).
+    pub relocs: Vec<Reloc>,
+    /// Initial values per symbol (the `.data` image).
+    pub data_init: BTreeMap<String, Val>,
+    linked: bool,
+}
+
+impl ObjectFile {
+    /// An empty object for `arch`.
+    pub fn new(arch: Arch) -> ObjectFile {
+        ObjectFile {
+            arch,
+            sections: Vec::new(),
+            symbols: Vec::new(),
+            debug: Vec::new(),
+            functions: Vec::new(),
+            relocs: Vec::new(),
+            data_init: BTreeMap::new(),
+            linked: false,
+        }
+    }
+
+    /// Declares a data symbol with its initial value.
+    pub fn add_data(&mut self, name: &str, init: Val, width: Width, readonly: bool) {
+        let section = if readonly { ".rodata" } else { ".data" };
+        self.symbols.push(Symbol {
+            name: name.to_string(),
+            addr: 0,
+            size: width.bytes(),
+            section: section.to_string(),
+        });
+        self.debug.push(DebugVar {
+            symbol: name.to_string(),
+            c_type: match (readonly, width) {
+                (true, Width::W128) => "const _Atomic __int128".into(),
+                (true, _) => "const atomic_int".into(),
+                (false, Width::W128) => "_Atomic __int128".into(),
+                (false, _) => "atomic_int".into(),
+            },
+            readonly,
+        });
+        self.data_init.insert(name.to_string(), init);
+    }
+
+    /// Declares a GOT slot for `sym` (holds `&sym`; read by GOT-load
+    /// instructions in unoptimised code). Idempotent.
+    pub fn add_got_slot(&mut self, sym: &str) {
+        self.add_pointer_slot("got", sym);
+    }
+
+    /// Declares a pointer slot `prefix.sym` holding `&sym` — GOT entries
+    /// (`got.x`), PowerPC TOC entries (`toc.x`) and Armv7 literal-pool
+    /// slots (`lit.x`) all take this shape. Idempotent.
+    pub fn add_pointer_slot(&mut self, prefix: &str, sym: &str) {
+        let name = format!("{prefix}.{sym}");
+        if self.symbols.iter().any(|s| s.name == name) {
+            return;
+        }
+        self.symbols.push(Symbol {
+            name: name.clone(),
+            addr: 0,
+            size: 8,
+            section: ".got".to_string(),
+        });
+        self.data_init
+            .insert(name, Val::Addr(Loc::new(sym.to_string())));
+    }
+
+    /// Appends a function, recording relocations for its symbolic operands.
+    pub fn add_function(&mut self, name: &str, code: AsmCode) {
+        self.relocs.extend(collect_relocs(name, &code));
+        self.functions.push(Function {
+            name: name.to_string(),
+            code,
+            offset: 0,
+        });
+    }
+
+    /// Lays out sections, assigns symbol addresses and rewrites instruction
+    /// operands from symbols to raw addresses (the state a stripped binary's
+    /// disassembly shows).
+    pub fn link(&mut self) {
+        let mut bases: BTreeMap<&str, u64> = [
+            (".data", DATA_BASE),
+            (".rodata", RODATA_BASE),
+            (".got", GOT_BASE),
+        ]
+        .into_iter()
+        .collect();
+        for sym in &mut self.symbols {
+            let base = bases.get_mut(sym.section.as_str()).expect("known section");
+            sym.addr = *base;
+            *base += sym.size.max(8).next_multiple_of(8);
+        }
+        let mut text_off = 0;
+        for func in &mut self.functions {
+            func.offset = TEXT_BASE + text_off;
+            text_off += func.code.len() as u64 * INSTR_BYTES;
+        }
+        self.sections = vec![
+            Section {
+                name: ".data".into(),
+                base: DATA_BASE,
+                size: bases[".data"] - DATA_BASE,
+                readonly: false,
+            },
+            Section {
+                name: ".rodata".into(),
+                base: RODATA_BASE,
+                size: bases[".rodata"] - RODATA_BASE,
+                readonly: true,
+            },
+            Section {
+                name: ".got".into(),
+                base: GOT_BASE,
+                size: bases[".got"] - GOT_BASE,
+                readonly: false,
+            },
+            Section {
+                name: ".text".into(),
+                base: TEXT_BASE,
+                size: text_off,
+                readonly: true,
+            },
+        ];
+        // Rewrite symbolic operands to raw addresses.
+        let table: BTreeMap<String, u64> = self
+            .symbols
+            .iter()
+            .map(|s| (s.name.clone(), s.addr))
+            .collect();
+        for func in &mut self.functions {
+            map_code_syms(&mut func.code, &|s: &SymRef| match s {
+                SymRef::Sym(l) => table
+                    .get(l.as_str())
+                    .map(|&a| SymRef::Addr(a))
+                    .unwrap_or_else(|| s.clone()),
+                SymRef::Addr(_) => s.clone(),
+            });
+        }
+        self.linked = true;
+    }
+
+    /// True once [`ObjectFile::link`] has run.
+    pub fn is_linked(&self) -> bool {
+        self.linked
+    }
+
+    /// Looks up a symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Maps a virtual address back to the symbol covering it — the
+    /// symbol-table half of `s2l` symbolisation. Exact base addresses and
+    /// addresses within a symbol's extent both resolve.
+    pub fn symbolise(&self, addr: u64) -> Option<Loc> {
+        self.symbols
+            .iter()
+            .find(|s| addr >= s.addr && addr < s.addr + s.size.max(8))
+            .map(|s| Loc::new(s.name.clone()))
+    }
+
+    /// The debug entry for a symbol (the DWARF half of symbolisation,
+    /// carrying `const`-ness and the C type).
+    pub fn debug_of(&self, name: &str) -> Option<&DebugVar> {
+        self.debug.iter().find(|d| d.symbol == name)
+    }
+
+    /// Restores symbolic operands in all functions via
+    /// [`ObjectFile::symbolise`] — what `s2l` does with the listing before
+    /// building an assembly litmus test.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::IllFormed`] if an address resolves to no symbol
+    /// (missing debug info — the paper: "our technique is as accurate as the
+    /// metadata compilers provide").
+    pub fn symbolised_functions(&self) -> Result<Vec<Function>> {
+        let mut out = Vec::with_capacity(self.functions.len());
+        for f in &self.functions {
+            let mut code = f.code.clone();
+            let missing = std::cell::Cell::new(None::<u64>);
+            map_code_syms(&mut code, &|s: &SymRef| match s {
+                SymRef::Addr(a) => match self.symbolise(*a) {
+                    Some(l) => SymRef::Sym(l),
+                    None => {
+                        if missing.get().is_none() {
+                            missing.set(Some(*a));
+                        }
+                        SymRef::Addr(*a)
+                    }
+                },
+                SymRef::Sym(l) => SymRef::Sym(l.clone()),
+            });
+            if let Some(a) = missing.get() {
+                return Err(Error::IllFormed(format!(
+                    "address {a:#x} has no covering symbol (missing debug info)"
+                )));
+            }
+            out.push(Function {
+                name: f.name.clone(),
+                code,
+                offset: f.offset,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Produces `objdump -d`-style listings (raw addresses, as linked).
+    pub fn disassemble(&self) -> Vec<Listing> {
+        self.functions
+            .iter()
+            .map(|f| Listing {
+                func: f.name.clone(),
+                lines: f
+                    .code
+                    .lines()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, text)| ListingLine {
+                        addr: f.offset + i as u64 * INSTR_BYTES,
+                        text,
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+/// Applies `f` to every symbol reference in a typed code body.
+fn map_code_syms(code: &mut AsmCode, f: &dyn Fn(&SymRef) -> SymRef) {
+    match code {
+        AsmCode::A64(v) => aarch64::map_syms(v, f),
+        AsmCode::Armv7(v) => armv7::map_syms(v, f),
+        AsmCode::X86(v) => x86::map_syms(v, f),
+        AsmCode::RiscV(v) => riscv::map_syms(v, f),
+        AsmCode::Ppc(v) => ppc::map_syms(v, f),
+        AsmCode::Mips(v) => mips::map_syms(v, f),
+    }
+}
+
+/// Walks the symbol slots of `code` in visit order, recording a relocation
+/// for each symbolic operand.
+fn collect_relocs(func: &str, code: &AsmCode) -> Vec<Reloc> {
+    let state = std::cell::RefCell::new((0usize, Vec::new()));
+    let mut scratch = code.clone();
+    map_code_syms(&mut scratch, &|s: &SymRef| {
+        let mut st = state.borrow_mut();
+        if let SymRef::Sym(l) = s {
+            let index = st.0;
+            st.1.push(Reloc {
+                func: func.to_string(),
+                index,
+                symbol: l.to_string(),
+            });
+        }
+        st.0 += 1;
+        s.clone()
+    });
+    state.into_inner().1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telechat_isa::aarch64::A64Instr;
+
+    fn sample() -> ObjectFile {
+        let mut obj = ObjectFile::new(Arch::AArch64);
+        obj.add_data("x", Val::Int(0), Width::W64, false);
+        obj.add_data("y", Val::Int(0), Width::W64, false);
+        obj.add_data("c", Val::Int(5), Width::W64, true);
+        obj.add_got_slot("x");
+        obj.add_function(
+            "P0",
+            AsmCode::A64(vec![
+                A64Instr::Adrp {
+                    dst: "x8".into(),
+                    sym: "x".into(),
+                },
+                A64Instr::AddLo12 {
+                    dst: "x8".into(),
+                    src: "x8".into(),
+                    sym: "x".into(),
+                },
+                A64Instr::Ldr {
+                    dst: "w0".into(),
+                    base: "x8".into(),
+                },
+            ]),
+        );
+        obj
+    }
+
+    #[test]
+    fn linking_assigns_distinct_addresses() {
+        let mut obj = sample();
+        obj.link();
+        let x = obj.symbol("x").unwrap().addr;
+        let y = obj.symbol("y").unwrap().addr;
+        let c = obj.symbol("c").unwrap().addr;
+        assert_ne!(x, y);
+        assert!(x >= DATA_BASE && y >= DATA_BASE);
+        assert!(c >= RODATA_BASE, "const data goes to .rodata");
+        assert!(obj.symbol("got.x").unwrap().addr >= GOT_BASE);
+        assert!(obj.is_linked());
+    }
+
+    #[test]
+    fn link_rewrites_operands_to_addresses() {
+        let mut obj = sample();
+        obj.link();
+        let listing = &obj.disassemble()[0];
+        // After linking the adrp shows a raw address, not `x`.
+        assert!(
+            listing.lines[0].text.contains("0x11"),
+            "{}",
+            listing.lines[0].text
+        );
+    }
+
+    #[test]
+    fn symbolise_round_trip() {
+        let mut obj = sample();
+        obj.link();
+        let funcs = obj.symbolised_functions().unwrap();
+        let AsmCode::A64(code) = &funcs[0].code else {
+            panic!("arch");
+        };
+        match &code[0] {
+            A64Instr::Adrp { sym, .. } => {
+                assert_eq!(sym.as_sym().unwrap().as_str(), "x");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn symbolise_within_extent() {
+        let mut obj = sample();
+        obj.link();
+        let base = obj.symbol("x").unwrap().addr;
+        assert_eq!(obj.symbolise(base + 4).unwrap().as_str(), "x");
+        assert_eq!(obj.symbolise(0xdead_0000), None);
+    }
+
+    #[test]
+    fn relocations_recorded() {
+        let obj = sample();
+        assert_eq!(obj.relocs.len(), 2, "adrp + add refer to x");
+        assert!(obj
+            .relocs
+            .iter()
+            .all(|r| r.symbol == "x" && r.func == "P0"));
+        assert_eq!(obj.relocs[0].index, 0);
+        assert_eq!(obj.relocs[1].index, 1);
+    }
+
+    #[test]
+    fn debug_entries_carry_constness() {
+        let obj = sample();
+        assert!(obj.debug_of("c").unwrap().readonly);
+        assert!(!obj.debug_of("x").unwrap().readonly);
+        assert_eq!(obj.debug_of("c").unwrap().c_type, "const atomic_int");
+    }
+
+    #[test]
+    fn listing_renders() {
+        let mut obj = sample();
+        obj.link();
+        let text = obj.disassemble()[0].to_string();
+        assert!(text.contains("<P0>:"));
+        assert!(text.contains("ldr w0, [x8]"));
+    }
+
+    #[test]
+    fn missing_debug_info_reported() {
+        let mut obj = ObjectFile::new(Arch::AArch64);
+        obj.add_function(
+            "P0",
+            AsmCode::A64(vec![A64Instr::Adrp {
+                dst: "x8".into(),
+                sym: SymRef::Addr(0xdead_beef),
+            }]),
+        );
+        obj.link();
+        let err = obj.symbolised_functions().unwrap_err();
+        assert!(err.to_string().contains("no covering symbol"), "{err}");
+    }
+
+    #[test]
+    fn got_slot_idempotent_and_holds_address() {
+        let mut obj = ObjectFile::new(Arch::AArch64);
+        obj.add_got_slot("x");
+        obj.add_got_slot("x");
+        assert_eq!(obj.symbols.len(), 1);
+        assert_eq!(
+            obj.data_init["got.x"],
+            Val::Addr(Loc::new("x")),
+            "the slot holds the address of x"
+        );
+    }
+}

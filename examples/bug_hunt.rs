@@ -1,0 +1,83 @@
+//! Bug hunt: sweep compiler generations over the paper's bug-triggering
+//! tests and watch each historical bug appear and get fixed.
+//!
+//! ```sh
+//! cargo run --example bug_hunt
+//! ```
+
+use telechat_repro::prelude::*;
+
+const TESTS: &[(&str, &str)] = &[
+    (
+        "MP+fetch_add (Fig. 10 — STADD / dead-register bugs)",
+        r#"
+C11 "MP+fetch_add"
+{ x = 0; y = 0; }
+P0 (atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_release);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+P1 (atomic_int* y, atomic_int* x) {
+  int r1 = atomic_fetch_add_explicit(y, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_acquire);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=0 /\ y=2)
+"#,
+    ),
+    (
+        "MP+exchange (Fig. 1 — bug [38])",
+        r#"
+C11 "MP+exchange"
+{ x = 0; y = 0; }
+P0 (atomic_int* y, atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_thread_fence(memory_order_release);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+P1 (atomic_int* y, atomic_int* x) {
+  atomic_exchange_explicit(y, 2, memory_order_release);
+  atomic_thread_fence(memory_order_acquire);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=0 /\ y=2)
+"#,
+    ),
+];
+
+fn main() -> Result<(), Error> {
+    let tool = Telechat::new("rc11")?;
+    let versions = [9u32, 11, 15, 16, 17];
+
+    for (label, src) in TESTS {
+        println!("== {label} ==");
+        let test = parse_c11(src)?;
+        print!("  clang (Armv8.1+LSE, -O2): ");
+        for &v in &versions {
+            let cc = Compiler::new(CompilerId::llvm(v), OptLevel::O2, Target::armv81_lse());
+            let verdict = tool.run(&test, &cc)?.verdict;
+            let mark = match verdict {
+                TestVerdict::PositiveDifference => "BUG",
+                TestVerdict::RuntimeCrash => "CRASH",
+                _ => "ok",
+            };
+            print!("v{v}:{mark}  ");
+        }
+        println!();
+        print!("  gcc   (Armv8.1+LSE, -O2): ");
+        for v in [9u32, 10, 12, 13] {
+            let cc = Compiler::new(CompilerId::gcc(v), OptLevel::O2, Target::armv81_lse());
+            let verdict = tool.run(&test, &cc)?.verdict;
+            let mark = match verdict {
+                TestVerdict::PositiveDifference => "BUG",
+                TestVerdict::RuntimeCrash => "CRASH",
+                _ => "ok",
+            };
+            print!("v{v}:{mark}  ");
+        }
+        println!("\n");
+    }
+    println!("Latest releases are clean; the historical generations reproduce the reports.");
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! A miniature §IV-D differential-testing campaign: generate a diy suite,
+//! sweep compilers × levels × architectures, print the Table IV matrix.
+//!
+//! ```sh
+//! cargo run --release --example differential_campaign
+//! ```
+
+use telechat_repro::diy::Config;
+use telechat_repro::prelude::*;
+
+fn main() -> Result<(), Error> {
+    // A small suite (the full Config::c11() is used by the bench binary).
+    let suite = Config::examples().generate();
+    println!("generated {} source tests (diy families)", suite.len());
+    for t in &suite {
+        println!("  {}: {} threads, {} instructions", t.name, t.thread_count(), t.loc_count());
+    }
+
+    let spec = CampaignSpec {
+        compilers: vec![CompilerId::llvm(11), CompilerId::gcc(10)],
+        opts: vec![OptLevel::O1, OptLevel::O2, OptLevel::O3],
+        targets: telechat_repro::common::Arch::TARGETS
+            .iter()
+            .map(|&a| Target::new(a))
+            .collect(),
+        source_model: "rc11".into(),
+        threads: 4,
+    };
+    let config = PipelineConfig {
+        sim: SimConfig::fast(),
+        ..PipelineConfig::default()
+    };
+    let result = run_campaign(&suite, &spec, &config)?;
+    println!("\n{result}");
+
+    println!("reading the table: +ve rows are candidate bugs (load-buffering family");
+    println!("under RC11); x86-64 and MIPS rows stay at zero because those");
+    println!("architectures preserve load-to-store ordering.");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: test one compiler on one litmus test.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds the classic message-passing test, runs the full Téléchat
+//! pipeline (`l2c → compile → s2l → herd ×2 → mcompare`) against a
+//! correct and a buggy compiler, and prints the verdicts.
+
+use telechat_repro::prelude::*;
+
+fn main() -> Result<(), Error> {
+    // 1. A litmus test: fixed initial state, concurrent program, final
+    //    condition (paper Fig. 1 shape, correct-synchronisation variant).
+    let test = parse_c11(
+        r#"
+C11 "MP+rel+acq"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_release);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, memory_order_acquire);
+  int r1 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P1:r0=1 /\ P1:r1=0)
+"#,
+    )?;
+
+    // 2. The tool: RC11 as the source-model oracle.
+    let tool = Telechat::new("rc11")?;
+
+    // 3. A compiler under test: clang-17 -O2 for Armv8.1+LSE.
+    let good = Compiler::new(CompilerId::llvm(17), OptLevel::O2, Target::armv81_lse());
+    let report = tool.run(&test, &good)?;
+    println!("=== {} ===", good.profile_name());
+    println!("source outcomes (RC11):\n{}", report.source_outcomes);
+    println!("compiled outcomes (AArch64):\n{}", report.target_outcomes);
+    println!("verdict: {:?}\n", report.verdict);
+    assert_ne!(report.verdict, TestVerdict::PositiveDifference);
+
+    // 4. Swap in a weaker test + a buggy compiler generation and the
+    //    pipeline reports the positive difference (a bug!).
+    let weak = parse_c11(
+        r#"
+C11 "LB+fences"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_thread_fence(memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_thread_fence(memory_order_relaxed);
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (P0:r0=1 /\ P1:r0=1)
+"#,
+    )?;
+    let report = tool.run(&weak, &good)?;
+    println!("=== LB+fences under {} ===", good.profile_name());
+    println!("verdict: {:?}", report.verdict);
+    println!("positive differences (behaviours the source forbids):");
+    print!("{}", report.positive);
+    println!("\nextracted assembly litmus test:\n{}", report.asm_test);
+    Ok(())
+}

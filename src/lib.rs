@@ -1,0 +1,31 @@
+//! Umbrella crate for the Téléchat reproduction.
+//!
+//! This crate exists to host the workspace-level integration tests (under
+//! `tests/`) and the runnable examples (under `examples/`). It re-exports the
+//! member crates under short names so examples read naturally:
+//!
+//! ```
+//! use telechat_repro::prelude::*;
+//! let _ = Arch::AArch64;
+//! ```
+
+/// One-stop imports for examples and integration tests.
+pub mod prelude {
+    pub use telechat::prelude::*;
+    pub use telechat_common::{
+        Annot, AnnotSet, Arch, Error, EventId, Loc, Outcome, OutcomeSet, Reg, StateKey, ThreadId,
+        Val,
+    };
+}
+
+pub use telechat as core;
+pub use telechat_c4 as c4;
+pub use telechat_cat as cat;
+pub use telechat_common as common;
+pub use telechat_compiler as compiler;
+pub use telechat_diy as diy;
+pub use telechat_exec as exec;
+pub use telechat_hardware as hardware;
+pub use telechat_isa as isa;
+pub use telechat_litmus as litmus;
+pub use telechat_objfile as objfile;

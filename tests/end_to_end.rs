@@ -1,0 +1,227 @@
+//! Cross-crate integration tests: diy → l2c → compiler → objfile → s2l →
+//! exec/cat → mcompare, exercised end to end.
+
+use telechat_repro::diy::{AccessKind, Config, Edge, Family};
+use telechat_repro::prelude::*;
+
+fn tool() -> Telechat {
+    Telechat::new("rc11").expect("rc11 loads")
+}
+
+fn clang11(opt: OptLevel, arch: Arch) -> Compiler {
+    Compiler::new(CompilerId::llvm(11), opt, Target::new(arch))
+}
+
+#[test]
+fn generated_suite_flows_through_the_whole_pipeline() {
+    let suite = Config::examples().generate();
+    let tool = tool();
+    let cc = clang11(OptLevel::O2, Arch::AArch64);
+    for test in &suite {
+        let report = tool
+            .run(test, &cc)
+            .unwrap_or_else(|e| panic!("{}: {e}", test.name));
+        // Every generated test must produce outcomes on both sides.
+        assert!(!report.source_outcomes.is_empty(), "{}", test.name);
+        assert!(!report.target_outcomes.is_empty(), "{}", test.name);
+    }
+}
+
+#[test]
+fn lb_family_positive_only_on_weak_architectures() {
+    let lb = Family::Lb
+        .generate(
+            "LB",
+            Edge::Fenced {
+                order: telechat_repro::common::Annot::Relaxed,
+            },
+            AccessKind::Atomic(telechat_repro::common::Annot::Relaxed),
+        )
+        .unwrap();
+    let tool = tool();
+    for arch in Arch::TARGETS {
+        let verdict = tool.run(&lb, &clang11(OptLevel::O3, arch)).unwrap().verdict;
+        let weak = matches!(arch, Arch::AArch64 | Arch::Armv7 | Arch::RiscV | Arch::Ppc);
+        assert_eq!(
+            verdict == TestVerdict::PositiveDifference,
+            weak,
+            "{arch}: {verdict:?}"
+        );
+    }
+}
+
+#[test]
+fn mp_family_fenced_passes_on_fixed_compilers_everywhere() {
+    let mp = Family::Mp
+        .generate(
+            "MP+fences",
+            Edge::Fenced {
+                order: telechat_repro::common::Annot::SeqCst,
+            },
+            AccessKind::Atomic(telechat_repro::common::Annot::Relaxed),
+        )
+        .unwrap();
+    let tool = tool();
+    for arch in Arch::TARGETS {
+        let cc = Compiler::new(CompilerId::llvm(17), OptLevel::O2, Target::new(arch));
+        let verdict = tool.run(&mp, &cc).unwrap().verdict;
+        assert_ne!(
+            verdict,
+            TestVerdict::PositiveDifference,
+            "{arch}: correct compilation must not add behaviours"
+        );
+    }
+}
+
+#[test]
+fn sc_accesses_pass_at_every_optimisation_level() {
+    let sb = Family::Sb
+        .generate(
+            "SB+sc",
+            Edge::Po { sameloc: false },
+            AccessKind::Atomic(telechat_repro::common::Annot::SeqCst),
+        )
+        .unwrap();
+    let tool = tool();
+    for opt in [OptLevel::O1, OptLevel::O2, OptLevel::O3, OptLevel::Ofast] {
+        for arch in Arch::TARGETS {
+            let verdict = tool.run(&sb, &clang11(opt, arch)).unwrap().verdict;
+            assert_ne!(
+                verdict,
+                TestVerdict::PositiveDifference,
+                "{arch} {opt}: SC mapping must be sound"
+            );
+        }
+    }
+}
+
+#[test]
+fn racy_sources_are_discounted() {
+    let racy = parse_c11(
+        r#"
+C11 "race"
+{ int x = 0; }
+P0 (int* x) { *x = 1; }
+P1 (int* x) { int r0 = *x; }
+exists (P1:r0=1)
+"#,
+    )
+    .unwrap();
+    let verdict = tool()
+        .run(&racy, &clang11(OptLevel::O2, Arch::AArch64))
+        .unwrap()
+        .verdict;
+    assert_eq!(verdict, TestVerdict::SourceRace);
+}
+
+#[test]
+fn wrong_endian_store_pair_is_caught() {
+    // Bug [39]: the 128-bit store writes its halves flipped; the final
+    // memory value differs from every source-allowed outcome.
+    let wide = parse_c11(
+        r#"
+C11 "wide-store"
+{ wide q = 0; }
+P0 (atomic_int* q) {
+  atomic_store_explicit(q, 2, memory_order_relaxed);
+}
+exists ([q]=2)
+"#,
+    )
+    .unwrap();
+    let tool = tool();
+    let buggy = Compiler::new(CompilerId::llvm(15), OptLevel::O2, Target::armv84_lse2());
+    let report = tool.run(&wide, &buggy).unwrap();
+    assert_eq!(
+        report.verdict,
+        TestVerdict::PositiveDifference,
+        "flipped halves change the stored value: {}",
+        report.target_outcomes
+    );
+    let fixed = Compiler::new(CompilerId::llvm(16), OptLevel::O2, Target::armv84_lse2());
+    let report = tool.run(&wide, &fixed).unwrap();
+    assert_ne!(report.verdict, TestVerdict::PositiveDifference);
+}
+
+#[test]
+fn ldp_seq_cst_bug_reorders_past_rmw() {
+    // Bug [37]: a 128-bit seq-cst load via bare LDP reorders before a prior
+    // CAS-loop store. Source: both SC, so MP-style reordering is forbidden.
+    let test = parse_c11(
+        r#"
+C11 "ldp-sc"
+{ wide q = 0; y = 0; }
+P0 (atomic_int* q, atomic_int* y) {
+  atomic_store_explicit(q, 1, memory_order_seq_cst);
+  int r0 = atomic_load_explicit(y, memory_order_seq_cst);
+}
+P1 (atomic_int* q, atomic_int* y) {
+  atomic_store_explicit(y, 1, memory_order_seq_cst);
+  int r0 = atomic_load_explicit(q, memory_order_seq_cst);
+}
+exists (P0:r0=0 /\ P1:r0=0)
+"#,
+    )
+    .unwrap();
+    let tool = tool();
+    let buggy = Compiler::new(CompilerId::llvm(16), OptLevel::O2, Target::armv84_lse2());
+    let report = tool.run(&test, &buggy).unwrap();
+    assert_eq!(
+        report.verdict,
+        TestVerdict::PositiveDifference,
+        "bare LDP loses SC ordering: {}",
+        report.target_outcomes
+    );
+    let fixed = Compiler::new(CompilerId::llvm(17), OptLevel::O2, Target::armv84_lse2());
+    let report = tool.run(&test, &fixed).unwrap();
+    assert_ne!(report.verdict, TestVerdict::PositiveDifference);
+}
+
+#[test]
+fn campaign_on_tiny_suite_is_deterministic() {
+    let suite = Config::examples().generate();
+    let spec = CampaignSpec {
+        compilers: vec![CompilerId::llvm(11)],
+        opts: vec![OptLevel::O2],
+        targets: vec![Target::new(Arch::AArch64), Target::new(Arch::X86_64)],
+        source_model: "rc11".into(),
+        threads: 2,
+    };
+    let config = PipelineConfig::default();
+    let a = run_campaign(&suite, &spec, &config).unwrap();
+    let b = run_campaign(&suite, &spec, &config).unwrap();
+    assert_eq!(a.cells, b.cells);
+    assert!(a.total_positive() > 0, "LB family present in the suite");
+    assert_eq!(
+        a.cell(Arch::X86_64, CompilerFamily::Llvm, OptLevel::O2)
+            .unwrap()
+            .positive,
+        0
+    );
+}
+
+#[test]
+fn extraction_produces_simulable_asm_tests() {
+    // The AsmTest round trip: extract, lower, simulate under the target
+    // model directly.
+    let test = parse_c11(
+        r#"
+C11 "store"
+{ x = 0; }
+P0 (atomic_int* x) { atomic_store_explicit(x, 1, memory_order_release); }
+exists (x=1)
+"#,
+    )
+    .unwrap();
+    let tool = tool();
+    for arch in Arch::TARGETS {
+        let (_, _, _, asm, litmus) = tool
+            .extract(&test, &clang11(OptLevel::O2, arch))
+            .unwrap_or_else(|e| panic!("{arch}: {e}"));
+        assert_eq!(asm.arch(), arch);
+        let model = CatModel::for_arch(arch).unwrap();
+        let r = simulate(&litmus, &model, &SimConfig::default())
+            .unwrap_or_else(|e| panic!("{arch}: {e}"));
+        assert!(!r.outcomes.is_empty(), "{arch}");
+    }
+}

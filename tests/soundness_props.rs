@@ -1,0 +1,105 @@
+//! Property-based soundness tests over generated suites.
+//!
+//! The paper's eq. 1 is the gold standard: for every well-defined source
+//! test, a *correct* compiler's outcomes are a subset of the source
+//! outcomes. We check it over randomly chosen generated tests, compilers
+//! and levels — with all bug knobs off (latest releases).
+
+use proptest::prelude::*;
+use telechat_repro::diy::{AccessKind, Config, Edge, Family};
+use telechat_repro::prelude::*;
+
+fn suite() -> Vec<LitmusTest> {
+    Config::c11().generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case runs a full pipeline; keep CI time sane
+        .. ProptestConfig::default()
+    })]
+
+    /// eq. 1: fixed compilers never add behaviours (modulo racy sources,
+    /// which are undefined).
+    ///
+    /// The source oracle is `rc11-lb`: ISO C/C++ permits load-to-store
+    /// reordering, so under plain RC11 even *correct* compilers show the
+    /// LB-family positives ("these positive differences are not bugs in
+    /// today's compilers", paper §IV-D). With LB admitted at the source,
+    /// any remaining positive difference is a genuine miscompilation.
+    #[test]
+    fn fixed_compilers_are_observationally_sound(
+        test_idx in 0usize..100,
+        arch_idx in 0usize..6,
+        opt_idx in 0usize..3,
+    ) {
+        let suite = suite();
+        let test = &suite[test_idx % suite.len()];
+        let arch = Arch::TARGETS[arch_idx];
+        let opt = [OptLevel::O1, OptLevel::O2, OptLevel::O3][opt_idx];
+        let tool = Telechat::new("rc11-lb").unwrap();
+        let cc = Compiler::new(CompilerId::llvm(17), opt, Target::new(arch));
+        let report = tool.run(test, &cc).unwrap();
+        prop_assert_ne!(
+            report.verdict,
+            TestVerdict::PositiveDifference,
+            "{} on {} at {}: +ve {}",
+            test.name, arch, opt, report.positive
+        );
+    }
+
+    /// The s2l optimisation is outcome-preserving: optimised and
+    /// unoptimised extractions of the same object yield the same outcome
+    /// sets (the soundness argument of §IV-E).
+    #[test]
+    fn litmus_optimisation_preserves_outcomes(test_idx in 0usize..40) {
+        use telechat_repro::core::PipelineConfig;
+        let small = Config::examples().generate();
+        let test = &small[test_idx % small.len()];
+        // -O1 keeps code small enough for the unoptimised extraction to
+        // finish; the optimisation must not change what is observable.
+        let cc = Compiler::new(CompilerId::llvm(17), OptLevel::O1,
+                               Target::new(Arch::AArch64));
+        let run = |optimise: bool| {
+            let tool = Telechat::with_config("rc11", PipelineConfig {
+                optimise,
+                sim: SimConfig::fast(),
+                ..PipelineConfig::default()
+            }).unwrap();
+            tool.run(test, &cc).map(|r| r.target_outcomes)
+        };
+        let optimised = run(true).unwrap();
+        if let Ok(unoptimised) = run(false) {
+            prop_assert_eq!(optimised, unoptimised, "{}", test.name);
+        }
+        // (state-explosion on the unoptimised side is acceptable — that is
+        // the very phenomenon the optimisation exists for)
+    }
+
+    /// Generated cycles always produce SC-unreachable witnesses: under the
+    /// `sc` model the exists clause never holds.
+    #[test]
+    fn generated_witnesses_are_sc_unreachable(
+        fam_idx in 0usize..9,
+        fence in prop::bool::ANY,
+    ) {
+        let fam = Family::ALL[fam_idx];
+        let po = if fence {
+            Edge::Fenced { order: telechat_repro::common::Annot::SeqCst }
+        } else {
+            Edge::Po { sameloc: false }
+        };
+        let Ok(test) = fam.generate("t", po, AccessKind::Atomic(
+            telechat_repro::common::Annot::Relaxed)) else {
+            return Ok(());
+        };
+        let sc = CatModel::bundled("sc").unwrap();
+        let r = simulate(&test, &sc, &SimConfig::default()).unwrap();
+        prop_assert!(
+            !test.condition.holds(&r.outcomes),
+            "{}: witness must be SC-forbidden: {}",
+            test.name,
+            r.outcomes
+        );
+    }
+}
