@@ -7,7 +7,7 @@ use telechat_bench::{FIG11_LB3, FIG7_LB_FENCES};
 use telechat_cat::CatModel;
 use telechat_common::Arch;
 use telechat_compiler::{Compiler, CompilerId, OptLevel, Target};
-use telechat_exec::{simulate, SimConfig};
+use telechat_exec::{simulate, simulate_reference, SeqCstRef, SimConfig};
 use telechat_litmus::{parse_c11, LitmusTest};
 
 fn source_simulation(c: &mut Criterion) {
@@ -107,11 +107,79 @@ fn optimised_vs_unoptimised_extraction(c: &mut Criterion) {
     g.finish();
 }
 
+fn enumeration_old_vs_new(c: &mut Criterion) {
+    // The incremental staged/pruned engine against the retained naive
+    // reference enumerator, on the Fig. 11 stress shape: the unoptimised
+    // -O0 extraction whose rf × co product explodes (§IV-E). Neither
+    // engine can finish it, so both race to exhaust the same fixed
+    // candidate budget — identical accounting, so the wall-clock ratio is
+    // the engine speedup. The source Fig. 11 test and its rc11/SC runs
+    // *do* finish, measuring the full-completion case.
+    let lb3 = parse_c11(FIG11_LB3).unwrap();
+    let rc11 = CatModel::bundled("rc11").unwrap();
+    let cfg = SimConfig::default();
+
+    let unopt_tool = Telechat::with_config(
+        "rc11",
+        PipelineConfig {
+            optimise: false,
+            ..PipelineConfig::default()
+        },
+    )
+    .unwrap();
+    let o0 = Compiler::new(CompilerId::llvm(11), OptLevel::O0, Target::new(Arch::AArch64));
+    let lb2 = parse_c11(FIG7_LB_FENCES).unwrap();
+    let (_, _, _, _, unopt_target) = unopt_tool.extract(&lb2, &o0).unwrap();
+    let aarch64 = CatModel::bundled("aarch64").unwrap();
+    let capped = SimConfig {
+        max_candidates: 20_000,
+        timeout: None,
+        ..SimConfig::default()
+    };
+
+    let mut g = c.benchmark_group("enumeration-engine");
+    g.sample_size(10);
+    g.bench_function("fig11-source-rc11-new", |b| {
+        b.iter(|| simulate(&lb3, &rc11, &cfg).unwrap())
+    });
+    g.bench_function("fig11-source-rc11-old", |b| {
+        b.iter(|| simulate_reference(&lb3, &rc11, &cfg).unwrap())
+    });
+    g.bench_function("fig11-source-sc-new", |b| {
+        b.iter(|| simulate(&lb3, &SeqCstRef, &cfg).unwrap())
+    });
+    g.bench_function("fig11-source-sc-old", |b| {
+        b.iter(|| simulate_reference(&lb3, &SeqCstRef, &cfg).unwrap())
+    });
+    g.bench_function("unopt-20k-budget-new", |b| {
+        b.iter(|| {
+            let r = simulate(&unopt_target, &aarch64, &capped);
+            assert!(r.is_err(), "must exhaust the budget");
+        })
+    });
+    g.bench_function("unopt-20k-budget-old", |b| {
+        b.iter(|| {
+            let r = simulate_reference(&unopt_target, &aarch64, &capped);
+            assert!(r.is_err(), "must exhaust the budget");
+        })
+    });
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let capped_par = capped.clone().with_threads(cores);
+    g.bench_function("unopt-20k-budget-new-parallel", |b| {
+        b.iter(|| {
+            let r = simulate(&unopt_target, &aarch64, &capped_par);
+            assert!(r.is_err(), "must exhaust the budget");
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     source_simulation,
     compiled_simulation_claim5,
     model_evaluation,
-    optimised_vs_unoptimised_extraction
+    optimised_vs_unoptimised_extraction,
+    enumeration_old_vs_new
 );
 criterion_main!(benches);

@@ -41,23 +41,33 @@ impl CatValue {
     }
 }
 
-/// The evaluation environment: named sets/relations plus the event universe.
+/// The combo-constant part of an evaluation environment.
+///
+/// Everything here depends only on the candidate *skeleton* — the events
+/// and the fixed relations (`po`, `rmw`, `addr`, `data`, `ctrl`) — not on
+/// the rf/co choice. The enumeration engine's combo sessions build one
+/// `EnvBase` per trace combination and layer a thin per-candidate [`Env`]
+/// (binding just `rf`, `co`, `fr`) over it, instead of recomputing
+/// `loc`/`ext`/`int`, the annotation sets and the universe for every
+/// single candidate — the dominant cost of naive per-candidate
+/// evaluation.
 #[derive(Debug, Clone)]
-pub struct Env {
+pub struct EnvBase {
     names: BTreeMap<String, CatValue>,
     universe: EventSet,
 }
 
-impl Env {
-    /// Builds the base environment for one execution.
+impl EnvBase {
+    /// Builds the combo-constant bindings from a skeleton execution
+    /// (whose `rf`/`co` are ignored and may be empty).
     ///
     /// Bound names:
-    /// * sets — `_` (all events), `M`, `R`, `W`, `F`, `IW`, `emptyset`, and
-    ///   one set per [`Annot`] under its Cat name (`ACQ`, `REL`, `X`,
+    /// * sets — `_` (all events), `M`, `R`, `W`, `F`, `IW`, `emptyset`,
+    ///   and one set per [`Annot`] under its Cat name (`ACQ`, `REL`, `X`,
     ///   `DMB.ISH`, `NORET`, …);
-    /// * relations — `po`, `rf`, `co`, `fr`, `rmw`, `addr`, `data`, `ctrl`,
-    ///   `loc`, `ext`, `int`, `id`, `emptyrel`.
-    pub fn from_execution(x: &Execution) -> Env {
+    /// * relations — `po`, `rmw`, `addr`, `data`, `ctrl`, `loc`, `ext`,
+    ///   `int`, `id`, `emptyrel`.
+    pub fn from_skeleton(x: &Execution) -> EnvBase {
         let mut names = BTreeMap::new();
         let universe = x.universe();
         names.insert("_".to_string(), CatValue::Set(universe.clone()));
@@ -71,9 +81,6 @@ impl Env {
             names.insert(a.cat_name().to_string(), CatValue::Set(x.annot_set(a)));
         }
         names.insert("po".to_string(), CatValue::Rel(x.po.clone()));
-        names.insert("rf".to_string(), CatValue::Rel(x.rf.clone()));
-        names.insert("co".to_string(), CatValue::Rel(x.co.clone()));
-        names.insert("fr".to_string(), CatValue::Rel(x.fr()));
         names.insert("rmw".to_string(), CatValue::Rel(x.rmw.clone()));
         names.insert("addr".to_string(), CatValue::Rel(x.addr.clone()));
         names.insert("data".to_string(), CatValue::Rel(x.data.clone()));
@@ -83,7 +90,49 @@ impl Env {
         names.insert("int".to_string(), CatValue::Rel(x.int_rel()));
         names.insert("id".to_string(), CatValue::Rel(universe.identity()));
         names.insert("emptyrel".to_string(), CatValue::Rel(Relation::new()));
-        Env { names, universe }
+        EnvBase { names, universe }
+    }
+}
+
+/// The evaluation environment: named sets/relations plus the event
+/// universe, optionally layered over a shared [`EnvBase`].
+#[derive(Debug, Clone)]
+pub struct Env<'a> {
+    base: Option<&'a EnvBase>,
+    names: BTreeMap<String, CatValue>,
+    universe: std::borrow::Cow<'a, EventSet>,
+}
+
+impl<'a> Env<'a> {
+    /// Builds a self-contained environment for one execution (base plus
+    /// the candidate-varying `rf`/`co`/`fr`).
+    pub fn from_execution(x: &Execution) -> Env<'static> {
+        let base = EnvBase::from_skeleton(x);
+        let universe = base.universe.clone();
+        let mut names = base.names;
+        names.insert("rf".to_string(), CatValue::Rel(x.rf.clone()));
+        names.insert("co".to_string(), CatValue::Rel(x.co.clone()));
+        names.insert("fr".to_string(), CatValue::Rel(x.fr()));
+        Env {
+            base: None,
+            names,
+            universe: std::borrow::Cow::Owned(universe),
+        }
+    }
+
+    /// A thin per-candidate environment over a shared combo base: only
+    /// `rf`, `co` and the derived `fr` are bound here (the universe is
+    /// borrowed, not cloned — this runs once per candidate).
+    pub fn over_base(base: &'a EnvBase, x: &Execution) -> Env<'a> {
+        let mut names = BTreeMap::new();
+        names.insert("rf".to_string(), CatValue::Rel(x.rf.clone()));
+        names.insert("co".to_string(), CatValue::Rel(x.co.clone()));
+        names.insert("fr".to_string(), CatValue::Rel(x.fr()));
+        Env {
+            base: Some(base),
+            names,
+            universe: std::borrow::Cow::Borrowed(&base.universe),
+        }
     }
 
     /// Looks up a name.
@@ -95,10 +144,11 @@ impl Env {
     pub fn lookup(&self, name: &str) -> Result<&CatValue> {
         self.names
             .get(name)
+            .or_else(|| self.base.and_then(|b| b.names.get(name)))
             .ok_or_else(|| Error::Model(format!("unknown identifier `{name}`")))
     }
 
-    /// Binds a name (used by `let`).
+    /// Binds a name (used by `let`; shadows the base).
     pub fn bind(&mut self, name: impl Into<String>, value: CatValue) {
         self.names.insert(name.into(), value);
     }
@@ -202,7 +252,21 @@ const MAX_FIXPOINT_ITERS: usize = 256;
 /// Returns [`Error::Model`] on evaluation failures (unknown names, type
 /// errors, diverging `let rec`).
 pub fn run_program(p: &CatProgram, x: &Execution) -> Result<Verdict> {
-    let mut env = Env::from_execution(x);
+    run_in_env(p, Env::from_execution(x))
+}
+
+/// Runs a Cat program over one candidate with the combo-constant bindings
+/// supplied by a shared [`EnvBase`] — the enumeration engine's per-combo
+/// fast path (see [`EnvBase`]).
+///
+/// # Errors
+///
+/// As [`run_program`].
+pub fn run_program_with_base(p: &CatProgram, base: &EnvBase, x: &Execution) -> Result<Verdict> {
+    run_in_env(p, Env::over_base(base, x))
+}
+
+fn run_in_env(p: &CatProgram, mut env: Env<'_>) -> Result<Verdict> {
     let mut flags = Vec::new();
     for stmt in &p.stmts {
         match stmt {

@@ -1,10 +1,10 @@
 //! The bundled model library and the [`CatModel`] handle.
 
 use crate::ast::CatProgram;
-use crate::eval::run_program;
+use crate::eval::{run_program, run_program_with_base, EnvBase};
 use crate::parse::parse_cat;
 use telechat_common::{Arch, Error, Result};
-use telechat_exec::{ConsistencyModel, Execution, Verdict};
+use telechat_exec::{ComboChecker, ConsistencyModel, Execution, PartialVerdict, Verdict};
 
 /// `(name, source)` pairs of every bundled `.cat` file.
 pub const BUNDLED: &[(&str, &str)] = &[
@@ -120,6 +120,38 @@ impl ConsistencyModel for CatModel {
         self.check_execution(execution)
             .unwrap_or_else(|e| panic!("model `{}` failed to evaluate: {e}", self.model_name()))
     }
+
+    /// Cat programs may use non-monotone operators (difference,
+    /// complementing checks), so no partial verdicts are offered — but the
+    /// combo session precomputes every skeleton-constant binding
+    /// (`loc`/`ext`/`int`, annotation sets, the universe) once per trace
+    /// combination, so per-candidate evaluation binds only `rf`/`co`/`fr`.
+    fn combo_checker<'a>(&'a self, skeleton: &Execution) -> Box<dyn ComboChecker + 'a> {
+        Box::new(CatComboChecker {
+            program: &self.program,
+            name: self.model_name(),
+            base: EnvBase::from_skeleton(skeleton),
+        })
+    }
+}
+
+/// [`CatModel`]'s per-combo checking session (see
+/// [`ConsistencyModel::combo_checker`]).
+struct CatComboChecker<'a> {
+    program: &'a CatProgram,
+    name: &'a str,
+    base: EnvBase,
+}
+
+impl ComboChecker for CatComboChecker<'_> {
+    fn check(&self, execution: &Execution) -> Verdict {
+        run_program_with_base(self.program, &self.base, execution)
+            .unwrap_or_else(|e| panic!("model `{}` failed to evaluate: {e}", self.name))
+    }
+
+    fn check_partial(&self, _partial: &Execution) -> PartialVerdict {
+        PartialVerdict::Undecided
+    }
 }
 
 /// A conjunction of models: allowed iff allowed by *all* parts (used by the
@@ -158,6 +190,57 @@ impl ConsistencyModel for ModelIntersection {
             }
         }
         Verdict::Allowed { flags }
+    }
+
+    /// Forwards partial verdicts soundly: if *any* part forbids every
+    /// completion, so does the intersection.
+    fn check_partial(&self, partial: &Execution) -> PartialVerdict {
+        for m in &self.parts {
+            if m.check_partial(partial) == PartialVerdict::Forbidden {
+                return PartialVerdict::Forbidden;
+            }
+        }
+        PartialVerdict::Undecided
+    }
+
+    /// One combo session per part, so each part's combo-constant state is
+    /// shared across the combo's candidates.
+    fn combo_checker<'a>(&'a self, skeleton: &Execution) -> Box<dyn ComboChecker + 'a> {
+        Box::new(IntersectionChecker {
+            parts: self
+                .parts
+                .iter()
+                .map(|m| (m as &dyn ConsistencyModel).combo_checker(skeleton))
+                .collect(),
+        })
+    }
+}
+
+/// [`ModelIntersection`]'s combo session: the conjunction of its parts'
+/// sessions.
+struct IntersectionChecker<'a> {
+    parts: Vec<Box<dyn ComboChecker + 'a>>,
+}
+
+impl ComboChecker for IntersectionChecker<'_> {
+    fn check(&self, execution: &Execution) -> Verdict {
+        let mut flags = Vec::new();
+        for c in &self.parts {
+            match c.check(execution) {
+                Verdict::Allowed { flags: f } => flags.extend(f),
+                forbidden @ Verdict::Forbidden { .. } => return forbidden,
+            }
+        }
+        Verdict::Allowed { flags }
+    }
+
+    fn check_partial(&self, partial: &Execution) -> PartialVerdict {
+        for c in &self.parts {
+            if c.check_partial(partial) == PartialVerdict::Forbidden {
+                return PartialVerdict::Forbidden;
+            }
+        }
+        PartialVerdict::Undecided
     }
 }
 

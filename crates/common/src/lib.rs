@@ -29,6 +29,7 @@ pub mod arch;
 pub mod error;
 pub mod ids;
 pub mod outcome;
+pub mod rng;
 pub mod value;
 
 pub use annot::{Annot, AnnotSet};
@@ -36,4 +37,5 @@ pub use arch::Arch;
 pub use error::{Error, Result};
 pub use ids::{EventId, Loc, Reg, ThreadId};
 pub use outcome::{Outcome, OutcomeSet, StateKey};
+pub use rng::XorShiftRng;
 pub use value::Val;

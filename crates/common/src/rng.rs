@@ -1,0 +1,80 @@
+//! A small deterministic PRNG (xorshift64\*) shared across the workspace.
+//!
+//! The build environment vendors no registry crates, so this is the
+//! stand-in for `rand` wherever pseudo-randomness is needed: the
+//! simulated-hardware sampler and the deterministic property tests. The
+//! stream is **fixed forever** — repeatability of experiments and test
+//! cases is part of the contract, so the constants below must never
+//! change. There is exactly one definition; do not copy it.
+
+/// Deterministic xorshift64\* generator with a SplitMix64-scrambled seed.
+#[derive(Debug, Clone)]
+pub struct XorShiftRng(u64);
+
+impl XorShiftRng {
+    /// A generator seeded from `seed` (any value, including 0, yields a
+    /// non-degenerate stream).
+    pub fn seed_from_u64(seed: u64) -> XorShiftRng {
+        // SplitMix64 scramble so small seeds do not yield degenerate streams.
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        XorShiftRng((z ^ (z >> 31)).max(1))
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, n)` (`n = 0` is treated as `1`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_seed_sensitive() {
+        let mut a = XorShiftRng::seed_from_u64(7);
+        let mut b = XorShiftRng::seed_from_u64(7);
+        let mut c = XorShiftRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = XorShiftRng::seed_from_u64(0);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = XorShiftRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.below(1), 0);
+    }
+}

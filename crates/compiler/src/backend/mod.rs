@@ -122,6 +122,7 @@ pub trait Emitter {
     fn store(&mut self, width: AccessWidth, src: &str, addr: &str, ord: Ord11) -> Result<()>;
     /// An atomic RMW. `dst = None` means the old value is unused — the
     /// paper's §IV-B bug paths live behind this case.
+    #[allow(clippy::too_many_arguments)] // mirrors the C11 RMW shape
     fn rmw(
         &mut self,
         op: &RmwOp,

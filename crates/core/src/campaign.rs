@@ -22,7 +22,14 @@ pub struct CampaignSpec {
     pub targets: Vec<Target>,
     /// Source model name (`rc11`, or `rc11-lb` for the no-LB rerun).
     pub source_model: String,
-    /// Worker threads.
+    /// Campaign worker threads (tests × profiles are sharded over these).
+    ///
+    /// Composes with the exec-level [`telechat_exec::SimConfig::threads`]
+    /// without oversubscription: when the campaign itself runs more than
+    /// one worker, `run_campaign` forces each simulation to a single
+    /// enumeration thread (many small simulations parallelise better
+    /// across tests than within one); a single-worker campaign keeps the
+    /// configured per-simulation parallelism.
     pub threads: usize,
 }
 
@@ -164,7 +171,13 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     config: &PipelineConfig,
 ) -> Result<CampaignResult> {
-    let tool = Telechat::with_config(&spec.source_model, config.clone())?;
+    // Compose the two parallelism levels (see `CampaignSpec::threads`):
+    // campaign workers × enumeration threads must not oversubscribe.
+    let mut config = config.clone();
+    if spec.threads > 1 {
+        config.sim.threads = 1;
+    }
+    let tool = Telechat::with_config(&spec.source_model, config)?;
 
     // Work items: (test index, compiler).
     let mut items = Vec::new();
@@ -188,9 +201,9 @@ pub fn run_campaign(
     });
     let next = std::sync::atomic::AtomicUsize::new(0);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..spec.threads.max(1) {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some((tindex, compiler)) = items.get(i).copied() else {
                     return;
@@ -216,8 +229,7 @@ pub fn run_campaign(
                 }
             });
         }
-    })
-    .expect("campaign threads");
+    });
 
     Ok(result.into_inner().expect("campaign lock"))
 }

@@ -1,0 +1,193 @@
+//! A minimal, offline drop-in for the subset of the `criterion` API the
+//! workspace benches use.
+//!
+//! The build environment for this repository has no crates.io access, so
+//! the real `criterion` crate cannot be vendored. This shim keeps the
+//! bench sources (`crates/bench/benches/*.rs`) byte-compatible with the
+//! upstream API while providing a simple adaptive timing loop: each
+//! benchmark is warmed up, then run for a fixed wall-clock budget, and the
+//! mean/min/max per-iteration times are printed in a criterion-like
+//! format.
+//!
+//! Swap the path dependency for the registry crate to get the full
+//! statistical machinery; no bench source changes are needed.
+
+use std::fmt::Write as _;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Wall-clock budget spent measuring one benchmark function.
+const MEASURE_BUDGET: Duration = Duration::from_millis(400);
+/// Iteration cap, so microbenchmarks do not spin forever.
+const MAX_ITERS: u64 = 50_000;
+
+/// Per-benchmark timing driver; the closure target of `bench_function`.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, first warming up, then sampling until the measurement
+    /// budget is exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up (also provides the pilot estimate of one iteration).
+        let pilot = Instant::now();
+        std_black_box(f());
+        let one = pilot.elapsed().max(Duration::from_nanos(1));
+
+        let goal = (MEASURE_BUDGET.as_nanos() / one.as_nanos().max(1)) as u64;
+        let iters = goal.clamp(1, MAX_ITERS);
+        self.samples.reserve(iters as usize);
+        for _ in 0..iters {
+            let t = Instant::now();
+            std_black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(id: &str, b: &mut Bencher) {
+    let n = b.samples.len().max(1) as u32;
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / n;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    let max = b.samples.iter().max().copied().unwrap_or_default();
+    let mut line = String::new();
+    let _ = write!(
+        line,
+        "{id:<48} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max)
+    );
+    println!("{line}");
+}
+
+/// The top-level benchmark context, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        run_one(id, &mut b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            name: name.to_string(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's sampling is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        run_one(&format!("{}/{id}", self.name), &mut b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles bench functions into a
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: generates `main` from groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn groups_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+}

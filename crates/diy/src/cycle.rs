@@ -178,6 +178,7 @@ impl CycleSpec {
         // Determine event directions: each event is target of edge i-1 and
         // source of edge i; constraints must agree.
         let mut dirs: Vec<Option<Dir>> = vec![None; n];
+        #[allow(clippy::needless_range_loop)] // i also indexes the previous edge modulo n
         for i in 0..n {
             let src = self.edges[i].src_dir();
             let dst_prev = self.edges[(i + n - 1) % n].dst_dir();
@@ -286,13 +287,12 @@ impl CycleSpec {
             let body = &mut threads[s.thread];
             // Incoming intra-thread edge: fences and dependencies.
             match s.in_edge {
-                Some(Edge::Fenced { order }) => {
-                    if order != Annot::NonAtomic {
+                Some(Edge::Fenced { order })
+                    if order != Annot::NonAtomic => {
                         body.push(Instr::Fence {
                             annot: AnnotSet::of(&[Annot::Atomic, order]),
                         });
                     }
-                }
                 Some(Edge::Dp) => {
                     // xor the previous read into a fresh dep register used
                     // below via `dep + value`.

@@ -29,6 +29,14 @@ pub struct SimConfig {
     pub keep_executions: bool,
     /// Maximum executions kept when `keep_executions` is set.
     pub max_kept: usize,
+    /// Worker threads for candidate enumeration (trace combinations are
+    /// sharded across workers; outcome sets are merged deterministically,
+    /// so results do not depend on this value). `0` is treated as `1`.
+    ///
+    /// Campaign-level parallelism composes with this: `run_campaign`
+    /// forces single-threaded simulation when the campaign itself runs
+    /// multiple workers, so the two levels never oversubscribe.
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -42,6 +50,7 @@ impl Default for SimConfig {
             excl_fail_paths: false,
             keep_executions: false,
             max_kept: 64,
+            threads: 1,
         }
     }
 }
@@ -69,6 +78,23 @@ impl SimConfig {
     pub fn with_timeout(mut self, timeout: Duration) -> SimConfig {
         self.timeout = Some(timeout);
         self
+    }
+
+    /// Sets the enumeration worker-thread count (`0` is treated as `1`).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> SimConfig {
+        self.threads = threads;
+        self
+    }
+
+    /// A configuration using every available core for enumeration.
+    #[must_use]
+    pub fn parallel() -> SimConfig {
+        SimConfig::default().with_threads(
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
     }
 }
 

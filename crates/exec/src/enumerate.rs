@@ -1,28 +1,93 @@
-//! Candidate-execution enumeration and the top-level simulator.
+//! The incremental candidate-execution enumeration engine.
 //!
-//! This is the herd-equivalent core (paper §II-A): enumerate every candidate
-//! execution of a litmus test — combinations of per-thread traces, a
-//! reads-from assignment and a per-location coherence order — filter them
-//! through a consistency model, and collect the outcomes of the allowed
-//! ones.
+//! This is the herd-equivalent core (paper §II-A): enumerate every
+//! candidate execution of a litmus test — combinations of per-thread
+//! traces, a reads-from assignment and a per-location coherence order —
+//! filter them through a consistency model, and collect the outcomes of
+//! the allowed ones. The enumeration cost is the product of per-thread
+//! trace counts, rf choices per read and coherence permutations per
+//! location; that product is what explodes on unoptimised compiled tests
+//! (paper §IV-E / Fig. 11).
 //!
-//! The enumeration cost is the product of per-thread trace counts, rf
-//! choices per read and coherence permutations per location. That product is
-//! what explodes on unoptimised compiled tests (paper §IV-E / Fig. 11) and
-//! what the Téléchat `s2l` optimiser tames.
+//! # Architecture: staged builder with pruning and parallel combos
+//!
+//! The engine is organised as a three-stage pipeline per *combo* (one
+//! choice of per-thread traces), instead of the naive
+//! generate-all-then-filter loop (retained in [`crate::reference`] as the
+//! differential-testing oracle):
+//!
+//! 1. **Combine** — [`build_combined`] assembles the combo's event graph
+//!    once: events, transitive `po` (built in one pass via
+//!    [`Relation::total_order`]), and the `rmw`/`addr`/`data`/`ctrl`
+//!    dependency relations. These are *fixed* for every candidate of the
+//!    combo and shared immutably; only `rf`, `co` and the outcome vary.
+//! 2. **Assign rf** — reads are justified one at a time over their
+//!    statically-filtered candidate writes (same location, same value, not
+//!    po-later in the same thread). After each assignment the model's
+//!    [`ConsistencyModel::check_partial`] fast-reject hook runs; a
+//!    `Forbidden` verdict prunes the whole subtree *before* any coherence
+//!    order is enumerated.
+//! 3. **Assign co** — coherence orders are generated lazily, one write at
+//!    a time per location (swap-based permutation DFS with undo), never
+//!    materialising the `n!` permutation lists up front. The partial `co`
+//!    is kept transitively closed, so `check_partial` sees exactly the
+//!    prefix relations and can cut entire permutation subtrees.
+//!
+//! Pruned subtrees are still *accounted*: the engine adds the number of
+//! complete candidates a cut subtree contains to the candidate counter,
+//! so [`SimResult::candidates`] and the [`SimConfig::max_candidates`]
+//! budget behave identically to exhaustive enumeration — pruning changes
+//! time, not semantics.
+//!
+//! # Parallelism and determinism
+//!
+//! Trace combos are independent, so they are sharded across
+//! [`SimConfig::threads`] workers (an atomic work-list over the linear
+//! combo index). Each worker accumulates a private outcome shard; shards
+//! are merged in combo order after the join. Outcome sets, flags, counts
+//! and the crash bit are set unions/sums, so **results are identical for
+//! every thread count**; with `threads = 1` the engine degenerates to the
+//! exact sequential enumeration order of the reference engine.
 
 use crate::config::{SimConfig, SimResult};
 use crate::event::{Event, EventKind, Execution, INIT_THREAD};
-use crate::model::ConsistencyModel;
+use crate::model::{ConsistencyModel, PartialVerdict, Verdict};
 use crate::rel::Relation;
 use crate::trace::{interpret_thread, value_pools, InterpBudget, Trace};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 use telechat_common::{
     Annot, AnnotSet, Error, EventId, Loc, Outcome, OutcomeSet, Reg, Result, StateKey, ThreadId,
     Val,
 };
 use telechat_litmus::LitmusTest;
+
+/// Interprets every thread of `test`, returning the complete traces per
+/// thread (shared by the incremental and reference engines).
+pub(crate) fn interpret_all_traces(
+    test: &LitmusTest,
+    config: &SimConfig,
+) -> Result<Vec<Vec<Trace>>> {
+    let mut budget = InterpBudget::new(config.max_steps);
+    let pools = value_pools(test, config.unroll, config.max_pool_iters, &mut budget)?;
+    let mut thread_traces: Vec<Vec<Trace>> = Vec::with_capacity(test.threads.len());
+    for t in 0..test.threads.len() {
+        let mut traces = interpret_thread(
+            test,
+            ThreadId(t as u8),
+            &pools,
+            config.unroll,
+            config.excl_fail_paths,
+            &mut budget,
+        )?;
+        traces.retain(|tr| tr.complete);
+        traces.dedup();
+        thread_traces.push(traces);
+    }
+    Ok(thread_traces)
+}
 
 /// Simulates `test` under `model` (the paper's `herd(P, M)`).
 ///
@@ -39,23 +104,8 @@ pub fn simulate(
     test.validate()?;
     let start = Instant::now();
     let deadline = config.timeout.map(|t| start + t);
-    let mut budget = InterpBudget::new(config.max_steps);
 
-    let pools = value_pools(test, config.unroll, config.max_pool_iters, &mut budget)?;
-    let mut thread_traces: Vec<Vec<Trace>> = Vec::with_capacity(test.threads.len());
-    for t in 0..test.threads.len() {
-        let mut traces = interpret_thread(
-            test,
-            ThreadId(t as u8),
-            &pools,
-            config.unroll,
-            config.excl_fail_paths,
-            &mut budget,
-        )?;
-        traces.retain(|tr| tr.complete);
-        traces.dedup();
-        thread_traces.push(traces);
-    }
+    let thread_traces = interpret_all_traces(test, config)?;
 
     let observed = test.observed_keys();
     let readonly: BTreeSet<Loc> = test
@@ -81,54 +131,501 @@ pub fn simulate(
         return Ok(result);
     }
 
-    // Odometer over per-thread trace choices.
-    let mut combo: Vec<usize> = vec![0; thread_traces.len()];
+    // Total combos; the linear index decodes with thread 0 least
+    // significant, matching the reference odometer's enumeration order.
+    let counts: Vec<u64> = thread_traces.iter().map(|t| t.len() as u64).collect();
+    let total128: u128 = counts.iter().map(|&c| u128::from(c)).product();
+    let total: u64 = total128.min(u128::from(u64::MAX)) as u64;
+
+    let threads = config
+        .threads
+        .max(1)
+        .min(usize::try_from(total).unwrap_or(usize::MAX));
+
+    let shared = Shared {
+        next: AtomicU64::new(0),
+        candidates: AtomicU64::new(0),
+        abort: AtomicBool::new(false),
+        error: Mutex::new(None),
+    };
+
+    let ctx = WorkerCtx {
+        test,
+        model,
+        config,
+        observed: &observed,
+        readonly: &readonly,
+        deadline,
+        thread_traces: &thread_traces,
+        counts: &counts,
+        total,
+        shared: &shared,
+    };
+
+    let mut shards: Vec<Vec<(u64, ComboOut)>> = if threads == 1 {
+        vec![run_worker(&ctx)]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| run_worker(&ctx)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("enumeration worker panicked"))
+                .collect()
+        })
+    };
+
+    if let Some((_, e)) = shared.error.lock().expect("error slot").take() {
+        return Err(e);
+    }
+
+    // Deterministic merge: combo order, regardless of which worker ran what.
+    let mut outs: Vec<(u64, ComboOut)> = shards.drain(..).flatten().collect();
+    outs.sort_unstable_by_key(|(idx, _)| *idx);
+    for (_, out) in outs {
+        result.allowed += out.allowed;
+        result.crashed |= out.crashed;
+        result.flags.extend(out.flags);
+        for o in out.outcomes.iter() {
+            result.outcomes.insert(o.clone());
+        }
+        for x in out.executions {
+            if result.executions.len() < config.max_kept {
+                result.executions.push(x);
+            }
+        }
+    }
+    result.candidates = shared.candidates.load(Ordering::Relaxed);
+    result.elapsed = start.elapsed();
+    Ok(result)
+}
+
+/// Cross-worker coordination state.
+struct Shared {
+    /// Next linear combo index to claim.
+    next: AtomicU64,
+    /// Candidate counter (examined + pruned-accounted), shared so the
+    /// budget is global like the sequential engine's.
+    candidates: AtomicU64,
+    /// Set on error; workers stop claiming and unwind.
+    abort: AtomicBool,
+    /// First error by lowest combo index (deterministic for `threads = 1`).
+    error: Mutex<Option<(u64, Error)>>,
+}
+
+/// Everything a worker needs, by reference.
+struct WorkerCtx<'a> {
+    test: &'a LitmusTest,
+    model: &'a dyn ConsistencyModel,
+    config: &'a SimConfig,
+    observed: &'a BTreeSet<StateKey>,
+    readonly: &'a BTreeSet<Loc>,
+    deadline: Option<Instant>,
+    thread_traces: &'a [Vec<Trace>],
+    counts: &'a [u64],
+    total: u64,
+    shared: &'a Shared,
+}
+
+/// One combo's private result shard.
+#[derive(Default)]
+struct ComboOut {
+    outcomes: OutcomeSet,
+    allowed: u64,
+    flags: BTreeSet<String>,
+    crashed: bool,
+    executions: Vec<Execution>,
+}
+
+/// Why a combo stopped early.
+enum Stop {
+    /// Another worker failed; discard quietly.
+    Cancelled,
+    /// This worker hit a budget/timeout.
+    Fatal(Error),
+}
+
+fn run_worker(ctx: &WorkerCtx<'_>) -> Vec<(u64, ComboOut)> {
+    let mut local = Vec::new();
     loop {
-        let traces: Vec<&Trace> = combo
+        if ctx.shared.abort.load(Ordering::Relaxed) {
+            return local;
+        }
+        // The intra-combo deadline tick only fires every 256 leaves, so a
+        // workload whose explosion is in *combinations* (many combos, each
+        // small) must also poll the deadline at combo boundaries.
+        if let Some(d) = ctx.deadline {
+            if Instant::now() > d {
+                let limit_ms = ctx.config.timeout.map(|t| t.as_millis() as u64).unwrap_or(0);
+                let mut slot = ctx.shared.error.lock().expect("error slot");
+                if slot.is_none() {
+                    *slot = Some((u64::MAX, Error::Timeout { limit_ms }));
+                }
+                ctx.shared.abort.store(true, Ordering::Relaxed);
+                return local;
+            }
+        }
+        let idx = ctx.shared.next.fetch_add(1, Ordering::Relaxed);
+        if idx >= ctx.total {
+            return local;
+        }
+        // Decode the linear index into per-thread trace choices.
+        let mut rem = idx;
+        let traces: Vec<&Trace> = ctx
+            .counts
             .iter()
             .enumerate()
-            .map(|(t, &i)| &thread_traces[t][i])
+            .map(|(t, &c)| {
+                let i = (rem % c) as usize;
+                rem /= c;
+                &ctx.thread_traces[t][i]
+            })
             .collect();
-        enumerate_combo(
-            test, &traces, model, config, &observed, &readonly, deadline, &mut result,
-        )?;
-
-        // Advance the odometer.
-        let mut t = 0;
-        loop {
-            if t == combo.len() {
-                result.elapsed = start.elapsed();
-                return Ok(result);
+        match run_combo(ctx, &traces) {
+            Ok(out) => local.push((idx, out)),
+            Err(Stop::Cancelled) => return local,
+            Err(Stop::Fatal(e)) => {
+                let mut slot = ctx.shared.error.lock().expect("error slot");
+                if slot.as_ref().is_none_or(|(i, _)| idx < *i) {
+                    *slot = Some((idx, e));
+                }
+                ctx.shared.abort.store(true, Ordering::Relaxed);
+                return local;
             }
-            combo[t] += 1;
-            if combo[t] < thread_traces[t].len() {
-                break;
-            }
-            combo[t] = 0;
-            t += 1;
         }
     }
 }
 
-/// Combined event graph for one trace combination (rf/co not yet chosen).
-struct Combined {
-    events: Vec<Event>,
-    po: Relation,
-    rmw: Relation,
-    addr: Relation,
-    data: Relation,
-    ctrl: Relation,
-    /// Non-init read event ids, in id order.
-    reads: Vec<EventId>,
-    /// Writes per location (init write first), in id order.
-    writes_by_loc: BTreeMap<Loc, Vec<EventId>>,
-    /// Init write id per location.
-    init_of: BTreeMap<Loc, EventId>,
-    /// Final register file per thread.
-    final_regs: BTreeMap<(ThreadId, Reg), Val>,
+/// Saturating factorial (subtree sizes; saturation only ever *over*-counts,
+/// which can only trip the budget earlier, never later).
+fn fact(n: u64) -> u64 {
+    (2..=n).try_fold(1u64, u64::checked_mul).unwrap_or(u64::MAX)
 }
 
-fn build_combined(test: &LitmusTest, traces: &[&Trace]) -> Combined {
+/// Partial checks are only worth their cost when a real subtree hangs off
+/// the node: below this many completions the engine just enumerates (the
+/// leaves' full checks dominate either way, and skipping the hook keeps
+/// small simulations at reference-engine speed).
+const PRUNE_THRESHOLD: u64 = 8;
+
+fn run_combo(ctx: &WorkerCtx<'_>, traces: &[&Trace]) -> std::result::Result<ComboOut, Stop> {
+    let combined = build_combined(ctx.test, traces);
+
+    let Some(rf_choices) = combined.rf_candidates() else {
+        return Ok(ComboOut::default()); // some read unjustifiable
+    };
+
+    let locs: Vec<Loc> = combined.writes_by_loc.keys().cloned().collect();
+    let co_writes: Vec<Vec<EventId>> = locs
+        .iter()
+        .map(|l| combined.writes_by_loc[l][1..].to_vec()) // element 0 is init
+        .collect();
+    let chains: Vec<Vec<EventId>> = locs.iter().map(|l| vec![combined.init_of[l]]).collect();
+
+    // Subtree sizes for pruned-candidate accounting.
+    // co_tail[li] = Π_{l ≥ li} m_l!  (co_tail[len] = 1)
+    let mut co_tail = vec![1u64; locs.len() + 1];
+    for li in (0..locs.len()).rev() {
+        co_tail[li] = fact(co_writes[li].len() as u64).saturating_mul(co_tail[li + 1]);
+    }
+    // rf_tail[i] = Π_{j ≥ i} |rf_choices[j]| × Π_l m_l!  (rf_tail[len] = co_tail[0])
+    let mut rf_tail = vec![co_tail[0]; rf_choices.len() + 1];
+    for i in (0..rf_choices.len()).rev() {
+        rf_tail[i] = (rf_choices[i].len() as u64).saturating_mul(rf_tail[i + 1]);
+    }
+
+    // The skeleton is built once per combo; rf/co mutate in place along the
+    // DFS, the fixed relations are shared by every candidate.
+    let execution = Execution {
+        events: combined.events.clone(),
+        po: combined.po.clone(),
+        rf: Relation::new(),
+        co: Relation::new(),
+        rmw: combined.rmw.clone(),
+        addr: combined.addr.clone(),
+        data: combined.data.clone(),
+        ctrl: combined.ctrl.clone(),
+        outcome: Outcome::new(),
+    };
+
+    // Register part of the outcome: fixed per combo.
+    let mut reg_outcome = Outcome::new();
+    for key in ctx.observed {
+        if let StateKey::Reg(t, r) = key {
+            let v = combined
+                .final_regs
+                .get(&(*t, r.clone()))
+                .cloned()
+                .unwrap_or(Val::Int(0));
+            reg_outcome.set(key.clone(), v);
+        }
+    }
+
+    // Whether an allowed execution of this combo writes read-only memory:
+    // a property of the combo's events, not of rf/co.
+    let writes_readonly = !ctx.readonly.is_empty()
+        && combined.events.iter().any(|e: &Event| {
+            e.kind == EventKind::Write
+                && !e.is_init()
+                && e.loc.as_ref().is_some_and(|l| ctx.readonly.contains(l))
+        });
+
+    let loc_index: BTreeMap<&Loc, usize> =
+        locs.iter().enumerate().map(|(i, l)| (l, i)).collect();
+
+    // Open the model's combo session on the skeleton: combo-constant
+    // derived relations (loc/ext/int, annotation sets, …) are computed
+    // once here and shared by every candidate below.
+    let checker = ctx.model.combo_checker(&execution);
+
+    let mut run = ComboRun {
+        ctx,
+        checker: checker.as_ref(),
+        reads: &combined.reads,
+        rf_choices,
+        rf_tail,
+        co_writes,
+        chains,
+        co_tail,
+        loc_index,
+        execution,
+        reg_outcome,
+        writes_readonly,
+        out: ComboOut::default(),
+        visits: 0,
+    };
+    run.assign_rf(0)?;
+    Ok(run.out)
+}
+
+/// The per-combo DFS state: one mutable skeleton, extended and undone as
+/// the builder walks rf choices and coherence prefixes.
+struct ComboRun<'a, 'c> {
+    ctx: &'a WorkerCtx<'a>,
+    checker: &'c dyn crate::model::ComboChecker,
+    reads: &'c [EventId],
+    rf_choices: Vec<Vec<EventId>>,
+    rf_tail: Vec<u64>,
+    /// Per location, the non-init writes; permuted in place (swap DFS).
+    co_writes: Vec<Vec<EventId>>,
+    /// Per location, the current coherence chain (init write first).
+    chains: Vec<Vec<EventId>>,
+    co_tail: Vec<u64>,
+    loc_index: BTreeMap<&'c Loc, usize>,
+    execution: Execution,
+    reg_outcome: Outcome,
+    writes_readonly: bool,
+    out: ComboOut,
+    visits: u64,
+}
+
+impl ComboRun<'_, '_> {
+    /// Accounts `n` candidates (examined or pruned) against the global
+    /// budget.
+    fn charge(&self, n: u64) -> std::result::Result<(), Stop> {
+        let prev = self.ctx.shared.candidates.fetch_add(n, Ordering::Relaxed);
+        let total = prev.saturating_add(n);
+        if total > self.ctx.config.max_candidates {
+            self.ctx.shared.abort.store(true, Ordering::Relaxed);
+            return Err(Stop::Fatal(Error::Budget { steps: total }));
+        }
+        Ok(())
+    }
+
+    /// Periodic deadline / cross-worker abort check.
+    fn tick(&mut self) -> std::result::Result<(), Stop> {
+        self.visits += 1;
+        if !self.visits.is_multiple_of(256) {
+            return Ok(());
+        }
+        if self.ctx.shared.abort.load(Ordering::Relaxed) {
+            return Err(Stop::Cancelled);
+        }
+        if let Some(d) = self.ctx.deadline {
+            if Instant::now() > d {
+                self.ctx.shared.abort.store(true, Ordering::Relaxed);
+                let limit_ms = self
+                    .ctx
+                    .config
+                    .timeout
+                    .map(|t| t.as_millis() as u64)
+                    .unwrap_or(0);
+                return Err(Stop::Fatal(Error::Timeout { limit_ms }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Stage 2: justify read `i`, then recurse; prune on partial verdicts.
+    fn assign_rf(&mut self, i: usize) -> std::result::Result<(), Stop> {
+        if i == self.reads.len() {
+            return self.assign_co(0, 0);
+        }
+        let r = self.reads[i];
+        let subtree = self.rf_tail[i + 1];
+        for ci in 0..self.rf_choices[i].len() {
+            let w = self.rf_choices[i][ci];
+            self.execution.rf.insert(w, r);
+            let pruned = subtree >= PRUNE_THRESHOLD
+                && self.checker.check_partial(&self.execution) == PartialVerdict::Forbidden;
+            let res = if pruned {
+                self.charge(subtree)
+            } else {
+                self.assign_rf(i + 1)
+            };
+            self.execution.rf.remove(w, r);
+            res?;
+        }
+        Ok(())
+    }
+
+    /// Stage 3: extend location `li`'s coherence chain by one write
+    /// (position `k`), lazily walking permutations with undo.
+    fn assign_co(&mut self, li: usize, k: usize) -> std::result::Result<(), Stop> {
+        if li == self.chains.len() {
+            return self.leaf();
+        }
+        let m = self.co_writes[li].len();
+        if k == m {
+            return self.assign_co(li + 1, 0);
+        }
+        for pick in k..m {
+            self.co_writes[li].swap(k, pick);
+            let w = self.co_writes[li][k];
+            // Extend co transitively: every chain element precedes `w`.
+            for idx in 0..self.chains[li].len() {
+                let p = self.chains[li][idx];
+                self.execution.co.insert(p, w);
+            }
+            self.chains[li].push(w);
+            let subtree = fact((m - k - 1) as u64).saturating_mul(self.co_tail[li + 1]);
+            let pruned = subtree >= PRUNE_THRESHOLD
+                && self.checker.check_partial(&self.execution) == PartialVerdict::Forbidden;
+            let res = if pruned {
+                self.charge(subtree)
+            } else {
+                self.assign_co(li, k + 1)
+            };
+            self.chains[li].pop();
+            for idx in 0..self.chains[li].len() {
+                let p = self.chains[li][idx];
+                self.execution.co.remove(p, w);
+            }
+            self.co_writes[li].swap(k, pick);
+            res?;
+        }
+        Ok(())
+    }
+
+    /// A complete candidate: judge it and record the outcome if allowed.
+    fn leaf(&mut self) -> std::result::Result<(), Stop> {
+        self.charge(1)?;
+        self.tick()?;
+
+        // Outcome: registers (fixed) + observed locations (co-final).
+        let mut outcome = self.reg_outcome.clone();
+        for key in self.ctx.observed {
+            if let StateKey::Loc(l) = key {
+                let v = match self.loc_index.get(l) {
+                    Some(&li) => {
+                        let w = *self.chains[li].last().expect("init present");
+                        self.execution.events[w.index()]
+                            .val
+                            .clone()
+                            .expect("writes have values")
+                    }
+                    None => self.ctx.test.init_of(l),
+                };
+                outcome.set(key.clone(), v);
+            }
+        }
+        self.execution.outcome = outcome;
+
+        match self.checker.check(&self.execution) {
+            Verdict::Allowed { flags } => {
+                self.out.allowed += 1;
+                self.out.flags.extend(flags);
+                if self.writes_readonly {
+                    self.out.crashed = true;
+                }
+                self.out.outcomes.insert(self.execution.outcome.clone());
+                if self.ctx.config.keep_executions
+                    && self.out.executions.len() < self.ctx.config.max_kept
+                {
+                    self.out.executions.push(self.execution.clone());
+                }
+            }
+            Verdict::Forbidden { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+/// Combined event graph for one trace combination (rf/co not yet chosen).
+///
+/// Built **once** per combo by [`build_combined`]; the dependency
+/// relations are shared (immutably) by every rf/co candidate of the combo.
+pub(crate) struct Combined {
+    pub(crate) events: Vec<Event>,
+    /// Program order: transitive, intra-thread, init writes excluded —
+    /// built in one pass over the per-thread event chains.
+    pub(crate) po: Relation,
+    pub(crate) rmw: Relation,
+    pub(crate) addr: Relation,
+    pub(crate) data: Relation,
+    pub(crate) ctrl: Relation,
+    /// Non-init read event ids, in id order.
+    pub(crate) reads: Vec<EventId>,
+    /// Writes per location (init write first), in id order.
+    pub(crate) writes_by_loc: BTreeMap<Loc, Vec<EventId>>,
+    /// Init write id per location.
+    pub(crate) init_of: BTreeMap<Loc, EventId>,
+    /// Final register file per thread.
+    pub(crate) final_regs: BTreeMap<(ThreadId, Reg), Val>,
+}
+
+impl Combined {
+    /// rf candidates per read: same location, same value, not po-later in
+    /// the same thread (reading from one's own future violates coherence
+    /// in every bundled model, so filtering it statically is sound).
+    ///
+    /// Returns `None` when some read has no justifying write — the combo
+    /// contributes no executions at all.
+    pub(crate) fn rf_candidates(&self) -> Option<Vec<Vec<EventId>>> {
+        let mut rf_choices: Vec<Vec<EventId>> = Vec::with_capacity(self.reads.len());
+        let empty = Vec::new();
+        for &r in &self.reads {
+            let re = &self.events[r.index()];
+            let loc = re.loc.as_ref().expect("reads have locations");
+            let val = re.val.as_ref().expect("reads have values");
+            let cands: Vec<EventId> = self
+                .writes_by_loc
+                .get(loc)
+                .unwrap_or(&empty)
+                .iter()
+                .copied()
+                .filter(|&w| {
+                    let we = &self.events[w.index()];
+                    if we.val.as_ref() != Some(val) {
+                        return false;
+                    }
+                    // Exclude same-thread po-later-or-equal writes.
+                    !(we.thread == re.thread && we.po_index >= re.po_index)
+                })
+                .collect();
+            if cands.is_empty() {
+                return None;
+            }
+            rf_choices.push(cands);
+        }
+        Some(rf_choices)
+    }
+}
+
+/// Builds the combo's shared event graph: events, one-pass transitive
+/// `po`, dependency relations, and the read/write indices.
+pub(crate) fn build_combined(test: &LitmusTest, traces: &[&Trace]) -> Combined {
     let mut events = Vec::new();
     let mut init_of = BTreeMap::new();
     let mut writes_by_loc: BTreeMap<Loc, Vec<EventId>> = BTreeMap::new();
@@ -148,18 +645,19 @@ fn build_combined(test: &LitmusTest, traces: &[&Trace]) -> Combined {
         writes_by_loc.insert(d.loc.clone(), vec![id]);
     }
 
-    let mut po = Relation::new();
     let mut rmw = Relation::new();
     let mut addr = Relation::new();
     let mut data = Relation::new();
     let mut ctrl = Relation::new();
     let mut reads = Vec::new();
     let mut final_regs = BTreeMap::new();
+    let mut po_chains: Vec<Vec<EventId>> = Vec::with_capacity(traces.len());
 
     for (tindex, trace) in traces.iter().enumerate() {
         let thread = ThreadId(tindex as u8);
         let base = events.len() as u32;
         let gid = |local: usize| EventId(base + local as u32);
+        let mut chain = Vec::with_capacity(trace.events.len());
         for (j, te) in trace.events.iter().enumerate() {
             let id = gid(j);
             events.push(Event {
@@ -179,11 +677,9 @@ fn build_combined(test: &LitmusTest, traces: &[&Trace]) -> Combined {
                 }
                 EventKind::Fence => {}
             }
-            // Transitive program order within the thread.
-            for k in 0..j {
-                po.insert(gid(k), id);
-            }
+            chain.push(id);
         }
+        po_chains.push(chain);
         for &(r, w) in &trace.rmw_pairs {
             rmw.insert(gid(r), gid(w));
         }
@@ -201,6 +697,9 @@ fn build_combined(test: &LitmusTest, traces: &[&Trace]) -> Combined {
         }
     }
 
+    // Transitive program order, one bulk construction for all threads.
+    let po = Relation::total_order(po_chains.iter().map(Vec::as_slice));
+
     Combined {
         events,
         po,
@@ -215,229 +714,11 @@ fn build_combined(test: &LitmusTest, traces: &[&Trace]) -> Combined {
     }
 }
 
-/// All permutations of `items` (Heap's algorithm, deterministic order).
-fn permutations(items: &[EventId]) -> Vec<Vec<EventId>> {
-    let mut out = Vec::new();
-    let mut work = items.to_vec();
-    permute(&mut work, 0, &mut out);
-    out
-}
-
-fn permute(work: &mut Vec<EventId>, k: usize, out: &mut Vec<Vec<EventId>>) {
-    if k == work.len() {
-        out.push(work.clone());
-        return;
-    }
-    for i in k..work.len() {
-        work.swap(k, i);
-        permute(work, k + 1, out);
-        work.swap(k, i);
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn enumerate_combo(
-    test: &LitmusTest,
-    traces: &[&Trace],
-    model: &dyn ConsistencyModel,
-    config: &SimConfig,
-    observed: &BTreeSet<StateKey>,
-    readonly: &BTreeSet<Loc>,
-    deadline: Option<Instant>,
-    result: &mut SimResult,
-) -> Result<()> {
-    let combined = build_combined(test, traces);
-
-    // rf candidates per read: same location, same value, not po-later in the
-    // same thread (reading from one's own future violates coherence in every
-    // bundled model, so pruning it early is sound).
-    let mut rf_choices: Vec<Vec<EventId>> = Vec::with_capacity(combined.reads.len());
-    for &r in &combined.reads {
-        let re = &combined.events[r.index()];
-        let loc = re.loc.clone().expect("reads have locations");
-        let val = re.val.clone().expect("reads have values");
-        let empty = Vec::new();
-        let cands: Vec<EventId> = combined
-            .writes_by_loc
-            .get(&loc)
-            .unwrap_or(&empty)
-            .iter()
-            .copied()
-            .filter(|&w| {
-                let we = &combined.events[w.index()];
-                if we.val.as_ref() != Some(&val) {
-                    return false;
-                }
-                // Exclude same-thread po-later-or-equal writes.
-                !(we.thread == re.thread && we.po_index >= re.po_index)
-            })
-            .collect();
-        if cands.is_empty() {
-            return Ok(()); // read unjustifiable: no execution from this combo
-        }
-        rf_choices.push(cands);
-    }
-
-    // Coherence permutations per location (non-init writes).
-    let locs: Vec<Loc> = combined.writes_by_loc.keys().cloned().collect();
-    let mut co_choices: Vec<Vec<Vec<EventId>>> = Vec::with_capacity(locs.len());
-    for loc in &locs {
-        let writes = &combined.writes_by_loc[loc];
-        co_choices.push(permutations(&writes[1..])); // element 0 is init
-    }
-
-    // The execution skeleton is fixed for the combo; rf/co/outcome vary.
-    let mut execution = Execution {
-        events: combined.events.clone(),
-        po: combined.po.clone(),
-        rf: Relation::new(),
-        co: Relation::new(),
-        rmw: combined.rmw.clone(),
-        addr: combined.addr.clone(),
-        data: combined.data.clone(),
-        ctrl: combined.ctrl.clone(),
-        outcome: Outcome::new(),
-    };
-
-    // Pre-compute the register part of the outcome (fixed per combo).
-    let mut reg_outcome = Outcome::new();
-    for key in observed {
-        if let StateKey::Reg(t, r) = key {
-            let v = combined
-                .final_regs
-                .get(&(*t, r.clone()))
-                .cloned()
-                .unwrap_or(Val::Int(0));
-            reg_outcome.set(key.clone(), v);
-        }
-    }
-
-    let mut rf_odo = vec![0usize; rf_choices.len()];
-    loop {
-        // Build rf for this choice.
-        let mut rf = Relation::new();
-        for (i, &r) in combined.reads.iter().enumerate() {
-            rf.insert(rf_choices[i][rf_odo[i]], r);
-        }
-
-        let mut co_odo = vec![0usize; co_choices.len()];
-        loop {
-            result.candidates += 1;
-            if result.candidates > config.max_candidates {
-                return Err(Error::Budget {
-                    steps: result.candidates,
-                });
-            }
-            if result.candidates % 256 == 0 {
-                if let Some(d) = deadline {
-                    if Instant::now() > d {
-                        let limit_ms = config
-                            .timeout
-                            .map(|t| t.as_millis() as u64)
-                            .unwrap_or(0);
-                        return Err(Error::Timeout { limit_ms });
-                    }
-                }
-            }
-
-            // Build co: per location, init first then the chosen permutation,
-            // transitively closed.
-            let mut co = Relation::new();
-            let mut last_write: BTreeMap<&Loc, EventId> = BTreeMap::new();
-            for (li, loc) in locs.iter().enumerate() {
-                let perm = &co_choices[li][co_odo[li]];
-                let init = combined.init_of[loc];
-                let mut chain: Vec<EventId> = Vec::with_capacity(perm.len() + 1);
-                chain.push(init);
-                chain.extend(perm.iter().copied());
-                for a in 0..chain.len() {
-                    for b in (a + 1)..chain.len() {
-                        co.insert(chain[a], chain[b]);
-                    }
-                }
-                last_write.insert(loc, *chain.last().expect("non-empty"));
-            }
-
-            execution.rf = rf.clone();
-            execution.co = co;
-
-            // Outcome: registers (fixed) + observed locations (co-final).
-            let mut outcome = reg_outcome.clone();
-            for key in observed {
-                if let StateKey::Loc(l) = key {
-                    let v = last_write
-                        .get(l)
-                        .map(|w| {
-                            execution.events[w.index()]
-                                .val
-                                .clone()
-                                .expect("writes have values")
-                        })
-                        .unwrap_or_else(|| test.init_of(l));
-                    outcome.set(key.clone(), v);
-                }
-            }
-            execution.outcome = outcome;
-
-            match model.check(&execution) {
-                crate::model::Verdict::Allowed { flags } => {
-                    result.allowed += 1;
-                    result.flags.extend(flags);
-                    if !readonly.is_empty()
-                        && execution.events.iter().any(|e| {
-                            e.kind == EventKind::Write
-                                && !e.is_init()
-                                && e.loc.as_ref().is_some_and(|l| readonly.contains(l))
-                        })
-                    {
-                        result.crashed = true;
-                    }
-                    result.outcomes.insert(execution.outcome.clone());
-                    if config.keep_executions && result.executions.len() < config.max_kept {
-                        result.executions.push(execution.clone());
-                    }
-                }
-                crate::model::Verdict::Forbidden { .. } => {}
-            }
-
-            // Advance co odometer.
-            let mut li = 0;
-            loop {
-                if li == co_choices.len() {
-                    break;
-                }
-                co_odo[li] += 1;
-                if co_odo[li] < co_choices[li].len() {
-                    break;
-                }
-                co_odo[li] = 0;
-                li += 1;
-            }
-            if li == co_choices.len() {
-                break;
-            }
-        }
-
-        // Advance rf odometer.
-        let mut i = 0;
-        loop {
-            if i == rf_choices.len() {
-                return Ok(());
-            }
-            rf_odo[i] += 1;
-            if rf_odo[i] < rf_choices[i].len() {
-                break;
-            }
-            rf_odo[i] = 0;
-            i += 1;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::{AllowAll, CoherenceOnly, SeqCstRef};
+    use crate::reference::simulate_reference;
     use telechat_litmus::parse_c11;
 
     fn sim(src: &str, model: &dyn ConsistencyModel) -> SimResult {
@@ -640,5 +921,67 @@ exists (true)
         for x in &r.executions {
             assert!(!x.rf.is_empty());
         }
+    }
+
+    #[test]
+    fn matches_reference_engine_exactly() {
+        // The staged/pruned engine must agree with the naive oracle on
+        // outcomes, candidate accounting, allowed counts and flags.
+        for model in [&AllowAll as &dyn ConsistencyModel, &SeqCstRef, &CoherenceOnly] {
+            for src in [SB, LB] {
+                let test = parse_c11(src).unwrap();
+                let cfg = SimConfig::default();
+                let new = simulate(&test, model, &cfg).unwrap();
+                let old = simulate_reference(&test, model, &cfg).unwrap();
+                assert_eq!(new.outcomes, old.outcomes, "{} under {}", test.name, model.name());
+                assert_eq!(new.candidates, old.candidates, "{}", model.name());
+                assert_eq!(new.allowed, old.allowed, "{}", model.name());
+                assert_eq!(new.flags, old.flags);
+                assert_eq!(new.crashed, old.crashed);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let test = parse_c11(SB).unwrap();
+        let base = simulate(&test, &SeqCstRef, &SimConfig::default()).unwrap();
+        for threads in [2, 4, 8] {
+            let cfg = SimConfig::default().with_threads(threads);
+            let r = simulate(&test, &SeqCstRef, &cfg).unwrap();
+            assert_eq!(r.outcomes, base.outcomes, "threads={threads}");
+            assert_eq!(r.candidates, base.candidates, "threads={threads}");
+            assert_eq!(r.allowed, base.allowed, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn po_is_transitive_with_pinned_edge_count() {
+        // A thread of n events carries exactly n(n-1)/2 transitive po
+        // edges; init writes carry none. Pins the one-pass construction.
+        let test = parse_c11(SB).unwrap();
+        let cfg = SimConfig::default();
+        let traces = interpret_all_traces(&test, &cfg).unwrap();
+        let combo: Vec<&Trace> = traces.iter().map(|t| &t[0]).collect();
+        let combined = build_combined(&test, &combo);
+        let expected: usize = combo
+            .iter()
+            .map(|t| t.events.len() * (t.events.len() - 1) / 2)
+            .sum();
+        assert_eq!(combined.po.len(), expected);
+        // Transitivity: every composed edge is already present.
+        let closed = combined.po.transitive_closure();
+        assert_eq!(closed, combined.po);
+    }
+
+    #[test]
+    fn pruning_accounts_skipped_candidates() {
+        // Under SeqCstRef (which prunes) the candidate count must still
+        // equal the exhaustive product — pruning trades time, not
+        // accounting.
+        let test = parse_c11(LB).unwrap();
+        let with_pruning = simulate(&test, &SeqCstRef, &SimConfig::default()).unwrap();
+        let exhaustive = simulate(&test, &AllowAll, &SimConfig::default()).unwrap();
+        assert_eq!(with_pruning.candidates, exhaustive.candidates);
     }
 }

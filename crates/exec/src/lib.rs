@@ -6,6 +6,19 @@
 //! the model and collects the outcomes of the allowed executions (paper
 //! §II-A, Def. II.1/II.2).
 //!
+//! # Engine architecture
+//!
+//! [`simulate`] runs the **incremental enumeration engine** (module
+//! [`enumerate`]): per trace combination it builds the event graph and
+//! dependency relations once, then walks reads-from assignments and
+//! lazily-generated coherence orders as a staged DFS, consulting the
+//! model's [`ConsistencyModel::check_partial`] fast-reject hook to prune
+//! entire subtrees before they are materialised. Trace combinations are
+//! sharded across [`SimConfig::threads`] workers with a deterministic
+//! merge, so outcome sets are identical for every thread count. The naive
+//! generate-then-filter enumerator is retained in [`reference`] as the
+//! differential-testing oracle ([`simulate_reference`]).
+//!
 //! # Example
 //!
 //! ```
@@ -34,12 +47,16 @@ pub mod config;
 pub mod enumerate;
 pub mod event;
 pub mod model;
+pub mod reference;
 pub mod rel;
 pub mod trace;
 
 pub use config::{SimConfig, SimResult};
 pub use enumerate::simulate;
 pub use event::{Event, EventKind, Execution, INIT_THREAD};
-pub use model::{AllowAll, CoherenceOnly, ConsistencyModel, SeqCstRef, Verdict};
+pub use model::{
+    AllowAll, CoherenceOnly, ComboChecker, ConsistencyModel, PartialVerdict, SeqCstRef, Verdict,
+};
+pub use reference::simulate_reference;
 pub use rel::{EventSet, Relation};
 pub use trace::{interpret_thread, value_pools, InterpBudget, Trace, TraceEvent, ValuePools};

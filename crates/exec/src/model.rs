@@ -38,6 +38,20 @@ impl Verdict {
     }
 }
 
+/// A model's judgement of a *partial* candidate (rf/co not yet complete).
+///
+/// Returned by [`ConsistencyModel::check_partial`], the enumeration
+/// engine's fast-reject hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartialVerdict {
+    /// The partial candidate may still have allowed completions; keep
+    /// enumerating below it.
+    Undecided,
+    /// *Every* completion of this partial candidate is forbidden; the
+    /// engine prunes the whole subtree.
+    Forbidden,
+}
+
 /// A memory consistency model: a predicate over candidate executions.
 pub trait ConsistencyModel: Send + Sync {
     /// Model name (e.g. `rc11`, `aarch64`).
@@ -45,6 +59,79 @@ pub trait ConsistencyModel: Send + Sync {
 
     /// Judges one candidate execution.
     fn check(&self, execution: &Execution) -> Verdict;
+
+    /// Fast-reject hook for the incremental enumeration engine.
+    ///
+    /// `partial` is a candidate under construction: `po`, `rmw`, `addr`,
+    /// `data` and `ctrl` are final, but `rf` covers only a prefix of the
+    /// reads and `co` only a prefix of each location's coherence chain
+    /// (always transitively closed so far). `partial.outcome` is
+    /// meaningless at this point.
+    ///
+    /// # Contract
+    ///
+    /// Returning [`PartialVerdict::Forbidden`] asserts that [`check`]
+    /// would return [`Verdict::Forbidden`] for **every** extension of
+    /// `partial` — the base relations only *grow* along a branch, so any
+    /// monotone violation (a cycle in a union of growing relations, a
+    /// non-empty intersection of growing relations) is safe to report.
+    /// Non-monotone conditions (anything involving complement or
+    /// difference of a growing relation) must return `Undecided`.
+    ///
+    /// The default is a no-op, so models that only implement [`check`]
+    /// (e.g. the `telechat-cat` interpreted models, whose programs may
+    /// use non-monotone operators) work unchanged — they simply forgo
+    /// pruning.
+    ///
+    /// [`check`]: ConsistencyModel::check
+    fn check_partial(&self, _partial: &Execution) -> PartialVerdict {
+        PartialVerdict::Undecided
+    }
+
+    /// Opens a per-combo checking session.
+    ///
+    /// `skeleton` is the combo's candidate with the *fixed* relations
+    /// populated (events, `po`, `rmw`, `addr`, `data`, `ctrl`) and
+    /// `rf`/`co` still empty. A model may precompute anything that is
+    /// constant across every rf/co choice of the combo — derived
+    /// relations like `loc`/`ext`/`int`, annotation sets, the event
+    /// universe — and reuse it for each candidate, instead of rebuilding
+    /// per candidate. The default session simply forwards to
+    /// [`check`]/[`check_partial`].
+    ///
+    /// [`check`]: ConsistencyModel::check
+    /// [`check_partial`]: ConsistencyModel::check_partial
+    fn combo_checker<'a>(&'a self, _skeleton: &Execution) -> Box<dyn ComboChecker + 'a> {
+        Box::new(ForwardingChecker(self))
+    }
+}
+
+/// A per-combo checking session (see [`ConsistencyModel::combo_checker`]).
+///
+/// The enumeration engine creates one per trace combination and funnels
+/// every full and partial candidate of that combo through it, so
+/// implementations can hold combo-constant derived data.
+pub trait ComboChecker: Send {
+    /// Judges one complete candidate (same contract as
+    /// [`ConsistencyModel::check`]).
+    fn check(&self, execution: &Execution) -> Verdict;
+
+    /// Judges one partial candidate (same contract as
+    /// [`ConsistencyModel::check_partial`]).
+    fn check_partial(&self, partial: &Execution) -> PartialVerdict;
+}
+
+/// The default session: no combo-constant state, plain forwarding.
+struct ForwardingChecker<'a, M: ConsistencyModel + ?Sized>(&'a M);
+
+impl<M: ConsistencyModel + ?Sized> ComboChecker for ForwardingChecker<'_, M> {
+    fn check(&self, execution: &Execution) -> Verdict {
+        self.0.check(execution)
+    }
+
+    fn check_partial(&self, partial: &Execution) -> PartialVerdict {
+        self.0.check_partial(partial)
+    }
 }
 
 /// The weakest model: every candidate execution is allowed. Useful as an
@@ -82,6 +169,17 @@ impl ConsistencyModel for SeqCstRef {
             }
         }
     }
+
+    /// A cycle in `po | rf | co | fr` can only persist as the relations
+    /// grow, so partial cyclicity rejects the whole subtree.
+    fn check_partial(&self, x: &Execution) -> PartialVerdict {
+        let fr = x.fr();
+        if crate::rel::Relation::union_is_acyclic(&[&x.po, &x.rf, &x.co, &fr]) {
+            PartialVerdict::Undecided
+        } else {
+            PartialVerdict::Forbidden
+        }
+    }
 }
 
 /// SC-per-location only (coherence): `acyclic (po-loc | rf | co | fr)` plus
@@ -111,6 +209,66 @@ impl ConsistencyModel for CoherenceOnly {
             };
         }
         Verdict::allowed()
+    }
+
+    /// Both axioms are monotone — a per-location cycle stays a cycle, a
+    /// non-empty `rmw & (fre;coe)` stays non-empty — so either firing on
+    /// a partial candidate rejects the subtree.
+    fn check_partial(&self, x: &Execution) -> PartialVerdict {
+        CoherenceChecker::from_skeleton(x).check_partial(x)
+    }
+
+    /// `po-loc` and `ext` are combo-constant; cache them per session
+    /// instead of rebuilding per candidate.
+    fn combo_checker<'a>(&'a self, skeleton: &Execution) -> Box<dyn ComboChecker + 'a> {
+        Box::new(CoherenceChecker::from_skeleton(skeleton))
+    }
+}
+
+/// [`CoherenceOnly`]'s combo session: the per-location program order and
+/// the external relation do not depend on rf/co, so they are computed
+/// once per combo.
+struct CoherenceChecker {
+    po_loc: crate::rel::Relation,
+    ext: crate::rel::Relation,
+}
+
+impl CoherenceChecker {
+    fn from_skeleton(skeleton: &Execution) -> CoherenceChecker {
+        CoherenceChecker {
+            po_loc: skeleton.po_loc(),
+            ext: skeleton.ext_rel(),
+        }
+    }
+
+    fn violates(&self, x: &Execution) -> Option<&'static str> {
+        let fr = x.fr();
+        if !crate::rel::Relation::union_is_acyclic(&[&self.po_loc, &x.rf, &x.co, &fr]) {
+            return Some("coherence");
+        }
+        let fre = fr.inter(&self.ext);
+        let coe = x.co.inter(&self.ext);
+        if !x.rmw.inter(&fre.seq(&coe)).is_empty() {
+            return Some("atomicity");
+        }
+        None
+    }
+}
+
+impl ComboChecker for CoherenceChecker {
+    fn check(&self, x: &Execution) -> Verdict {
+        match self.violates(x) {
+            Some(rule) => Verdict::Forbidden { rule: rule.into() },
+            None => Verdict::allowed(),
+        }
+    }
+
+    fn check_partial(&self, x: &Execution) -> PartialVerdict {
+        if self.violates(x).is_some() {
+            PartialVerdict::Forbidden
+        } else {
+            PartialVerdict::Undecided
+        }
     }
 }
 

@@ -122,6 +122,38 @@ impl Relation {
         self.0.insert((from, to))
     }
 
+    /// Removes an edge (the enumeration engine's backtracking undo).
+    pub fn remove(&mut self, from: EventId, to: EventId) -> bool {
+        self.0.remove(&(from, to))
+    }
+
+    /// The strict total order over each chain, as one relation: every pair
+    /// `(c[i], c[j])` with `i < j`, for every chain `c`.
+    ///
+    /// This is the transitive closure of the chains' successor edges,
+    /// built in one pass: the pair list is generated already sorted
+    /// (chains are ascending, ids across chains disjoint and ascending)
+    /// and bulk-collected, instead of `n²/2` interleaved point insertions.
+    /// The enumerator uses it for transitive `po` (one chain per thread)
+    /// and per-location `co` prefixes.
+    #[must_use]
+    pub fn total_order<'a, I>(chains: I) -> Relation
+    where
+        I: IntoIterator<Item = &'a [EventId]>,
+    {
+        let mut pairs = Vec::new();
+        for chain in chains {
+            pairs.reserve(chain.len().saturating_sub(1) * chain.len() / 2);
+            for i in 0..chain.len() {
+                for j in (i + 1)..chain.len() {
+                    pairs.push((chain[i], chain[j]));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        Relation(pairs.into_iter().collect())
+    }
+
     /// Edge membership.
     pub fn contains(&self, from: EventId, to: EventId) -> bool {
         self.0.contains(&(from, to))
@@ -246,6 +278,41 @@ impl Relation {
     /// True if the relation has no edge `(e, e)` (`irreflexive r` in Cat).
     pub fn is_irreflexive(&self) -> bool {
         self.0.iter().all(|(a, b)| a != b)
+    }
+
+    /// True if the *union* of `rels` is acyclic, without materialising the
+    /// union — the enumeration engine's partial-candidate fast path runs
+    /// this on every DFS node, so the allocation-free form matters.
+    pub fn union_is_acyclic(rels: &[&Relation]) -> bool {
+        use std::collections::BTreeMap;
+        let mut indegree: BTreeMap<EventId, usize> = BTreeMap::new();
+        for r in rels {
+            for &(a, b) in &r.0 {
+                indegree.entry(a).or_insert(0);
+                *indegree.entry(b).or_insert(0) += 1;
+            }
+        }
+        let mut queue: Vec<EventId> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let total = indegree.len();
+        let mut visited = 0usize;
+        while let Some(n) = queue.pop() {
+            visited += 1;
+            for r in rels {
+                for &(a, b) in r.0.range((n, EventId(0))..=(n, EventId(u32::MAX))) {
+                    debug_assert_eq!(a, n);
+                    let d = indegree.get_mut(&b).expect("node present");
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(b);
+                    }
+                }
+            }
+        }
+        visited == total
     }
 
     /// True if the relation is acyclic (`acyclic r` in Cat): its transitive
@@ -420,81 +487,117 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
-    use super::*;
-    use proptest::prelude::*;
+    //! Deterministic property tests over pseudo-random relations.
+    //!
+    //! The build environment vendors no registry crates, so instead of
+    //! `proptest` these run each algebraic law over a fixed stream of
+    //! relations generated with the workspace-shared deterministic
+    //! [`XorShiftRng`]. The stream is seeded per property, so failures
+    //! are reproducible by construction.
 
-    fn arb_relation(max_node: u32, max_edges: usize) -> impl Strategy<Value = Relation> {
-        proptest::collection::btree_set((0..max_node, 0..max_node), 0..max_edges).prop_map(|s| {
-            s.into_iter()
-                .map(|(a, b)| (EventId(a), EventId(b)))
-                .collect()
-        })
+    use super::*;
+    use telechat_common::XorShiftRng as Rng;
+
+    const CASES: usize = 200;
+
+    fn random_relation(rng: &mut Rng, max_node: u32, max_edges: u64) -> Relation {
+        let edges = rng.below(max_edges + 1);
+        (0..edges)
+            .map(|_| {
+                (
+                    EventId(rng.below(u64::from(max_node)) as u32),
+                    EventId(rng.below(u64::from(max_node)) as u32),
+                )
+            })
+            .collect()
     }
 
-    proptest! {
-        #[test]
-        fn closure_is_idempotent(r in arb_relation(8, 20)) {
+    fn for_each_relation(seed: u64, mut check: impl FnMut(Relation)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..CASES {
+            check(random_relation(&mut rng, 8, 20));
+        }
+    }
+
+    fn for_each_triple(seed: u64, mut check: impl FnMut(Relation, Relation, Relation)) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..CASES {
+            let r = random_relation(&mut rng, 6, 12);
+            let s = random_relation(&mut rng, 6, 12);
+            let t = random_relation(&mut rng, 6, 12);
+            check(r, s, t);
+        }
+    }
+
+    #[test]
+    fn closure_is_idempotent() {
+        for_each_relation(1, |r| {
             let c1 = r.transitive_closure();
             let c2 = c1.transitive_closure();
-            prop_assert_eq!(c1, c2);
-        }
+            assert_eq!(c1, c2, "relation {r}");
+        });
+    }
 
-        #[test]
-        fn closure_contains_relation(r in arb_relation(8, 20)) {
+    #[test]
+    fn closure_contains_relation() {
+        for_each_relation(2, |r| {
             let c = r.transitive_closure();
-            prop_assert!(r.iter().all(|(a, b)| c.contains(a, b)));
-        }
+            assert!(r.iter().all(|(a, b)| c.contains(a, b)), "relation {r}");
+        });
+    }
 
-        #[test]
-        fn inverse_is_involutive(r in arb_relation(8, 20)) {
-            prop_assert_eq!(r.inverse().inverse(), r);
-        }
+    #[test]
+    fn inverse_is_involutive() {
+        for_each_relation(3, |r| {
+            assert_eq!(r.inverse().inverse(), r, "relation {r}");
+        });
+    }
 
-        #[test]
-        fn seq_associative(
-            r in arb_relation(6, 12),
-            s in arb_relation(6, 12),
-            t in arb_relation(6, 12),
-        ) {
-            prop_assert_eq!(r.seq(&s).seq(&t), r.seq(&s.seq(&t)));
-        }
+    #[test]
+    fn seq_associative() {
+        for_each_triple(4, |r, s, t| {
+            assert_eq!(r.seq(&s).seq(&t), r.seq(&s.seq(&t)));
+        });
+    }
 
-        #[test]
-        fn union_distributes_over_seq(
-            r in arb_relation(6, 12),
-            s in arb_relation(6, 12),
-            t in arb_relation(6, 12),
-        ) {
-            prop_assert_eq!(
-                r.union(&s).seq(&t),
-                r.seq(&t).union(&s.seq(&t))
-            );
-        }
+    #[test]
+    fn union_distributes_over_seq() {
+        for_each_triple(5, |r, s, t| {
+            assert_eq!(r.union(&s).seq(&t), r.seq(&t).union(&s.seq(&t)));
+        });
+    }
 
-        #[test]
-        fn acyclic_iff_topological_order_exists(r in arb_relation(8, 20)) {
-            prop_assert_eq!(r.is_acyclic(), r.topological_order().is_some());
-        }
+    #[test]
+    fn acyclic_iff_topological_order_exists() {
+        for_each_relation(6, |r| {
+            assert_eq!(r.is_acyclic(), r.topological_order().is_some(), "{r}");
+        });
+    }
 
-        #[test]
-        fn topological_order_sound(r in arb_relation(8, 20)) {
+    #[test]
+    fn topological_order_sound() {
+        for_each_relation(7, |r| {
             if let Some(order) = r.topological_order() {
                 let pos: std::collections::BTreeMap<_, _> =
                     order.iter().enumerate().map(|(i, &e)| (e, i)).collect();
                 for (a, b) in r.iter() {
-                    prop_assert!(pos[&a] < pos[&b], "edge {a}->{b} violates order");
+                    assert!(pos[&a] < pos[&b], "edge {a}->{b} violates order of {r}");
                 }
             }
-        }
+        });
+    }
 
-        #[test]
-        fn acyclic_relation_closure_is_irreflexive(r in arb_relation(8, 20)) {
-            prop_assert_eq!(r.is_acyclic(), r.transitive_closure().is_irreflexive());
-        }
+    #[test]
+    fn acyclic_relation_closure_is_irreflexive() {
+        for_each_relation(8, |r| {
+            assert_eq!(r.is_acyclic(), r.transitive_closure().is_irreflexive(), "{r}");
+        });
+    }
 
-        #[test]
-        fn inverse_of_seq_flips(r in arb_relation(6, 12), s in arb_relation(6, 12)) {
-            prop_assert_eq!(r.seq(&s).inverse(), s.inverse().seq(&r.inverse()));
-        }
+    #[test]
+    fn inverse_of_seq_flips() {
+        for_each_triple(9, |r, s, _| {
+            assert_eq!(r.seq(&s).inverse(), s.inverse().seq(&r.inverse()));
+        });
     }
 }

@@ -15,12 +15,9 @@
 //! would: strong (SC) outcomes dominate; weak outcomes surface with a
 //! probability scaled by the stress parameter.
 
-use rand::distributions::{Distribution, WeightedIndex};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::collections::BTreeMap;
 use telechat_cat::{CatModel, ModelIntersection};
-use telechat_common::{Arch, Error, Outcome, OutcomeSet, Result};
+use telechat_common::{Arch, Error, Outcome, OutcomeSet, Result, XorShiftRng};
 use telechat_exec::{simulate, ConsistencyModel, SeqCstRef, SimConfig};
 use telechat_litmus::LitmusTest;
 
@@ -101,11 +98,49 @@ impl Histogram {
     }
 }
 
+/// Weighted index sampling over `f64` weights (cumulative-sum method),
+/// driven by the workspace-shared deterministic [`XorShiftRng`] — the
+/// offline stand-in for `rand`'s `WeightedIndex` (no registry crates are
+/// available in this build environment).
+#[derive(Debug, Clone)]
+struct WeightedIndex {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl WeightedIndex {
+    fn new(weights: &[f64]) -> Result<WeightedIndex> {
+        if weights.is_empty() || weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err(Error::Unsupported(
+                "sampling weights: empty or invalid".into(),
+            ));
+        }
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0;
+        for w in weights {
+            total += w;
+            cumulative.push(total);
+        }
+        if total <= 0.0 {
+            return Err(Error::Unsupported("sampling weights: all zero".into()));
+        }
+        Ok(WeightedIndex { cumulative, total })
+    }
+
+    fn sample(&self, rng: &mut XorShiftRng) -> usize {
+        let x = rng.next_f64() * self.total;
+        self.cumulative
+            .iter()
+            .position(|&c| x < c)
+            .unwrap_or(self.cumulative.len() - 1)
+    }
+}
+
 /// Runs litmus tests on a simulated chip.
 #[derive(Debug)]
 pub struct LitmusRunner {
     chip: Chip,
-    rng: StdRng,
+    rng: XorShiftRng,
     sim: SimConfig,
 }
 
@@ -115,7 +150,7 @@ impl LitmusRunner {
     pub fn new(chip: Chip, seed: u64) -> LitmusRunner {
         LitmusRunner {
             chip,
-            rng: StdRng::seed_from_u64(seed),
+            rng: XorShiftRng::seed_from_u64(seed),
             sim: SimConfig::default(),
         }
     }
@@ -166,8 +201,7 @@ impl LitmusRunner {
                 }
             })
             .collect();
-        let dist = WeightedIndex::new(&weights)
-            .map_err(|e| Error::Unsupported(format!("sampling weights: {e}")))?;
+        let dist = WeightedIndex::new(&weights)?;
         let mut hist = Histogram::default();
         for _ in 0..runs {
             let idx = dist.sample(&mut self.rng);
@@ -180,7 +214,7 @@ impl LitmusRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use telechat_common::{Annot, Reg, StateKey, ThreadId, Val};
+    use telechat_common::{Reg, StateKey, ThreadId, Val};
     use telechat_isa::aarch64::A64Instr;
     use telechat_isa::{AsmCode, AsmTest};
     use telechat_litmus::{Condition, LocDecl, Prop};

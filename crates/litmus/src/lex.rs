@@ -244,6 +244,7 @@ impl Cursor {
     /// # Errors
     ///
     /// Fails at end of input.
+    #[allow(clippy::should_implement_trait)] // not an Iterator: returns Result and peeks
     pub fn next(&mut self) -> Result<Tok> {
         let t = self
             .toks

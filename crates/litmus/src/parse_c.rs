@@ -28,6 +28,9 @@ use crate::lex::{Cursor, Tok};
 use crate::test::{LitmusTest, LocDecl, Width};
 use telechat_common::{Annot, AnnotSet, Arch, Error, Loc, Reg, Result, StateKey, ThreadId, Val};
 
+/// Per-register initialisers parsed from the init block.
+type RegInits = Vec<(ThreadId, Reg, Val)>;
+
 /// Parses a C11 litmus test.
 ///
 /// # Errors
@@ -104,7 +107,7 @@ impl Parser {
         })
     }
 
-    fn parse_init(&mut self) -> Result<(Vec<LocDecl>, Vec<(ThreadId, Reg, Val)>)> {
+    fn parse_init(&mut self) -> Result<(Vec<LocDecl>, RegInits)> {
         self.cur.expect_sym("{")?;
         let mut locs = Vec::new();
         let mut reg_init = Vec::new();
