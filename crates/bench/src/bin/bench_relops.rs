@@ -1,0 +1,190 @@
+//! Relation-engine benchmark with machine-readable output.
+//!
+//! Measures the bitset relation engine end-to-end on the Fig. 11 stress
+//! shape (the unoptimised `-O0` extraction whose rf × co product explodes,
+//! §IV-E) under the aarch64 model with a fixed candidate budget — the
+//! incremental engine against the retained naive reference — plus
+//! micro-benchmarks for the hot relation operations (closure, acyclicity,
+//! union, composition, incremental push/undo).
+//!
+//! Results are written to `BENCH_relops.json` in the working directory so
+//! the repo's perf trajectory is tracked across PRs (`--quick` shrinks the
+//! budget and iteration counts for CI smoke runs; the JSON shape is
+//! identical).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use telechat::{PipelineConfig, Telechat};
+use telechat_bench::FIG7_LB_FENCES;
+use telechat_cat::CatModel;
+use telechat_common::{Arch, EventId, Result, XorShiftRng};
+use telechat_compiler::{Compiler, CompilerId, OptLevel, Target};
+use telechat_exec::{simulate, simulate_reference, IncrementalOrder, Relation, SimConfig};
+use telechat_litmus::parse_c11;
+
+/// The PR 1 (BTreeSet pair-set) engine's wall-clock on this benchmark's
+/// engine shape, measured on the dev container before the bitset rewrite.
+/// Machine-dependent — comparable only against runs on the same hardware —
+/// but kept in the JSON so the cross-PR trajectory is visible.
+const PR1_BASELINE_MS: f64 = 1243.1;
+
+fn main() -> Result<()> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (budget, reps, micro_iters) = if quick {
+        (2_000u64, 1usize, 200u32)
+    } else {
+        (20_000u64, 3usize, 2_000u32)
+    };
+
+    println!("-- relation-engine bench (budget {budget}, {reps} rep(s)) --");
+
+    // Fig. 11 stress shape: unoptimised -O0 extraction of the two-thread
+    // LB, simulated under the aarch64 model until the budget trips.
+    let tool = Telechat::with_config(
+        "rc11",
+        PipelineConfig {
+            optimise: false,
+            ..PipelineConfig::default()
+        },
+    )?;
+    let o0 = Compiler::new(CompilerId::llvm(11), OptLevel::O0, Target::new(Arch::AArch64));
+    let lb2 = parse_c11(FIG7_LB_FENCES)?;
+    let (_, _, _, _, target) = tool.extract(&lb2, &o0)?;
+    let aarch64 = CatModel::bundled("aarch64")?;
+    let capped = SimConfig {
+        max_candidates: budget,
+        timeout: None,
+        ..SimConfig::default()
+    };
+
+    let time_engine = |f: &dyn Fn()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let incremental_ms = time_engine(&|| {
+        assert!(
+            simulate(&target, &aarch64, &capped).is_err(),
+            "must exhaust the budget"
+        );
+    });
+    let reference_ms = time_engine(&|| {
+        assert!(
+            simulate_reference(&target, &aarch64, &capped).is_err(),
+            "must exhaust the budget"
+        );
+    });
+    println!("  incremental engine: {incremental_ms:9.1} ms");
+    println!("  reference engine:   {reference_ms:9.1} ms  ({:.1}x)", reference_ms / incremental_ms);
+    println!("  PR 1 baseline:      {PR1_BASELINE_MS:9.1} ms  ({:.1}x, full budget, same box)",
+        PR1_BASELINE_MS / incremental_ms);
+
+    // Micro numbers on a dense-ish random graph (litmus-scale, multi-word).
+    let mut rng = XorShiftRng::seed_from_u64(7);
+    let n = 72u32;
+    let mut graph = Relation::new();
+    for i in 0..n - 1 {
+        graph.insert(EventId(i), EventId(i + 1)); // a spine, so closures work
+    }
+    for _ in 0..3 * n {
+        graph.insert(
+            EventId(rng.below(u64::from(n)) as u32),
+            EventId(rng.below(u64::from(n)) as u32),
+        );
+    }
+    let other: Relation = (0..2 * n)
+        .map(|_| {
+            (
+                EventId(rng.below(u64::from(n)) as u32),
+                EventId(rng.below(u64::from(n)) as u32),
+            )
+        })
+        .collect();
+
+    let time_micro = |f: &mut dyn FnMut()| -> f64 {
+        let t0 = Instant::now();
+        for _ in 0..micro_iters {
+            f();
+        }
+        t0.elapsed().as_secs_f64() * 1e9 / f64::from(micro_iters)
+    };
+    let mut micro: Vec<(&str, f64)> = Vec::new();
+    micro.push(("transitive_closure", time_micro(&mut || {
+        std::hint::black_box(graph.transitive_closure());
+    })));
+    micro.push(("is_acyclic", time_micro(&mut || {
+        std::hint::black_box(graph.is_acyclic());
+    })));
+    micro.push(("union", time_micro(&mut || {
+        std::hint::black_box(graph.union(&other));
+    })));
+    micro.push(("seq", time_micro(&mut || {
+        std::hint::black_box(graph.seq(&other));
+    })));
+    // Incremental push/undo of one frame of 4 edges over a seeded order —
+    // the per-DFS-node cost the incremental engine pays instead of Kahn.
+    let spine: Relation = (0..n - 1).map(|i| (EventId(i), EventId(i + 1))).collect();
+    let mut ord = IncrementalOrder::new(n as usize, &[&spine]);
+    micro.push(("incremental_push_undo_frame", time_micro(&mut || {
+        ord.begin();
+        ord.add_edge(EventId(0), EventId(40));
+        ord.add_edge(EventId(10), EventId(50));
+        ord.add_edge(EventId(20), EventId(60));
+        ord.add_edge(EventId(30), EventId(70));
+        std::hint::black_box(ord.is_acyclic());
+        ord.undo();
+    })));
+    for (op, ns) in &micro {
+        println!("  micro {op:28} {ns:12.0} ns/op");
+    }
+
+    // Hand-rolled JSON (the workspace vendors no serde).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"relops\",");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"engine\": {{");
+    let _ = writeln!(
+        json,
+        "    \"shape\": \"LB+fences clang-O0 unoptimised extraction, aarch64 model, fixed budget\","
+    );
+    let _ = writeln!(json, "    \"budget\": {budget},");
+    let _ = writeln!(json, "    \"incremental_ms\": {incremental_ms:.2},");
+    let _ = writeln!(json, "    \"reference_ms\": {reference_ms:.2},");
+    let _ = writeln!(
+        json,
+        "    \"speedup_vs_reference\": {:.2},",
+        reference_ms / incremental_ms
+    );
+    let _ = writeln!(json, "    \"pr1_baseline_ms\": {PR1_BASELINE_MS},");
+    let _ = writeln!(
+        json,
+        "    \"pr1_baseline_note\": \"PR 1 engine, 20k budget, dev container; cross-machine comparisons are indicative only\""
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"micro\": [");
+    for (i, (op, ns)) in micro.iter().enumerate() {
+        let comma = if i + 1 < micro.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"op\": \"{op}\", \"nodes\": {n}, \"ns_per_op\": {ns:.1} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+    // Quick (CI smoke) runs write to a side path so they never clobber the
+    // committed full-budget trajectory file.
+    let path = if quick {
+        "BENCH_relops.quick.json"
+    } else {
+        "BENCH_relops.json"
+    };
+    std::fs::write(path, &json)
+        .map_err(|e| telechat_common::Error::Unsupported(format!("cannot write {path}: {e}")))?;
+    println!("wrote {path}");
+    Ok(())
+}

@@ -209,19 +209,29 @@ pub fn eval_expr(e: &CatExpr, env: &Env) -> Result<CatValue> {
 }
 
 fn binop(a: &CatExpr, b: &CatExpr, env: &Env, op: &str) -> Result<CatValue> {
+    // The left operand is owned (already a fresh value), so the bitset
+    // types' in-place `|=`/`&=`/`\=` variants apply directly — no third
+    // allocation per `|`/`&`/`\` node, which the Cat fixpoint loop hits
+    // once per binding per Kleene iteration per candidate.
     let (va, vb) = (eval_expr(a, env)?, eval_expr(b, env)?);
-    match (&va, &vb) {
-        (CatValue::Set(x), CatValue::Set(y)) => Ok(CatValue::Set(match op {
-            "|" => x.union(y),
-            "&" => x.inter(y),
-            _ => x.diff(y),
-        })),
-        (CatValue::Rel(x), CatValue::Rel(y)) => Ok(CatValue::Rel(match op {
-            "|" => x.union(y),
-            "&" => x.inter(y),
-            _ => x.diff(y),
-        })),
-        _ => Err(Error::Model(format!(
+    match (va, vb) {
+        (CatValue::Set(mut x), CatValue::Set(y)) => {
+            match op {
+                "|" => x.union_with(&y),
+                "&" => x.inter_with(&y),
+                _ => x.diff_with(&y),
+            }
+            Ok(CatValue::Set(x))
+        }
+        (CatValue::Rel(mut x), CatValue::Rel(y)) => {
+            match op {
+                "|" => x.union_with(&y),
+                "&" => x.inter_with(&y),
+                _ => x.diff_with(&y),
+            }
+            Ok(CatValue::Rel(x))
+        }
+        (va, vb) => Err(Error::Model(format!(
             "type mismatch for `{op}`: {} vs {}",
             va.type_name(),
             vb.type_name()

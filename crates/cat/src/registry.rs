@@ -3,7 +3,7 @@
 use crate::ast::CatProgram;
 use crate::eval::{run_program, run_program_with_base, EnvBase};
 use crate::parse::parse_cat;
-use telechat_common::{Arch, Error, Result};
+use telechat_common::{Arch, Error, EventId, Result};
 use telechat_exec::{ComboChecker, ConsistencyModel, Execution, PartialVerdict, Verdict};
 
 /// `(name, source)` pairs of every bundled `.cat` file.
@@ -241,6 +241,47 @@ impl ComboChecker for IntersectionChecker<'_> {
             }
         }
         PartialVerdict::Undecided
+    }
+
+    // The incremental edge protocol is forwarded to every part, so a part
+    // whose session answers from push-fed state (today only the built-in
+    // models do; Cat sessions use the defaults) stays in sync even when
+    // composed. Forbidden from any part forbids the intersection.
+
+    fn incremental(&self) -> bool {
+        self.parts.iter().any(|c| c.incremental())
+    }
+
+    fn push_rf(&mut self, partial: &Execution, w: EventId, r: EventId) -> PartialVerdict {
+        let mut verdict = PartialVerdict::Undecided;
+        for c in &mut self.parts {
+            if c.push_rf(partial, w, r) == PartialVerdict::Forbidden {
+                verdict = PartialVerdict::Forbidden;
+            }
+        }
+        verdict
+    }
+
+    fn pop_rf(&mut self, partial: &Execution, w: EventId, r: EventId) {
+        for c in &mut self.parts {
+            c.pop_rf(partial, w, r);
+        }
+    }
+
+    fn push_co(&mut self, partial: &Execution, preds: &[EventId], w: EventId) -> PartialVerdict {
+        let mut verdict = PartialVerdict::Undecided;
+        for c in &mut self.parts {
+            if c.push_co(partial, preds, w) == PartialVerdict::Forbidden {
+                verdict = PartialVerdict::Forbidden;
+            }
+        }
+        verdict
+    }
+
+    fn pop_co(&mut self, partial: &Execution, preds: &[EventId], w: EventId) {
+        for c in &mut self.parts {
+            c.pop_co(partial, preds, w);
+        }
     }
 }
 

@@ -1,6 +1,57 @@
 //! Identifier newtypes: threads, events, registers and shared locations.
+//!
+//! `Reg` and `Loc` are *interned*: the first construction of a given name
+//! hashes the string once into a process-wide table and every subsequent
+//! construction, clone, equality test and hash is a dense-id operation.
+//! The enumeration engine builds relations keyed by location for every
+//! candidate execution, so keeping string hashing out of that path matters
+//! (ROADMAP "Next levers": interning `Loc`/`Reg` out of the hot path).
+//! Display/`as_str` round-trip the original spelling for litmus printing.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// A process-wide string interner: name → dense id, id → leaked `'static`
+/// name. One instance per identifier kind so ids stay dense per kind.
+///
+/// Interned names are leaked deliberately: the set of distinct register and
+/// location names a run can see is small (bounded by the litmus corpus), and
+/// leaking buys `Copy`-cheap handles with allocation-free reads.
+struct Interner {
+    ids: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Interner {
+        Interner {
+            ids: HashMap::new(),
+            names: Vec::new(),
+        }
+    }
+
+    fn intern(&mut self, name: &str) -> (u32, &'static str) {
+        if let Some(&id) = self.ids.get(name) {
+            return (id, self.names[id as usize]);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let id = u32::try_from(self.names.len()).expect("interner overflow");
+        self.names.push(leaked);
+        self.ids.insert(leaked, id);
+        (id, leaked)
+    }
+}
+
+static LOC_INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+static REG_INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+
+fn intern_in(cell: &OnceLock<Mutex<Interner>>, name: &str) -> (u32, &'static str) {
+    cell.get_or_init(|| Mutex::new(Interner::new()))
+        .lock()
+        .expect("interner poisoned")
+        .intern(name)
+}
 
 /// Identifies one thread of a litmus test (`P0`, `P1`, …).
 ///
@@ -47,29 +98,78 @@ impl fmt::Display for EventId {
     }
 }
 
-/// A thread-local register name (`r0`, `X2`, `W10`, `a5`, …).
+/// A thread-local register name (`r0`, `X2`, `W10`, `a5`, …), interned.
 ///
-/// Registers are compared textually; the ISA crates normalise aliases (for
-/// instance AArch64 `W`/`X` views of the same register) before constructing a
-/// `Reg`.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Reg(String);
+/// Registers compare *textually* for ordering (stable litmus printing) but
+/// by dense id for equality and hashing; a clone is a 16-byte copy, never an
+/// allocation. The ISA crates normalise aliases (for instance AArch64
+/// `W`/`X` views of the same register) before constructing a `Reg`.
+#[derive(Clone)]
+pub struct Reg {
+    id: u32,
+    name: &'static str,
+}
 
 impl Reg {
-    /// Creates a register from its textual name.
-    pub fn new(name: impl Into<String>) -> Self {
-        Reg(name.into())
+    /// Creates a register from its textual name, interning it (a hash of the
+    /// string on first sight of the name, an id lookup afterwards).
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let (id, name) = intern_in(&REG_INTERNER, name.as_ref());
+        Reg { id, name }
     }
 
     /// The register's textual name.
     pub fn name(&self) -> &str {
-        &self.0
+        self.name
+    }
+
+    /// The dense interned id (unique per distinct name, process-wide).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+}
+
+impl PartialEq for Reg {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Reg {}
+
+// Ordering stays textual — one interned name per id keeps it consistent
+// with `Eq` — so sorted containers print in the same order as before
+// interning.
+impl Ord for Reg {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.id == other.id {
+            return std::cmp::Ordering::Equal;
+        }
+        self.name.cmp(other.name)
+    }
+}
+
+impl PartialOrd for Reg {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for Reg {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Reg").field(&self.name).finish()
     }
 }
 
 impl fmt::Display for Reg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.name)
     }
 }
 
@@ -85,11 +185,13 @@ impl From<String> for Reg {
     }
 }
 
-/// A symbolic shared-memory location (`x`, `y`, `ptr_x`, `x.hi`, …).
+/// A symbolic shared-memory location (`x`, `y`, `ptr_x`, `x.hi`, …), interned.
 ///
 /// Litmus tests name locations symbolically; object files lay them out at
 /// numeric addresses and the `s2l` stage maps the addresses back to these
-/// symbols using the symbol table and debug information.
+/// symbols using the symbol table and debug information. Like [`Reg`],
+/// construction interns the name once; equality and hashing are dense-id
+/// operations and ordering stays textual.
 ///
 /// ```
 /// use telechat_common::Loc;
@@ -97,47 +199,91 @@ impl From<String> for Reg {
 /// assert_eq!(x.as_str(), "x");
 /// assert_eq!(x.hi_half().as_str(), "x.hi");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Loc(String);
+#[derive(Clone)]
+pub struct Loc {
+    id: u32,
+    name: &'static str,
+}
 
 impl Loc {
-    /// Creates a location from its symbolic name.
-    pub fn new(name: impl Into<String>) -> Self {
-        Loc(name.into())
+    /// Creates a location from its symbolic name, interning it.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        let (id, name) = intern_in(&LOC_INTERNER, name.as_ref());
+        Loc { id, name }
     }
 
     /// The symbolic name.
     pub fn as_str(&self) -> &str {
-        &self.0
+        self.name
+    }
+
+    /// The dense interned id (unique per distinct name, process-wide).
+    pub fn id(&self) -> u32 {
+        self.id
     }
 
     /// The low 64-bit half of a 128-bit location.
     pub fn lo_half(&self) -> Loc {
-        Loc(format!("{}.lo", self.0))
+        Loc::new(format!("{}.lo", self.name))
     }
 
     /// The high 64-bit half of a 128-bit location.
     pub fn hi_half(&self) -> Loc {
-        Loc(format!("{}.hi", self.0))
+        Loc::new(format!("{}.hi", self.name))
     }
 
     /// True if this location is one half of a split 128-bit location.
     pub fn is_half(&self) -> bool {
-        self.0.ends_with(".lo") || self.0.ends_with(".hi")
+        self.name.ends_with(".lo") || self.name.ends_with(".hi")
     }
 
     /// For a half location, the base 128-bit location name.
     pub fn half_base(&self) -> Option<Loc> {
-        self.0
+        self.name
             .strip_suffix(".lo")
-            .or_else(|| self.0.strip_suffix(".hi"))
+            .or_else(|| self.name.strip_suffix(".hi"))
             .map(Loc::new)
+    }
+}
+
+impl PartialEq for Loc {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Loc {}
+
+impl Ord for Loc {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.id == other.id {
+            return std::cmp::Ordering::Equal;
+        }
+        self.name.cmp(other.name)
+    }
+}
+
+impl PartialOrd for Loc {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for Loc {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Debug for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Loc").field(&self.name).finish()
     }
 }
 
 impl fmt::Display for Loc {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.name)
     }
 }
 
@@ -189,5 +335,29 @@ mod tests {
     #[test]
     fn loc_ordering_textual() {
         assert!(Loc::new("x") < Loc::new("y"));
+        // Interning order must not leak into comparison order.
+        let b = Loc::new("zz_interned_late_b");
+        let a = Loc::new("zz_interned_late_a");
+        assert!(a < b);
+        assert!(b > a);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = Loc::new("same");
+        let b = Loc::new(String::from("same"));
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        let r1 = Reg::new("r9");
+        let r2 = Reg::new("r9");
+        assert_eq!(r1.id(), r2.id());
+        // Distinct names get distinct ids.
+        assert_ne!(Loc::new("one").id(), Loc::new("two").id());
+    }
+
+    #[test]
+    fn debug_shows_name() {
+        assert_eq!(format!("{:?}", Loc::new("x")), "Loc(\"x\")");
+        assert_eq!(format!("{:?}", Reg::new("r0")), "Reg(\"r0\")");
     }
 }

@@ -43,7 +43,7 @@ impl Emitter for MipsEmitter {
     }
 
     fn norm(&self, phys: &str) -> Reg {
-        Reg::new(phys.to_string())
+        Reg::new(phys)
     }
 
     fn label(&mut self, l: &str) {

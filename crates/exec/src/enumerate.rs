@@ -376,12 +376,15 @@ fn run_combo(ctx: &WorkerCtx<'_>, traces: &[&Trace]) -> std::result::Result<Comb
 
     // Open the model's combo session on the skeleton: combo-constant
     // derived relations (loc/ext/int, annotation sets, …) are computed
-    // once here and shared by every candidate below.
+    // once here and shared by every candidate below. Incremental sessions
+    // additionally receive every DFS edge push/pop (see `ComboChecker`).
     let checker = ctx.model.combo_checker(&execution);
+    let incremental = checker.incremental();
 
     let mut run = ComboRun {
         ctx,
-        checker: checker.as_ref(),
+        checker,
+        incremental,
         reads: &combined.reads,
         rf_choices,
         rf_tail,
@@ -403,7 +406,9 @@ fn run_combo(ctx: &WorkerCtx<'_>, traces: &[&Trace]) -> std::result::Result<Comb
 /// the builder walks rf choices and coherence prefixes.
 struct ComboRun<'a, 'c> {
     ctx: &'a WorkerCtx<'a>,
-    checker: &'c dyn crate::model::ComboChecker,
+    checker: Box<dyn crate::model::ComboChecker + 'a>,
+    /// Whether `checker` opted into the per-edge incremental protocol.
+    incremental: bool,
     reads: &'c [EventId],
     rf_choices: Vec<Vec<EventId>>,
     rf_tail: Vec<u64>,
@@ -458,6 +463,11 @@ impl ComboRun<'_, '_> {
     }
 
     /// Stage 2: justify read `i`, then recurse; prune on partial verdicts.
+    ///
+    /// Incremental sessions see *every* edge (`push_rf`/`pop_rf`) and their
+    /// verdict is free, so any `Forbidden` prunes regardless of subtree
+    /// size; re-check sessions are only consulted when a subtree of at
+    /// least [`PRUNE_THRESHOLD`] completions hangs off the node.
     fn assign_rf(&mut self, i: usize) -> std::result::Result<(), Stop> {
         if i == self.reads.len() {
             return self.assign_co(0, 0);
@@ -467,13 +477,21 @@ impl ComboRun<'_, '_> {
         for ci in 0..self.rf_choices[i].len() {
             let w = self.rf_choices[i][ci];
             self.execution.rf.insert(w, r);
-            let pruned = subtree >= PRUNE_THRESHOLD
-                && self.checker.check_partial(&self.execution) == PartialVerdict::Forbidden;
-            let res = if pruned {
+            let verdict = if self.incremental {
+                self.checker.push_rf(&self.execution, w, r)
+            } else if subtree >= PRUNE_THRESHOLD {
+                self.checker.check_partial(&self.execution)
+            } else {
+                PartialVerdict::Undecided
+            };
+            let res = if verdict == PartialVerdict::Forbidden {
                 self.charge(subtree)
             } else {
                 self.assign_rf(i + 1)
             };
+            if self.incremental {
+                self.checker.pop_rf(&self.execution, w, r);
+            }
             self.execution.rf.remove(w, r);
             res?;
         }
@@ -498,16 +516,28 @@ impl ComboRun<'_, '_> {
                 let p = self.chains[li][idx];
                 self.execution.co.insert(p, w);
             }
+            let verdict = if self.incremental {
+                self.checker.push_co(&self.execution, &self.chains[li], w)
+            } else {
+                PartialVerdict::Undecided
+            };
             self.chains[li].push(w);
             let subtree = fact((m - k - 1) as u64).saturating_mul(self.co_tail[li + 1]);
-            let pruned = subtree >= PRUNE_THRESHOLD
-                && self.checker.check_partial(&self.execution) == PartialVerdict::Forbidden;
+            let pruned = if self.incremental {
+                verdict == PartialVerdict::Forbidden
+            } else {
+                subtree >= PRUNE_THRESHOLD
+                    && self.checker.check_partial(&self.execution) == PartialVerdict::Forbidden
+            };
             let res = if pruned {
                 self.charge(subtree)
             } else {
                 self.assign_co(li, k + 1)
             };
             self.chains[li].pop();
+            if self.incremental {
+                self.checker.pop_co(&self.execution, &self.chains[li], w);
+            }
             for idx in 0..self.chains[li].len() {
                 let p = self.chains[li][idx];
                 self.execution.co.remove(p, w);
@@ -972,6 +1002,29 @@ exists (true)
         // Transitivity: every composed edge is already present.
         let closed = combined.po.transitive_closure();
         assert_eq!(closed, combined.po);
+    }
+
+    #[test]
+    fn incremental_sessions_run_no_full_traversals() {
+        // The acceptance pin for the incremental acyclicity state: with the
+        // built-in models' incremental combo sessions, an entire simulation
+        // runs zero full Kahn/toposort traversals — partial checks AND leaf
+        // checks are answered from per-edge reachability state. (The
+        // counter is thread-local; threads = 1 keeps all work here.)
+        for src in [SB, LB] {
+            let test = parse_c11(src).unwrap();
+            for model in [&SeqCstRef as &dyn ConsistencyModel, &CoherenceOnly] {
+                let before = crate::rel::full_traversals();
+                simulate(&test, model, &SimConfig::default()).unwrap();
+                assert_eq!(
+                    crate::rel::full_traversals(),
+                    before,
+                    "full traversal during {} enumeration of {}",
+                    model.name(),
+                    test.name
+                );
+            }
+        }
     }
 
     #[test]

@@ -46,6 +46,7 @@
 pub mod config;
 pub mod enumerate;
 pub mod event;
+pub mod incr;
 pub mod model;
 pub mod reference;
 pub mod rel;
@@ -54,6 +55,7 @@ pub mod trace;
 pub use config::{SimConfig, SimResult};
 pub use enumerate::simulate;
 pub use event::{Event, EventKind, Execution, INIT_THREAD};
+pub use incr::IncrementalOrder;
 pub use model::{
     AllowAll, CoherenceOnly, ComboChecker, ConsistencyModel, PartialVerdict, SeqCstRef, Verdict,
 };

@@ -8,6 +8,9 @@
 //! strongest/weakest bounds.
 
 use crate::event::Execution;
+use crate::incr::IncrementalOrder;
+use crate::rel::Relation;
+use telechat_common::EventId;
 
 /// A model's judgement of one candidate execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,6 +114,28 @@ pub trait ConsistencyModel: Send + Sync {
 /// The enumeration engine creates one per trace combination and funnels
 /// every full and partial candidate of that combo through it, so
 /// implementations can hold combo-constant derived data.
+///
+/// # Incremental sessions
+///
+/// A session that returns `true` from [`incremental`] opts into the
+/// engine's *edge-delta* protocol instead of whole-candidate re-checks:
+/// the engine calls [`push_rf`]/[`push_co`] for **every** edge assignment
+/// of the DFS (not just when it wants a verdict) and the matching
+/// [`pop_rf`]/[`pop_co`] on backtrack, strictly LIFO — all rf pushes
+/// precede all co pushes along a branch, mirroring the enumeration stages.
+/// The returned verdict carries the same contract as
+/// [`ConsistencyModel::check_partial`]; the engine prunes the subtree the
+/// moment it sees `Forbidden`. At a DFS leaf the pushed state describes
+/// the *complete* candidate, and [`check`] is called with the session in
+/// exactly that state — an incremental session may answer from its own
+/// state in O(1) instead of re-deriving relations.
+///
+/// [`incremental`]: ComboChecker::incremental
+/// [`push_rf`]: ComboChecker::push_rf
+/// [`push_co`]: ComboChecker::push_co
+/// [`pop_rf`]: ComboChecker::pop_rf
+/// [`pop_co`]: ComboChecker::pop_co
+/// [`check`]: ComboChecker::check
 pub trait ComboChecker: Send {
     /// Judges one complete candidate (same contract as
     /// [`ConsistencyModel::check`]).
@@ -119,6 +144,32 @@ pub trait ComboChecker: Send {
     /// Judges one partial candidate (same contract as
     /// [`ConsistencyModel::check_partial`]).
     fn check_partial(&self, partial: &Execution) -> PartialVerdict;
+
+    /// True if this session maintains incremental edge state (see the
+    /// trait docs). Non-incremental sessions keep the re-check protocol.
+    fn incremental(&self) -> bool {
+        false
+    }
+
+    /// The engine assigned `rf(w, r)`: read `r` is justified by write `w`.
+    /// `partial` already contains the edge.
+    fn push_rf(&mut self, _partial: &Execution, _w: EventId, _r: EventId) -> PartialVerdict {
+        PartialVerdict::Undecided
+    }
+
+    /// Undoes the most recent [`push_rf`](ComboChecker::push_rf).
+    fn pop_rf(&mut self, _partial: &Execution, _w: EventId, _r: EventId) {}
+
+    /// The engine extended a location's coherence chain with write `w`:
+    /// `co(p, w)` was added for every `p` in `preds` (the chain so far, in
+    /// coherence order, init write first). `partial` already contains the
+    /// edges.
+    fn push_co(&mut self, _partial: &Execution, _preds: &[EventId], _w: EventId) -> PartialVerdict {
+        PartialVerdict::Undecided
+    }
+
+    /// Undoes the most recent [`push_co`](ComboChecker::push_co).
+    fn pop_co(&mut self, _partial: &Execution, _preds: &[EventId], _w: EventId) {}
 }
 
 /// The default session: no combo-constant state, plain forwarding.
@@ -174,11 +225,93 @@ impl ConsistencyModel for SeqCstRef {
     /// grow, so partial cyclicity rejects the whole subtree.
     fn check_partial(&self, x: &Execution) -> PartialVerdict {
         let fr = x.fr();
-        if crate::rel::Relation::union_is_acyclic(&[&x.po, &x.rf, &x.co, &fr]) {
+        if Relation::union_is_acyclic(&[&x.po, &x.rf, &x.co, &fr]) {
             PartialVerdict::Undecided
         } else {
             PartialVerdict::Forbidden
         }
+    }
+
+    /// Incremental session: acyclicity of `po | rf | co | fr` is tracked by
+    /// an [`IncrementalOrder`] seeded with `po` and updated per DFS edge —
+    /// no full traversal per node, O(1) verdicts at leaves.
+    fn combo_checker<'a>(&'a self, skeleton: &Execution) -> Box<dyn ComboChecker + 'a> {
+        Box::new(SeqCstSession::new(skeleton))
+    }
+}
+
+/// [`SeqCstRef`]'s incremental combo session.
+///
+/// State: the incremental reachability order over `po ∪ rf ∪ co ∪ fr`,
+/// plus an `rf⁻¹` mirror (`readers`) so a coherence push can derive its
+/// `fr` delta — a new `co(p, w)` edge contributes `fr(r, w)` for exactly
+/// the reads `r` justified by `p`.
+struct SeqCstSession {
+    order: IncrementalOrder,
+    readers: Relation,
+}
+
+impl SeqCstSession {
+    fn new(skeleton: &Execution) -> SeqCstSession {
+        SeqCstSession {
+            order: IncrementalOrder::new(skeleton.events.len(), &[&skeleton.po]),
+            readers: Relation::with_nodes(skeleton.events.len()),
+        }
+    }
+
+    fn verdict(&self) -> PartialVerdict {
+        if self.order.is_acyclic() {
+            PartialVerdict::Undecided
+        } else {
+            PartialVerdict::Forbidden
+        }
+    }
+}
+
+impl ComboChecker for SeqCstSession {
+    fn check(&self, _execution: &Execution) -> Verdict {
+        if self.order.is_acyclic() {
+            Verdict::allowed()
+        } else {
+            Verdict::Forbidden { rule: "sc".into() }
+        }
+    }
+
+    fn check_partial(&self, _partial: &Execution) -> PartialVerdict {
+        self.verdict()
+    }
+
+    fn incremental(&self) -> bool {
+        true
+    }
+
+    fn push_rf(&mut self, _partial: &Execution, w: EventId, r: EventId) -> PartialVerdict {
+        self.order.begin();
+        self.order.add_edge(w, r);
+        self.readers.insert(w, r);
+        self.verdict()
+    }
+
+    fn pop_rf(&mut self, _partial: &Execution, w: EventId, r: EventId) {
+        self.readers.remove(w, r);
+        self.order.undo();
+    }
+
+    fn push_co(&mut self, _partial: &Execution, preds: &[EventId], w: EventId) -> PartialVerdict {
+        self.order.begin();
+        for &p in preds {
+            self.order.add_edge(p, w);
+            for r in self.readers.successors(p) {
+                if r != w {
+                    self.order.add_edge(r, w); // fr(r, w) = rf⁻¹(r, p) ; co(p, w)
+                }
+            }
+        }
+        self.verdict()
+    }
+
+    fn pop_co(&mut self, _partial: &Execution, _preds: &[EventId], _w: EventId) {
+        self.order.undo();
     }
 }
 
@@ -194,16 +327,107 @@ impl ConsistencyModel for CoherenceOnly {
     }
 
     fn check(&self, x: &Execution) -> Verdict {
-        let com = x.po_loc().union(&x.rf).union(&x.co).union(&x.fr());
-        if !com.is_acyclic() {
+        match coherence_violation(&x.po_loc(), &x.ext_rel(), x) {
+            Some(rule) => Verdict::Forbidden { rule: rule.into() },
+            None => Verdict::allowed(),
+        }
+    }
+
+    /// Both axioms are monotone — a per-location cycle stays a cycle, a
+    /// non-empty `rmw & (fre;coe)` stays non-empty — so either firing on
+    /// a partial candidate rejects the subtree.
+    fn check_partial(&self, x: &Execution) -> PartialVerdict {
+        if coherence_violation(&x.po_loc(), &x.ext_rel(), x).is_some() {
+            PartialVerdict::Forbidden
+        } else {
+            PartialVerdict::Undecided
+        }
+    }
+
+    /// Incremental session: per-location acyclicity via an
+    /// [`IncrementalOrder`] seeded with `po-loc`, atomicity via `co`/`fr`
+    /// mirrors updated per edge — no re-derivation per candidate.
+    fn combo_checker<'a>(&'a self, skeleton: &Execution) -> Box<dyn ComboChecker + 'a> {
+        Box::new(CoherenceSession::new(skeleton))
+    }
+}
+
+/// The one-shot (non-incremental) coherence test, shared by
+/// [`CoherenceOnly::check`] and [`CoherenceOnly::check_partial`]:
+/// `acyclic (po-loc | rf | co | fr)` plus RMW atomicity.
+fn coherence_violation(po_loc: &Relation, ext: &Relation, x: &Execution) -> Option<&'static str> {
+    let fr = x.fr();
+    if !Relation::union_is_acyclic(&[po_loc, &x.rf, &x.co, &fr]) {
+        return Some("coherence");
+    }
+    let fre = fr.inter(ext);
+    let coe = x.co.inter(ext);
+    if !x.rmw.inter(&fre.seq(&coe)).is_empty() {
+        return Some("atomicity");
+    }
+    None
+}
+
+/// [`CoherenceOnly`]'s incremental combo session.
+///
+/// Alongside the reachability order (seeded with the combo-constant
+/// `po-loc`), the session mirrors `rf⁻¹`, `co` and `fr` as bit-matrices so
+/// the RMW-atomicity axiom `empty rmw & (fre ; coe)` is a few-word probe
+/// per rmw pair instead of an intersection + composition per candidate.
+struct CoherenceSession {
+    order: IncrementalOrder,
+    readers: Relation,
+    co: Relation,
+    fr: Relation,
+    ext: Relation,
+    rmw: Vec<(EventId, EventId)>,
+}
+
+impl CoherenceSession {
+    fn new(skeleton: &Execution) -> CoherenceSession {
+        let n = skeleton.events.len();
+        CoherenceSession {
+            order: IncrementalOrder::new(n, &[&skeleton.po_loc()]),
+            readers: Relation::with_nodes(n),
+            co: Relation::with_nodes(n),
+            fr: Relation::with_nodes(n),
+            ext: skeleton.ext_rel(),
+            rmw: skeleton.rmw.iter().collect(),
+        }
+    }
+
+    /// `rmw & (fre ; coe)` emptiness over the mirrors.
+    fn atomicity_ok(&self) -> bool {
+        for &(r, w2) in &self.rmw {
+            for w1 in self.fr.successors(r) {
+                if self.ext.contains(r, w1)
+                    && self.co.contains(w1, w2)
+                    && self.ext.contains(w1, w2)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn verdict(&self) -> PartialVerdict {
+        if self.order.is_acyclic() && self.atomicity_ok() {
+            PartialVerdict::Undecided
+        } else {
+            PartialVerdict::Forbidden
+        }
+    }
+}
+
+impl ComboChecker for CoherenceSession {
+    fn check(&self, _execution: &Execution) -> Verdict {
+        if !self.order.is_acyclic() {
             return Verdict::Forbidden {
                 rule: "coherence".into(),
             };
         }
-        // Atomicity: no write intervenes between an RMW's read and write.
-        let fre = x.fr().inter(&x.ext_rel());
-        let coe = x.co.inter(&x.ext_rel());
-        if !x.rmw.inter(&fre.seq(&coe)).is_empty() {
+        if !self.atomicity_ok() {
             return Verdict::Forbidden {
                 rule: "atomicity".into(),
             };
@@ -211,64 +435,51 @@ impl ConsistencyModel for CoherenceOnly {
         Verdict::allowed()
     }
 
-    /// Both axioms are monotone — a per-location cycle stays a cycle, a
-    /// non-empty `rmw & (fre;coe)` stays non-empty — so either firing on
-    /// a partial candidate rejects the subtree.
-    fn check_partial(&self, x: &Execution) -> PartialVerdict {
-        CoherenceChecker::from_skeleton(x).check_partial(x)
+    fn check_partial(&self, _partial: &Execution) -> PartialVerdict {
+        self.verdict()
     }
 
-    /// `po-loc` and `ext` are combo-constant; cache them per session
-    /// instead of rebuilding per candidate.
-    fn combo_checker<'a>(&'a self, skeleton: &Execution) -> Box<dyn ComboChecker + 'a> {
-        Box::new(CoherenceChecker::from_skeleton(skeleton))
-    }
-}
-
-/// [`CoherenceOnly`]'s combo session: the per-location program order and
-/// the external relation do not depend on rf/co, so they are computed
-/// once per combo.
-struct CoherenceChecker {
-    po_loc: crate::rel::Relation,
-    ext: crate::rel::Relation,
-}
-
-impl CoherenceChecker {
-    fn from_skeleton(skeleton: &Execution) -> CoherenceChecker {
-        CoherenceChecker {
-            po_loc: skeleton.po_loc(),
-            ext: skeleton.ext_rel(),
-        }
+    fn incremental(&self) -> bool {
+        true
     }
 
-    fn violates(&self, x: &Execution) -> Option<&'static str> {
-        let fr = x.fr();
-        if !crate::rel::Relation::union_is_acyclic(&[&self.po_loc, &x.rf, &x.co, &fr]) {
-            return Some("coherence");
-        }
-        let fre = fr.inter(&self.ext);
-        let coe = x.co.inter(&self.ext);
-        if !x.rmw.inter(&fre.seq(&coe)).is_empty() {
-            return Some("atomicity");
-        }
-        None
-    }
-}
-
-impl ComboChecker for CoherenceChecker {
-    fn check(&self, x: &Execution) -> Verdict {
-        match self.violates(x) {
-            Some(rule) => Verdict::Forbidden { rule: rule.into() },
-            None => Verdict::allowed(),
-        }
+    fn push_rf(&mut self, _partial: &Execution, w: EventId, r: EventId) -> PartialVerdict {
+        self.order.begin();
+        self.order.add_edge(w, r);
+        self.readers.insert(w, r);
+        self.verdict()
     }
 
-    fn check_partial(&self, x: &Execution) -> PartialVerdict {
-        if self.violates(x).is_some() {
-            PartialVerdict::Forbidden
-        } else {
-            PartialVerdict::Undecided
+    fn pop_rf(&mut self, _partial: &Execution, w: EventId, r: EventId) {
+        self.readers.remove(w, r);
+        self.order.undo();
+    }
+
+    fn push_co(&mut self, _partial: &Execution, preds: &[EventId], w: EventId) -> PartialVerdict {
+        self.order.begin();
+        for &p in preds {
+            self.order.add_edge(p, w);
+            self.co.insert(p, w);
+            for r in self.readers.successors(p) {
+                if r != w {
+                    self.order.add_edge(r, w);
+                    self.fr.insert(r, w);
+                }
+            }
         }
+        self.verdict()
+    }
+
+    fn pop_co(&mut self, _partial: &Execution, preds: &[EventId], w: EventId) {
+        for &p in preds {
+            self.co.remove(p, w);
+            for r in self.readers.successors(p) {
+                if r != w {
+                    self.fr.remove(r, w);
+                }
+            }
+        }
+        self.order.undo();
     }
 }
 

@@ -147,7 +147,7 @@ fn is_zero(name: &str) -> bool {
 }
 
 fn reg(name: &str) -> Reg {
-    Reg::new(name.to_string())
+    Reg::new(name)
 }
 
 fn src_expr(name: &str) -> Expr {

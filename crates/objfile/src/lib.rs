@@ -206,7 +206,7 @@ impl ObjectFile {
             section: ".got".to_string(),
         });
         self.data_init
-            .insert(name, Val::Addr(Loc::new(sym.to_string())));
+            .insert(name, Val::Addr(Loc::new(sym)));
     }
 
     /// Appends a function, recording relocations for its symbolic operands.
