@@ -1,11 +1,14 @@
 //! Relation-engine benchmark with machine-readable output.
 //!
-//! Measures the bitset relation engine end-to-end on the Fig. 11 stress
-//! shape (the unoptimised `-O0` extraction whose rf × co product explodes,
-//! §IV-E) under the aarch64 model with a fixed candidate budget — the
-//! incremental engine against the retained naive reference — plus
-//! micro-benchmarks for the hot relation operations (closure, acyclicity,
-//! union, composition, incremental push/undo).
+//! Measures the engine end-to-end on the Fig. 11 stress shape (the
+//! unoptimised `-O0` extraction whose rf × co product explodes, §IV-E)
+//! under the *interpreted* aarch64 model with a fixed candidate budget,
+//! in three configurations: the staged Cat engine (per-edge incremental
+//! monotone constraints), the leaf-only interpreted session (the PR 2
+//! behaviour, kept via `CatModel::without_staging`), and the retained
+//! naive reference enumerator — plus micro-benchmarks for the hot
+//! relation operations (closure, acyclicity, union, composition,
+//! incremental push/undo).
 //!
 //! Results are written to `BENCH_relops.json` in the working directory so
 //! the repo's perf trajectory is tracked across PRs (`--quick` shrinks the
@@ -27,6 +30,12 @@ use telechat_litmus::parse_c11;
 /// Machine-dependent — comparable only against runs on the same hardware —
 /// but kept in the JSON so the cross-PR trajectory is visible.
 const PR1_BASELINE_MS: f64 = 1243.1;
+
+/// The PR 2 engine (bitset relations + incremental built-ins, interpreted
+/// models still leaf-only) on the same shape and box — the baseline the
+/// staged Cat engine is measured against. The live `leaf_only_ms` row
+/// re-measures the same configuration on the current box.
+const PR2_BASELINE_MS: f64 = 107.0;
 
 fn main() -> Result<()> {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -51,6 +60,7 @@ fn main() -> Result<()> {
     let lb2 = parse_c11(FIG7_LB_FENCES)?;
     let (_, _, _, _, target) = tool.extract(&lb2, &o0)?;
     let aarch64 = CatModel::bundled("aarch64")?;
+    let leaf_only = CatModel::bundled("aarch64")?.without_staging();
     let capped = SimConfig {
         max_candidates: budget,
         timeout: None,
@@ -66,9 +76,18 @@ fn main() -> Result<()> {
         }
         best
     };
-    let incremental_ms = time_engine(&|| {
+    // Interpreted-model rows: the staged Cat engine against the leaf-only
+    // session (the PR 2 behaviour) on the same interpreted model, and the
+    // naive reference enumerator.
+    let staged_ms = time_engine(&|| {
         assert!(
             simulate(&target, &aarch64, &capped).is_err(),
+            "must exhaust the budget"
+        );
+    });
+    let leaf_only_ms = time_engine(&|| {
+        assert!(
+            simulate(&target, &leaf_only, &capped).is_err(),
             "must exhaust the budget"
         );
     });
@@ -78,10 +97,23 @@ fn main() -> Result<()> {
             "must exhaust the budget"
         );
     });
-    println!("  incremental engine: {incremental_ms:9.1} ms");
-    println!("  reference engine:   {reference_ms:9.1} ms  ({:.1}x)", reference_ms / incremental_ms);
-    println!("  PR 1 baseline:      {PR1_BASELINE_MS:9.1} ms  ({:.1}x, full budget, same box)",
-        PR1_BASELINE_MS / incremental_ms);
+    println!("  staged cat engine:  {staged_ms:9.1} ms");
+    println!(
+        "  leaf-only (PR 2):   {leaf_only_ms:9.1} ms  ({:.1}x)",
+        leaf_only_ms / staged_ms
+    );
+    println!(
+        "  reference engine:   {reference_ms:9.1} ms  ({:.1}x)",
+        reference_ms / staged_ms
+    );
+    println!(
+        "  PR 2 baseline:      {PR2_BASELINE_MS:9.1} ms  ({:.1}x, full budget, same box)",
+        PR2_BASELINE_MS / staged_ms
+    );
+    println!(
+        "  PR 1 baseline:      {PR1_BASELINE_MS:9.1} ms  ({:.1}x, full budget, same box)",
+        PR1_BASELINE_MS / staged_ms
+    );
 
     // Micro numbers on a dense-ish random graph (litmus-scale, multi-word).
     let mut rng = XorShiftRng::seed_from_u64(7);
@@ -150,20 +182,27 @@ fn main() -> Result<()> {
     let _ = writeln!(json, "  \"engine\": {{");
     let _ = writeln!(
         json,
-        "    \"shape\": \"LB+fences clang-O0 unoptimised extraction, aarch64 model, fixed budget\","
+        "    \"shape\": \"LB+fences clang-O0 unoptimised extraction, interpreted aarch64 model, fixed budget\","
     );
     let _ = writeln!(json, "    \"budget\": {budget},");
-    let _ = writeln!(json, "    \"incremental_ms\": {incremental_ms:.2},");
+    let _ = writeln!(json, "    \"staged_ms\": {staged_ms:.2},");
+    let _ = writeln!(json, "    \"leaf_only_ms\": {leaf_only_ms:.2},");
     let _ = writeln!(json, "    \"reference_ms\": {reference_ms:.2},");
     let _ = writeln!(
         json,
-        "    \"speedup_vs_reference\": {:.2},",
-        reference_ms / incremental_ms
+        "    \"speedup_vs_leaf_only\": {:.2},",
+        leaf_only_ms / staged_ms
     );
+    let _ = writeln!(
+        json,
+        "    \"speedup_vs_reference\": {:.2},",
+        reference_ms / staged_ms
+    );
+    let _ = writeln!(json, "    \"pr2_baseline_ms\": {PR2_BASELINE_MS},");
     let _ = writeln!(json, "    \"pr1_baseline_ms\": {PR1_BASELINE_MS},");
     let _ = writeln!(
         json,
-        "    \"pr1_baseline_note\": \"PR 1 engine, 20k budget, dev container; cross-machine comparisons are indicative only\""
+        "    \"baseline_note\": \"PR 1/PR 2 engines, 20k budget, dev container; cross-machine comparisons are indicative only\""
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"micro\": [");

@@ -10,12 +10,15 @@
 //! `cross(A, B)` instead of `A * B` (avoiding the clash with postfix `*`).
 
 use std::fmt;
+use telechat_common::Sym;
 
 /// A Cat expression, denoting an event set or a relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CatExpr {
     /// A named set or relation from the environment (`po`, `rf`, `ACQ`, …).
-    Name(String),
+    /// Names are interned at parse time ([`Sym`]), so evaluation resolves
+    /// them by dense id — an array slot read, never a string compare.
+    Name(Sym),
     /// Union `a | b` (sets or relations).
     Union(Box<CatExpr>, Box<CatExpr>),
     /// Intersection `a & b` (sets or relations).
@@ -43,9 +46,9 @@ pub enum CatExpr {
 }
 
 impl CatExpr {
-    /// Named-expression shorthand.
-    pub fn name(n: impl Into<String>) -> CatExpr {
-        CatExpr::Name(n.into())
+    /// Named-expression shorthand (interns the name).
+    pub fn name(n: impl AsRef<str>) -> CatExpr {
+        CatExpr::Name(Sym::new(n))
     }
 }
 
@@ -98,8 +101,8 @@ pub enum CatStmt {
     Let {
         /// True for `let rec` groups (evaluated by Kleene iteration).
         recursive: bool,
-        /// The bindings of the group.
-        bindings: Vec<(String, CatExpr)>,
+        /// The bindings of the group (names interned).
+        bindings: Vec<(Sym, CatExpr)>,
     },
     /// A consistency check. Failing makes the execution *forbidden*.
     Check {

@@ -1,9 +1,74 @@
 //! Evaluation of Cat programs over candidate executions.
+//!
+//! Identifiers are interned ([`Sym`]) at parse time, and environments are
+//! *slot tables* indexed by the dense symbol id: a name lookup on the
+//! per-candidate hot path is one array read — no string hashing or
+//! comparison anywhere in evaluation (ISSUE 3 satellite: interned Cat
+//! identifiers).
 
 use crate::ast::{CatExpr, CatProgram, CatStmt, CheckKind};
-use std::collections::BTreeMap;
-use telechat_common::{Annot, Error, Result};
+use std::borrow::Cow;
+use std::sync::OnceLock;
+use telechat_common::{Annot, Error, Result, Sym};
 use telechat_exec::{EventSet, Execution, Relation, Verdict};
+
+/// The pre-interned symbols of every name the evaluator itself binds —
+/// interned once per process, so neither per-combo base construction nor
+/// the per-candidate `rf`/`co`/`fr` layer ever touches the interner's
+/// mutex or hashes a string.
+pub(crate) struct BaseSyms {
+    pub(crate) underscore: Sym,
+    pub(crate) m: Sym,
+    pub(crate) r: Sym,
+    pub(crate) w: Sym,
+    pub(crate) f: Sym,
+    pub(crate) iw: Sym,
+    pub(crate) emptyset: Sym,
+    pub(crate) annots: Vec<(Annot, Sym)>,
+    pub(crate) po: Sym,
+    pub(crate) rmw: Sym,
+    pub(crate) addr: Sym,
+    pub(crate) data: Sym,
+    pub(crate) ctrl: Sym,
+    pub(crate) loc: Sym,
+    pub(crate) ext: Sym,
+    pub(crate) int: Sym,
+    pub(crate) id: Sym,
+    pub(crate) emptyrel: Sym,
+    pub(crate) rf: Sym,
+    pub(crate) co: Sym,
+    pub(crate) fr: Sym,
+}
+
+pub(crate) fn base_syms() -> &'static BaseSyms {
+    static SYMS: OnceLock<BaseSyms> = OnceLock::new();
+    SYMS.get_or_init(|| BaseSyms {
+        underscore: Sym::new("_"),
+        m: Sym::new("M"),
+        r: Sym::new("R"),
+        w: Sym::new("W"),
+        f: Sym::new("F"),
+        iw: Sym::new("IW"),
+        emptyset: Sym::new("emptyset"),
+        annots: Annot::ALL
+            .iter()
+            .map(|&a| (a, Sym::new(a.cat_name())))
+            .collect(),
+        po: Sym::new("po"),
+        rmw: Sym::new("rmw"),
+        addr: Sym::new("addr"),
+        data: Sym::new("data"),
+        ctrl: Sym::new("ctrl"),
+        loc: Sym::new("loc"),
+        ext: Sym::new("ext"),
+        int: Sym::new("int"),
+        id: Sym::new("id"),
+        emptyrel: Sym::new("emptyrel"),
+        rf: Sym::new("rf"),
+        co: Sym::new("co"),
+        fr: Sym::new("fr"),
+    })
+}
 
 /// A Cat value: an event set or a relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,14 +80,14 @@ pub enum CatValue {
 }
 
 impl CatValue {
-    fn type_name(&self) -> &'static str {
+    pub(crate) fn type_name(&self) -> &'static str {
         match self {
             CatValue::Set(_) => "set",
             CatValue::Rel(_) => "relation",
         }
     }
 
-    fn as_rel(&self, ctx: &str) -> Result<&Relation> {
+    pub(crate) fn as_rel(&self, ctx: &str) -> Result<&Relation> {
         match self {
             CatValue::Rel(r) => Ok(r),
             CatValue::Set(_) => Err(Error::Model(format!(
@@ -41,6 +106,16 @@ impl CatValue {
     }
 }
 
+/// Writes `v` into `slots[sym]`, growing the table as needed (geometric
+/// growth, so a run of inserts with ascending ids stays amortised O(1)).
+pub(crate) fn set_slot(slots: &mut Vec<Option<CatValue>>, sym: Sym, v: CatValue) {
+    let i = sym.index();
+    if i >= slots.len() {
+        slots.resize_with((i + 1).next_power_of_two(), || None);
+    }
+    slots[i] = Some(v);
+}
+
 /// The combo-constant part of an evaluation environment.
 ///
 /// Everything here depends only on the candidate *skeleton* — the events
@@ -50,10 +125,11 @@ impl CatValue {
 /// (binding just `rf`, `co`, `fr`) over it, instead of recomputing
 /// `loc`/`ext`/`int`, the annotation sets and the universe for every
 /// single candidate — the dominant cost of naive per-candidate
-/// evaluation.
+/// evaluation. The staged engine ([`crate::staged`]) additionally caches
+/// combo-constant `let` bindings and hoisted constant subexpressions here.
 #[derive(Debug, Clone)]
 pub struct EnvBase {
-    names: BTreeMap<String, CatValue>,
+    slots: Vec<Option<CatValue>>,
     universe: EventSet,
 }
 
@@ -68,55 +144,79 @@ impl EnvBase {
     /// * relations — `po`, `rmw`, `addr`, `data`, `ctrl`, `loc`, `ext`,
     ///   `int`, `id`, `emptyrel`.
     pub fn from_skeleton(x: &Execution) -> EnvBase {
-        let mut names = BTreeMap::new();
+        let s = base_syms();
+        let mut slots = Vec::new();
         let universe = x.universe();
-        names.insert("_".to_string(), CatValue::Set(universe.clone()));
-        names.insert("M".to_string(), CatValue::Set(x.accesses()));
-        names.insert("R".to_string(), CatValue::Set(x.reads()));
-        names.insert("W".to_string(), CatValue::Set(x.writes()));
-        names.insert("F".to_string(), CatValue::Set(x.fences()));
-        names.insert("IW".to_string(), CatValue::Set(x.init_writes()));
-        names.insert("emptyset".to_string(), CatValue::Set(EventSet::new()));
-        for a in Annot::ALL {
-            names.insert(a.cat_name().to_string(), CatValue::Set(x.annot_set(a)));
+        let mut set = |sym: Sym, v: CatValue| set_slot(&mut slots, sym, v);
+        set(s.underscore, CatValue::Set(universe.clone()));
+        set(s.m, CatValue::Set(x.accesses()));
+        set(s.r, CatValue::Set(x.reads()));
+        set(s.w, CatValue::Set(x.writes()));
+        set(s.f, CatValue::Set(x.fences()));
+        set(s.iw, CatValue::Set(x.init_writes()));
+        set(s.emptyset, CatValue::Set(EventSet::new()));
+        for &(a, sym) in &s.annots {
+            set(sym, CatValue::Set(x.annot_set(a)));
         }
-        names.insert("po".to_string(), CatValue::Rel(x.po.clone()));
-        names.insert("rmw".to_string(), CatValue::Rel(x.rmw.clone()));
-        names.insert("addr".to_string(), CatValue::Rel(x.addr.clone()));
-        names.insert("data".to_string(), CatValue::Rel(x.data.clone()));
-        names.insert("ctrl".to_string(), CatValue::Rel(x.ctrl.clone()));
-        names.insert("loc".to_string(), CatValue::Rel(x.loc_rel()));
-        names.insert("ext".to_string(), CatValue::Rel(x.ext_rel()));
-        names.insert("int".to_string(), CatValue::Rel(x.int_rel()));
-        names.insert("id".to_string(), CatValue::Rel(universe.identity()));
-        names.insert("emptyrel".to_string(), CatValue::Rel(Relation::new()));
-        EnvBase { names, universe }
+        set(s.po, CatValue::Rel(x.po.clone()));
+        set(s.rmw, CatValue::Rel(x.rmw.clone()));
+        set(s.addr, CatValue::Rel(x.addr.clone()));
+        set(s.data, CatValue::Rel(x.data.clone()));
+        set(s.ctrl, CatValue::Rel(x.ctrl.clone()));
+        set(s.loc, CatValue::Rel(x.loc_rel()));
+        set(s.ext, CatValue::Rel(x.ext_rel()));
+        set(s.int, CatValue::Rel(x.int_rel()));
+        set(s.id, CatValue::Rel(universe.identity()));
+        set(s.emptyrel, CatValue::Rel(Relation::new()));
+        EnvBase { slots, universe }
+    }
+
+    /// Binds a name (the staged engine caches combo-constant `let`
+    /// bindings and hoisted subexpressions here).
+    pub fn bind(&mut self, sym: Sym, v: CatValue) {
+        set_slot(&mut self.slots, sym, v);
+    }
+
+    /// Looks up a name by interned symbol.
+    pub fn get(&self, sym: Sym) -> Option<&CatValue> {
+        self.slots.get(sym.index()).and_then(Option::as_ref)
+    }
+
+    /// The event universe of the skeleton.
+    pub fn universe(&self) -> &EventSet {
+        &self.universe
     }
 }
 
 /// The evaluation environment: named sets/relations plus the event
-/// universe, optionally layered over a shared [`EnvBase`].
+/// universe, optionally layered over a shared [`EnvBase`] and a shared
+/// read-only slot table (the staged engine's per-push frontier values).
+///
+/// Lookup order: own slots → shared slots → base.
 #[derive(Debug, Clone)]
 pub struct Env<'a> {
     base: Option<&'a EnvBase>,
-    names: BTreeMap<String, CatValue>,
-    universe: std::borrow::Cow<'a, EventSet>,
+    shared: Option<&'a [Option<CatValue>]>,
+    slots: Vec<Option<CatValue>>,
+    universe: Cow<'a, EventSet>,
 }
 
 impl<'a> Env<'a> {
     /// Builds a self-contained environment for one execution (base plus
     /// the candidate-varying `rf`/`co`/`fr`).
     pub fn from_execution(x: &Execution) -> Env<'static> {
+        let s = base_syms();
         let base = EnvBase::from_skeleton(x);
         let universe = base.universe.clone();
-        let mut names = base.names;
-        names.insert("rf".to_string(), CatValue::Rel(x.rf.clone()));
-        names.insert("co".to_string(), CatValue::Rel(x.co.clone()));
-        names.insert("fr".to_string(), CatValue::Rel(x.fr()));
+        let mut slots = base.slots;
+        set_slot(&mut slots, s.rf, CatValue::Rel(x.rf.clone()));
+        set_slot(&mut slots, s.co, CatValue::Rel(x.co.clone()));
+        set_slot(&mut slots, s.fr, CatValue::Rel(x.fr()));
         Env {
             base: None,
-            names,
-            universe: std::borrow::Cow::Owned(universe),
+            shared: None,
+            slots,
+            universe: Cow::Owned(universe),
         }
     }
 
@@ -124,33 +224,73 @@ impl<'a> Env<'a> {
     /// `rf`, `co` and the derived `fr` are bound here (the universe is
     /// borrowed, not cloned — this runs once per candidate).
     pub fn over_base(base: &'a EnvBase, x: &Execution) -> Env<'a> {
-        let mut names = BTreeMap::new();
-        names.insert("rf".to_string(), CatValue::Rel(x.rf.clone()));
-        names.insert("co".to_string(), CatValue::Rel(x.co.clone()));
-        names.insert("fr".to_string(), CatValue::Rel(x.fr()));
+        let s = base_syms();
+        let mut slots = Vec::new();
+        set_slot(&mut slots, s.rf, CatValue::Rel(x.rf.clone()));
+        set_slot(&mut slots, s.co, CatValue::Rel(x.co.clone()));
+        set_slot(&mut slots, s.fr, CatValue::Rel(x.fr()));
         Env {
             base: Some(base),
-            names,
-            universe: std::borrow::Cow::Borrowed(&base.universe),
+            shared: None,
+            slots,
+            universe: Cow::Borrowed(&base.universe),
         }
     }
 
-    /// Looks up a name.
+    /// A read-view over a base and an externally maintained slot table
+    /// (the staged engine's mirrors and frontier values). Binding into the
+    /// view writes the view's own layer; the shared table is never
+    /// mutated.
+    pub fn view(base: &'a EnvBase, shared: &'a [Option<CatValue>]) -> Env<'a> {
+        Env {
+            base: Some(base),
+            shared: Some(shared),
+            slots: Vec::new(),
+            universe: Cow::Borrowed(&base.universe),
+        }
+    }
+
+    /// Looks up an interned name — one or two array reads.
     ///
     /// # Errors
     ///
     /// Unknown names are model errors (no silent empty-set fallback: a typo
     /// in a model must not weaken it).
-    pub fn lookup(&self, name: &str) -> Result<&CatValue> {
-        self.names
-            .get(name)
-            .or_else(|| self.base.and_then(|b| b.names.get(name)))
-            .ok_or_else(|| Error::Model(format!("unknown identifier `{name}`")))
+    pub fn lookup_sym(&self, sym: Sym) -> Result<&CatValue> {
+        let i = sym.index();
+        self.slots
+            .get(i)
+            .and_then(Option::as_ref)
+            .or_else(|| self.shared.and_then(|s| s.get(i)).and_then(Option::as_ref))
+            .or_else(|| self.base.and_then(|b| b.slots.get(i)).and_then(Option::as_ref))
+            .ok_or_else(|| Error::Model(format!("unknown identifier `{sym}`")))
     }
 
-    /// Binds a name (used by `let`; shadows the base).
-    pub fn bind(&mut self, name: impl Into<String>, value: CatValue) {
-        self.names.insert(name.into(), value);
+    /// Looks up a name by spelling (interns it first; test/diagnostic
+    /// convenience — evaluation always goes through [`Env::lookup_sym`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Env::lookup_sym`].
+    pub fn lookup(&self, name: &str) -> Result<&CatValue> {
+        self.lookup_sym(Sym::new(name))
+    }
+
+    /// Binds a name (used by `let`; shadows the shared layer and the base).
+    pub fn bind(&mut self, sym: Sym, value: CatValue) {
+        set_slot(&mut self.slots, sym, value);
+    }
+
+    /// The event universe.
+    pub fn universe(&self) -> &EventSet {
+        &self.universe
+    }
+
+    /// Consumes the environment, returning its own (innermost) slot layer —
+    /// the staged engine's way of moving `let`-group results it evaluated
+    /// through a view back into its shared tables.
+    pub(crate) fn take_slots(self) -> Vec<Option<CatValue>> {
+        self.slots
     }
 }
 
@@ -161,7 +301,7 @@ impl<'a> Env<'a> {
 /// Returns [`Error::Model`] on unknown names or type mismatches.
 pub fn eval_expr(e: &CatExpr, env: &Env) -> Result<CatValue> {
     match e {
-        CatExpr::Name(n) => env.lookup(n).cloned(),
+        CatExpr::Name(n) => env.lookup_sym(*n).cloned(),
         CatExpr::Union(a, b) => binop(a, b, env, "|"),
         CatExpr::Inter(a, b) => binop(a, b, env, "&"),
         CatExpr::Diff(a, b) => binop(a, b, env, "\\"),
@@ -171,7 +311,7 @@ pub fn eval_expr(e: &CatExpr, env: &Env) -> Result<CatValue> {
         }
         CatExpr::Opt(a) => {
             let v = eval_expr(a, env)?;
-            Ok(CatValue::Rel(v.as_rel("?")?.optional(&env.universe)))
+            Ok(CatValue::Rel(v.as_rel("?")?.optional(env.universe())))
         }
         CatExpr::Plus(a) => {
             let v = eval_expr(a, env)?;
@@ -180,7 +320,7 @@ pub fn eval_expr(e: &CatExpr, env: &Env) -> Result<CatValue> {
         CatExpr::Star(a) => {
             let v = eval_expr(a, env)?;
             Ok(CatValue::Rel(
-                v.as_rel("*")?.reflexive_transitive_closure(&env.universe),
+                v.as_rel("*")?.reflexive_transitive_closure(env.universe()),
             ))
         }
         CatExpr::Inverse(a) => {
@@ -240,7 +380,12 @@ fn binop(a: &CatExpr, b: &CatExpr, env: &Env, op: &str) -> Result<CatValue> {
 }
 
 /// Does a (possibly negated) check hold for a value?
-fn check_holds(kind: CheckKind, negated: bool, v: &CatValue, name: &str) -> Result<bool> {
+pub(crate) fn check_holds(
+    kind: CheckKind,
+    negated: bool,
+    v: &CatValue,
+    name: &str,
+) -> Result<bool> {
     let plain = match kind {
         CheckKind::Empty => match v {
             CatValue::Set(s) => s.is_empty(),
@@ -253,7 +398,47 @@ fn check_holds(kind: CheckKind, negated: bool, v: &CatValue, name: &str) -> Resu
 }
 
 /// Maximum Kleene iterations for `let rec` groups before giving up.
-const MAX_FIXPOINT_ITERS: usize = 256;
+pub(crate) const MAX_FIXPOINT_ITERS: usize = 256;
+
+/// Evaluates one `let` group into `env` (Kleene iteration for `let rec`).
+pub(crate) fn eval_let_group(
+    env: &mut Env<'_>,
+    recursive: bool,
+    bindings: &[(Sym, CatExpr)],
+) -> Result<()> {
+    if !recursive {
+        for (name, expr) in bindings {
+            let v = eval_expr(expr, env)?;
+            env.bind(*name, v);
+        }
+        return Ok(());
+    }
+    // Kleene iteration from the empty relation.
+    for (name, _) in bindings {
+        env.bind(*name, CatValue::Rel(Relation::new()));
+    }
+    let mut iters = 0;
+    loop {
+        let mut changed = false;
+        for (name, expr) in bindings {
+            let v = eval_expr(expr, env)?;
+            if env.lookup_sym(*name)? != &v {
+                changed = true;
+                env.bind(*name, v);
+            }
+        }
+        if !changed {
+            return Ok(());
+        }
+        iters += 1;
+        if iters > MAX_FIXPOINT_ITERS {
+            return Err(Error::Model(format!(
+                "`let rec` group starting with `{}` did not converge",
+                bindings[0].0
+            )));
+        }
+    }
+}
 
 /// Runs a Cat program over one execution, producing a verdict.
 ///
@@ -281,44 +466,9 @@ fn run_in_env(p: &CatProgram, mut env: Env<'_>) -> Result<Verdict> {
     for stmt in &p.stmts {
         match stmt {
             CatStmt::Let {
-                recursive: false,
+                recursive,
                 bindings,
-            } => {
-                for (name, expr) in bindings {
-                    let v = eval_expr(expr, &env)?;
-                    env.bind(name.clone(), v);
-                }
-            }
-            CatStmt::Let {
-                recursive: true,
-                bindings,
-            } => {
-                // Kleene iteration from the empty relation.
-                for (name, _) in bindings {
-                    env.bind(name.clone(), CatValue::Rel(Relation::new()));
-                }
-                let mut iters = 0;
-                loop {
-                    let mut changed = false;
-                    for (name, expr) in bindings {
-                        let v = eval_expr(expr, &env)?;
-                        if env.lookup(name)? != &v {
-                            changed = true;
-                            env.bind(name.clone(), v);
-                        }
-                    }
-                    if !changed {
-                        break;
-                    }
-                    iters += 1;
-                    if iters > MAX_FIXPOINT_ITERS {
-                        return Err(Error::Model(format!(
-                            "`let rec` group starting with `{}` did not converge",
-                            bindings[0].0
-                        )));
-                    }
-                }
-            }
+            } => eval_let_group(&mut env, *recursive, bindings)?,
             CatStmt::Check {
                 kind,
                 negated,
@@ -466,5 +616,27 @@ exists (P0:r0=0 /\ P1:r0=0)
             run_program(&p, &x).unwrap(),
             Verdict::Forbidden { .. }
         ));
+    }
+
+    #[test]
+    fn view_layering_shadows_in_order() {
+        let x = sb_weak_execution();
+        let mut base = EnvBase::from_skeleton(&x);
+        let a = Sym::new("zz_layer_probe");
+        base.bind(a, CatValue::Rel(Relation::new()));
+        let mut shared = Vec::new();
+        set_slot(&mut shared, a, CatValue::Set(EventSet::new()));
+        let mut env = Env::view(&base, &shared);
+        // Shared layer shadows the base.
+        assert!(matches!(env.lookup_sym(a).unwrap(), CatValue::Set(_)));
+        // Own bindings shadow the shared layer.
+        env.bind(a, CatValue::Rel(x.po.clone()));
+        let CatValue::Rel(r) = env.lookup_sym(a).unwrap() else {
+            panic!("local binding must win");
+        };
+        assert_eq!(r, &x.po);
+        // Base-only names still resolve through the view.
+        assert!(env.lookup("po").is_ok());
+        assert!(env.lookup("zz_not_bound_anywhere").is_err());
     }
 }

@@ -10,6 +10,32 @@
 //! `armv7-buggy`, `x86tso`, `riscv`, `ppc`, `mips`, plus the `hw-inorder`
 //! hardware strength profile.
 //!
+//! # The staged engine: monotone fragment + per-edge incremental checking
+//!
+//! Loading a model compiles it to a staged execution plan
+//! ([`staged::StagedPlan`]) driven by a monotonicity analysis
+//! ([`monotone`]): along a DFS branch of the enumeration engine the base
+//! relations `rf`/`co`/`fr` only *grow*, so every expression is
+//! classified as **constant** (independent of them — cached once per
+//! trace combination, including hoisted constant subexpressions of
+//! dynamic definitions), **monotone** (built from union, intersection,
+//! composition, closures, inverse, `[S]`, `domain`/`range`, `cross`, and
+//! difference with a constant subtrahend — these grow pointwise), or
+//! **non-monotone** (difference with a growing subtrahend — left to leaf
+//! evaluation, as are negated checks and all flags).
+//!
+//! Non-negated monotone checks become per-edge incremental constraints:
+//! `acyclic` (after the rewrites `acyclic e+ ≡ irreflexive e+ ≡
+//! acyclic e`, resolved through `let`-bound names) is backed by a
+//! [`telechat_exec::IncrementalOrder`] fed with the constraint value's
+//! edge delta per pushed rf/co edge; `irreflexive` tracks the value's
+//! diagonal and `empty` its edge count. A violated constraint stays
+//! violated in every completion, so combo sessions prune whole subtrees
+//! mid-DFS — interpreted models prune exactly like the hand-written
+//! built-ins, with zero full graph traversals per simulation and O(1)
+//! leaf verdicts (see `staged` for the details and ROADMAP for measured
+//! numbers).
+//!
 //! # Example
 //!
 //! ```
@@ -38,13 +64,17 @@
 
 pub mod ast;
 pub mod eval;
+pub mod monotone;
 pub mod parse;
 pub mod registry;
+pub mod staged;
 
 pub use ast::{CatExpr, CatProgram, CatStmt, CheckKind};
 pub use eval::{eval_expr, run_program, CatValue, Env};
+pub use monotone::{expr_dep, Dep, DepMap};
 pub use parse::parse_cat;
 pub use registry::{model_names, CatModel, ModelIntersection, BUNDLED};
+pub use staged::{StagedPlan, StagedState};
 
 #[cfg(test)]
 mod model_behaviour_tests {

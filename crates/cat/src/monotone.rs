@@ -1,0 +1,300 @@
+//! Monotonicity analysis over Cat expressions.
+//!
+//! The enumeration engine grows `rf`, `co` (and therefore the derived
+//! `fr`) monotonically along a DFS branch: relations are only ever
+//! *extended* between a partial candidate and any of its completions. An
+//! expression that is **monotone** in those three base relations can
+//! therefore be checked early — a violation of `acyclic`/`irreflexive`/
+//! `empty` over a monotone expression on a partial candidate persists in
+//! every completion, so the whole subtree can be pruned (the
+//! [`telechat_exec::ConsistencyModel::check_partial`] contract).
+//!
+//! # The monotone fragment
+//!
+//! Every expression is classified into a three-point lattice
+//! ([`Dep`]):
+//!
+//! * [`Dep::Constant`] — does not mention `rf`/`co`/`fr` at all (directly
+//!   or through a `let`). Constant values are fixed per trace combination
+//!   and are cached in the combo's `EnvBase` by the staged engine.
+//! * [`Dep::Monotone`] — grows pointwise as `rf`/`co`/`fr` grow. The
+//!   monotone operators: union, intersection, composition `;`, the
+//!   closures `+`/`*`/`?`, inverse, `[S]`, `domain`/`range`, `cross`,
+//!   and difference `e \ c` **when the subtrahend is constant**.
+//! * [`Dep::NonMonotone`] — everything else: `e \ m` with a growing
+//!   subtrahend can shrink, so no early verdict is sound.
+//!
+//! Note intersection is monotone in *both* operands (if `A ⊆ A'` and
+//! `B ⊆ B'` then `A ∩ B ⊆ A' ∩ B'`) — the fragment is strictly larger
+//! than "`&` with constants only". Negated checks (`~empty e`) are
+//! non-monotone as *checks* even over monotone expressions: an
+//! empty-so-far relation may become non-empty later, so they are left to
+//! leaf evaluation by the staged engine.
+
+use crate::ast::{CatExpr, CatStmt};
+use std::collections::HashMap;
+use telechat_common::Sym;
+
+/// How an expression's value depends on the growing base relations
+/// (`rf`, `co`, `fr`), as a join-semilattice:
+/// `Constant < Monotone < NonMonotone`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Dep {
+    /// Fixed once the trace combination (skeleton) is fixed.
+    Constant,
+    /// Grows pointwise as `rf`/`co`/`fr` grow.
+    Monotone,
+    /// May shrink or change arbitrarily; only sound to evaluate on
+    /// complete candidates.
+    NonMonotone,
+}
+
+impl Dep {
+    /// Lattice join (least upper bound).
+    pub fn join(self, other: Dep) -> Dep {
+        self.max(other)
+    }
+}
+
+/// The name-classification context: interned symbol → [`Dep`] of its
+/// current binding. Names never bound here (the skeleton-constant base
+/// environment: `po`, `loc`, `W`, annotation sets, …) default to
+/// [`Dep::Constant`]; the growing base relations `rf`/`co`/`fr` are
+/// pre-seeded [`Dep::Monotone`].
+#[derive(Debug, Clone)]
+pub struct DepMap {
+    map: HashMap<u32, Dep>,
+}
+
+impl DepMap {
+    /// A fresh context with `rf`, `co`, `fr` marked monotone.
+    pub fn new() -> DepMap {
+        let mut map = HashMap::new();
+        for base in ["rf", "co", "fr"] {
+            map.insert(Sym::new(base).id(), Dep::Monotone);
+        }
+        DepMap { map }
+    }
+
+    /// The classification of a name (default: [`Dep::Constant`], i.e. a
+    /// skeleton-supplied binding — unknown names fail at evaluation time
+    /// anyway, so their class is irrelevant).
+    pub fn of(&self, sym: Sym) -> Dep {
+        self.map.get(&sym.id()).copied().unwrap_or(Dep::Constant)
+    }
+
+    /// Records (or shadows) the classification of a `let`-bound name.
+    pub fn bind(&mut self, sym: Sym, dep: Dep) {
+        self.map.insert(sym.id(), dep);
+    }
+}
+
+impl Default for DepMap {
+    fn default() -> DepMap {
+        DepMap::new()
+    }
+}
+
+/// Classifies one expression under a name context.
+pub fn expr_dep(e: &CatExpr, ctx: &DepMap) -> Dep {
+    match e {
+        CatExpr::Name(n) => ctx.of(*n),
+        // Monotone in both operands.
+        CatExpr::Union(a, b) | CatExpr::Inter(a, b) | CatExpr::Seq(a, b) | CatExpr::Cross(a, b) => {
+            expr_dep(a, ctx).join(expr_dep(b, ctx))
+        }
+        // Monotone in the minuend, anti-monotone in the subtrahend: only
+        // a constant subtrahend keeps the whole node in the fragment.
+        CatExpr::Diff(a, b) => {
+            if expr_dep(b, ctx) == Dep::Constant {
+                expr_dep(a, ctx)
+            } else {
+                Dep::NonMonotone
+            }
+        }
+        // Unary monotone operators.
+        CatExpr::Opt(a)
+        | CatExpr::Plus(a)
+        | CatExpr::Star(a)
+        | CatExpr::Inverse(a)
+        | CatExpr::IdOn(a)
+        | CatExpr::Domain(a)
+        | CatExpr::Range(a) => expr_dep(a, ctx),
+    }
+}
+
+/// Classifies a whole `let` group (handling `let rec` by iterating the
+/// member classifications to a fixpoint) and records the results in `ctx`.
+/// Returns the join over the group.
+pub fn classify_let_group(
+    ctx: &mut DepMap,
+    recursive: bool,
+    bindings: &[(Sym, CatExpr)],
+) -> Dep {
+    if !recursive {
+        let mut group = Dep::Constant;
+        for (name, expr) in bindings {
+            let dep = expr_dep(expr, ctx);
+            ctx.bind(*name, dep);
+            group = group.join(dep);
+        }
+        return group;
+    }
+    // `let rec`: the members start at the empty relation (constant) and
+    // are re-classified until stable. Deps only climb the lattice, so the
+    // iteration terminates within `bindings.len() × lattice height` steps.
+    for (name, _) in bindings {
+        ctx.bind(*name, Dep::Constant);
+    }
+    loop {
+        let mut changed = false;
+        for (name, expr) in bindings {
+            let dep = expr_dep(expr, ctx).join(ctx.of(*name));
+            if dep != ctx.of(*name) {
+                ctx.bind(*name, dep);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    bindings
+        .iter()
+        .fold(Dep::Constant, |acc, (name, _)| acc.join(ctx.of(*name)))
+}
+
+/// Classifies every statement of a program in order, returning one [`Dep`]
+/// per statement (for `Let` statements: the join over the group; for
+/// checks and flags: the dep of the checked expression). `ctx` ends up
+/// holding the final classification of every bound name.
+pub fn classify_program(stmts: &[CatStmt], ctx: &mut DepMap) -> Vec<Dep> {
+    stmts
+        .iter()
+        .map(|stmt| match stmt {
+            CatStmt::Let {
+                recursive,
+                bindings,
+            } => classify_let_group(ctx, *recursive, bindings),
+            CatStmt::Check { expr, .. } | CatStmt::Flag { expr, .. } => expr_dep(expr, ctx),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_cat;
+    use crate::registry::BUNDLED;
+
+    fn dep_of(src: &str) -> Vec<Dep> {
+        let p = parse_cat("t", src, &|_| None).unwrap();
+        let mut ctx = DepMap::new();
+        classify_program(&p.stmts, &mut ctx)
+    }
+
+    #[test]
+    fn base_relations_are_monotone() {
+        assert_eq!(dep_of("acyclic rf as a"), vec![Dep::Monotone]);
+        assert_eq!(dep_of("acyclic co as a"), vec![Dep::Monotone]);
+        assert_eq!(dep_of("acyclic fr as a"), vec![Dep::Monotone]);
+        assert_eq!(dep_of("acyclic po as a"), vec![Dep::Constant]);
+    }
+
+    #[test]
+    fn monotone_operators_propagate() {
+        assert_eq!(dep_of("acyclic po | rf as a"), vec![Dep::Monotone]);
+        assert_eq!(dep_of("acyclic rf & ext as a"), vec![Dep::Monotone]);
+        assert_eq!(dep_of("acyclic (po ; rf)+ as a"), vec![Dep::Monotone]);
+        assert_eq!(dep_of("acyclic rf^-1 ; co as a"), vec![Dep::Monotone]);
+        assert_eq!(
+            dep_of("empty [domain(rf)] ; co as a"),
+            vec![Dep::Monotone]
+        );
+        assert_eq!(
+            dep_of("empty cross(domain(rf), W) as a"),
+            vec![Dep::Monotone]
+        );
+    }
+
+    #[test]
+    fn intersection_of_two_monotone_values_is_monotone() {
+        // Strictly larger than the "& with constants" fragment.
+        assert_eq!(dep_of("empty rf & co as a"), vec![Dep::Monotone]);
+    }
+
+    #[test]
+    fn difference_breaks_unless_subtrahend_constant() {
+        assert_eq!(dep_of("acyclic rf \\ int as a"), vec![Dep::Monotone]);
+        assert_eq!(dep_of("acyclic po \\ loc as a"), vec![Dep::Constant]);
+        assert_eq!(dep_of("acyclic po \\ rf as a"), vec![Dep::NonMonotone]);
+        assert_eq!(dep_of("acyclic rf \\ co as a"), vec![Dep::NonMonotone]);
+    }
+
+    #[test]
+    fn lets_carry_their_class() {
+        let deps = dep_of("let rfe = rf & ext\nlet ppo = po \\ ([W];po;[R])\nacyclic ppo | rfe as a\nacyclic ppo as b");
+        assert_eq!(
+            deps,
+            vec![Dep::Monotone, Dep::Constant, Dep::Monotone, Dep::Constant]
+        );
+    }
+
+    #[test]
+    fn shadowing_reclassifies() {
+        let deps = dep_of("let x = po\nacyclic x as a\nlet x = x | rf\nacyclic x as b");
+        assert_eq!(
+            deps,
+            vec![Dep::Constant, Dep::Constant, Dep::Monotone, Dep::Monotone]
+        );
+    }
+
+    #[test]
+    fn non_monotone_taints_users() {
+        let deps = dep_of("let bad = po \\ rf\nacyclic bad | co as a");
+        assert_eq!(deps, vec![Dep::NonMonotone, Dep::NonMonotone]);
+    }
+
+    #[test]
+    fn let_rec_reaches_fixpoint() {
+        // hb = (po|rf) | hb;(po|rf): monotone through the recursion.
+        let deps = dep_of("let rec hb = (po | rf) | (hb ; (po | rf))\nacyclic hb as a");
+        assert_eq!(deps, vec![Dep::Monotone, Dep::Monotone]);
+        // A constant recursive group stays constant.
+        let deps = dep_of("let rec p = po | (p ; po)\nacyclic p as a");
+        assert_eq!(deps, vec![Dep::Constant, Dep::Constant]);
+        // Mutual recursion with a non-monotone member taints the group.
+        let deps = dep_of("let rec a = b \\ a and b = rf | a\nempty a as c");
+        assert_eq!(deps[0], Dep::NonMonotone);
+    }
+
+    /// Every *check* of every bundled model sits in the monotone fragment
+    /// — the staged engine prunes the full bundled library. (Flags may be
+    /// non-monotone: rc11's `race` uses difference over `hb`.)
+    #[test]
+    fn bundled_model_checks_are_monotone() {
+        for (name, _) in BUNDLED.iter().filter(|(n, _)| *n != "prelude") {
+            let model = crate::registry::CatModel::bundled(name).unwrap();
+            let mut ctx = DepMap::new();
+            for stmt in &model.program().stmts {
+                let dep = match stmt {
+                    CatStmt::Let {
+                        recursive,
+                        bindings,
+                    } => classify_let_group(&mut ctx, *recursive, bindings),
+                    CatStmt::Check { expr, .. } => {
+                        let dep = expr_dep(expr, &ctx);
+                        assert_ne!(
+                            dep,
+                            Dep::NonMonotone,
+                            "{name}: non-monotone check expression"
+                        );
+                        dep
+                    }
+                    CatStmt::Flag { expr, .. } => expr_dep(expr, &ctx),
+                };
+                let _ = dep;
+            }
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! callback (the bundled registry, for the shipped models).
 
 use crate::ast::{CatExpr, CatProgram, CatStmt, CheckKind};
-use telechat_common::{Error, Result};
+use telechat_common::{Error, Result, Sym};
 use telechat_litmus::lex::{Cursor, Tok};
 
 /// Parses a Cat model; `resolve` maps an include path to its source text.
@@ -91,7 +91,7 @@ fn parse_stmts(
             let recursive = cur.accept_ident("rec");
             let mut bindings = Vec::new();
             loop {
-                let name = cur.expect_ident()?;
+                let name = Sym::new(cur.expect_ident()?);
                 cur.expect_sym("=")?;
                 let expr = parse_expr(cur)?;
                 bindings.push((name, expr));
@@ -265,7 +265,7 @@ fn parse_atom(cur: &mut Cursor) -> Result<CatExpr> {
                 }
                 _ => {
                     cur.next()?;
-                    Ok(CatExpr::Name(id))
+                    Ok(CatExpr::Name(Sym::new(id)))
                 }
             }
         }

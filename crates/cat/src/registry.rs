@@ -3,6 +3,7 @@
 use crate::ast::CatProgram;
 use crate::eval::{run_program, run_program_with_base, EnvBase};
 use crate::parse::parse_cat;
+use crate::staged::{StagedPlan, StagedState};
 use telechat_common::{Arch, Error, EventId, Result};
 use telechat_exec::{ComboChecker, ConsistencyModel, Execution, PartialVerdict, Verdict};
 
@@ -42,18 +43,24 @@ fn resolve_bundled(path: &str) -> Option<String> {
         .map(|(_, src)| (*src).to_string())
 }
 
-/// A compiled consistency model: a parsed Cat program usable wherever a
-/// [`ConsistencyModel`] is expected.
+/// A compiled consistency model: a parsed Cat program plus its staged
+/// execution plan ([`StagedPlan`]), usable wherever a [`ConsistencyModel`]
+/// is expected. Combo sessions of a model whose plan has staged (monotone)
+/// constraints opt into the enumeration engine's incremental per-edge
+/// protocol and prune subtrees exactly like the built-in models.
 ///
 /// ```
 /// use telechat_cat::CatModel;
 /// let rc11 = CatModel::bundled("rc11")?;
 /// assert_eq!(rc11.model_name(), "rc11");
+/// assert!(rc11.plan().staged_constraints() > 0);
 /// # Ok::<(), telechat_common::Error>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct CatModel {
     program: CatProgram,
+    plan: StagedPlan,
+    staged: bool,
 }
 
 impl CatModel {
@@ -77,7 +84,36 @@ impl CatModel {
     /// Propagates parse errors.
     pub fn from_source(name: &str, src: &str) -> Result<CatModel> {
         let program = parse_cat(name, src, &|p| resolve_bundled(p))?;
-        Ok(CatModel { program })
+        Ok(CatModel::from_program(program))
+    }
+
+    /// Wraps an already parsed program (compiling its staged plan).
+    pub fn from_program(program: CatProgram) -> CatModel {
+        let plan = StagedPlan::compile(&program);
+        CatModel {
+            program,
+            plan,
+            staged: true,
+        }
+    }
+
+    /// Disables the staged engine for this model: combo sessions fall back
+    /// to leaf-only evaluation (the pre-staging behaviour). Kept as the
+    /// differential/benchmark baseline.
+    #[must_use]
+    pub fn without_staging(mut self) -> CatModel {
+        self.staged = false;
+        self
+    }
+
+    /// The parsed program.
+    pub fn program(&self) -> &CatProgram {
+        &self.program
+    }
+
+    /// The compiled staged plan.
+    pub fn plan(&self) -> &StagedPlan {
+        &self.plan
     }
 
     /// The default model for an architecture (paper Table II: "models
@@ -121,18 +157,41 @@ impl ConsistencyModel for CatModel {
             .unwrap_or_else(|e| panic!("model `{}` failed to evaluate: {e}", self.model_name()))
     }
 
-    /// Cat programs may use non-monotone operators (difference,
-    /// complementing checks), so no partial verdicts are offered — but the
-    /// combo session precomputes every skeleton-constant binding
-    /// (`loc`/`ext`/`int`, annotation sets, the universe) once per trace
-    /// combination, so per-candidate evaluation binds only `rf`/`co`/`fr`.
+    /// Opens the staged per-combo session ([`StagedState`]) when the plan
+    /// has anything to prune with: the session joins the engine's
+    /// incremental per-edge protocol, monotone constraints reject entire
+    /// subtrees mid-DFS, and leaf verdicts are answered from incremental
+    /// state. Models whose plan cannot prune (or with staging disabled)
+    /// fall back to the leaf-only session, which still caches every
+    /// skeleton-constant binding once per combo.
     fn combo_checker<'a>(&'a self, skeleton: &Execution) -> Box<dyn ComboChecker + 'a> {
+        let session = if self.staged && self.plan.prunes() {
+            match StagedState::new(&self.plan, skeleton) {
+                Ok(state) => CatSession::Staged(state),
+                Err(e) => panic!(
+                    "model `{}` failed to stage: {e}",
+                    self.model_name()
+                ),
+            }
+        } else {
+            CatSession::Plain {
+                base: EnvBase::from_skeleton(skeleton),
+            }
+        };
         Box::new(CatComboChecker {
             program: &self.program,
             name: self.model_name(),
-            base: EnvBase::from_skeleton(skeleton),
+            session,
         })
     }
+}
+
+/// The two session flavours of [`CatComboChecker`].
+enum CatSession<'a> {
+    /// Incremental per-edge state over the staged plan.
+    Staged(StagedState<'a>),
+    /// Leaf-only evaluation over cached combo-constant bindings.
+    Plain { base: EnvBase },
 }
 
 /// [`CatModel`]'s per-combo checking session (see
@@ -140,17 +199,67 @@ impl ConsistencyModel for CatModel {
 struct CatComboChecker<'a> {
     program: &'a CatProgram,
     name: &'a str,
-    base: EnvBase,
+    session: CatSession<'a>,
+}
+
+impl CatComboChecker<'_> {
+    fn fail(&self, e: Error) -> ! {
+        panic!("model `{}` failed to evaluate: {e}", self.name)
+    }
 }
 
 impl ComboChecker for CatComboChecker<'_> {
     fn check(&self, execution: &Execution) -> Verdict {
-        run_program_with_base(self.program, &self.base, execution)
-            .unwrap_or_else(|e| panic!("model `{}` failed to evaluate: {e}", self.name))
+        match &self.session {
+            CatSession::Staged(state) => state
+                .check_leaf()
+                .unwrap_or_else(|e| self.fail(e)),
+            CatSession::Plain { base } => run_program_with_base(self.program, base, execution)
+                .unwrap_or_else(|e| self.fail(e)),
+        }
     }
 
     fn check_partial(&self, _partial: &Execution) -> PartialVerdict {
-        PartialVerdict::Undecided
+        match &self.session {
+            CatSession::Staged(state) => state.verdict(),
+            CatSession::Plain { .. } => PartialVerdict::Undecided,
+        }
+    }
+
+    fn incremental(&self) -> bool {
+        matches!(self.session, CatSession::Staged(_))
+    }
+
+    fn push_rf(&mut self, _partial: &Execution, w: EventId, r: EventId) -> PartialVerdict {
+        match &mut self.session {
+            CatSession::Staged(state) => match state.push_rf(w, r) {
+                Ok(v) => v,
+                Err(e) => panic!("model `{}` failed to evaluate: {e}", self.name),
+            },
+            CatSession::Plain { .. } => PartialVerdict::Undecided,
+        }
+    }
+
+    fn pop_rf(&mut self, _partial: &Execution, w: EventId, r: EventId) {
+        if let CatSession::Staged(state) = &mut self.session {
+            state.pop_rf(w, r);
+        }
+    }
+
+    fn push_co(&mut self, _partial: &Execution, preds: &[EventId], w: EventId) -> PartialVerdict {
+        match &mut self.session {
+            CatSession::Staged(state) => match state.push_co(preds, w) {
+                Ok(v) => v,
+                Err(e) => panic!("model `{}` failed to evaluate: {e}", self.name),
+            },
+            CatSession::Plain { .. } => PartialVerdict::Undecided,
+        }
+    }
+
+    fn pop_co(&mut self, _partial: &Execution, preds: &[EventId], w: EventId) {
+        if let CatSession::Staged(state) = &mut self.session {
+            state.pop_co(preds, w);
+        }
     }
 }
 

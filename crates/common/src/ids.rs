@@ -45,12 +45,121 @@ impl Interner {
 
 static LOC_INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
 static REG_INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+static SYM_INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
 
 fn intern_in(cell: &OnceLock<Mutex<Interner>>, name: &str) -> (u32, &'static str) {
     cell.get_or_init(|| Mutex::new(Interner::new()))
         .lock()
         .expect("interner poisoned")
         .intern(name)
+}
+
+/// A general interned symbol: a dense id plus the leaked `'static` name.
+///
+/// Used for Cat-language identifiers (`po`, `rfe`, `hb`, …): the parser
+/// interns every name once, and evaluation environments index value slots
+/// by the dense id — a name lookup on the per-candidate hot path is an
+/// array read, never a string compare or hash. Like [`Reg`]/[`Loc`],
+/// equality and hashing are id operations, ordering is textual, and
+/// `Display` round-trips the spelling.
+///
+/// ```
+/// use telechat_common::Sym;
+/// let a = Sym::new("rf");
+/// assert_eq!(a, Sym::new("rf"));
+/// assert_eq!(a.as_str(), "rf");
+/// ```
+#[derive(Clone, Copy)]
+pub struct Sym {
+    id: u32,
+    name: &'static str,
+}
+
+impl Sym {
+    /// Interns `name` (a string hash on first sight, an id lookup after).
+    pub fn new(name: impl AsRef<str>) -> Sym {
+        let (id, name) = intern_in(&SYM_INTERNER, name.as_ref());
+        Sym { id, name }
+    }
+
+    /// The dense interned id (unique per distinct name, process-wide).
+    pub fn id(self) -> u32 {
+        self.id
+    }
+
+    /// The id as a `usize` slot index.
+    pub fn index(self) -> usize {
+        self.id as usize
+    }
+
+    /// The symbol's spelling.
+    pub fn as_str(self) -> &'static str {
+        self.name
+    }
+}
+
+/// One past the highest [`Sym`] id interned so far — the slot-vector width
+/// that can hold every symbol currently in existence.
+pub fn sym_count() -> usize {
+    SYM_INTERNER
+        .get_or_init(|| Mutex::new(Interner::new()))
+        .lock()
+        .expect("interner poisoned")
+        .names
+        .len()
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+
+impl Eq for Sym {}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.id == other.id {
+            return std::cmp::Ordering::Equal;
+        }
+        self.name.cmp(other.name)
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for Sym {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Sym").field(&self.name).finish()
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Self {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Self {
+        Sym::new(s)
+    }
 }
 
 /// Identifies one thread of a litmus test (`P0`, `P1`, …).
@@ -359,5 +468,22 @@ mod tests {
     fn debug_shows_name() {
         assert_eq!(format!("{:?}", Loc::new("x")), "Loc(\"x\")");
         assert_eq!(format!("{:?}", Reg::new("r0")), "Reg(\"r0\")");
+        assert_eq!(format!("{:?}", Sym::new("hb")), "Sym(\"hb\")");
+    }
+
+    #[test]
+    fn sym_interning_and_count() {
+        let a = Sym::new("zz_sym_test_a");
+        let b = Sym::new(String::from("zz_sym_test_a"));
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "zz_sym_test_a");
+        assert_eq!(a.to_string(), "zz_sym_test_a");
+        assert_ne!(a, Sym::new("zz_sym_test_b"));
+        assert!(sym_count() > a.index());
+        // Ordering is textual regardless of interning order.
+        let late_b = Sym::new("zz_sym_order_b");
+        let late_a = Sym::new("zz_sym_order_a");
+        assert!(late_a < late_b);
     }
 }

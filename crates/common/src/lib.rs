@@ -35,7 +35,7 @@ pub mod value;
 pub use annot::{Annot, AnnotSet};
 pub use arch::Arch;
 pub use error::{Error, Result};
-pub use ids::{EventId, Loc, Reg, ThreadId};
+pub use ids::{sym_count, EventId, Loc, Reg, Sym, ThreadId};
 pub use outcome::{Outcome, OutcomeSet, StateKey};
 pub use rng::XorShiftRng;
 pub use value::Val;

@@ -63,32 +63,59 @@ impl IncrementalOrder {
     /// `seeds` (the combo-constant relations, e.g. `po`). Seed edges are
     /// permanent: they sit below every frame and are never undone.
     pub fn new(nodes: usize, seeds: &[&Relation]) -> IncrementalOrder {
+        let mut order = IncrementalOrder {
+            nodes: 0,
+            stride: 0,
+            reach: Vec::new(),
+            journal_idx: Vec::new(),
+            journal_rows: Vec::new(),
+            frames: Vec::new(),
+            cycles: 0,
+        };
+        order.reset(nodes, seeds);
+        order
+    }
+
+    /// Re-initialises the state in place for a (possibly different) node
+    /// universe and seed set, reusing the word-matrix and journal
+    /// allocations — the combo-rebuild path of session pools (a fresh
+    /// combo of the same litmus test has the same node count, so no
+    /// reallocation happens at all).
+    pub fn reset(&mut self, nodes: usize, seeds: &[&Relation]) {
         let stride = words_for(nodes);
+        self.nodes = nodes;
+        self.stride = stride;
+        self.reach.clear();
+        self.reach.resize(nodes * stride, 0);
+        self.journal_idx.clear();
+        self.journal_rows.clear();
+        self.frames.clear();
+        self.cycles = 0;
         let mut seed = Relation::with_nodes(nodes);
         for s in seeds {
             seed.union_with(s);
         }
         let closure = seed.transitive_closure();
-        let mut reach = vec![0u64; nodes * stride];
-        let mut cycles = 0u32;
         for a in 0..nodes {
             let e = EventId(a as u32);
             for b in closure.successors(e) {
-                reach[a * stride + b.index() / WORD] |= 1u64 << (b.index() % WORD);
+                self.reach[a * stride + b.index() / WORD] |= 1u64 << (b.index() % WORD);
             }
             if closure.contains(e, e) {
-                cycles += 1;
+                self.cycles += 1;
             }
         }
-        IncrementalOrder {
-            nodes,
-            stride,
-            reach,
-            journal_idx: Vec::new(),
-            journal_rows: Vec::new(),
-            frames: Vec::new(),
-            cycles,
-        }
+    }
+
+    /// Absorbs every open frame into the permanent baseline: all edges
+    /// recorded so far become seed-like (no longer undoable), the journal
+    /// is discarded, and the cycle count is preserved. Useful when a
+    /// caller builds its base state incrementally (cheaper than a closure
+    /// recomputation) and then wants DFS frames on top.
+    pub fn snapshot(&mut self) {
+        self.journal_idx.clear();
+        self.journal_rows.clear();
+        self.frames.clear();
     }
 
     /// Opens an undo frame; every subsequent [`add_edge`] belongs to it
@@ -235,6 +262,64 @@ mod tests {
                 assert!(!ord.reaches(e(a), e(b)), "{a}->{b} must be gone");
             }
         }
+    }
+
+    #[test]
+    fn reset_reuses_state_for_new_seed() {
+        let seed_a: Relation = [(e(0), e(1))].into_iter().collect();
+        let mut ord = IncrementalOrder::new(4, &[&seed_a]);
+        ord.begin();
+        ord.add_edge(e(1), e(2));
+        // Mid-frame reset: everything (frames, pushes, seed) is replaced.
+        let seed_b: Relation = [(e(2), e(3)), (e(3), e(2))].into_iter().collect();
+        ord.reset(4, &[&seed_b]);
+        assert_eq!(ord.depth(), 0);
+        assert!(!ord.is_acyclic(), "new seed carries a cycle");
+        assert!(!ord.reaches(e(0), e(1)), "old seed gone");
+        assert!(ord.reaches(e(2), e(3)));
+        // Reset to a larger universe grows the matrix correctly.
+        let wide: Relation = [(e(70), e(90))].into_iter().collect();
+        ord.reset(96, &[&wide]);
+        assert!(ord.is_acyclic());
+        assert!(ord.reaches(e(70), e(90)));
+        ord.begin();
+        assert!(!ord.add_edge(e(90), e(70)));
+        assert!(!ord.is_acyclic());
+        ord.undo();
+        assert!(ord.is_acyclic());
+    }
+
+    #[test]
+    fn snapshot_absorbs_frames_into_baseline() {
+        let mut ord = IncrementalOrder::new(8, &[]);
+        ord.begin();
+        assert!(ord.add_edge(e(0), e(1)));
+        assert!(ord.add_edge(e(1), e(2)));
+        ord.snapshot();
+        assert_eq!(ord.depth(), 0);
+        // The absorbed edges behave exactly like seeds: they survive a
+        // full frame unwind…
+        ord.begin();
+        assert!(ord.add_edge(e(2), e(3)));
+        assert!(ord.reaches(e(0), e(3)));
+        ord.undo();
+        assert!(ord.reaches(e(0), e(2)), "snapshot edges survive undo");
+        assert!(!ord.reaches(e(0), e(3)));
+        // …and a cycle against them is detected and undoable.
+        ord.begin();
+        assert!(!ord.add_edge(e(2), e(0)));
+        assert!(!ord.is_acyclic());
+        ord.undo();
+        assert!(ord.is_acyclic());
+    }
+
+    #[test]
+    fn snapshot_preserves_outstanding_cycles() {
+        let mut ord = IncrementalOrder::new(4, &[]);
+        ord.begin();
+        assert!(!ord.add_edge(e(1), e(1)));
+        ord.snapshot();
+        assert!(!ord.is_acyclic(), "absorbed cycle is permanent");
     }
 
     #[test]

@@ -82,9 +82,11 @@ pub trait ConsistencyModel: Send + Sync {
     /// difference of a growing relation) must return `Undecided`.
     ///
     /// The default is a no-op, so models that only implement [`check`]
-    /// (e.g. the `telechat-cat` interpreted models, whose programs may
-    /// use non-monotone operators) work unchanged — they simply forgo
-    /// pruning.
+    /// work unchanged — they simply forgo pruning. (The `telechat-cat`
+    /// interpreted models prune through their *combo sessions* instead:
+    /// their staged engine classifies the monotone fragment of the Cat
+    /// program and answers partial verdicts from per-edge incremental
+    /// state — see `telechat_cat::staged`.)
     ///
     /// [`check`]: ConsistencyModel::check
     fn check_partial(&self, _partial: &Execution) -> PartialVerdict {

@@ -700,6 +700,27 @@ impl Relation {
         out
     }
 
+    /// The edges of `self` absent from `other`, in lexicographic order —
+    /// a word-parallel row difference. The staged Cat engine diffs each
+    /// monotone constraint value against its previous value per pushed
+    /// edge; monotonicity guarantees the result is exactly the delta.
+    pub fn edge_diff(&self, other: &Relation) -> Vec<(EventId, EventId)> {
+        let mut out = Vec::new();
+        for a in 0..self.nodes {
+            let ra = self.row(a);
+            let rb = other.row(a);
+            for (i, &w) in ra.iter().enumerate() {
+                let mut m = w & !rb.get(i).copied().unwrap_or(0);
+                while m != 0 {
+                    let b = i * WORD + m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    out.push((EventId(a as u32), EventId(b as u32)));
+                }
+            }
+        }
+        out
+    }
+
     /// True if the relation has no edge `(e, e)` (`irreflexive r` in Cat).
     pub fn is_irreflexive(&self) -> bool {
         (0..self.nodes).all(|a| self.bits[a * self.stride + a / WORD] & (1u64 << (a % WORD)) == 0)
@@ -1340,6 +1361,16 @@ mod bitset_oracle {
                 r.union(&s).is_acyclic(),
                 "{br} ∪ {bs}"
             );
+        });
+    }
+
+    #[test]
+    fn edge_diff_matches_oracle() {
+        for_each_pair(21, |r, s| {
+            let (br, bs) = (r.to_bitset(), s.to_bitset());
+            let got: Vec<(u32, u32)> = br.edge_diff(&bs).iter().map(|&(a, b)| (a.0, b.0)).collect();
+            let expect: Vec<(u32, u32)> = r.diff(&s).0.into_iter().collect();
+            assert_eq!(got, expect);
         });
     }
 

@@ -99,12 +99,20 @@ exists (P2:r0=1 /\ P2:r1=0 /\ P3:r0=1 /\ P3:r1=0)
     ),
 ];
 
+/// Interpreted models of the differential matrix (ISSUE 3: SB/MP/LB/IRIW
+/// × {rc11, aarch64, x86tso, sc} × threads {1, 4}).
+const CORPUS_CAT_MODELS: &[&str] = &["rc11", "aarch64", "x86tso", "sc"];
+
 fn corpus_models() -> Vec<Box<dyn ConsistencyModel>> {
-    vec![
-        Box::new(SeqCstRef),
-        Box::new(CoherenceOnly),
-        Box::new(CatModel::bundled("rc11").unwrap()),
-    ]
+    let mut models: Vec<Box<dyn ConsistencyModel>> =
+        vec![Box::new(SeqCstRef), Box::new(CoherenceOnly)];
+    for name in CORPUS_CAT_MODELS {
+        // Staged (incremental per-edge) and leaf-only sessions must both
+        // match the oracle — and therefore each other.
+        models.push(Box::new(CatModel::bundled(name).unwrap()));
+        models.push(Box::new(CatModel::bundled(name).unwrap().without_staging()));
+    }
+    models
 }
 
 /// The new engine with `threads = 1` is byte-identical to the naive
@@ -249,6 +257,148 @@ fn litmus_optimisation_preserves_outcomes() {
         // (state-explosion on the unoptimised side is acceptable — that is
         // the very phenomenon the optimisation exists for)
     }
+}
+
+/// The staged-engine pin (ISSUE 3): a *whole simulation* under the
+/// bundled interpreted `aarch64` and `rc11` models performs **zero** full
+/// Kahn/toposort traversals — every monotone constraint (including the
+/// `irreflexive ob`-style closure axioms, rewritten to incremental
+/// acyclicity) is answered from per-edge reachability state at DFS nodes
+/// and leaves alike. Extends the PR 2 pin that covered only the built-in
+/// models. (The traversal counter is thread-local and `SimConfig`
+/// defaults to one worker, so all enumeration work stays on this thread.)
+#[test]
+fn interpreted_model_simulations_run_no_full_traversals() {
+    for model_name in ["aarch64", "rc11"] {
+        let model = CatModel::bundled(model_name).unwrap();
+        for (name, src) in CORPUS {
+            let test = parse_c11(src).unwrap();
+            let before = telechat_repro::exec::rel::full_traversals();
+            simulate(&test, &model, &SimConfig::default()).unwrap();
+            assert_eq!(
+                telechat_repro::exec::rel::full_traversals(),
+                before,
+                "full traversal during {model_name} enumeration of {name}"
+            );
+        }
+    }
+}
+
+/// Property test over the randomized monotone fragment: programs built
+/// from random monotone relation expressions (plus occasional residual
+/// checks and flags) must behave byte-identically under the staged plan
+/// and the naive reference enumerator — the engine's swap-DFS drives the
+/// staged state through real push/undo schedules, so this pins the
+/// incremental value maintenance (frontier re-evaluation + diff + LIFO
+/// undo) against from-scratch re-evaluation.
+#[test]
+fn randomized_monotone_programs_match_reference() {
+    use telechat_repro::cat::{CatExpr, CatProgram, CatStmt, CheckKind};
+    use telechat_repro::common::XorShiftRng;
+
+    const BASES: &[&str] = &[
+        "po", "rf", "co", "fr", "loc", "ext", "int", "rmw", "addr", "data", "ctrl",
+    ];
+    const CONSTS: &[&str] = &["po", "loc", "ext", "int"];
+    const SETS: &[&str] = &["W", "R", "M", "_", "IW"];
+
+    fn rand_expr(rng: &mut XorShiftRng, depth: usize) -> CatExpr {
+        if depth == 0 {
+            return CatExpr::name(BASES[rng.below(BASES.len() as u64) as usize]);
+        }
+        let sub = |rng: &mut XorShiftRng| Box::new(rand_expr(rng, depth - 1));
+        match rng.below(10) {
+            0 | 1 => CatExpr::Union(sub(rng), sub(rng)),
+            2 => CatExpr::Inter(sub(rng), sub(rng)),
+            3 => CatExpr::Seq(sub(rng), sub(rng)),
+            4 => CatExpr::Plus(sub(rng)),
+            5 => CatExpr::Opt(sub(rng)),
+            6 => CatExpr::Diff(
+                sub(rng),
+                // Constant subtrahend: stays in the monotone fragment.
+                Box::new(CatExpr::name(CONSTS[rng.below(CONSTS.len() as u64) as usize])),
+            ),
+            7 => CatExpr::Seq(
+                Box::new(CatExpr::IdOn(Box::new(CatExpr::name(
+                    SETS[rng.below(SETS.len() as u64) as usize],
+                )))),
+                sub(rng),
+            ),
+            8 => CatExpr::Inverse(sub(rng)),
+            // Bias toward the growing relations so most programs exercise
+            // the staged (non-constant) path.
+            _ => CatExpr::Union(sub(rng), Box::new(CatExpr::name("rf"))),
+        }
+    }
+
+    fn rand_program(rng: &mut XorShiftRng, case: u64) -> CatProgram {
+        let mut stmts = Vec::new();
+        let nchecks = 1 + rng.below(3);
+        for k in 0..nchecks {
+            let depth = 1 + rng.below(3) as usize;
+            let body = rand_expr(rng, depth);
+            let name = telechat_repro::common::Sym::new(format!("zz_prop_{case}_{k}"));
+            stmts.push(CatStmt::Let {
+                recursive: false,
+                bindings: vec![(name, body)],
+            });
+            let expr = CatExpr::Name(name);
+            let kind = match rng.below(3) {
+                0 => CheckKind::Acyclic,
+                1 => CheckKind::Irreflexive,
+                _ => CheckKind::Empty,
+            };
+            match rng.below(5) {
+                // Mostly staged monotone checks…
+                0..=2 => stmts.push(CatStmt::Check {
+                    kind,
+                    negated: false,
+                    expr,
+                    name: format!("c{k}"),
+                }),
+                // …some negated ones (always residual, leaf-evaluated)…
+                3 => stmts.push(CatStmt::Check {
+                    kind: CheckKind::Empty,
+                    negated: true,
+                    expr: CatExpr::Union(Box::new(expr), Box::new(CatExpr::name("po"))),
+                    name: format!("c{k}"),
+                }),
+                // …and some flags (never forbid, leaf-evaluated).
+                _ => stmts.push(CatStmt::Flag {
+                    kind: CheckKind::Empty,
+                    negated: true,
+                    expr,
+                    name: format!("f{k}"),
+                }),
+            }
+        }
+        CatProgram {
+            name: format!("prop{case}"),
+            stmts,
+        }
+    }
+
+    let mut rng = XorShiftRng::seed_from_u64(0xCA7);
+    let mut staged_constraints = 0usize;
+    for case in 0..30 {
+        let program = rand_program(&mut rng, case);
+        let model = CatModel::from_program(program);
+        staged_constraints += model.plan().staged_constraints();
+        for (name, src) in &CORPUS[..3] {
+            let test = parse_c11(src).unwrap();
+            let cfg = SimConfig::default();
+            let new = simulate(&test, &model, &cfg).unwrap();
+            let old = simulate_reference(&test, &model, &cfg).unwrap();
+            assert_eq!(new.outcomes, old.outcomes, "case {case} on {name}");
+            assert_eq!(new.candidates, old.candidates, "case {case} on {name}");
+            assert_eq!(new.allowed, old.allowed, "case {case} on {name}");
+            assert_eq!(new.flags, old.flags, "case {case} on {name}");
+        }
+    }
+    assert!(
+        staged_constraints > 20,
+        "generator must exercise the staged path (got {staged_constraints})"
+    );
 }
 
 /// Generated cycles always produce SC-unreachable witnesses: under the
