@@ -174,6 +174,20 @@ fn main() -> Result<()> {
         println!("  micro {op:28} {ns:12.0} ns/op");
     }
 
+    // Cycle-space generation throughput: exhaustive enumeration +
+    // canonical dedup + synthesis of the fuzz corpus (the telechat-fuzz
+    // subsystem's front end). Quick mode shrinks the budget.
+    let comm_budget = if quick { 3 } else { 4 };
+    let fuzz_cfg = telechat_fuzz::GenConfig::corpus(comm_budget);
+    let fuzz_tests = telechat_fuzz::corpus(&fuzz_cfg).len();
+    let fuzz_ms = time_engine(&|| {
+        std::hint::black_box(telechat_fuzz::corpus(&fuzz_cfg).len());
+    });
+    let fuzz_rate = fuzz_tests as f64 / (fuzz_ms / 1e3);
+    println!(
+        "  fuzz corpus (comm<={comm_budget}):   {fuzz_ms:9.1} ms  ({fuzz_tests} canonical tests, {fuzz_rate:.0}/s)"
+    );
+
     // Hand-rolled JSON (the workspace vendors no serde).
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -204,6 +218,16 @@ fn main() -> Result<()> {
         json,
         "    \"baseline_note\": \"PR 1/PR 2 engines, 20k budget, dev container; cross-machine comparisons are indicative only\""
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fuzz\": {{");
+    let _ = writeln!(
+        json,
+        "    \"shape\": \"exhaustive canonical corpus: enumerate + dedup + synthesise\","
+    );
+    let _ = writeln!(json, "    \"comm_budget\": {comm_budget},");
+    let _ = writeln!(json, "    \"canonical_tests\": {fuzz_tests},");
+    let _ = writeln!(json, "    \"gen_ms\": {fuzz_ms:.2},");
+    let _ = writeln!(json, "    \"tests_per_sec\": {fuzz_rate:.0}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"micro\": [");
     for (i, (op, ns)) in micro.iter().enumerate() {

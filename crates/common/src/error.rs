@@ -34,6 +34,12 @@ pub enum Error {
         /// The configured limit, in milliseconds.
         limit_ms: u64,
     },
+    /// A generated test is structurally well-formed but can never witness
+    /// anything: its cycle lacks the communication edges that make the
+    /// `exists` clause observable, or the clause is self-contradictory
+    /// (two required values for one state key). Generators reject these
+    /// instead of emitting vacuous tests.
+    Vacuous(String),
     /// A feature is not supported by the selected architecture or compiler.
     Unsupported(String),
     /// The compiler under test crashed (internal compiler error).
@@ -71,6 +77,7 @@ impl fmt::Display for Error {
             Error::Parse { msg, line: None } => write!(f, "parse error: {msg}"),
             Error::Model(m) => write!(f, "model error: {m}"),
             Error::IllFormed(m) => write!(f, "ill-formed program: {m}"),
+            Error::Vacuous(m) => write!(f, "vacuous test: {m}"),
             Error::Budget { steps } => write!(f, "enumeration budget exhausted after {steps} steps"),
             Error::Timeout { limit_ms } => write!(f, "simulation timed out after {limit_ms} ms"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),

@@ -1,6 +1,11 @@
 //! The large-scale differential-testing campaign driver (paper §IV-D,
 //! Tables III/IV): run a test suite through many compiler profiles in
 //! parallel and tabulate positive/negative differences.
+//!
+//! Tests come from a [`TestSource`] — a streaming supplier that unifies
+//! fixed suites (slices, `Vec`s), `telechat_diy::Config` sweeps (via their
+//! iterators) and generative fuzz streams (`telechat-fuzz`), so a campaign
+//! can consume an unbounded generator without materialising it first.
 
 use crate::pipeline::{PipelineConfig, Telechat, TestVerdict};
 use std::collections::BTreeMap;
@@ -9,6 +14,28 @@ use std::sync::Mutex;
 use telechat_common::{Arch, Result};
 use telechat_compiler::{Compiler, CompilerFamily, CompilerId, OptLevel, Target};
 use telechat_litmus::LitmusTest;
+
+/// A streaming supplier of litmus tests for a campaign.
+///
+/// The campaign driver pulls tests one at a time (under a lock, in a fixed
+/// order), so a source's output — and therefore the whole campaign result —
+/// is independent of how many worker threads consume it. Any
+/// `Iterator<Item = LitmusTest>` that is `Send` is a source, which covers
+/// fixed suites (`suite.iter().cloned()`), `Config::generate().into_iter()`
+/// sweeps and the `telechat-fuzz` generators.
+pub trait TestSource: Send {
+    /// The next test, or `None` when the stream is exhausted.
+    fn next_test(&mut self) -> Option<LitmusTest>;
+}
+
+impl<I> TestSource for I
+where
+    I: Iterator<Item = LitmusTest> + Send,
+{
+    fn next_test(&mut self) -> Option<LitmusTest> {
+        self.next()
+    }
+}
 
 /// What to sweep (paper Table III: constructs × compiler × flags × arch).
 #[derive(Debug, Clone)]
@@ -82,6 +109,9 @@ pub struct CampaignResult {
     pub source_tests: usize,
     /// Number of compiled tests produced (tests × applicable profiles).
     pub compiled_tests: usize,
+    /// `(test name, compiler profile)` of every positive difference, sorted
+    /// — the work-list a fuzzing campaign hands to the minimizer.
+    pub positive_tests: Vec<(String, String)>,
 }
 
 impl CampaignResult {
@@ -160,7 +190,8 @@ impl fmt::Display for CampaignResult {
     }
 }
 
-/// Runs the campaign: every test × every applicable profile, in parallel.
+/// Runs the campaign over a fixed suite: every test × every applicable
+/// profile, in parallel. Convenience wrapper over [`run_campaign_source`].
 ///
 /// # Errors
 ///
@@ -168,6 +199,28 @@ impl fmt::Display for CampaignResult {
 /// failures are counted in the cells' `errors`.
 pub fn run_campaign(
     tests: &[LitmusTest],
+    spec: &CampaignSpec,
+    config: &PipelineConfig,
+) -> Result<CampaignResult> {
+    run_campaign_source(&mut tests.iter().cloned(), spec, config)
+}
+
+/// Runs the campaign over a streaming [`TestSource`]: every supplied test ×
+/// every applicable profile, sharded over `spec.threads` workers. The work
+/// item is one `(test, profile)` pair — a pulled test fans out into one
+/// item per profile before the next test is drawn, so parallelism is not
+/// capped by the test count even for few-tests × many-profiles sweeps.
+///
+/// The result is byte-identical for every worker count: tests are pulled
+/// from the source in a fixed order, cells aggregate by profile key, and
+/// the positive-difference list is sorted before returning.
+///
+/// # Errors
+///
+/// Fails only on configuration errors (unknown source model); per-test
+/// failures are counted in the cells' `errors`.
+pub fn run_campaign_source(
+    source: &mut dyn TestSource,
     spec: &CampaignSpec,
     config: &PipelineConfig,
 ) -> Result<CampaignResult> {
@@ -179,49 +232,72 @@ pub fn run_campaign(
     }
     let tool = Telechat::with_config(&spec.source_model, config)?;
 
-    // Work items: (test index, compiler).
-    let mut items = Vec::new();
+    // Applicable compiler profiles; each test runs under all of them.
+    let mut profiles = Vec::new();
     for target in &spec.targets {
         for id in &spec.compilers {
             for &opt in &spec.opts {
-                if !opt.supported_by(id.family) {
-                    continue;
-                }
-                for t in 0..tests.len() {
-                    items.push((t, Compiler::new(*id, opt, *target)));
+                if opt.supported_by(id.family) {
+                    profiles.push(Compiler::new(*id, opt, *target));
                 }
             }
         }
     }
 
-    let result = Mutex::new(CampaignResult {
-        source_tests: tests.len(),
-        compiled_tests: items.len(),
-        ..CampaignResult::default()
-    });
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    // No applicable profile (e.g. an -Og-only sweep over clang): nothing
+    // to run. Return before touching the source — draining it would spin
+    // forever on an unbounded generator.
+    if profiles.is_empty() {
+        return Ok(CampaignResult::default());
+    }
+
+    let result = Mutex::new(CampaignResult::default());
+    // The shared frontier: queued (test, profile) pairs, refilled from the
+    // source one test at a time when it runs dry.
+    type Frontier<'a> = (
+        &'a mut dyn TestSource,
+        std::collections::VecDeque<(std::sync::Arc<LitmusTest>, usize)>,
+    );
+    let frontier: Mutex<Frontier> = Mutex::new((source, std::collections::VecDeque::new()));
 
     std::thread::scope(|scope| {
         for _ in 0..spec.threads.max(1) {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some((tindex, compiler)) = items.get(i).copied() else {
-                    return;
+                let item = {
+                    let mut fr = frontier.lock().expect("campaign frontier lock");
+                    loop {
+                        if let Some(item) = fr.1.pop_front() {
+                            break Some(item);
+                        }
+                        let Some(test) = fr.0.next_test() else {
+                            break None;
+                        };
+                        {
+                            let mut res = result.lock().expect("campaign lock");
+                            res.source_tests += 1;
+                            res.compiled_tests += profiles.len();
+                        }
+                        let test = std::sync::Arc::new(test);
+                        for p in 0..profiles.len() {
+                            fr.1.push_back((test.clone(), p));
+                        }
+                    }
                 };
-                let test = &tests[tindex];
-                let key = (
-                    compiler.target.arch,
-                    compiler.id.family,
-                    compiler.opt,
-                );
-                let outcome = tool.run(test, &compiler);
+                let Some((test, p)) = item else { return };
+                let compiler = &profiles[p];
+                let key = (compiler.target.arch, compiler.id.family, compiler.opt);
+                let outcome = tool.run(&test, compiler);
                 let mut res = result.lock().expect("campaign lock");
                 let cell = res.cells.entry(key).or_default();
                 match outcome {
                     Ok(report) => match report.verdict {
                         TestVerdict::Pass => cell.pass += 1,
                         TestVerdict::NegativeDifference => cell.negative += 1,
-                        TestVerdict::PositiveDifference => cell.positive += 1,
+                        TestVerdict::PositiveDifference => {
+                            cell.positive += 1;
+                            res.positive_tests
+                                .push((test.name.clone(), compiler.profile_name()));
+                        }
                         TestVerdict::RuntimeCrash => cell.crashed += 1,
                         TestVerdict::SourceRace => cell.racy += 1,
                     },
@@ -231,5 +307,7 @@ pub fn run_campaign(
         }
     });
 
-    Ok(result.into_inner().expect("campaign lock"))
+    let mut result = result.into_inner().expect("campaign lock");
+    result.positive_tests.sort();
+    Ok(result)
 }

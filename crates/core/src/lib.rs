@@ -62,7 +62,9 @@ pub mod mcompare;
 pub mod pipeline;
 pub mod s2l;
 
-pub use campaign::{run_campaign, CampaignCell, CampaignResult, CampaignSpec};
+pub use campaign::{
+    run_campaign, run_campaign_source, CampaignCell, CampaignResult, CampaignSpec, TestSource,
+};
 pub use l2c::{prepare, PreparedSource};
 pub use mapping::StateMapping;
 pub use mcompare::{mcompare, Comparison};
@@ -72,8 +74,8 @@ pub use s2l::{object_to_asm_test, object_to_litmus, S2lOptions};
 /// One-stop imports for examples and binaries.
 pub mod prelude {
     pub use crate::{
-        mcompare, prepare, run_campaign, CampaignResult, CampaignSpec, PipelineConfig,
-        StateMapping, Telechat, TestReport, TestVerdict,
+        mcompare, prepare, run_campaign, run_campaign_source, CampaignResult, CampaignSpec,
+        PipelineConfig, StateMapping, Telechat, TestReport, TestVerdict, TestSource,
     };
     pub use telechat_cat::CatModel;
     pub use telechat_compiler::{Compiler, CompilerFamily, CompilerId, OptLevel, Target};

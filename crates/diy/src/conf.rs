@@ -88,14 +88,22 @@ impl Config {
     /// Enumerates the suite deterministically. Shapes that do not
     /// synthesise (e.g. dependency edges from write positions) are skipped,
     /// mirroring how diy discards inapplicable relaxation sequences.
+    ///
+    /// Test names are derived from content (`MP+pod+RLX`), not from a
+    /// running index, so the same combination always gets the same name no
+    /// matter what else the configuration sweeps — and duplicate
+    /// family/edge/kind combinations (which used to produce the same test
+    /// twice under two index-distinguished names) are generated once.
     pub fn generate(&self) -> Vec<LitmusTest> {
         let mut out = Vec::new();
-        let mut index = 0usize;
+        let mut seen = std::collections::BTreeSet::new();
         for &fam in &self.families {
             for &po in &self.po_edges {
                 for &kind in &self.kinds {
-                    index += 1;
-                    let name = format!("{}{:03}", fam.tag(), index);
+                    let name = format!("{}+{po}+{kind}", fam.tag());
+                    if !seen.insert(name.clone()) {
+                        continue;
+                    }
                     if let Ok(test) = fam.generate(&name, po, kind) {
                         out.push(test);
                     }
@@ -131,6 +139,25 @@ mod tests {
         assert_eq!(a.len(), b.len());
         assert_eq!(a[0], b[0]);
         assert_eq!(a[a.len() - 1], b[b.len() - 1]);
+    }
+
+    #[test]
+    fn duplicate_combos_are_generated_once() {
+        use crate::families::Family;
+        let mut cfg = Config::examples();
+        cfg.families.push(Family::Mp); // Mp listed twice
+        cfg.kinds.push(cfg.kinds[0]); // first kind listed twice
+        assert_eq!(cfg.generate(), Config::examples().generate());
+    }
+
+    #[test]
+    fn names_are_content_derived() {
+        let suite = Config::examples().generate();
+        assert!(
+            suite.iter().any(|t| t.name == "MP+pod+RLX"),
+            "{:?}",
+            suite.iter().map(|t| &t.name).collect::<Vec<_>>()
+        );
     }
 
     #[test]

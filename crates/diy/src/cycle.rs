@@ -13,7 +13,7 @@ use telechat_common::{Annot, AnnotSet, Error, Reg, Result, StateKey, ThreadId, V
 use telechat_litmus::{AddrExpr, Condition, Expr, Instr, LitmusTest, LocDecl, Prop, RmwOp};
 
 /// Direction of an event: read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Dir {
     /// A read.
     R,
@@ -22,7 +22,7 @@ pub enum Dir {
 }
 
 /// The access flavour used for an event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum AccessKind {
     /// An atomic access with the given C11 ordering.
     Atomic(Annot),
@@ -33,6 +33,18 @@ pub enum AccessKind {
     /// register (the discarded-result variants come from
     /// [`crate::families`]).
     Rmw(Annot),
+}
+
+impl fmt::Display for AccessKind {
+    /// Compact slug used in generated test names (`RLX`, `ACQ`, `NA`,
+    /// `rmw.RLX`, …).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Atomic(o) => write!(f, "{o}"),
+            AccessKind::Plain => write!(f, "NA"),
+            AccessKind::Rmw(o) => write!(f, "rmw.{o}"),
+        }
+    }
 }
 
 impl AccessKind {
@@ -47,7 +59,12 @@ impl AccessKind {
 }
 
 /// One edge of a cycle.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// The derived `Ord` gives edges a stable total order used by the
+/// `telechat-fuzz` canonicalizer to pick a unique representative among the
+/// rotations of a cycle; changing variant order would silently re-canonise
+/// every pinned fuzz corpus, so new variants belong at the end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Edge {
     /// Program order to the next event, same thread. `sameloc` keeps the
     /// location (e.g. coherence shapes); otherwise the location advances.
@@ -78,6 +95,14 @@ impl Edge {
     /// Does the edge switch threads (communication edge)?
     pub fn is_comm(self) -> bool {
         matches!(self, Edge::Rfe | Edge::Fre | Edge::Coe)
+    }
+
+    /// Does the edge advance to the next location in the synthesiser's
+    /// walk? (Every intra-thread edge except same-location po; the single
+    /// definition shared by the synthesiser, the semantic validity rules
+    /// and the fuzzer's location accounting.)
+    pub fn advances_loc(self) -> bool {
+        !self.is_comm() && !matches!(self, Edge::Po { sameloc: true })
     }
 
     /// The direction of the event at the *source* of this edge.
@@ -126,6 +151,76 @@ struct Slot {
     in_edge: Option<Edge>,
 }
 
+/// Infers per-event directions from edge constraints and explicit pins:
+/// each event is the target of edge `i-1` and the source of edge `i`, and
+/// `pins` (shorter slices are padded with `None`) may force a direction.
+/// `None` entries in the result are genuinely unconstrained (the
+/// synthesiser defaults them to writes).
+///
+/// This is the single definition shared by [`CycleSpec::synthesise`] and
+/// the `telechat-fuzz` generators — validity must not drift between them.
+///
+/// # Errors
+///
+/// Returns [`Error::IllFormed`] on a direction clash.
+pub fn infer_dirs(edges: &[Edge], pins: &[Option<Dir>]) -> Result<Vec<Option<Dir>>> {
+    let n = edges.len();
+    let mut out: Vec<Option<Dir>> = (0..n).map(|i| pins.get(i).copied().flatten()).collect();
+    #[allow(clippy::needless_range_loop)] // i also indexes the previous edge modulo n
+    for i in 0..n {
+        let src = edges[i].src_dir();
+        let dst_prev = edges[(i + n - 1) % n].dst_dir();
+        for c in [src, dst_prev].into_iter().flatten() {
+            match out[i] {
+                Some(d) if d != c => {
+                    return Err(Error::IllFormed(format!(
+                        "event {i}: direction clash {d:?} vs {c:?}"
+                    )))
+                }
+                _ => out[i] = Some(c),
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The rotation-invariant semantic validity rules beyond direction
+/// consistency, shared by [`CycleSpec::synthesise`] and the
+/// `telechat-fuzz` generators:
+///
+/// * a data/address dependency must not target a read — the C11 IR
+///   threads dependencies through store operands, and silently emitting
+///   plain po instead (the old behaviour) made `dp` shapes isomorphic
+///   duplicates of their po twins;
+/// * a single location-advancing *plain po* edge wraps straight back to
+///   its own location, making the shape its same-location twin in
+///   disguise (a lone fence/dependency/control edge has no same-location
+///   spelling and is kept).
+///
+/// # Errors
+///
+/// [`Error::Unsupported`] for dependency-into-read, [`Error::IllFormed`]
+/// for the lone-advancing-po degeneracy.
+pub fn check_semantics(edges: &[Edge], dirs: &[Option<Dir>]) -> Result<()> {
+    let n = edges.len();
+    for i in 0..n {
+        if edges[i] == Edge::Dp && dirs[(i + 1) % n] == Some(Dir::R) {
+            return Err(Error::Unsupported(format!(
+                "event {i}: dependency edge into a read is not representable"
+            )));
+        }
+    }
+    let advancing = edges.iter().filter(|e| e.advances_loc()).count();
+    if advancing == 1 && edges.contains(&Edge::Po { sameloc: false }) {
+        return Err(Error::IllFormed(
+            "a single location-advancing po edge wraps to its own location; \
+             use a same-location edge instead"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
 /// A cycle plus per-event access kinds, ready to synthesise.
 #[derive(Debug, Clone)]
 pub struct CycleSpec {
@@ -136,6 +231,12 @@ pub struct CycleSpec {
     /// Access kind per event (same length as `edges`); defaults to relaxed
     /// atomics when shorter.
     pub kinds: Vec<AccessKind>,
+    /// Forced event directions (same length as `edges` when non-empty).
+    /// `None` leaves the direction to the edge constraints; `Some` pins it,
+    /// which errors on a clash and otherwise lets generators cover both
+    /// directions of events no communication edge constrains (interior
+    /// events of longer program-order runs, which would default to writes).
+    pub dirs: Vec<Option<Dir>>,
 }
 
 impl CycleSpec {
@@ -145,6 +246,7 @@ impl CycleSpec {
             name: name.into(),
             edges,
             kinds: Vec::new(),
+            dirs: Vec::new(),
         }
     }
 
@@ -158,48 +260,60 @@ impl CycleSpec {
         self
     }
 
+    /// Forces the direction of event `i`.
+    #[must_use]
+    pub fn dir(mut self, i: usize, d: Dir) -> CycleSpec {
+        while self.dirs.len() < self.edges.len() {
+            self.dirs.push(None);
+        }
+        self.dirs[i] = Some(d);
+        self
+    }
+
     /// Synthesises the litmus test witnessing this cycle.
     ///
     /// # Errors
     ///
-    /// Returns [`Error::IllFormed`] if the cycle is inconsistent: direction
-    /// clashes, no communication edge, or failure to return to the first
-    /// event's thread and location.
+    /// Returns [`Error::IllFormed`] if the cycle is inconsistent (direction
+    /// clashes, failure to return to the first event's thread and location)
+    /// and [`Error::Vacuous`] if it is consistent but cannot witness
+    /// anything: fewer than two communication edges (the cycle never
+    /// crosses threads, so the generated `exists` clause would hold of a
+    /// sequential program), or a self-contradictory witness condition (two
+    /// communication edges demanding different values for one state key,
+    /// e.g. a two-edge `coe` cycle asking one location to finish with both
+    /// writes' values).
     pub fn synthesise(&self) -> Result<LitmusTest> {
         let n = self.edges.len();
         if n < 2 {
             return Err(Error::IllFormed("cycle needs at least two edges".into()));
         }
-        if !self.edges.iter().any(|e| e.is_comm()) {
-            return Err(Error::IllFormed(
-                "cycle needs at least one communication edge".into(),
-            ));
+        match self.edges.iter().filter(|e| e.is_comm()).count() {
+            0 => {
+                return Err(Error::Vacuous(
+                    "cycle has no communication edge, so its witness is vacuous".into(),
+                ))
+            }
+            1 => {
+                return Err(Error::Vacuous(
+                    "cycle has a single communication edge, which cannot cross threads; \
+                     at least two communication edges are needed"
+                        .into(),
+                ))
+            }
+            _ => {}
         }
-        // Determine event directions: each event is target of edge i-1 and
-        // source of edge i; constraints must agree.
-        let mut dirs: Vec<Option<Dir>> = vec![None; n];
-        #[allow(clippy::needless_range_loop)] // i also indexes the previous edge modulo n
-        for i in 0..n {
-            let src = self.edges[i].src_dir();
-            let dst_prev = self.edges[(i + n - 1) % n].dst_dir();
-            let d = match (src, dst_prev) {
-                (Some(a), Some(b)) if a != b => {
-                    return Err(Error::IllFormed(format!(
-                        "event {i}: direction clash {a:?} vs {b:?}"
-                    )))
-                }
-                (Some(a), _) | (_, Some(a)) => Some(a),
-                (None, None) => None,
-            };
-            dirs[i] = d;
-        }
+        // Event directions (shared inference, then semantic rules — see
+        // [`infer_dirs`] and [`check_semantics`]).
+        let inferred = infer_dirs(&self.edges, &self.dirs)?;
+        check_semantics(&self.edges, &inferred)?;
         // Unconstrained events default to writes (harmless filler).
-        let dirs: Vec<Dir> = dirs.into_iter().map(|d| d.unwrap_or(Dir::W)).collect();
+        let dirs: Vec<Dir> = inferred.into_iter().map(|d| d.unwrap_or(Dir::W)).collect();
 
         // Walk: assign threads and locations. Locations advance on every
         // different-location program-order edge, modulo the total number of
         // such edges — diy's wrap-around, which is what closes the cycle.
-        let advancing = |e: &Edge| !e.is_comm() && !matches!(e, Edge::Po { sameloc: true });
+        let advancing = |e: &Edge| e.advances_loc();
         let nlocs = self.edges.iter().filter(|e| advancing(e)).count().max(1);
         let mut slots: Vec<Slot> = Vec::with_capacity(n);
         let mut thread = 0usize;
@@ -404,6 +518,24 @@ impl CycleSpec {
                 _ => {}
             }
         }
+        // A witness that demands two different values for one register or
+        // final location (e.g. a two-edge coherence cycle) can never be
+        // observed; reject it instead of emitting a vacuous test.
+        let mut demanded: Vec<(&StateKey, &telechat_common::Val)> = Vec::new();
+        for atom in &atoms {
+            if let Prop::Atom(key, val) = atom {
+                if let Some((_, prev)) = demanded.iter().find(|(k, _)| *k == key) {
+                    if *prev != val {
+                        return Err(Error::Vacuous(format!(
+                            "contradictory witness: {key} must be both {prev} and {val}"
+                        )));
+                    }
+                } else {
+                    demanded.push((key, val));
+                }
+            }
+        }
+
         let prop = atoms
             .into_iter()
             .reduce(Prop::and)
@@ -538,6 +670,59 @@ mod tests {
         .synthesise()
         .unwrap_err();
         assert!(err.to_string().contains("communication"));
+    }
+
+    #[test]
+    fn rejects_single_comm_cycles_as_vacuous() {
+        // One rfe cannot cross threads: the "external" edge would relate
+        // two events of the same thread.
+        let err = CycleSpec::new("bad", vec![Edge::Po { sameloc: true }, Edge::Rfe])
+            .synthesise()
+            .unwrap_err();
+        assert!(matches!(err, Error::Vacuous(_)), "{err}");
+    }
+
+    #[test]
+    fn rejects_contradictory_witness_as_vacuous() {
+        // A two-edge coherence cycle asks the location to finish with both
+        // writes' values.
+        let err = CycleSpec::new("bad", vec![Edge::Coe, Edge::Coe])
+            .synthesise()
+            .unwrap_err();
+        assert!(matches!(err, Error::Vacuous(_)), "{err}");
+        assert!(err.to_string().contains("contradictory"), "{err}");
+    }
+
+    #[test]
+    fn dir_overrides_pin_free_events() {
+        // Interior event of a three-long po run: unconstrained, defaults to
+        // a write; a Dir::R override turns it into a read.
+        let edges = vec![
+            Edge::Po { sameloc: false },
+            Edge::Po { sameloc: false },
+            Edge::Rfe,
+            Edge::Po { sameloc: false },
+            Edge::Rfe,
+        ];
+        let w = CycleSpec::new("w", edges.clone()).synthesise().unwrap();
+        let r = CycleSpec::new("r", edges.clone())
+            .dir(1, Dir::R)
+            .synthesise()
+            .unwrap();
+        assert_ne!(w.threads, r.threads);
+        let reads = |t: &telechat_litmus::LitmusTest| {
+            t.threads[0]
+                .iter()
+                .filter(|i| matches!(i, Instr::Load { .. }))
+                .count()
+        };
+        assert_eq!(reads(&r), reads(&w) + 1, "override adds a read\n{r}\n{w}");
+        // Overrides that clash with an edge constraint are rejected.
+        let err = CycleSpec::new("bad", edges)
+            .dir(2, Dir::R) // event 2 is the source of an rfe: must write
+            .synthesise()
+            .unwrap_err();
+        assert!(err.to_string().contains("direction clash"), "{err}");
     }
 
     #[test]

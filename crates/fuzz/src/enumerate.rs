@@ -1,0 +1,345 @@
+//! Exhaustive enumeration of well-formed cycles up to a configurable
+//! budget, with canonical dedup.
+//!
+//! The budget that matters is the number of **communication edges** — it
+//! equals the thread count and bounds how deep a relaxation the cycle can
+//! witness; the nine hand-written [`telechat_diy::Family`] shapes all have
+//! two or three. Between consecutive communication edges sits a *run* of
+//! intra-thread edges (`max_po_run` bounds its length; the families all
+//! use runs of length ≤ 1), and `max_edges` caps the total. The enumerated
+//! dimensions are exactly the tentpole's grid: edge choice per position ×
+//! direction of unconstrained events × access kind (with its ordering
+//! annotation) per event.
+//!
+//! Every generated sequence ends with a communication edge — the
+//! synthesiser's anchor. Since canonical dedup identifies rotations, this
+//! loses no shapes: every cycle with a communication edge has such a
+//! rotation.
+
+use crate::shape::{ShapedCycle, DEFAULT_KIND};
+use std::collections::BTreeSet;
+use telechat_common::Annot;
+use telechat_diy::{AccessKind, Dir, Edge};
+use telechat_litmus::LitmusTest;
+
+/// The edge and access-kind choices open to the generators.
+#[derive(Debug, Clone)]
+pub struct Alphabet {
+    /// Intra-thread (program-order-like) edge choices.
+    pub po: Vec<Edge>,
+    /// Communication edge choices.
+    pub comm: Vec<Edge>,
+    /// Access kinds tried for read events.
+    pub read_kinds: Vec<AccessKind>,
+    /// Access kinds tried for write events.
+    pub write_kinds: Vec<AccessKind>,
+}
+
+impl Alphabet {
+    /// The corpus alphabet: every structural edge flavour — plain po (same
+    /// and different location), dependency, control, one fence
+    /// representative (`sc`) — over relaxed atomics. Ordering strength is
+    /// a per-event annotation dimension, so weaker fence flavours and
+    /// stronger access kinds are left to [`Alphabet::c11`] and the kind
+    /// palettes rather than multiplying the structural corpus.
+    pub fn corpus() -> Alphabet {
+        Alphabet {
+            po: vec![
+                Edge::Po { sameloc: false },
+                Edge::Po { sameloc: true },
+                Edge::Dp,
+                Edge::Ctrl,
+                Edge::Fenced {
+                    order: Annot::SeqCst,
+                },
+            ],
+            comm: vec![Edge::Rfe, Edge::Fre, Edge::Coe],
+            read_kinds: vec![DEFAULT_KIND],
+            write_kinds: vec![DEFAULT_KIND],
+        }
+    }
+
+    /// The full C11 alphabet ([`telechat_diy::Config::c11`]'s construct
+    /// mix): all fence strengths and the per-direction ordering palette,
+    /// RMWs standing in for both slots. Used by the seeded sampler, where
+    /// the combinatorics are paid per sample instead of per corpus.
+    pub fn c11() -> Alphabet {
+        Alphabet {
+            po: vec![
+                Edge::Po { sameloc: false },
+                Edge::Po { sameloc: true },
+                Edge::Dp,
+                Edge::Ctrl,
+                Edge::Fenced {
+                    order: Annot::Relaxed,
+                },
+                Edge::Fenced {
+                    order: Annot::Acquire,
+                },
+                Edge::Fenced {
+                    order: Annot::Release,
+                },
+                Edge::Fenced {
+                    order: Annot::AcqRel,
+                },
+                Edge::Fenced {
+                    order: Annot::SeqCst,
+                },
+            ],
+            comm: vec![Edge::Rfe, Edge::Fre, Edge::Coe],
+            read_kinds: vec![
+                AccessKind::Atomic(Annot::Relaxed),
+                AccessKind::Atomic(Annot::Acquire),
+                AccessKind::Atomic(Annot::SeqCst),
+                AccessKind::Rmw(Annot::Relaxed),
+            ],
+            write_kinds: vec![
+                AccessKind::Atomic(Annot::Relaxed),
+                AccessKind::Atomic(Annot::Release),
+                AccessKind::Atomic(Annot::SeqCst),
+                AccessKind::Rmw(Annot::Relaxed),
+            ],
+        }
+    }
+}
+
+/// Budgets and switches for exhaustive enumeration.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// The edge/kind choices.
+    pub alphabet: Alphabet,
+    /// Minimum communication edges (< 2 is never useful; see validity).
+    pub min_comm: usize,
+    /// Maximum communication edges — the headline budget (= max threads).
+    pub max_comm: usize,
+    /// Maximum consecutive intra-thread edges (events per thread − 1).
+    pub max_po_run: usize,
+    /// Cap on total edges.
+    pub max_edges: usize,
+    /// Cap on distinct locations.
+    pub max_locs: usize,
+    /// Enumerate both directions of unconstrained events (interior events
+    /// of runs of length ≥ 2; with `max_po_run ≤ 1` there are none).
+    pub enumerate_dirs: bool,
+    /// Enumerate access kinds from the alphabet's palettes (palettes of
+    /// one, as in [`Alphabet::corpus`], leave shapes all-relaxed).
+    pub enumerate_kinds: bool,
+}
+
+impl GenConfig {
+    /// The pinned-corpus configuration at the given communication budget.
+    pub fn corpus(max_comm: usize) -> GenConfig {
+        GenConfig {
+            alphabet: Alphabet::corpus(),
+            min_comm: 2,
+            max_comm,
+            max_po_run: 1,
+            max_edges: max_comm * 2,
+            max_locs: max_comm * 2,
+            enumerate_dirs: true,
+            enumerate_kinds: true,
+        }
+    }
+}
+
+/// Exhaustively enumerates the canonical representatives of every
+/// well-formed shape within `cfg`'s budgets, sorted. The result is free of
+/// isomorphic (rotation-equivalent) duplicates by construction.
+pub fn enumerate_shapes(cfg: &GenConfig) -> Vec<ShapedCycle> {
+    let mut set: BTreeSet<ShapedCycle> = BTreeSet::new();
+    let mut edges: Vec<Edge> = Vec::new();
+    for comm in cfg.min_comm.max(1)..=cfg.max_comm {
+        build_runs(cfg, comm, &mut edges, &mut set);
+    }
+    set.into_iter().collect()
+}
+
+/// Recursively appends one `run + comm-edge` block per remaining
+/// communication slot, then expands directions and kinds.
+fn build_runs(
+    cfg: &GenConfig,
+    comm_left: usize,
+    edges: &mut Vec<Edge>,
+    set: &mut BTreeSet<ShapedCycle>,
+) {
+    if comm_left == 0 {
+        expand_shape(cfg, edges, set);
+        return;
+    }
+    // Room for the remaining communication edges?
+    if edges.len() + comm_left > cfg.max_edges {
+        return;
+    }
+    for run_len in 0..=cfg.max_po_run {
+        if edges.len() + run_len + comm_left > cfg.max_edges {
+            break;
+        }
+        build_po_run(cfg, comm_left, run_len, edges, set);
+    }
+}
+
+fn build_po_run(
+    cfg: &GenConfig,
+    comm_left: usize,
+    run_left: usize,
+    edges: &mut Vec<Edge>,
+    set: &mut BTreeSet<ShapedCycle>,
+) {
+    if run_left == 0 {
+        for &c in &cfg.alphabet.comm {
+            edges.push(c);
+            build_runs(cfg, comm_left - 1, edges, set);
+            edges.pop();
+        }
+        return;
+    }
+    for &p in &cfg.alphabet.po {
+        edges.push(p);
+        build_po_run(cfg, comm_left, run_left - 1, edges, set);
+        edges.pop();
+    }
+}
+
+/// Filters a complete edge sequence and expands the direction and kind
+/// dimensions into canonical shapes.
+fn expand_shape(cfg: &GenConfig, edges: &[Edge], set: &mut BTreeSet<ShapedCycle>) {
+    let base = ShapedCycle::new(edges.to_vec());
+    if !base.is_well_formed() || base.loc_count() > cfg.max_locs {
+        return;
+    }
+    let derived = match base.event_dirs() {
+        Ok(d) => d,
+        Err(_) => return,
+    };
+    let free: Vec<usize> = if cfg.enumerate_dirs {
+        derived
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| d.is_none().then_some(i))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Odometer over the free events' directions (2^free, usually 1).
+    for mask in 0u32..(1 << free.len()) {
+        let mut shape = base.clone();
+        for (bit, &i) in free.iter().enumerate() {
+            shape.dirs[i] = Some(if mask & (1 << bit) != 0 { Dir::R } else { Dir::W });
+        }
+        // Pinning a direction can violate the semantic rules the unpinned
+        // base passed (e.g. Dir::R on the target of a dp edge); re-check
+        // so every emitted shape honours the well-formedness guarantee.
+        if !free.is_empty() && !shape.is_well_formed() {
+            continue;
+        }
+        if cfg.enumerate_kinds {
+            // Per-event palettes by final direction (unconstrained events
+            // default to writes in the synthesiser).
+            let palettes: Vec<&[AccessKind]> = (0..shape.len())
+                .map(|i| {
+                    let dir = shape.dirs[i].or(derived[i]).unwrap_or(Dir::W);
+                    match dir {
+                        Dir::R => cfg.alphabet.read_kinds.as_slice(),
+                        Dir::W => cfg.alphabet.write_kinds.as_slice(),
+                    }
+                })
+                .collect();
+            expand_kinds(&mut shape, &palettes, 0, set);
+        } else {
+            set.insert(shape.canonical());
+        }
+    }
+}
+
+fn expand_kinds(
+    shape: &mut ShapedCycle,
+    palettes: &[&[AccessKind]],
+    event: usize,
+    set: &mut BTreeSet<ShapedCycle>,
+) {
+    if event == shape.len() {
+        set.insert(shape.canonical());
+        return;
+    }
+    for &k in palettes[event] {
+        shape.kinds[event] = k;
+        expand_kinds(shape, palettes, event + 1, set);
+    }
+    shape.kinds[event] = DEFAULT_KIND;
+}
+
+/// Enumerates and synthesises: the canonical **corpus** — every shape of
+/// [`enumerate_shapes`] that synthesises a non-vacuous litmus test, paired
+/// with that test (named `FZ+<slug>`), in canonical order.
+pub fn corpus(cfg: &GenConfig) -> Vec<(ShapedCycle, LitmusTest)> {
+    enumerate_shapes(cfg)
+        .into_iter()
+        .filter_map(|s| {
+            let name = format!("FZ+{}", s.slug());
+            s.synthesise_any(name).ok().map(|t| (s, t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_budget_contains_the_two_thread_families() {
+        let shapes = enumerate_shapes(&GenConfig::corpus(2));
+        for edges in [
+            vec![Edge::Po { sameloc: false }, Edge::Rfe, Edge::Po { sameloc: false }, Edge::Fre],
+            vec![Edge::Po { sameloc: false }, Edge::Rfe, Edge::Po { sameloc: false }, Edge::Rfe],
+            vec![Edge::Po { sameloc: false }, Edge::Fre, Edge::Po { sameloc: false }, Edge::Fre],
+        ] {
+            let canon = ShapedCycle::new(edges).canonical();
+            assert!(shapes.contains(&canon), "{}", canon.slug());
+        }
+    }
+
+    #[test]
+    fn shapes_are_canonical_sorted_and_unique() {
+        let shapes = enumerate_shapes(&GenConfig::corpus(2));
+        for w in shapes.windows(2) {
+            assert!(w[0] < w[1], "sorted + unique");
+        }
+        for s in &shapes {
+            assert_eq!(*s, s.canonical(), "{}", s.slug());
+            assert!(s.is_well_formed(), "{}", s.slug());
+        }
+    }
+
+    #[test]
+    fn corpus_drops_vacuous_shapes() {
+        let cfg = GenConfig::corpus(2);
+        let shapes = enumerate_shapes(&cfg).len();
+        let corpus = corpus(&cfg);
+        assert!(corpus.len() < shapes, "coe;coe-style shapes must drop");
+        assert!(!corpus.is_empty());
+        for (s, t) in &corpus {
+            assert_eq!(t.name, format!("FZ+{}", s.slug()));
+        }
+    }
+
+    #[test]
+    fn dir_enumeration_covers_interior_reads() {
+        // Runs of length 2 have an unconstrained interior event; with
+        // enumerate_dirs both directions must appear.
+        let cfg = GenConfig {
+            max_po_run: 2,
+            max_edges: 6,
+            ..GenConfig::corpus(2)
+        };
+        let shapes = enumerate_shapes(&cfg);
+        assert!(shapes.iter().any(|s| s.dirs.contains(&Some(Dir::R))));
+        assert!(shapes.iter().any(|s| s.dirs.contains(&Some(Dir::W))));
+        // The direction odometer must not leak shapes whose pins violate
+        // the semantic rules the unpinned base passed (a Dir::R pin on a
+        // dp-edge target used to slip through).
+        for s in &shapes {
+            assert!(s.is_well_formed(), "{}", s.slug());
+        }
+    }
+}

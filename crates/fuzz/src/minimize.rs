@@ -1,0 +1,310 @@
+//! Delta-debugging of positive differences: shrink a cycle until no single
+//! reduction preserves the property under test (1-minimality).
+//!
+//! # The minimization lattice
+//!
+//! Each step tries, in a fixed deterministic order, every candidate one
+//! reduction away from the current shape:
+//!
+//! 1. **Drop an edge** — edge `i` is removed and its endpoints merge
+//!    (event `i+1` disappears); dropping a communication edge merges two
+//!    threads. Candidates that stop being well-formed (say, fewer than two
+//!    communication edges) are skipped, which is what bottoms the lattice.
+//! 2. **Weaken an intra-thread edge** — fences descend
+//!    `sc → acq_rel → {acquire, release} → relaxed → plain po`;
+//!    dependency and control edges drop to plain po.
+//! 3. **Weaken an access kind** — RMWs become plain atomics, orderings
+//!    descend `sc → acq_rel → {acquire, release} → relaxed`. (Weakening to
+//!    non-atomic is deliberately *not* in the lattice: it introduces data
+//!    races, and racy sources are discounted, not compared.)
+//! 4. **Merge locations** — a different-location po edge becomes
+//!    same-location, shrinking the test's footprint.
+//!
+//! The first reduction whose synthesised test still satisfies the oracle is
+//! applied and the scan restarts; when a full scan fails, the shape is
+//! 1-minimal with respect to the lattice and the oracle.
+
+use crate::shape::ShapedCycle;
+use telechat::{Telechat, TestVerdict};
+use telechat_common::{Annot, Error, Result};
+use telechat_compiler::Compiler;
+use telechat_diy::{AccessKind, Edge};
+use telechat_litmus::LitmusTest;
+
+/// One applicable reduction: a human-readable description and the shape it
+/// produces (canonicalized).
+pub fn reductions(shape: &ShapedCycle) -> Vec<(String, ShapedCycle)> {
+    let n = shape.len();
+    let mut out = Vec::new();
+
+    // 1. Edge deletions.
+    for i in 0..n {
+        if n <= 2 {
+            break;
+        }
+        let mut edges = shape.edges.clone();
+        let mut kinds = shape.kinds.clone();
+        let mut dirs = shape.dirs.clone();
+        edges.remove(i);
+        let removed_event = (i + 1) % n;
+        kinds.remove(removed_event);
+        dirs.remove(removed_event);
+        if i == n - 1 {
+            // The merged event keeps event n-1's kind and leads the
+            // shortened list.
+            kinds.rotate_right(1);
+            dirs.rotate_right(1);
+        }
+        // Canonicalize before the well-formedness check: a deletion can
+        // leave the stored rotation ending on a po edge even though a
+        // comm-final rotation (what canonical() picks) exists.
+        let cand = ShapedCycle { edges, kinds, dirs }.canonical();
+        if cand.is_well_formed() {
+            out.push((format!("drop edge {i} ({})", shape.edges[i]), cand));
+        }
+    }
+
+    // 2. Edge weakenings + 4. location merges.
+    for i in 0..n {
+        for weaker in weaker_edges(shape.edges[i]) {
+            let mut cand = shape.clone();
+            cand.edges[i] = weaker;
+            let cand = cand.canonical();
+            if cand.is_well_formed() {
+                out.push((
+                    format!("weaken edge {i} ({} -> {weaker})", shape.edges[i]),
+                    cand,
+                ));
+            }
+        }
+    }
+
+    // 3. Kind weakenings.
+    for i in 0..n {
+        for weaker in weaker_kinds(shape.kinds[i]) {
+            let mut cand = shape.clone();
+            cand.kinds[i] = weaker;
+            out.push((
+                format!("weaken event {i} ({} -> {weaker})", shape.kinds[i]),
+                cand.canonical(),
+            ));
+        }
+    }
+
+    out
+}
+
+/// The ordering-weakening chain the issue names: `SeqCst → AcqRel →
+/// {Acquire, Release} → Relaxed`.
+fn weaker_orders(o: Annot) -> &'static [Annot] {
+    match o {
+        Annot::SeqCst => &[Annot::AcqRel],
+        Annot::AcqRel => &[Annot::Acquire, Annot::Release],
+        Annot::Acquire | Annot::Release => &[Annot::Relaxed],
+        _ => &[],
+    }
+}
+
+fn weaker_edges(e: Edge) -> Vec<Edge> {
+    match e {
+        Edge::Fenced { order } => {
+            let mut out: Vec<Edge> = weaker_orders(order)
+                .iter()
+                .map(|&order| Edge::Fenced { order })
+                .collect();
+            if order == Annot::Relaxed {
+                out.push(Edge::Po { sameloc: false });
+            }
+            out
+        }
+        Edge::Dp | Edge::Ctrl => vec![Edge::Po { sameloc: false }],
+        // Merging locations: the footprint-shrinking direction.
+        Edge::Po { sameloc: false } => vec![Edge::Po { sameloc: true }],
+        Edge::Po { sameloc: true } | Edge::Rfe | Edge::Fre | Edge::Coe => Vec::new(),
+    }
+}
+
+fn weaker_kinds(k: AccessKind) -> Vec<AccessKind> {
+    match k {
+        AccessKind::Rmw(o) => vec![AccessKind::Atomic(o)],
+        AccessKind::Atomic(o) => weaker_orders(o)
+            .iter()
+            .map(|&o| AccessKind::Atomic(o))
+            .collect(),
+        AccessKind::Plain => Vec::new(),
+    }
+}
+
+/// The result of a minimization run.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The 1-minimal shape.
+    pub shape: ShapedCycle,
+    /// Its synthesised witness test (named `min+<slug>`).
+    pub test: LitmusTest,
+    /// Applied reductions, in order.
+    pub trail: Vec<String>,
+    /// Oracle invocations spent.
+    pub checks: usize,
+}
+
+/// Shrinks `start` to a 1-minimal shape whose synthesised test still
+/// satisfies `oracle`.
+///
+/// The oracle is assumed deterministic (a pipeline run is), which allows
+/// two cost cuts on the dominant oracle-call budget: symmetric reductions
+/// that canonicalize to the same candidate are checked once per scan, and
+/// candidates a previous scan rejected are never re-run — a failed
+/// canonical shape cannot start passing.
+///
+/// # Errors
+///
+/// Fails if `start` does not synthesise or its test does not satisfy the
+/// oracle (nothing to minimize).
+pub fn minimize(
+    start: &ShapedCycle,
+    mut oracle: impl FnMut(&LitmusTest) -> bool,
+) -> Result<Minimized> {
+    let mut shape = start.canonical();
+    let mut test = shape.synthesise_any(format!("min+{}", shape.slug()))?;
+    let mut checks = 1usize;
+    if !oracle(&test) {
+        return Err(Error::IllFormed(
+            "minimize: the starting shape does not satisfy the oracle".into(),
+        ));
+    }
+    let mut trail = Vec::new();
+    let mut rejected: std::collections::BTreeSet<ShapedCycle> = std::collections::BTreeSet::new();
+    'shrink: loop {
+        for (desc, cand) in reductions(&shape) {
+            // Also dedups symmetric reductions within one scan: the first
+            // occurrence either passes (scan restarts) or lands here.
+            if rejected.contains(&cand) {
+                continue;
+            }
+            let Ok(cand_test) = cand.synthesise_any(format!("min+{}", cand.slug())) else {
+                continue;
+            };
+            checks += 1;
+            if oracle(&cand_test) {
+                trail.push(desc);
+                shape = cand;
+                test = cand_test;
+                continue 'shrink;
+            }
+            rejected.insert(cand);
+        }
+        break;
+    }
+    Ok(Minimized {
+        shape,
+        test,
+        trail,
+        checks,
+    })
+}
+
+/// Minimizes a positive difference: the oracle is "the Téléchat pipeline
+/// still reports [`TestVerdict::PositiveDifference`] for this test under
+/// `compiler`" (pipeline errors count as failure, so exhaustion never
+/// masquerades as a witness).
+///
+/// # Errors
+///
+/// Propagates [`minimize`] failures.
+pub fn minimize_positive(
+    tool: &Telechat,
+    compiler: &Compiler,
+    start: &ShapedCycle,
+) -> Result<Minimized> {
+    minimize(start, |test| {
+        tool.run(test, compiler)
+            .is_ok_and(|r| r.verdict == TestVerdict::PositiveDifference)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telechat_diy::Family;
+
+    fn pod() -> Edge {
+        Edge::Po { sameloc: false }
+    }
+
+    #[test]
+    fn reductions_shrink_or_weaken() {
+        let s = ShapedCycle::new(vec![
+            Edge::Fenced {
+                order: Annot::SeqCst,
+            },
+            Edge::Rfe,
+            pod(),
+            Edge::Fre,
+        ]);
+        let rs = reductions(&s);
+        assert!(!rs.is_empty());
+        for (desc, r) in &rs {
+            assert!(r.is_well_formed(), "{desc}");
+            assert!(
+                r.len() < s.len() || r != &s.canonical(),
+                "{desc} must change the shape"
+            );
+        }
+        // A fence weakening to acq_rel is among them.
+        assert!(rs.iter().any(|(d, _)| d.contains("fen[SC] -> fen[ACQREL]")), "{rs:?}");
+    }
+
+    #[test]
+    fn minimize_reaches_a_fixpoint() {
+        // Oracle: "has at least two rfe edges" — minimal witnesses are
+        // exactly the 4-edge all-relaxed LB shapes.
+        let start = ShapedCycle::new(vec![
+            Edge::Fenced {
+                order: Annot::SeqCst,
+            },
+            Edge::Rfe,
+            Edge::Dp,
+            Edge::Rfe,
+            pod(),
+            Edge::Fre,
+        ]);
+        let shape_of = |t: &LitmusTest| t.name.trim_start_matches("min+").to_string();
+        let min = minimize(&start, |t| shape_of(t).matches("rfe").count() >= 2).unwrap();
+        assert!(min.shape.len() < start.len(), "{}", min.shape.slug());
+        assert!(min.shape.edges.iter().filter(|e| **e == Edge::Rfe).count() >= 2);
+        assert!(!min.trail.is_empty());
+        assert!(min.checks > min.trail.len());
+        // 1-minimality: no reduction's test still satisfies the oracle.
+        for (desc, r) in reductions(&min.shape) {
+            if r.synthesise("x").is_ok() {
+                assert!(
+                    r.slug().matches("rfe").count() < 2,
+                    "{desc} of {} still satisfies the oracle",
+                    min.shape.slug()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_rejects_non_witnessing_starts() {
+        let start = ShapedCycle::new(Family::Mp.edges(pod()));
+        assert!(minimize(&start, |_| false).is_err());
+    }
+
+    #[test]
+    fn deletion_keeps_alignment_at_the_anchor() {
+        // Deleting the final (comm) edge merges event n-1 into event 0;
+        // the surviving kinds must stay attached to their events.
+        let mut s = ShapedCycle::new(vec![pod(), Edge::Rfe, pod(), Edge::Rfe, pod(), Edge::Rfe]);
+        s.kinds[4] = AccessKind::Atomic(Annot::SeqCst);
+        s.dirs = vec![None; 6];
+        let rs = reductions(&s);
+        for (_, r) in rs {
+            assert!(r.is_well_formed());
+            assert_eq!(r.kinds.len(), r.edges.len());
+            assert_eq!(r.dirs.len(), r.edges.len());
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The fuzzer's cycle representation: a [`ShapedCycle`] is a
+//! [`telechat_diy::CycleSpec`] stripped of its name — edges, per-event
+//! access kinds and per-event direction pins — with the structural helpers
+//! generation needs (validity checking, rotation, canonical form, slugs).
+//!
+//! # Validity
+//!
+//! A shape is *well-formed* when
+//!
+//! 1. it has at least two edges and at least **two** communication edges
+//!    (`rfe`/`fre`/`coe`) — one communication edge cannot cross threads, so
+//!    the generated `exists` clause would be trivially unobservable;
+//! 2. the per-event direction constraints (each event is the target of one
+//!    edge and the source of the next, and may be pinned by `dirs`) are
+//!    satisfiable — e.g. `rfe;rfe` is rejected because the middle event
+//!    would have to be a read and a write at once;
+//! 3. the final edge of the stored rotation is a communication edge (the
+//!    synthesiser's anchor; every cycle with a communication edge has such
+//!    a rotation, so this loses no shapes).
+//!
+//! Well-formedness is *rotation-invariant*, which is what makes canonical
+//! dedup sound. A well-formed shape can still fail to synthesise — the
+//! witness condition may be self-contradictory (a `coe`-only cycle) — and
+//! such [`telechat_common::Error::Vacuous`] shapes are dropped by the
+//! corpus builders.
+
+use std::fmt;
+use telechat_common::{Annot, Result};
+use telechat_diy::{AccessKind, CycleSpec, Dir, Edge};
+use telechat_litmus::LitmusTest;
+
+/// The default access kind for events no generator dimension touched.
+pub const DEFAULT_KIND: AccessKind = AccessKind::Atomic(Annot::Relaxed);
+
+/// A nameless cycle of candidate relaxations: the unit the fuzzer
+/// enumerates, samples, canonicalizes and minimizes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShapedCycle {
+    /// `edges[i]` connects event `i` to event `i+1 (mod n)`.
+    pub edges: Vec<Edge>,
+    /// Access kind of event `i` (always the same length as `edges`).
+    pub kinds: Vec<AccessKind>,
+    /// Explicit direction pins (always the same length as `edges`); `None`
+    /// leaves the direction to the edge constraints.
+    pub dirs: Vec<Option<Dir>>,
+}
+
+impl ShapedCycle {
+    /// A shape with all-relaxed atomics and no direction pins.
+    pub fn new(edges: Vec<Edge>) -> ShapedCycle {
+        let n = edges.len();
+        ShapedCycle {
+            edges,
+            kinds: vec![DEFAULT_KIND; n],
+            dirs: vec![None; n],
+        }
+    }
+
+    /// The shape of a hand-written [`CycleSpec`] (kinds/dirs padded).
+    pub fn from_spec(spec: &CycleSpec) -> ShapedCycle {
+        let n = spec.edges.len();
+        ShapedCycle {
+            edges: spec.edges.clone(),
+            kinds: (0..n)
+                .map(|i| spec.kinds.get(i).copied().unwrap_or(DEFAULT_KIND))
+                .collect(),
+            dirs: (0..n)
+                .map(|i| spec.dirs.get(i).copied().flatten())
+                .collect(),
+        }
+    }
+
+    /// Number of edges (= number of events).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the cycle has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Number of communication edges (= number of threads when valid).
+    pub fn comm_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.is_comm()).count()
+    }
+
+    /// Number of distinct locations the synthesiser will allocate.
+    pub fn loc_count(&self) -> usize {
+        self.edges.iter().filter(|e| e.advances_loc()).count().max(1)
+    }
+
+    /// Per-event directions implied by the edge constraints and pins:
+    /// `Ok(dirs)` with `None` for genuinely unconstrained events, or the
+    /// clash error. Delegates to the synthesiser's own inference
+    /// ([`telechat_diy::cycle::infer_dirs`]) so the two can never drift.
+    pub fn event_dirs(&self) -> Result<Vec<Option<Dir>>> {
+        telechat_diy::cycle::infer_dirs(&self.edges, &self.dirs)
+    }
+
+    /// Cheap well-formedness check (see the module docs); does not
+    /// synthesise, so vacuous-witness shapes still pass. The semantic
+    /// rules (direction consistency, dependency-into-read, degenerate
+    /// lone-advancing po) are the synthesiser's own, via
+    /// [`telechat_diy::cycle::check_semantics`].
+    pub fn is_well_formed(&self) -> bool {
+        if self.len() < 2
+            || self.comm_count() < 2
+            || !self.edges.last().is_some_and(|e| e.is_comm())
+        {
+            return false;
+        }
+        let Ok(dirs) = self.event_dirs() else {
+            return false;
+        };
+        telechat_diy::cycle::check_semantics(&self.edges, &dirs).is_ok()
+    }
+
+    /// The shape rotated so event `k` becomes event 0.
+    #[must_use]
+    pub fn rotated(&self, k: usize) -> ShapedCycle {
+        let n = self.len();
+        if n == 0 {
+            return self.clone();
+        }
+        let idx = |i: usize| (i + k) % n;
+        ShapedCycle {
+            edges: (0..n).map(|i| self.edges[idx(i)]).collect(),
+            kinds: (0..n).map(|i| self.kinds[idx(i)]).collect(),
+            dirs: (0..n).map(|i| self.dirs[idx(i)]).collect(),
+        }
+    }
+
+    /// The canonical representative of this shape's rotation class: the
+    /// least rotation (under the derived lexicographic order) whose final
+    /// edge is a communication edge.
+    ///
+    /// Rotating a cycle renames its threads, locations and write values —
+    /// event 0 moves, so the walk hands out thread/location indices and
+    /// per-location value numbers in a different order — but synthesises an
+    /// isomorphic litmus test. Canonicalizing before synthesis is therefore
+    /// exactly "never simulate an isomorphic test twice". (Reflection is
+    /// deliberately *not* a symmetry here: traversing a cycle backwards
+    /// reverses program order, and e.g. store buffering `pod;fre;pod;fre`
+    /// read backwards is load buffering `pod;rfe;pod;rfe` — a genuinely
+    /// different test that exercises different compiler transformations.)
+    #[must_use]
+    pub fn canonical(&self) -> ShapedCycle {
+        let n = self.len();
+        let mut best: Option<ShapedCycle> = None;
+        for k in 0..n {
+            if !self.edges[(k + n - 1) % n].is_comm() {
+                continue;
+            }
+            let cand = self.rotated(k);
+            if best.as_ref().is_none_or(|b| cand < *b) {
+                best = Some(cand);
+            }
+        }
+        // No communication edge at all: fall back to the least rotation so
+        // canonicalization is still total (such shapes never synthesise).
+        best.unwrap_or_else(|| {
+            (0..n.max(1))
+                .map(|k| self.rotated(k))
+                .min()
+                .unwrap_or_else(|| self.clone())
+        })
+    }
+
+    /// A compact, unique-per-shape name fragment: the edges joined by `+`
+    /// (`pod+rfe+pod+fre`), with kind and direction suffixes when any event
+    /// deviates from the defaults.
+    pub fn slug(&self) -> String {
+        let mut s = self
+            .edges
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("+");
+        if self.kinds.iter().any(|k| *k != DEFAULT_KIND) {
+            s.push_str("__");
+            let kinds: Vec<String> = self.kinds.iter().map(ToString::to_string).collect();
+            s.push_str(&kinds.join("."));
+        }
+        if self.dirs.iter().any(Option::is_some) {
+            s.push_str("__");
+            for d in &self.dirs {
+                s.push(match d {
+                    Some(Dir::R) => 'R',
+                    Some(Dir::W) => 'W',
+                    None => '-',
+                });
+            }
+        }
+        s
+    }
+
+    /// The named [`CycleSpec`] for this shape.
+    pub fn spec(&self, name: impl Into<String>) -> CycleSpec {
+        let mut spec = CycleSpec::new(name, self.edges.clone());
+        spec.kinds = self.kinds.clone();
+        spec.dirs = self.dirs.clone();
+        spec
+    }
+
+    /// Synthesises the litmus test witnessing this shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CycleSpec::synthesise`] failures (ill-formed or vacuous
+    /// shapes).
+    pub fn synthesise(&self, name: impl Into<String>) -> Result<LitmusTest> {
+        self.spec(name).synthesise()
+    }
+
+    /// Synthesises the first rotation (canonical order) that yields a
+    /// non-vacuous test.
+    ///
+    /// The synthesiser linearizes each location's writes by cutting the
+    /// cycle at event 0, and a witness that relates writes *across* the cut
+    /// can come out contradictory even though another cut of the very same
+    /// cycle is fine — satisfiability of the generated `exists` clause is
+    /// not rotation-invariant. Deduplication still happens per rotation
+    /// class (the cycle is the same relaxation scenario); this method picks
+    /// a workable cut deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last rotation's error when every cut fails.
+    pub fn synthesise_any(&self, name: impl Into<String>) -> Result<LitmusTest> {
+        let name = name.into();
+        let canon = self.canonical();
+        let n = canon.len();
+        let mut last_err = None;
+        for k in 0..n {
+            if !canon.edges[(k + n - 1) % n].is_comm() {
+                continue;
+            }
+            match canon.rotated(k).synthesise(name.clone()) {
+                Ok(test) => return Ok(test),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match last_err {
+            Some(e) => Err(e),
+            // No comm-final rotation exists (no communication edge at all,
+            // or an empty cycle): let the synthesiser produce its accurate
+            // diagnostic instead of inventing one.
+            None => canon.synthesise(name),
+        }
+    }
+}
+
+impl fmt::Display for ShapedCycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.slug())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telechat_common::Error;
+    use telechat_diy::Family;
+
+    fn pod() -> Edge {
+        Edge::Po { sameloc: false }
+    }
+
+    #[test]
+    fn family_shapes_are_well_formed() {
+        for fam in Family::ALL {
+            let s = ShapedCycle::new(fam.edges(pod()));
+            assert!(s.is_well_formed(), "{}", fam.tag());
+            assert!(s.synthesise(fam.tag()).is_ok(), "{}", fam.tag());
+        }
+    }
+
+    #[test]
+    fn rotations_share_a_canonical_form() {
+        let s = ShapedCycle::new(Family::Mp.edges(pod()));
+        let canon = s.canonical();
+        for k in 0..s.len() {
+            assert_eq!(s.rotated(k).canonical(), canon, "rotation {k}");
+        }
+        // The canonical form itself is one of the rotations and ends with
+        // a communication edge.
+        assert!(canon.edges.last().unwrap().is_comm());
+        assert!((0..s.len()).any(|k| s.rotated(k) == canon));
+    }
+
+    #[test]
+    fn kinds_rotate_with_edges() {
+        let mut s = ShapedCycle::new(Family::Mp.edges(pod()));
+        s.kinds[1] = AccessKind::Atomic(Annot::Release);
+        let r = s.rotated(2);
+        // Event 1 of the original sits at position (1 - 2) mod 4 = 3.
+        assert_eq!(r.kinds[3], AccessKind::Atomic(Annot::Release));
+        assert_eq!(r.canonical(), s.canonical());
+    }
+
+    #[test]
+    fn ill_formed_shapes_are_rejected() {
+        // rfe;rfe: middle event must read and write.
+        assert!(!ShapedCycle::new(vec![Edge::Rfe, Edge::Rfe]).is_well_formed());
+        // A single communication edge cannot cross threads.
+        assert!(!ShapedCycle::new(vec![pod(), Edge::Rfe]).is_well_formed());
+        // Stored rotation must end on a communication edge.
+        assert!(!ShapedCycle::new(vec![Edge::Rfe, pod(), Edge::Fre, pod()]).is_well_formed());
+        // …but a rotation of it is fine.
+        assert!(ShapedCycle::new(vec![pod(), Edge::Rfe, pod(), Edge::Fre]).is_well_formed());
+    }
+
+    #[test]
+    fn from_spec_round_trips_kinds_and_dirs() {
+        let spec = CycleSpec::new("x", Family::Lb.edges(pod()))
+            .kind(1, AccessKind::Rmw(Annot::Release))
+            .dir(0, Dir::R);
+        let shape = ShapedCycle::from_spec(&spec);
+        assert_eq!(shape.kinds[1], AccessKind::Rmw(Annot::Release));
+        assert_eq!(shape.kinds[0], DEFAULT_KIND);
+        assert_eq!(shape.dirs[0], Some(Dir::R));
+        assert_eq!(
+            shape.synthesise("x").unwrap(),
+            spec.synthesise().unwrap(),
+            "shape and spec agree"
+        );
+    }
+
+    #[test]
+    fn synthesise_any_reports_accurate_errors() {
+        // No communication edge: the synthesiser's vacuity diagnostic must
+        // come through, not a made-up one.
+        let err = ShapedCycle::new(vec![pod(), pod()])
+            .synthesise_any("x")
+            .unwrap_err();
+        assert!(matches!(err, Error::Vacuous(_)), "{err}");
+        assert!(err.to_string().contains("communication"), "{err}");
+        // Empty cycle.
+        let err = ShapedCycle::new(Vec::new()).synthesise_any("x").unwrap_err();
+        assert!(err.to_string().contains("two edges"), "{err}");
+    }
+
+    #[test]
+    fn slug_is_readable_and_injective_on_families() {
+        let slugs: Vec<String> = Family::ALL
+            .iter()
+            .map(|f| ShapedCycle::new(f.edges(pod())).canonical().slug())
+            .collect();
+        assert!(slugs.contains(&"pod+rfe+pod+fre".to_string()), "{slugs:?}");
+        let mut dedup = slugs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), slugs.len(), "{slugs:?}");
+    }
+}

@@ -157,7 +157,16 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>> {
             continue;
         }
         // Identifier: letters, digits, `_` and `.` (Cat set names, labels).
-        if c.is_ascii_alphabetic() || c == '_' {
+        // A leading `.` starts an identifier too when followed by a name
+        // character — compiler-style local labels (`.else1`, `.L2`), which
+        // the C11 printer emits for control-dependency branches.
+        if c.is_ascii_alphabetic()
+            || c == '_'
+            || (c == '.'
+                && bytes
+                    .get(i + 1)
+                    .is_some_and(|n| n.is_ascii_alphanumeric() || *n == '_'))
+        {
             let start = i;
             while i < bytes.len()
                 && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_' || bytes[i] == '.')
@@ -390,6 +399,14 @@ mod tests {
     fn dotted_identifiers() {
         let toks = tokenize("DMB.ISH").unwrap();
         assert_eq!(toks[0].kind, Tok::Ident("DMB.ISH".into()));
+    }
+
+    #[test]
+    fn dot_leading_labels() {
+        let toks = tokenize("goto .else1; .end2:;").unwrap();
+        assert_eq!(toks[1].kind, Tok::Ident(".else1".into()));
+        assert_eq!(toks[3].kind, Tok::Ident(".end2".into()));
+        assert_eq!(toks[4].kind, Tok::Sym(":"));
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub use telechat_common as common;
 pub use telechat_compiler as compiler;
 pub use telechat_diy as diy;
 pub use telechat_exec as exec;
+pub use telechat_fuzz as fuzz;
 pub use telechat_hardware as hardware;
 pub use telechat_isa as isa;
 pub use telechat_litmus as litmus;
