@@ -17,13 +17,13 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use telechat::{PipelineConfig, Telechat};
+use telechat::{run_campaign, CampaignSpec, PipelineConfig, Telechat};
 use telechat_bench::FIG7_LB_FENCES;
 use telechat_cat::CatModel;
 use telechat_common::{Arch, EventId, Result, XorShiftRng};
 use telechat_compiler::{Compiler, CompilerId, OptLevel, Target};
 use telechat_exec::{simulate, simulate_reference, IncrementalOrder, Relation, SimConfig};
-use telechat_litmus::parse_c11;
+use telechat_litmus::{parse_c11, LitmusTest};
 
 /// The PR 1 (BTreeSet pair-set) engine's wall-clock on this benchmark's
 /// engine shape, measured on the dev container before the bitset rewrite.
@@ -188,6 +188,66 @@ fn main() -> Result<()> {
         "  fuzz corpus (comm<={comm_budget}):   {fuzz_ms:9.1} ms  ({fuzz_tests} canonical tests, {fuzz_rate:.0}/s)"
     );
 
+    // Campaign-scale sharing: the 61-test 2-comm canonical corpus through
+    // a many-profile spec (2 arch × 2 compilers × 5 opt levels, -Og
+    // clang-unsupported), cache on vs off. The cache runs each source leg
+    // once per test and collapses identical extracted code across
+    // profiles; the two drivers must agree byte-for-byte on cells,
+    // positives and accounting (asserted here, and pinned with CacheStats
+    // invariants by tests/campaign_cache.rs). Quick mode shrinks the
+    // corpus, not the profile grid — the sharing ratio is the point.
+    let corpus_tests: Vec<LitmusTest> = telechat_fuzz::corpus(&telechat_fuzz::GenConfig::corpus(2))
+        .into_iter()
+        .map(|(_, t)| t)
+        .collect();
+    let campaign_tests: Vec<LitmusTest> = if quick {
+        corpus_tests.iter().take(12).cloned().collect()
+    } else {
+        corpus_tests
+    };
+    let spec = CampaignSpec {
+        compilers: vec![CompilerId::llvm(11), CompilerId::gcc(10)],
+        opts: vec![
+            OptLevel::O1,
+            OptLevel::O2,
+            OptLevel::O3,
+            OptLevel::Ofast,
+            OptLevel::Og,
+        ],
+        targets: vec![Target::new(Arch::AArch64), Target::new(Arch::X86_64)],
+        source_model: "rc11".into(),
+        threads: 1,
+        cache: true,
+    };
+    let mut spec_off = spec.clone();
+    spec_off.cache = false;
+    let campaign_config = PipelineConfig::default();
+    let time_campaign = |spec: &CampaignSpec| {
+        let t0 = Instant::now();
+        let result = run_campaign(&campaign_tests, spec, &campaign_config)
+            .expect("campaign must run");
+        (t0.elapsed().as_secs_f64() * 1e3, result)
+    };
+    let (cache_on_ms, on) = time_campaign(&spec);
+    let (cache_off_ms, off) = time_campaign(&spec_off);
+    let identical = on.cells == off.cells
+        && on.positive_tests == off.positive_tests
+        && on.source_tests == off.source_tests
+        && on.compiled_tests == off.compiled_tests;
+    assert!(identical, "cached campaign must be byte-identical to uncached");
+    assert_eq!(
+        on.cache.source_misses as usize, on.source_tests,
+        "one source simulation per test"
+    );
+    let campaign_profiles = on.compiled_tests.checked_div(on.source_tests).unwrap_or(0);
+    let campaign_speedup = cache_off_ms / cache_on_ms;
+    println!(
+        "  campaign {}t x {}p:    cache on {cache_on_ms:7.1} ms, off {cache_off_ms:7.1} ms  ({campaign_speedup:.1}x, {} sims shared)",
+        on.source_tests,
+        campaign_profiles,
+        on.cache.deduped_simulations()
+    );
+
     // Hand-rolled JSON (the workspace vendors no serde).
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -217,6 +277,26 @@ fn main() -> Result<()> {
     let _ = writeln!(
         json,
         "    \"baseline_note\": \"PR 1/PR 2 engines, 20k budget, dev container; cross-machine comparisons are indicative only\""
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"campaign\": {{");
+    let _ = writeln!(
+        json,
+        "    \"shape\": \"2-comm canonical corpus x (aarch64, x86-64) x (clang-11, gcc-10) x (O1,O2,O3,Ofast,Og), campaign threads 1\","
+    );
+    let _ = writeln!(json, "    \"tests\": {},", on.source_tests);
+    let _ = writeln!(json, "    \"profiles\": {campaign_profiles},");
+    let _ = writeln!(json, "    \"work_items\": {},", on.compiled_tests);
+    let _ = writeln!(json, "    \"cache_on_ms\": {cache_on_ms:.2},");
+    let _ = writeln!(json, "    \"cache_off_ms\": {cache_off_ms:.2},");
+    let _ = writeln!(json, "    \"speedup\": {campaign_speedup:.2},");
+    let _ = writeln!(json, "    \"identical\": {identical},");
+    let _ = writeln!(json, "    \"source_sims\": {},", on.cache.source_misses);
+    let _ = writeln!(json, "    \"target_sims\": {},", on.cache.target_misses);
+    let _ = writeln!(
+        json,
+        "    \"deduped_sims\": {}",
+        on.cache.deduped_simulations()
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"fuzz\": {{");

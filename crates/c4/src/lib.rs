@@ -107,11 +107,13 @@ impl C4 {
         let observed = mapping.rename_target_outcomes(&histogram.observed());
 
         // What the architecture model would have shown (for the comparison
-        // experiments; not part of C4 proper).
-        let arch_model = telechat_cat::CatModel::for_arch(target_litmus.arch)?;
+        // experiments; not part of C4 proper). The model comes from the
+        // process-wide registry: parsed and staged once, shared with the
+        // Téléchat pipelines.
+        let arch_model = telechat_cat::ModelRegistry::global().for_arch(target_litmus.arch)?;
         let model_outcomes = telechat_exec::simulate(
             &target_litmus,
-            &arch_model,
+            &*arch_model,
             &telechat_exec::SimConfig::default(),
         )?;
         let model_renamed = mapping.rename_target_outcomes(&model_outcomes.outcomes);
@@ -120,7 +122,7 @@ impl C4 {
         let unobserved_model_outcomes = model_renamed.difference(&observed);
         Ok(C4Report {
             violations: cmp.positive.clone(),
-            source_outcomes: cmp.source,
+            source_outcomes: (*cmp.source).clone(),
             observed_outcomes: observed,
             histogram,
             unobserved_model_outcomes,

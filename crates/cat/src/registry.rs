@@ -4,6 +4,9 @@ use crate::ast::CatProgram;
 use crate::eval::{run_program, run_program_with_base, EnvBase};
 use crate::parse::parse_cat;
 use crate::staged::{StagedPlan, StagedState};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use telechat_common::{Arch, Error, EventId, Result};
 use telechat_exec::{ComboChecker, ConsistencyModel, Execution, PartialVerdict, Verdict};
 
@@ -263,6 +266,85 @@ impl ComboChecker for CatComboChecker<'_> {
     }
 }
 
+/// A process-wide cache of compiled models: each bundled `.cat` program is
+/// parsed, monotone-classified and staged **once**, then shared as an
+/// `Arc<CatModel>` by every pipeline, campaign worker and thread that asks
+/// for it. `CatModel::bundled` recompiles from source on every call
+/// (parse, monotone analysis, staged-plan compilation), which a campaign
+/// driver would otherwise pay once per `(test, profile)` work item.
+///
+/// ```
+/// use telechat_cat::ModelRegistry;
+/// let a = ModelRegistry::global().bundled("rc11")?;
+/// let b = ModelRegistry::global().bundled("rc11")?;
+/// assert!(std::sync::Arc::ptr_eq(&a, &b));
+/// # Ok::<(), telechat_common::Error>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: Mutex<HashMap<String, Arc<CatModel>>>,
+    loads: AtomicU64,
+    compiles: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// An empty registry (tests use private instances so the compile
+    /// counters are isolated; production code shares [`ModelRegistry::global`]).
+    pub fn new() -> ModelRegistry {
+        ModelRegistry::default()
+    }
+
+    /// The process-wide registry.
+    pub fn global() -> &'static ModelRegistry {
+        static GLOBAL: OnceLock<ModelRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(ModelRegistry::new)
+    }
+
+    /// The bundled model `name`, compiled at most once per registry.
+    ///
+    /// The per-name compile runs under the registry lock, so concurrent
+    /// first loads of the same model still compile exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Unknown names and parse failures are reported as [`Error::Model`]
+    /// (errors are not cached — they are cheap and carry no staged plan).
+    pub fn bundled(&self, name: &str) -> Result<Arc<CatModel>> {
+        let stem = name.strip_suffix(".cat").unwrap_or(name);
+        self.loads.fetch_add(1, Ordering::Relaxed);
+        let mut models = self.models.lock().expect("model registry lock");
+        if let Some(m) = models.get(stem) {
+            return Ok(m.clone());
+        }
+        let model = Arc::new(CatModel::bundled(stem)?);
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        models.insert(stem.to_string(), model.clone());
+        Ok(model)
+    }
+
+    /// The default model for an architecture, via the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load failures.
+    pub fn for_arch(&self, arch: Arch) -> Result<Arc<CatModel>> {
+        self.bundled(arch.default_model())
+    }
+
+    /// Number of lookups served.
+    pub fn loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Number of *successful* parse + monotone-classify + stage
+    /// compilations — exactly one per distinct model name ever cached.
+    /// Failed lookups (unknown names, parse errors) are not counted: they
+    /// cache nothing and are retried on the next call.
+    pub fn compiles(&self) -> u64 {
+        self.compiles.load(Ordering::Relaxed)
+    }
+}
+
 /// A conjunction of models: allowed iff allowed by *all* parts (used by the
 /// simulated-hardware runner to intersect an architecture model with a chip
 /// strength profile).
@@ -421,5 +503,56 @@ mod tests {
     #[test]
     fn cat_suffix_accepted() {
         assert_eq!(CatModel::bundled("rc11.cat").unwrap().model_name(), "rc11");
+    }
+
+    #[test]
+    fn registry_compiles_each_model_once() {
+        let reg = ModelRegistry::new();
+        let a = reg.bundled("rc11").unwrap();
+        let b = reg.bundled("rc11").unwrap();
+        let c = reg.bundled("rc11.cat").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same compiled model shared");
+        assert!(Arc::ptr_eq(&a, &c), ".cat suffix resolves to the same entry");
+        assert_eq!(reg.compiles(), 1, "one parse/stage per distinct model");
+        assert_eq!(reg.loads(), 3);
+
+        let d = reg.for_arch(Arch::AArch64).unwrap();
+        let e = reg.for_arch(Arch::AArch64).unwrap();
+        assert!(Arc::ptr_eq(&d, &e));
+        assert_eq!(reg.compiles(), 2);
+    }
+
+    #[test]
+    fn registry_concurrent_first_load_compiles_once() {
+        let reg = Arc::new(ModelRegistry::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || reg.bundled("aarch64").unwrap())
+            })
+            .collect();
+        let models: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for m in &models[1..] {
+            assert!(Arc::ptr_eq(&models[0], m));
+        }
+        assert_eq!(reg.compiles(), 1);
+        assert_eq!(reg.loads(), 8);
+    }
+
+    #[test]
+    fn registry_errors_on_unknown_models() {
+        let reg = ModelRegistry::new();
+        assert!(reg.bundled("bogus").is_err());
+        assert!(reg.bundled("bogus").is_err());
+        assert_eq!(reg.compiles(), 0, "failed attempts cache (and count) nothing");
+        assert!(reg.bundled("rc11").is_ok());
+        assert_eq!(reg.compiles(), 1, "exactly one per distinct cached model");
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = ModelRegistry::global().bundled("sc").unwrap();
+        let b = ModelRegistry::global().bundled("sc").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 }

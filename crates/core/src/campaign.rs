@@ -7,10 +7,11 @@
 //! iterators) and generative fuzz streams (`telechat-fuzz`), so a campaign
 //! can consume an unbounded generator without materialising it first.
 
+use crate::cache::{CacheStats, SimCache};
 use crate::pipeline::{PipelineConfig, Telechat, TestVerdict};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use telechat_common::{Arch, Result};
 use telechat_compiler::{Compiler, CompilerFamily, CompilerId, OptLevel, Target};
 use telechat_litmus::LitmusTest;
@@ -58,6 +59,15 @@ pub struct CampaignSpec {
     /// across tests than within one); a single-worker campaign keeps the
     /// configured per-simulation parallelism.
     pub threads: usize,
+    /// Enable the campaign-scale sharing layer ([`SimCache`]): the source
+    /// leg of each test simulates once per campaign instead of once per
+    /// profile, identical extracted code collapses to one target
+    /// simulation, and `l2c::prepare` runs once per test. Results are
+    /// cache-invariant — cells, positive list and accounting are
+    /// byte-identical to the uncached driver (pinned by
+    /// `tests/campaign_cache.rs`); [`CampaignResult::cache`] reports the
+    /// traffic.
+    pub cache: bool,
 }
 
 impl CampaignSpec {
@@ -72,6 +82,7 @@ impl CampaignSpec {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            cache: true,
         }
     }
 }
@@ -112,6 +123,11 @@ pub struct CampaignResult {
     /// `(test name, compiler profile)` of every positive difference, sorted
     /// — the work-list a fuzzing campaign hands to the minimizer.
     pub positive_tests: Vec<(String, String)>,
+    /// Sharing-layer traffic (all zero for an uncached campaign). Every
+    /// counter is a pure function of the work list — independent of worker
+    /// count and scheduling — because the cache computes each distinct key
+    /// exactly once.
+    pub cache: CacheStats,
 }
 
 impl CampaignResult {
@@ -186,7 +202,11 @@ impl fmt::Display for CampaignResult {
             self.compiled_tests,
             self.total_positive(),
             self.total_negative()
-        )
+        )?;
+        if self.cache.any() {
+            writeln!(f, "cache: {}", self.cache)?;
+        }
+        Ok(())
     }
 }
 
@@ -207,13 +227,29 @@ pub fn run_campaign(
 
 /// Runs the campaign over a streaming [`TestSource`]: every supplied test ×
 /// every applicable profile, sharded over `spec.threads` workers. The work
-/// item is one `(test, profile)` pair — a pulled test fans out into one
-/// item per profile before the next test is drawn, so parallelism is not
-/// capped by the test count even for few-tests × many-profiles sweeps.
+/// item is one `(test, profile)` pair, so parallelism is not capped by the
+/// test count even for few-tests × many-profiles sweeps.
 ///
-/// The result is byte-identical for every worker count: tests are pulled
-/// from the source in a fixed order, cells aggregate by profile key, and
-/// the positive-difference list is sorted before returning.
+/// **Hit-aware scheduling.** With the sharing layer on (`spec.cache`), a
+/// pulled test fans out *source-leg-first*: one **lead** item (the first
+/// profile) enters the frontier immediately and its worker warms the
+/// test's prepare + source-leg cache entries, while other workers pull
+/// *other tests'* leads — so with `N` workers, `N` distinct source legs
+/// simulate concurrently instead of `N` workers racing (or blocking) on
+/// one. As soon as the warm-up completes — before the lead's own
+/// compile/extract/target work — the **follower** items (the remaining
+/// profiles, now pure source-cache hits) are released at the *front* of
+/// the frontier so they run while the entry is hot, their compiles in
+/// parallel with the lead's. Workers that find the source dry while leads
+/// are still warming *wait* for the follower release instead of exiting,
+/// so the tail of a campaign — and a few-tests × many-profiles sweep —
+/// stays parallel. Without the cache, every profile is queued immediately
+/// (the sharing-free behaviour).
+///
+/// The result is byte-identical for every worker count and for cache
+/// on/off: tests are pulled from the source in a fixed order, cells
+/// aggregate by profile key, the positive-difference list is sorted before
+/// returning, and cached legs replay deterministic results (and errors).
 ///
 /// # Errors
 ///
@@ -230,7 +266,14 @@ pub fn run_campaign_source(
     if spec.threads > 1 {
         config.sim.threads = 1;
     }
-    let tool = Telechat::with_config(&spec.source_model, config)?;
+    let cache = spec.cache.then(SimCache::shared);
+    let tool = {
+        let tool = Telechat::with_config(&spec.source_model, config)?;
+        match &cache {
+            Some(c) => tool.with_cache(c.clone()),
+            None => tool,
+        }
+    };
 
     // Applicable compiler profiles; each test runs under all of them.
     let mut profiles = Vec::new();
@@ -251,14 +294,53 @@ pub fn run_campaign_source(
         return Ok(CampaignResult::default());
     }
 
+    /// One frontier entry: a test, the profile index to run, and — for a
+    /// lead item — the follower profile indices to release on completion.
+    type Item = (std::sync::Arc<LitmusTest>, usize, Vec<usize>);
+
+    /// The shared frontier: queued (test, profile) items, refilled from
+    /// the source one test at a time when it runs dry, plus the count of
+    /// lead items whose followers have not been released yet — while that
+    /// is non-zero an empty frontier does **not** mean the campaign is
+    /// done, so idle workers wait (on `idle`) instead of exiting.
+    struct Frontier<'a> {
+        source: &'a mut dyn TestSource,
+        queue: std::collections::VecDeque<Item>,
+        outstanding_leads: usize,
+    }
+
+    /// Releases a lead's followers when dropped, so they are published
+    /// (and waiting workers woken) even if the lead's pipeline run panics
+    /// — otherwise idle workers would wait forever on a decrement that
+    /// never comes and the panic would become a hang.
+    struct FollowerRelease<'a, 'b> {
+        frontier: &'a Mutex<Frontier<'b>>,
+        idle: &'a Condvar,
+        test: std::sync::Arc<LitmusTest>,
+        followers: Vec<usize>,
+    }
+
+    impl Drop for FollowerRelease<'_, '_> {
+        fn drop(&mut self) {
+            let mut fr = self.frontier.lock().expect("campaign frontier lock");
+            // Cache-hot: ahead of queued leads (front of the deque, in the
+            // original profile order).
+            for p in self.followers.drain(..).rev() {
+                fr.queue.push_front((self.test.clone(), p, Vec::new()));
+            }
+            fr.outstanding_leads -= 1;
+            drop(fr);
+            self.idle.notify_all();
+        }
+    }
+
     let result = Mutex::new(CampaignResult::default());
-    // The shared frontier: queued (test, profile) pairs, refilled from the
-    // source one test at a time when it runs dry.
-    type Frontier<'a> = (
-        &'a mut dyn TestSource,
-        std::collections::VecDeque<(std::sync::Arc<LitmusTest>, usize)>,
-    );
-    let frontier: Mutex<Frontier> = Mutex::new((source, std::collections::VecDeque::new()));
+    let frontier: Mutex<Frontier> = Mutex::new(Frontier {
+        source,
+        queue: std::collections::VecDeque::new(),
+        outstanding_leads: 0,
+    });
+    let idle = Condvar::new();
 
     std::thread::scope(|scope| {
         for _ in 0..spec.threads.max(1) {
@@ -266,42 +348,81 @@ pub fn run_campaign_source(
                 let item = {
                     let mut fr = frontier.lock().expect("campaign frontier lock");
                     loop {
-                        if let Some(item) = fr.1.pop_front() {
+                        if let Some(item) = fr.queue.pop_front() {
                             break Some(item);
                         }
-                        let Some(test) = fr.0.next_test() else {
-                            break None;
-                        };
-                        {
-                            let mut res = result.lock().expect("campaign lock");
-                            res.source_tests += 1;
-                            res.compiled_tests += profiles.len();
-                        }
-                        let test = std::sync::Arc::new(test);
-                        for p in 0..profiles.len() {
-                            fr.1.push_back((test.clone(), p));
+                        match fr.source.next_test() {
+                            Some(test) => {
+                                {
+                                    let mut res = result.lock().expect("campaign lock");
+                                    res.source_tests += 1;
+                                    res.compiled_tests += profiles.len();
+                                }
+                                let test = std::sync::Arc::new(test);
+                                if cache.is_some() && profiles.len() > 1 {
+                                    // Source-leg-first: queue the lead,
+                                    // defer the followers until the lead
+                                    // has populated the shared entries.
+                                    fr.outstanding_leads += 1;
+                                    fr.queue.push_back((
+                                        test,
+                                        0,
+                                        (1..profiles.len()).collect(),
+                                    ));
+                                } else {
+                                    for p in 0..profiles.len() {
+                                        fr.queue.push_back((test.clone(), p, Vec::new()));
+                                    }
+                                }
+                            }
+                            // Source dry: finished only once every lead's
+                            // followers have been released; otherwise wait
+                            // for a release to refill the queue.
+                            None if fr.outstanding_leads == 0 => break None,
+                            None => {
+                                fr = idle.wait(fr).expect("campaign frontier wait");
+                            }
                         }
                     }
                 };
-                let Some((test, p)) = item else { return };
+                let Some((test, p, followers)) = item else { return };
+                if !followers.is_empty() {
+                    let release = FollowerRelease {
+                        frontier: &frontier,
+                        idle: &idle,
+                        test: test.clone(),
+                        followers,
+                    };
+                    // Populate the shared prepare + source-leg entries,
+                    // then release the followers *before* this worker's
+                    // own profile-specific compile/extract/target work —
+                    // followers hit the source cache immediately and run
+                    // their compiles in parallel with the lead's. A
+                    // simulation error is cached too and replays
+                    // identically for every item, so it is ignored here.
+                    let _ = tool.simulate_source(&test);
+                    drop(release);
+                }
                 let compiler = &profiles[p];
                 let key = (compiler.target.arch, compiler.id.family, compiler.opt);
                 let outcome = tool.run(&test, compiler);
-                let mut res = result.lock().expect("campaign lock");
-                let cell = res.cells.entry(key).or_default();
-                match outcome {
-                    Ok(report) => match report.verdict {
-                        TestVerdict::Pass => cell.pass += 1,
-                        TestVerdict::NegativeDifference => cell.negative += 1,
-                        TestVerdict::PositiveDifference => {
-                            cell.positive += 1;
-                            res.positive_tests
-                                .push((test.name.clone(), compiler.profile_name()));
-                        }
-                        TestVerdict::RuntimeCrash => cell.crashed += 1,
-                        TestVerdict::SourceRace => cell.racy += 1,
-                    },
-                    Err(_) => cell.errors += 1,
+                {
+                    let mut res = result.lock().expect("campaign lock");
+                    let cell = res.cells.entry(key).or_default();
+                    match outcome {
+                        Ok(report) => match report.verdict {
+                            TestVerdict::Pass => cell.pass += 1,
+                            TestVerdict::NegativeDifference => cell.negative += 1,
+                            TestVerdict::PositiveDifference => {
+                                cell.positive += 1;
+                                res.positive_tests
+                                    .push((test.name.clone(), compiler.profile_name()));
+                            }
+                            TestVerdict::RuntimeCrash => cell.crashed += 1,
+                            TestVerdict::SourceRace => cell.racy += 1,
+                        },
+                        Err(_) => cell.errors += 1,
+                    }
                 }
             });
         }
@@ -309,5 +430,8 @@ pub fn run_campaign_source(
 
     let mut result = result.into_inner().expect("campaign lock");
     result.positive_tests.sort();
+    if let Some(cache) = &cache {
+        result.cache = cache.stats();
+    }
     Ok(result)
 }

@@ -23,6 +23,26 @@ pub struct PreparedSource {
     pub c_source: String,
     /// `(thread, local register, global location)` persistence triples.
     pub augmented: Vec<(ThreadId, Reg, Loc)>,
+    /// The test's observed keys (augmentation changes neither the
+    /// condition nor the observed list, so prepared and source agree) —
+    /// computed once here so the per-profile extraction, which builds one
+    /// `StateMapping` per compiler, stops recomputing them.
+    pub observed_keys: BTreeSet<StateKey>,
+    /// Lazily memoized canonical fingerprint of the prepared test (see
+    /// [`PreparedSource::test_fingerprint`]).
+    fingerprint: std::sync::OnceLock<u128>,
+}
+
+impl PreparedSource {
+    /// The prepared test's canonical content fingerprint
+    /// (`LitmusTest::fingerprint`), rendered at most once per
+    /// `PreparedSource` — the campaign cache probes it once per (test,
+    /// profile) work item, and the `Arc`-shared instance answers every
+    /// probe after the first from the memo. Uncached pipelines never ask,
+    /// so they never pay for the render.
+    pub fn test_fingerprint(&self) -> u128 {
+        *self.fingerprint.get_or_init(|| self.test.fingerprint())
+    }
 }
 
 /// Prepares a source test for compilation.
@@ -59,10 +79,13 @@ pub fn prepare(test: &LitmusTest, augment: bool) -> PreparedSource {
         }
     }
     let c_source = print::to_c_program(&out);
+    let observed_keys = out.observed_keys();
     PreparedSource {
         test: out,
         c_source,
         augmented,
+        observed_keys,
+        fingerprint: std::sync::OnceLock::new(),
     }
 }
 

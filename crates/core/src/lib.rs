@@ -55,6 +55,7 @@
 //! # Ok::<(), telechat_common::Error>(())
 //! ```
 
+pub mod cache;
 pub mod campaign;
 pub mod l2c;
 pub mod mapping;
@@ -62,20 +63,22 @@ pub mod mcompare;
 pub mod pipeline;
 pub mod s2l;
 
+pub use cache::{CacheStats, SimCache, SourceLeg};
 pub use campaign::{
     run_campaign, run_campaign_source, CampaignCell, CampaignResult, CampaignSpec, TestSource,
 };
 pub use l2c::{prepare, PreparedSource};
 pub use mapping::StateMapping;
-pub use mcompare::{mcompare, Comparison};
+pub use mcompare::{mcompare, mcompare_shared, Comparison, SourceObservables};
 pub use pipeline::{PipelineConfig, Telechat, TestReport, TestVerdict};
 pub use s2l::{object_to_asm_test, object_to_litmus, S2lOptions};
 
 /// One-stop imports for examples and binaries.
 pub mod prelude {
     pub use crate::{
-        mcompare, prepare, run_campaign, run_campaign_source, CampaignResult, CampaignSpec,
-        PipelineConfig, StateMapping, Telechat, TestReport, TestVerdict, TestSource,
+        mcompare, prepare, run_campaign, run_campaign_source, CacheStats, CampaignResult,
+        CampaignSpec, PipelineConfig, SimCache, StateMapping, Telechat, TestReport, TestVerdict,
+        TestSource,
     };
     pub use telechat_cat::CatModel;
     pub use telechat_compiler::{Compiler, CompilerFamily, CompilerId, OptLevel, Target};

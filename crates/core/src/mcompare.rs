@@ -10,7 +10,34 @@
 
 use crate::mapping::StateMapping;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use telechat_common::{OutcomeSet, StateKey};
+
+/// The profile-invariant half of a comparison: the keys the source
+/// outcomes observe, and the source set restricted to them. Computing this
+/// depends only on the source simulation, so the campaign cache shares one
+/// instance (cheap `Arc` clones) across every profile's `mcompare` of the
+/// same test instead of re-restricting the set ~50 times.
+#[derive(Debug, Clone)]
+pub struct SourceObservables {
+    /// Union of the keys the source outcomes mention — the comparison is
+    /// restricted to these on both sides.
+    pub keys: Arc<BTreeSet<StateKey>>,
+    /// The source outcomes restricted to `keys`.
+    pub outcomes: Arc<OutcomeSet>,
+}
+
+impl SourceObservables {
+    /// Restricts `source_outcomes` to its own observable keys.
+    pub fn of(source_outcomes: &OutcomeSet) -> SourceObservables {
+        let keys: BTreeSet<StateKey> = source_outcomes.iter().flat_map(|o| o.keys()).collect();
+        let outcomes = source_outcomes.restrict(&keys);
+        SourceObservables {
+            keys: Arc::new(keys),
+            outcomes: Arc::new(outcomes),
+        }
+    }
+}
 
 /// The result of comparing source and compiled outcome sets.
 #[derive(Debug, Clone)]
@@ -21,8 +48,9 @@ pub struct Comparison {
     /// Source outcomes the compiled test never produces:
     /// `outcomes_S \ outcomes_C`.
     pub negative: OutcomeSet,
-    /// The source outcomes, restricted to the compared keys.
-    pub source: OutcomeSet,
+    /// The source outcomes, restricted to the compared keys — shared (not
+    /// deep-copied) with the cached source leg when one exists.
+    pub source: Arc<OutcomeSet>,
     /// The compiled outcomes after renaming and restriction.
     pub target: OutcomeSet,
 }
@@ -50,18 +78,27 @@ pub fn mcompare(
     target_outcomes: &OutcomeSet,
     mapping: &StateMapping,
 ) -> Comparison {
+    mcompare_shared(
+        &SourceObservables::of(source_outcomes),
+        target_outcomes,
+        mapping,
+    )
+}
+
+/// [`mcompare`] with the profile-invariant source half precomputed (and
+/// typically cache-shared across profiles): only the target-side renaming,
+/// restriction and set differences run per call.
+pub fn mcompare_shared(
+    source: &SourceObservables,
+    target_outcomes: &OutcomeSet,
+    mapping: &StateMapping,
+) -> Comparison {
     let renamed = mapping.rename_target_outcomes(target_outcomes);
-    // Compare over the keys the source outcomes actually observe.
-    let keys: BTreeSet<StateKey> = source_outcomes
-        .iter()
-        .flat_map(|o| o.keys())
-        .collect();
-    let source = source_outcomes.restrict(&keys);
-    let target = renamed.restrict(&keys);
+    let target = renamed.restrict(&source.keys);
     Comparison {
-        positive: target.difference(&source),
-        negative: source.difference(&target),
-        source,
+        positive: target.difference(&source.outcomes),
+        negative: source.outcomes.difference(&target),
+        source: source.outcomes.clone(),
         target,
     }
 }

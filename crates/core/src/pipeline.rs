@@ -1,12 +1,25 @@
 //! The Téléchat test environment `exec_tv` (paper Fig. 5): generate →
 //! prepare → compile → extract → simulate ×2 → compare.
+//!
+//! # Campaign-scale sharing
+//!
+//! A pipeline can carry a [`SimCache`] ([`Telechat::with_cache`]): the
+//! prepare stage and both simulation legs are then served content-addressed
+//! — the source leg runs once per test regardless of how many compiler
+//! profiles consume it, and target legs collapse whenever different
+//! profiles extract identical code. Source models resolve through the
+//! process-wide `telechat_cat::ModelRegistry`, so each bundled `.cat`
+//! program is parsed and staged once per process rather than once per
+//! `Telechat`/run.
 
+use crate::cache::{SimCache, SourceLeg};
 use crate::l2c::{self, PreparedSource};
 use crate::mapping::StateMapping;
-use crate::mcompare::{mcompare, Comparison};
+use crate::mcompare::{mcompare_shared, Comparison, SourceObservables};
 use crate::s2l::{self, S2lOptions};
+use std::sync::Arc;
 use std::time::Duration;
-use telechat_cat::CatModel;
+use telechat_cat::{CatModel, ModelRegistry};
 use telechat_common::{Error, OutcomeSet, Result};
 use telechat_compiler::{CompileOutput, Compiler};
 use telechat_exec::{simulate, SimConfig, SimResult};
@@ -66,15 +79,18 @@ pub struct TestReport {
     pub profile: String,
     /// The verdict.
     pub verdict: TestVerdict,
-    /// Source-model outcomes.
-    pub source_outcomes: OutcomeSet,
+    /// Source-model outcomes. `Arc`-shared with the campaign cache (and
+    /// with every other profile's report of the same test) rather than
+    /// deep-copied per profile.
+    pub source_outcomes: Arc<OutcomeSet>,
     /// Compiled-test outcomes, renamed into source observables.
     pub target_outcomes: OutcomeSet,
     /// The positive differences, if any.
     pub positive: OutcomeSet,
     /// The negative differences, if any.
     pub negative: OutcomeSet,
-    /// Wall-clock time of the source simulation.
+    /// Wall-clock time of the source simulation (of the original
+    /// computation when the result was cache-shared).
     pub source_time: Duration,
     /// Wall-clock time of the compiled-test simulation — the number the
     /// paper's Claim 5 reports in milliseconds.
@@ -98,9 +114,11 @@ pub struct TestReport {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Telechat {
-    source_model: CatModel,
+    source_model: Arc<CatModel>,
     /// The pipeline configuration (public for tweaking between runs).
     pub config: PipelineConfig,
+    /// The optional campaign-scale sharing layer.
+    cache: Option<Arc<SimCache>>,
 }
 
 impl Telechat {
@@ -110,10 +128,7 @@ impl Telechat {
     ///
     /// Fails if the model is not bundled.
     pub fn new(source_model: &str) -> Result<Telechat> {
-        Ok(Telechat {
-            source_model: CatModel::bundled(source_model)?,
-            config: PipelineConfig::default(),
-        })
+        Telechat::with_config(source_model, PipelineConfig::default())
     }
 
     /// A pipeline with explicit configuration.
@@ -123,9 +138,23 @@ impl Telechat {
     /// Fails if the model is not bundled.
     pub fn with_config(source_model: &str, config: PipelineConfig) -> Result<Telechat> {
         Ok(Telechat {
-            source_model: CatModel::bundled(source_model)?,
+            source_model: ModelRegistry::global().bundled(source_model)?,
             config,
+            cache: None,
         })
+    }
+
+    /// Attaches a simulation cache: subsequent runs share prepare and
+    /// simulation legs with every other pipeline holding the same cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<SimCache>) -> Telechat {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<SimCache>> {
+        self.cache.as_ref()
     }
 
     /// The source model in use.
@@ -133,8 +162,52 @@ impl Telechat {
         &self.source_model
     }
 
+    /// The prepared source for `test` under this pipeline's augmentation
+    /// setting — served from the cache (once per distinct test content)
+    /// when one is attached.
+    fn prepare(&self, test: &LitmusTest) -> Arc<PreparedSource> {
+        match &self.cache {
+            Some(cache) => cache.prepared(test, self.config.augment),
+            None => Arc::new(l2c::prepare(test, self.config.augment)),
+        }
+    }
+
+    /// The source leg for an already prepared test: simulation result plus
+    /// the profile-invariant comparison half.
+    fn source_leg(&self, prepared: &PreparedSource) -> Result<SourceLeg> {
+        match &self.cache {
+            Some(cache) => cache.source_leg(prepared, &self.source_model, &self.config.sim),
+            None => {
+                let result = simulate(&prepared.test, &*self.source_model, &self.config.sim)?;
+                Ok(SourceLeg {
+                    observables: SourceObservables::of(&result.outcomes),
+                    result: Arc::new(result),
+                })
+            }
+        }
+    }
+
+    /// The architecture model for a target litmus test, honouring the
+    /// `target_model` override — always resolved through the process-wide
+    /// model registry.
+    fn target_model(&self, target: &LitmusTest) -> Result<Arc<CatModel>> {
+        match &self.config.target_model {
+            Some(name) => ModelRegistry::global().bundled(name),
+            None => ModelRegistry::global().for_arch(target.arch),
+        }
+    }
+
+    /// The target leg: the compiled test simulated under `model`.
+    fn target_leg(&self, target: &LitmusTest, model: &CatModel) -> Result<Arc<SimResult>> {
+        match &self.cache {
+            Some(cache) => cache.target_leg(target, model, &self.config.sim),
+            None => Ok(Arc::new(simulate(target, model, &self.config.sim)?)),
+        }
+    }
+
     /// Steps 2–4 of Fig. 5 without simulation: prepare, compile, extract.
-    /// Exposed separately so benchmarks can time the stages.
+    /// Exposed separately so benchmarks can time the stages. With a cache
+    /// attached, prepare runs once per test instead of once per profile.
     ///
     /// # Errors
     ///
@@ -143,11 +216,11 @@ impl Telechat {
         &self,
         test: &LitmusTest,
         compiler: &Compiler,
-    ) -> Result<(PreparedSource, CompileOutput, StateMapping, AsmTest, LitmusTest)> {
-        let prepared = l2c::prepare(test, self.config.augment);
+    ) -> Result<(Arc<PreparedSource>, CompileOutput, StateMapping, AsmTest, LitmusTest)> {
+        let prepared = self.prepare(test);
         let compiled = compiler.compile(&prepared.test)?;
         let mapping = StateMapping::build(
-            prepared.test.observed_keys(),
+            prepared.observed_keys.iter().cloned(),
             &prepared.augmented,
             &compiled.reg_map,
         );
@@ -171,28 +244,26 @@ impl Telechat {
     ///
     /// Returns simulation exhaustion ([`Error::Timeout`]/[`Error::Budget`])
     /// — the behaviour unoptimised tests exhibit — and compilation or
-    /// extraction failures.
+    /// extraction failures. Cached legs replay the original error for
+    /// every profile, exactly as the uncached driver fails each one.
     pub fn run(&self, test: &LitmusTest, compiler: &Compiler) -> Result<TestReport> {
         let (prepared, _compiled, mapping, asm, target_litmus) =
             self.extract(test, compiler)?;
 
-        // Step 3: simulate the source under the source model.
-        let source_result: SimResult =
-            simulate(&prepared.test, &self.source_model, &self.config.sim)?;
+        // Step 3: simulate the source under the source model (shared
+        // across profiles through the cache).
+        let source: SourceLeg = self.source_leg(&prepared)?;
 
-        // Step 4: simulate the compiled test under the architecture model.
-        let target_model = match &self.config.target_model {
-            Some(name) => CatModel::bundled(name)?,
-            None => CatModel::for_arch(target_litmus.arch)?,
-        };
-        let target_result: SimResult =
-            simulate(&target_litmus, &target_model, &self.config.sim)?;
+        // Step 4: simulate the compiled test under the architecture model
+        // (shared across profiles that extracted identical code).
+        let target_model = self.target_model(&target_litmus)?;
+        let target_result: Arc<SimResult> = self.target_leg(&target_litmus, &target_model)?;
 
-        // Step 5: mcompare.
+        // Step 5: mcompare — only the target half runs per profile.
         let cmp: Comparison =
-            mcompare(&source_result.outcomes, &target_result.outcomes, &mapping);
+            mcompare_shared(&source.observables, &target_result.outcomes, &mapping);
 
-        let verdict = if source_result.has_flag("race") {
+        let verdict = if source.result.has_flag("race") {
             TestVerdict::SourceRace
         } else if target_result.crashed {
             TestVerdict::RuntimeCrash
@@ -208,25 +279,26 @@ impl Telechat {
             test_name: test.name.clone(),
             profile: compiler.profile_name(),
             verdict,
-            source_outcomes: cmp.source.clone(),
-            target_outcomes: cmp.target.clone(),
+            source_outcomes: cmp.source,
+            target_outcomes: cmp.target,
             positive: cmp.positive,
             negative: cmp.negative,
-            source_time: source_result.elapsed,
+            source_time: source.result.elapsed,
             target_time: target_result.elapsed,
             asm_test: asm,
         })
     }
 
     /// Simulates only the source side (used by baselines like C4 that
-    /// share Téléchat's source leg).
+    /// share Téléchat's source leg) — through the cache when one is
+    /// attached, so it also shares with [`Telechat::run`].
     ///
     /// # Errors
     ///
     /// Propagates simulation failures.
-    pub fn simulate_source(&self, test: &LitmusTest) -> Result<SimResult> {
-        let prepared = l2c::prepare(test, self.config.augment);
-        simulate(&prepared.test, &self.source_model, &self.config.sim)
+    pub fn simulate_source(&self, test: &LitmusTest) -> Result<Arc<SimResult>> {
+        let prepared = self.prepare(test);
+        self.source_leg(&prepared).map(|leg| leg.result)
     }
 }
 

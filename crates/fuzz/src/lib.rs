@@ -37,7 +37,10 @@ pub mod shape;
 pub mod source;
 
 pub use enumerate::{corpus, enumerate_shapes, Alphabet, GenConfig};
-pub use minimize::{minimize, minimize_positive, reductions, Minimized};
+pub use minimize::{
+    minimize, minimize_cached, minimize_positive, minimize_positive_cached, minimize_worklist,
+    reductions, MinimizeCache, Minimized,
+};
 pub use sample::{SampleConfig, Sampler};
 pub use shape::{ShapedCycle, DEFAULT_KIND};
 pub use source::{fnv1a64, FuzzConfig, FuzzSource};

@@ -184,6 +184,7 @@ fn campaign_spec(o: &Opts) -> CampaignSpec {
         targets: vec![Target::new(o.arch)],
         source_model: o.source_model.clone(),
         threads: o.threads,
+        cache: true,
     }
 }
 

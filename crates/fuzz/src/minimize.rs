@@ -25,6 +25,9 @@
 //! 1-minimal with respect to the lattice and the oracle.
 
 use crate::shape::ShapedCycle;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use telechat::{Telechat, TestVerdict};
 use telechat_common::{Annot, Error, Result};
 use telechat_compiler::Compiler;
@@ -135,6 +138,83 @@ fn weaker_kinds(k: AccessKind) -> Vec<AccessKind> {
     }
 }
 
+/// A campaign-scale memo of oracle verdicts, keyed by `(oracle key,
+/// canonical shape)`.
+///
+/// `minimize` previously memoized *rejected* candidates per call; the memo
+/// now lives in a value callers can hoist across a whole `positive_tests`
+/// work-list ([`minimize_worklist`]): witnesses that reduce through the
+/// same canonical shapes — common, since reductions funnel toward a small
+/// set of minimal cores — share their (deterministic) pipeline runs
+/// instead of re-running them per witness. Positive verdicts memoize too:
+/// a shape one witness reduced through legitimately passes again when
+/// another witness reaches it.
+///
+/// The `oracle key` names the oracle (for the pipeline oracle: compiler
+/// profile + source model); shapes judged by different oracles never
+/// alias. Thread-safe — a parallel minimization sweep can share one cache.
+#[derive(Debug, Default)]
+pub struct MinimizeCache {
+    /// Oracle key → (canonical shape → verdict). Two levels so a probe
+    /// borrows the key and shape (no per-probe allocations) and the
+    /// (long) oracle key is stored once per oracle, not once per verdict.
+    verdicts: Mutex<BTreeMap<String, BTreeMap<ShapedCycle, bool>>>,
+    hits: AtomicUsize,
+}
+
+impl MinimizeCache {
+    /// An empty cache.
+    pub fn new() -> MinimizeCache {
+        MinimizeCache::default()
+    }
+
+    /// Oracle runs avoided so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Distinct (oracle, shape) verdicts stored.
+    pub fn len(&self) -> usize {
+        self.verdicts
+            .lock()
+            .expect("minimize cache lock")
+            .values()
+            .map(BTreeMap::len)
+            .sum()
+    }
+
+    /// No verdicts stored yet?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, key: &str, shape: &ShapedCycle) -> Option<bool> {
+        let verdict = self
+            .verdicts
+            .lock()
+            .expect("minimize cache lock")
+            .get(key)
+            .and_then(|m| m.get(shape))
+            .copied();
+        if verdict.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        verdict
+    }
+
+    fn store(&self, key: &str, shape: ShapedCycle, verdict: bool) {
+        let mut verdicts = self.verdicts.lock().expect("minimize cache lock");
+        match verdicts.get_mut(key) {
+            Some(m) => {
+                m.insert(shape, verdict);
+            }
+            None => {
+                verdicts.insert(key.to_string(), BTreeMap::from([(shape, verdict)]));
+            }
+        }
+    }
+}
+
 /// The result of a minimization run.
 #[derive(Debug, Clone)]
 pub struct Minimized {
@@ -149,13 +229,7 @@ pub struct Minimized {
 }
 
 /// Shrinks `start` to a 1-minimal shape whose synthesised test still
-/// satisfies `oracle`.
-///
-/// The oracle is assumed deterministic (a pipeline run is), which allows
-/// two cost cuts on the dominant oracle-call budget: symmetric reductions
-/// that canonicalize to the same candidate are checked once per scan, and
-/// candidates a previous scan rejected are never re-run — a failed
-/// canonical shape cannot start passing.
+/// satisfies `oracle`, with a private single-run memo.
 ///
 /// # Errors
 ///
@@ -163,36 +237,61 @@ pub struct Minimized {
 /// oracle (nothing to minimize).
 pub fn minimize(
     start: &ShapedCycle,
-    mut oracle: impl FnMut(&LitmusTest) -> bool,
+    oracle: impl FnMut(&LitmusTest) -> bool,
 ) -> Result<Minimized> {
+    minimize_cached(start, "", oracle, &MinimizeCache::new())
+}
+
+/// [`minimize`] against a hoisted, shareable verdict memo.
+///
+/// The oracle is assumed deterministic (a pipeline run is), which allows
+/// three cost cuts on the dominant oracle-call budget: symmetric
+/// reductions that canonicalize to the same candidate are checked once,
+/// rejected canonical shapes are never re-run — a failed shape cannot
+/// start passing — and, with a shared cache, verdicts carry over to every
+/// later witness minimized under the same `oracle_key` (see
+/// [`MinimizeCache`]). `checks` counts the oracle invocations actually
+/// performed by *this* run; cache-served verdicts are not checks.
+///
+/// # Errors
+///
+/// Fails if `start` does not synthesise or its test does not satisfy the
+/// oracle (nothing to minimize).
+pub fn minimize_cached(
+    start: &ShapedCycle,
+    oracle_key: &str,
+    mut oracle: impl FnMut(&LitmusTest) -> bool,
+    cache: &MinimizeCache,
+) -> Result<Minimized> {
+    let mut checks = 0usize;
+    let mut judge = |shape: &ShapedCycle, test: &LitmusTest| -> bool {
+        if let Some(verdict) = cache.lookup(oracle_key, shape) {
+            return verdict;
+        }
+        checks += 1;
+        let verdict = oracle(test);
+        cache.store(oracle_key, shape.clone(), verdict);
+        verdict
+    };
     let mut shape = start.canonical();
     let mut test = shape.synthesise_any(format!("min+{}", shape.slug()))?;
-    let mut checks = 1usize;
-    if !oracle(&test) {
+    if !judge(&shape, &test) {
         return Err(Error::IllFormed(
             "minimize: the starting shape does not satisfy the oracle".into(),
         ));
     }
     let mut trail = Vec::new();
-    let mut rejected: std::collections::BTreeSet<ShapedCycle> = std::collections::BTreeSet::new();
     'shrink: loop {
         for (desc, cand) in reductions(&shape) {
-            // Also dedups symmetric reductions within one scan: the first
-            // occurrence either passes (scan restarts) or lands here.
-            if rejected.contains(&cand) {
-                continue;
-            }
             let Ok(cand_test) = cand.synthesise_any(format!("min+{}", cand.slug())) else {
                 continue;
             };
-            checks += 1;
-            if oracle(&cand_test) {
+            if judge(&cand, &cand_test) {
                 trail.push(desc);
                 shape = cand;
                 test = cand_test;
                 continue 'shrink;
             }
-            rejected.insert(cand);
         }
         break;
     }
@@ -217,10 +316,64 @@ pub fn minimize_positive(
     compiler: &Compiler,
     start: &ShapedCycle,
 ) -> Result<Minimized> {
-    minimize(start, |test| {
-        tool.run(test, compiler)
-            .is_ok_and(|r| r.verdict == TestVerdict::PositiveDifference)
-    })
+    minimize_positive_cached(tool, compiler, start, &MinimizeCache::new())
+}
+
+/// [`minimize_positive`] against a hoisted [`MinimizeCache`]: the memo key
+/// is the compiler profile plus everything about the tool that can change
+/// a verdict — source model, augmentation/optimisation switches, target
+/// model override and the budget-relevant simulation limits — so a
+/// work-list of positives under one profile shares every pipeline
+/// verdict, while tools with different budgets or models never alias
+/// (a budget-exhaustion `false` from a fast tool must not be replayed as
+/// a thorough tool's verdict).
+///
+/// # Errors
+///
+/// Propagates [`minimize`] failures.
+pub fn minimize_positive_cached(
+    tool: &Telechat,
+    compiler: &Compiler,
+    start: &ShapedCycle,
+    cache: &MinimizeCache,
+) -> Result<Minimized> {
+    let cfg = &tool.config;
+    let key = format!(
+        "{}@{}+aug:{}+opt:{}+tm:{}+sim:{:016x}",
+        compiler.profile_name(),
+        tool.source_model().model_name(),
+        cfg.augment,
+        cfg.optimise,
+        cfg.target_model.as_deref().unwrap_or("-"),
+        telechat::cache::sim_config_fingerprint(&cfg.sim),
+    );
+    minimize_cached(
+        start,
+        &key,
+        |test| {
+            tool.run(test, compiler)
+                .is_ok_and(|r| r.verdict == TestVerdict::PositiveDifference)
+        },
+        cache,
+    )
+}
+
+/// Minimizes a whole work-list of positive differences (the
+/// `CampaignResult::positive_tests` follow-up) through one shared
+/// [`MinimizeCache`]: witnesses that reduce through the same canonical
+/// shapes amortise their pipeline runs. Returns one result per start, in
+/// order, plus the cache for inspection.
+pub fn minimize_worklist(
+    tool: &Telechat,
+    compiler: &Compiler,
+    starts: &[ShapedCycle],
+) -> (Vec<Result<Minimized>>, MinimizeCache) {
+    let cache = MinimizeCache::new();
+    let results = starts
+        .iter()
+        .map(|s| minimize_positive_cached(tool, compiler, s, &cache))
+        .collect();
+    (results, cache)
 }
 
 #[cfg(test)]
@@ -291,6 +444,80 @@ mod tests {
     fn minimize_rejects_non_witnessing_starts() {
         let start = ShapedCycle::new(Family::Mp.edges(pod()));
         assert!(minimize(&start, |_| false).is_err());
+    }
+
+    #[test]
+    fn shared_cache_amortises_across_witnesses() {
+        // Witness `b` is witness `a` with one access strengthened to SC:
+        // its kind-weakening chain descends back into `a`'s explored shape
+        // space, so the second minimization must spend strictly fewer
+        // oracle runs with the shared memo than it does fresh.
+        let shape_of = |t: &LitmusTest| t.name.trim_start_matches("min+").to_string();
+        let oracle = |t: &LitmusTest| shape_of(t).matches("rfe").count() >= 2;
+        let a = ShapedCycle::new(vec![Edge::Dp, Edge::Rfe, Edge::Dp, Edge::Rfe]);
+        let mut b = a.clone();
+        b.kinds[0] = AccessKind::Atomic(Annot::SeqCst);
+
+        let fresh_b = minimize(&b, oracle).unwrap();
+
+        let cache = MinimizeCache::new();
+        let shared_a = minimize_cached(&a, "k", oracle, &cache).unwrap();
+        assert!(cache.len() >= shared_a.checks, "every check is memoized");
+        let hits_before = cache.hits();
+        let shared_b = minimize_cached(&b, "k", oracle, &cache).unwrap();
+        assert_eq!(shared_b.shape, fresh_b.shape, "caching is invisible");
+        assert_eq!(shared_b.trail, fresh_b.trail);
+        assert!(
+            shared_b.checks < fresh_b.checks,
+            "shared memo must save oracle runs: {} vs {}",
+            shared_b.checks,
+            fresh_b.checks
+        );
+        assert!(cache.hits() > hits_before, "cross-witness hits recorded");
+
+        // The extreme (and common) case: a witness whose canonical shape
+        // was already minimized replays entirely from the memo.
+        let replay = minimize_cached(&a, "k", oracle, &cache).unwrap();
+        assert_eq!(replay.checks, 0, "fully served from the shared cache");
+        assert_eq!(replay.shape, shared_a.shape);
+        assert_eq!(replay.trail, shared_a.trail);
+    }
+
+    #[test]
+    fn cache_keys_isolate_oracles() {
+        let cache = MinimizeCache::new();
+        let start = ShapedCycle::new(vec![pod(), Edge::Rfe, pod(), Edge::Rfe]);
+        // Oracle 1 accepts everything; its verdicts must not leak into the
+        // all-rejecting oracle 2.
+        let min = minimize_cached(&start, "yes", |_| true, &cache).unwrap();
+        assert!(min.shape.len() <= start.len());
+        assert!(minimize_cached(&start, "no", |_| false, &cache).is_err());
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn worklist_shares_one_cache() {
+        // A campaign work-list with a strengthened variant and a repeated
+        // witness, through a shared cache (pure-shape oracle — no pipeline
+        // runs needed to exercise the sharing).
+        let base = ShapedCycle::new(vec![Edge::Dp, Edge::Rfe, Edge::Dp, Edge::Rfe]);
+        let mut strong = base.clone();
+        strong.kinds[0] = AccessKind::Atomic(Annot::SeqCst);
+        let starts = [base.clone(), strong, base];
+        let cache = MinimizeCache::new();
+        let shape_of = |t: &LitmusTest| t.name.trim_start_matches("min+").to_string();
+        let oracle = |t: &LitmusTest| shape_of(t).matches("rfe").count() >= 2;
+        let results: Vec<_> = starts
+            .iter()
+            .map(|s| minimize_cached(s, "k", oracle, &cache))
+            .collect();
+        assert!(results.iter().all(Result::is_ok));
+        assert!(cache.hits() > 0, "later witnesses reused verdicts");
+        assert_eq!(
+            results[2].as_ref().unwrap().checks,
+            0,
+            "the repeated witness replays entirely from the memo"
+        );
     }
 
     #[test]

@@ -10,15 +10,11 @@ use std::collections::BTreeSet;
 use std::collections::VecDeque;
 use telechat_litmus::LitmusTest;
 
-/// FNV-1a over bytes, chained: the corpus/stream fingerprint.
-pub fn fnv1a64(hash: u64, bytes: &[u8]) -> u64 {
-    let mut h = if hash == 0 { 0xcbf2_9ce4_8422_2325 } else { hash };
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a over bytes, chained: the corpus/stream fingerprint. The single
+/// definition now lives with the canonical-fingerprint machinery in
+/// `telechat_litmus::fingerprint` (the campaign cache keys reuse it);
+/// re-exported here for the existing fuzz callers.
+pub use telechat_litmus::fingerprint::fnv1a64;
 
 /// Configuration of a [`FuzzSource`] stream.
 #[derive(Debug, Clone)]

@@ -123,6 +123,33 @@ impl AsmTest {
         self.threads.iter().map(AsmCode::len).sum()
     }
 
+    /// The stable content fingerprint of this assembly test: the
+    /// assembly-level counterpart of `LitmusTest::fingerprint` — a 128-bit
+    /// hash over every semantically relevant field (architecture, location
+    /// declarations with width/`const`/atomicity, register initialisation,
+    /// instruction text, condition, sorted observed keys) and *not* the
+    /// profile-carrying name, so extractions that emit identical code get
+    /// identical fingerprints. The campaign cache itself keys target legs
+    /// on the *lowered* litmus test's fingerprint (the object `simulate`
+    /// consumes); this is the same identity one layer up, for asm-level
+    /// dedup and logging. The skeleton/condition rendering is shared with
+    /// `telechat_litmus::fingerprint` so the two layers cannot drift.
+    pub fn fingerprint(&self) -> u128 {
+        use std::fmt::Write as _;
+        use telechat_litmus::fingerprint as fp;
+        let mut s = String::new();
+        fp::write_skeleton(&mut s, self.arch(), &self.locs, &self.reg_init);
+        for (tid, code) in self.threads.iter().enumerate() {
+            let _ = write!(s, "P{tid}{{");
+            for line in code.lines() {
+                let _ = write!(s, "{line};");
+            }
+            let _ = write!(s, "}}");
+        }
+        fp::write_condition(&mut s, &self.condition, &self.observed);
+        fp::fingerprint128(s.as_bytes())
+    }
+
     /// Lowers to a unified-IR litmus test simulable by `telechat-exec`.
     ///
     /// # Errors
@@ -250,6 +277,21 @@ mod tests {
         pub fn bundled(name: &str) -> telechat_cat::CatModel {
             telechat_cat::CatModel::bundled(name).unwrap()
         }
+    }
+
+    #[test]
+    fn fingerprint_ignores_name_but_not_code() {
+        let a = lb_a64();
+        let mut renamed = a.clone();
+        renamed.name = "clang-11-O3-AArch64.LB".into();
+        assert_eq!(a.fingerprint(), renamed.fingerprint());
+
+        let mut changed = a.clone();
+        match &mut changed.threads[0] {
+            AsmCode::A64(v) => v.pop(),
+            _ => unreachable!(),
+        };
+        assert_ne!(a.fingerprint(), changed.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,184 @@
+//! Stable canonical fingerprints for litmus tests.
+//!
+//! The campaign-scale sharing layer (`telechat::SimCache`) keys cached
+//! simulation legs by *content*, not by name: two tests that differ only in
+//! their `name` field — e.g. the same extracted assembly reached through
+//! `clang-11-O2` and `clang-11-O3` — must collapse to one cache entry, so
+//! the fingerprint covers every semantically relevant field (architecture,
+//! location declarations including width/`const`/atomicity, register
+//! initialisation, thread bodies, condition, observed keys) and *excludes*
+//! the name.
+//!
+//! The hash is the same chained FNV-1a the fuzz subsystem uses for corpus
+//! fingerprints ([`fnv1a64`] — `telechat_fuzz` re-exports this definition),
+//! widened to 128 bits by folding the canonical form with two independent
+//! bases so accidental collisions cannot silently alias cache entries.
+
+use crate::test::LitmusTest;
+use std::fmt::Write as _;
+
+/// FNV-1a over bytes, chained: pass the previous hash (or `0` to start —
+/// `0` selects the standard offset basis) and the next chunk of bytes.
+pub fn fnv1a64(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = if hash == 0 { 0xcbf2_9ce4_8422_2325 } else { hash };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Second-lane offset basis for the 128-bit widening: an arbitrary odd
+/// constant distinct from the FNV offset basis (the golden-ratio mix word).
+const LANE2_BASIS: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Folds a canonical byte string into a 128-bit fingerprint: two chained
+/// FNV-1a lanes with independent bases.
+pub fn fingerprint128(canonical: &[u8]) -> u128 {
+    let lo = fnv1a64(0, canonical);
+    let hi = fnv1a64(LANE2_BASIS, canonical);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+/// Writes the canonical rendering of a test's *skeleton* — architecture,
+/// location declarations (every attribute) and register initialisation.
+/// Shared by [`canonical_form`] and the assembly-level fingerprint in
+/// `telechat-isa`, so the two can never drift when a field is added.
+pub fn write_skeleton(
+    s: &mut String,
+    arch: telechat_common::Arch,
+    locs: &[crate::LocDecl],
+    reg_init: &[(telechat_common::ThreadId, telechat_common::Reg, telechat_common::Val)],
+) {
+    let _ = write!(s, "arch {arch};");
+    for d in locs {
+        let _ = write!(
+            s,
+            "loc {}{}w{} {}={};",
+            if d.readonly { "const " } else { "" },
+            if d.atomic { "atomic " } else { "" },
+            d.width,
+            d.loc,
+            d.init
+        );
+    }
+    for (t, r, v) in reg_init {
+        let _ = write!(s, "reg {}:{r}={v};", t.0);
+    }
+}
+
+/// Writes the canonical rendering of a test's final-state interface: the
+/// condition and the (sorted — outcome recording treats them as a set)
+/// observed keys. The other half of [`write_skeleton`].
+pub fn write_condition(
+    s: &mut String,
+    condition: &crate::Condition,
+    observed: &[telechat_common::StateKey],
+) {
+    let _ = write!(s, "cond {condition};");
+    let mut observed: Vec<String> = observed.iter().map(|k| k.to_string()).collect();
+    observed.sort();
+    for k in observed {
+        let _ = write!(s, "obs {k};");
+    }
+}
+
+/// The canonical (name-independent) rendering of a test. Every field that
+/// can influence simulation is written in a fixed order; the test name is
+/// deliberately omitted (see the module docs).
+pub fn canonical_form(test: &LitmusTest) -> String {
+    let mut s = String::new();
+    write_skeleton(&mut s, test.arch, &test.locs, &test.reg_init);
+    for (tid, body) in test.threads.iter().enumerate() {
+        let _ = write!(s, "P{tid}{{");
+        for i in body {
+            let _ = write!(s, "{i};");
+        }
+        let _ = write!(s, "}}");
+    }
+    write_condition(&mut s, &test.condition, &test.observed);
+    s
+}
+
+impl LitmusTest {
+    /// The stable content fingerprint of this test: a 128-bit hash of
+    /// [`canonical_form`]. Equal for tests that differ only in name;
+    /// distinct (up to 128-bit collision) for tests that differ anywhere
+    /// else.
+    pub fn fingerprint(&self) -> u128 {
+        fingerprint128(canonical_form(self).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_c11;
+
+    const SB: &str = r#"
+C11 "SB"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P0:r0=0 /\ P1:r0=0)
+"#;
+
+    #[test]
+    fn name_does_not_affect_the_fingerprint() {
+        let a = parse_c11(SB).unwrap();
+        let mut b = a.clone();
+        b.name = "clang-11-O3-AArch64.SB".into();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn body_changes_change_the_fingerprint() {
+        let a = parse_c11(SB).unwrap();
+        let mut b = a.clone();
+        b.threads[0].pop();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+
+        let mut c = a.clone();
+        c.locs[0].init = 7i64.into();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+
+        let mut d = a.clone();
+        d.locs[0].readonly = true;
+        assert_ne!(a.fingerprint(), d.fingerprint());
+
+        let mut e = a.clone();
+        e.locs[0].atomic = false;
+        assert_ne!(a.fingerprint(), e.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_calls() {
+        let a = parse_c11(SB).unwrap();
+        assert_eq!(a.fingerprint(), a.fingerprint());
+        assert_ne!(a.fingerprint(), 0);
+    }
+
+    #[test]
+    fn observed_keys_are_order_insensitive() {
+        use telechat_common::StateKey;
+        let mut a = parse_c11(SB).unwrap();
+        let mut b = a.clone();
+        a.observed = vec![StateKey::loc("x"), StateKey::loc("y")];
+        b.observed = vec![StateKey::loc("y"), StateKey::loc("x")];
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fnv_lanes_are_independent() {
+        let a = fingerprint128(b"hello");
+        assert_ne!((a >> 64) as u64, a as u64);
+        assert_eq!(fnv1a64(0, b"ab"), fnv1a64(fnv1a64(0, b"a"), b"b"));
+    }
+}

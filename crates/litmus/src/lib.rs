@@ -35,6 +35,7 @@
 
 pub mod builder;
 pub mod cond;
+pub mod fingerprint;
 pub mod ir;
 pub mod lex;
 pub mod parse_c;
@@ -43,6 +44,7 @@ pub mod test;
 
 pub use builder::{TestBuilder, ThreadBuilder};
 pub use cond::{Condition, Prop, Quantifier};
+pub use fingerprint::{canonical_form, fingerprint128, fnv1a64};
 pub use ir::{AddrExpr, BinOp, Expr, Instr, RmwOp};
 pub use parse_c::parse_c11;
 pub use test::{LitmusTest, LocDecl, Width};

@@ -25,6 +25,7 @@ fn main() -> Result<(), Error> {
             .collect(),
         source_model: "rc11".into(),
         threads: 4,
+        cache: true,
     };
     let config = PipelineConfig {
         sim: SimConfig::fast(),

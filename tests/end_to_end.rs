@@ -186,6 +186,7 @@ fn campaign_on_tiny_suite_is_deterministic() {
         targets: vec![Target::new(Arch::AArch64), Target::new(Arch::X86_64)],
         source_model: "rc11".into(),
         threads: 2,
+        cache: true,
     };
     let config = PipelineConfig::default();
     let a = run_campaign(&suite, &spec, &config).unwrap();

@@ -188,6 +188,7 @@ fn fixed_seed_campaigns_are_byte_identical_across_thread_counts() {
             targets: vec![telechat_compiler::Target::new(Arch::X86_64)],
             source_model: "rc11".into(),
             threads: campaign_threads,
+            cache: true,
         };
         let mut config = PipelineConfig::default();
         config.sim.threads = sim_threads;
