@@ -227,6 +227,58 @@ exists (P0:r0=0 /\ P1:r0=0)
         assert!(!observable(SB_SC_FENCES, "rc11"), "SC fences forbid SB");
     }
 
+    /// Three same-value relaxed writers plus a reader: one trace combo
+    /// whose swap-DFS splits mid-coherence under intra-combo work
+    /// stealing, so stolen frontiers replay (and absorb) forced co
+    /// positions inside the staged Cat session.
+    const WIDE_CO: &str = r#"
+C11 "WIDE-CO"
+{ x = 0; }
+P0 (atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+P2 (atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+P3 (atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P3:r0=1)
+"#;
+
+    #[test]
+    fn work_stealing_staged_pins() {
+        // Intra-combo work stealing under the staged (interpreted,
+        // incremental) Cat engine: byte-identical results at every thread
+        // count, and no extra full toposort traversals versus sequential —
+        // stolen frontiers re-seed via snapshot/absorb, not re-traversal.
+        for model in ["aarch64", "rc11"] {
+            let m = CatModel::bundled(model).unwrap();
+            for src in [SB_RLX, LB_RLX, WIDE_CO] {
+                let test = parse_c11(src).unwrap();
+                let base_cfg = SimConfig::default().keeping_executions();
+                let base = simulate(&test, &m, &base_cfg).unwrap();
+                for threads in [2, 4] {
+                    let cfg = base_cfg.clone().with_threads(threads);
+                    let r = simulate(&test, &m, &cfg).unwrap();
+                    let tag = format!("{} under {model} threads={threads}", test.name);
+                    assert_eq!(r.outcomes, base.outcomes, "{tag}");
+                    assert_eq!(r.candidates, base.candidates, "{tag}");
+                    assert_eq!(r.allowed, base.allowed, "{tag}");
+                    assert_eq!(r.flags, base.flags, "{tag}");
+                    assert_eq!(r.executions, base.executions, "{tag}");
+                    assert_eq!(
+                        r.full_traversals, base.full_traversals,
+                        "{tag}: stealing must not add full traversals"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn rc11_flags_races_on_plain_accesses() {
         let racy = r#"

@@ -170,7 +170,7 @@ impl ConsistencyModel for CatModel {
     fn combo_checker<'a>(&'a self, skeleton: &Execution) -> Box<dyn ComboChecker + 'a> {
         let session = if self.staged && self.plan.prunes() {
             match StagedState::new(&self.plan, skeleton) {
-                Ok(state) => CatSession::Staged(state),
+                Ok(state) => CatSession::Staged(Box::new(state)),
                 Err(e) => panic!(
                     "model `{}` failed to stage: {e}",
                     self.model_name()
@@ -192,7 +192,7 @@ impl ConsistencyModel for CatModel {
 /// The two session flavours of [`CatComboChecker`].
 enum CatSession<'a> {
     /// Incremental per-edge state over the staged plan.
-    Staged(StagedState<'a>),
+    Staged(Box<StagedState<'a>>),
     /// Leaf-only evaluation over cached combo-constant bindings.
     Plain { base: EnvBase },
 }
@@ -262,6 +262,12 @@ impl ComboChecker for CatComboChecker<'_> {
     fn pop_co(&mut self, _partial: &Execution, preds: &[EventId], w: EventId) {
         if let CatSession::Staged(state) = &mut self.session {
             state.pop_co(preds, w);
+        }
+    }
+
+    fn absorb(&mut self) {
+        if let CatSession::Staged(state) = &mut self.session {
+            state.absorb();
         }
     }
 }
@@ -472,6 +478,12 @@ impl ComboChecker for IntersectionChecker<'_> {
     fn pop_co(&mut self, partial: &Execution, preds: &[EventId], w: EventId) {
         for c in &mut self.parts {
             c.pop_co(partial, preds, w);
+        }
+    }
+
+    fn absorb(&mut self) {
+        for c in &mut self.parts {
+            c.absorb();
         }
     }
 }

@@ -600,6 +600,13 @@ pub struct StagedState<'a> {
     /// combo is forbidden.
     const_violated: bool,
     frames: Vec<Vec<ConsFrame>>,
+    /// Popped frames, recycled by [`StagedState::advance`] so the steady-
+    /// state DFS allocates no delta vectors: the engine calls
+    /// `edge_diff_into` once per push and reuses these buffers.
+    spare_frames: Vec<Vec<ConsFrame>>,
+    /// Reusable `fr` edge-delta buffer for [`StagedState::push_co`] /
+    /// [`StagedState::pop_co`].
+    fr_scratch: Vec<(EventId, EventId)>,
     nodes: usize,
 }
 
@@ -619,6 +626,8 @@ impl<'a> StagedState<'a> {
             const_results: vec![false; plan.const_slots],
             const_violated: false,
             frames: Vec::new(),
+            spare_frames: Vec::new(),
+            fr_scratch: Vec::new(),
             nodes,
         };
         for sym in [state.rf, state.co, state.fr] {
@@ -751,10 +760,12 @@ impl<'a> StagedState<'a> {
     /// The `fr` delta a coherence-chain extension induces: `fr(r, w)` for
     /// exactly the reads `r` justified by some predecessor (minus the
     /// identity-guard of [`Execution::fr`], which cannot trigger here as
-    /// reads and writes are distinct events).
-    fn fr_delta(&self, preds: &[EventId], w: EventId) -> Vec<(EventId, EventId)> {
+    /// reads and writes are distinct events). Filled into `out` (cleared
+    /// first) — the buffer is the session's `fr_scratch`, so the steady-
+    /// state DFS pushes no allocations here.
+    fn fill_fr_delta(&self, preds: &[EventId], w: EventId, out: &mut Vec<(EventId, EventId)>) {
+        out.clear();
         let rf = self.rel_ref(self.rf);
-        let mut out = Vec::new();
         for &p in preds {
             for r in rf.successors(p) {
                 if r != w {
@@ -762,7 +773,6 @@ impl<'a> StagedState<'a> {
                 }
             }
         }
-        out
     }
 
     /// The engine assigned `rf(w, r)`.
@@ -782,9 +792,12 @@ impl<'a> StagedState<'a> {
         for &p in preds {
             self.rel_mut(self.co).insert(p, w);
         }
-        for (r, w) in self.fr_delta(preds, w) {
+        let mut scratch = std::mem::take(&mut self.fr_scratch);
+        self.fill_fr_delta(preds, w, &mut scratch);
+        for &(r, w) in &scratch {
             self.rel_mut(self.fr).insert(r, w);
         }
+        self.fr_scratch = scratch;
         self.advance()
     }
 
@@ -793,12 +806,41 @@ impl<'a> StagedState<'a> {
         self.undo_frame();
         // rf is stable throughout the coherence stage, so the delta
         // recomputes to exactly the pushed set.
-        for (r, w) in self.fr_delta(preds, w) {
+        let mut scratch = std::mem::take(&mut self.fr_scratch);
+        self.fill_fr_delta(preds, w, &mut scratch);
+        for &(r, w) in &scratch {
             self.rel_mut(self.fr).remove(r, w);
         }
+        self.fr_scratch = scratch;
         for &p in preds {
             self.rel_mut(self.co).remove(p, w);
         }
+    }
+
+    /// Folds every frame pushed so far into the session baseline: staged
+    /// constraint values keep their current contents, each acyclicity
+    /// order snapshots its reachability state (journals cleared via
+    /// [`IncrementalOrder::snapshot`]), and the undo stack empties —
+    /// subsequent pops can only unwind pushes made *after* this call.
+    ///
+    /// The work-stealing enumerator calls this when a worker adopts a
+    /// stolen DFS frontier: the replayed forced prefix becomes the
+    /// session's permanent split-point baseline and is never popped.
+    pub fn absorb(&mut self) {
+        for con in &mut self.cons {
+            if let ConState::Acyclic { order, .. } = con {
+                order.snapshot();
+            }
+        }
+        let mut frames = std::mem::take(&mut self.frames);
+        for frame in &mut frames {
+            for cf in frame.iter_mut() {
+                cf.delta.clear();
+                cf.elems.clear();
+                cf.selfloops = 0;
+            }
+        }
+        self.spare_frames.append(&mut frames);
     }
 
     /// Re-evaluates the rf/co-dependent frontier and applies each staged
@@ -821,16 +863,19 @@ impl<'a> StagedState<'a> {
             };
             self.adopt(taken, bindings, false);
         }
-        let mut frame = Vec::with_capacity(self.cons.len());
+        // Recycle a popped frame's buffers (cleared on pop/absorb): the
+        // steady-state DFS push allocates no delta vectors.
+        let mut frame = self.spare_frames.pop().unwrap_or_default();
+        frame.resize_with(self.cons.len(), ConsFrame::default);
         for (i, c) in plan.constraints.iter().enumerate() {
             let new = {
                 let env = Env::view(&self.base, &self.slots);
                 eval_expr(&c.expr, &env)?
             };
-            let mut cf = ConsFrame::default();
+            let cf = &mut frame[i];
             match (&mut self.cons[i], new) {
                 (ConState::Acyclic { value, order }, CatValue::Rel(new)) => {
-                    cf.delta = new.edge_diff(value);
+                    new.edge_diff_into(value, &mut cf.delta);
                     order.begin();
                     for &(a, b) in &cf.delta {
                         order.add_edge(a, b);
@@ -838,17 +883,17 @@ impl<'a> StagedState<'a> {
                     *value = new;
                 }
                 (ConState::Irreflexive { value, selfloops }, CatValue::Rel(new)) => {
-                    cf.delta = new.edge_diff(value);
+                    new.edge_diff_into(value, &mut cf.delta);
                     cf.selfloops = cf.delta.iter().filter(|(a, b)| a == b).count() as u32;
                     *selfloops += cf.selfloops;
                     *value = new;
                 }
                 (ConState::Empty { value }, CatValue::Rel(new)) => {
-                    cf.delta = new.edge_diff(value);
+                    new.edge_diff_into(value, &mut cf.delta);
                     *value = new;
                 }
                 (ConState::EmptySet { value }, CatValue::Set(new)) => {
-                    cf.elems = new.iter().filter(|e| !value.contains(*e)).collect();
+                    cf.elems.extend(new.iter().filter(|e| !value.contains(*e)));
                     *value = new;
                 }
                 _ => {
@@ -858,40 +903,43 @@ impl<'a> StagedState<'a> {
                     )))
                 }
             }
-            frame.push(cf);
         }
         self.frames.push(frame);
         Ok(self.verdict())
     }
 
     fn undo_frame(&mut self) {
-        let frame = self.frames.pop().expect("pop without matching push");
-        for (con, cf) in self.cons.iter_mut().zip(frame) {
+        let mut frame = self.frames.pop().expect("pop without matching push");
+        for (con, cf) in self.cons.iter_mut().zip(frame.iter_mut()) {
             match con {
                 ConState::Acyclic { value, order } => {
                     order.undo();
-                    for (a, b) in cf.delta {
+                    for &(a, b) in &cf.delta {
                         value.remove(a, b);
                     }
                 }
                 ConState::Irreflexive { value, selfloops } => {
                     *selfloops -= cf.selfloops;
-                    for (a, b) in cf.delta {
+                    for &(a, b) in &cf.delta {
                         value.remove(a, b);
                     }
                 }
                 ConState::Empty { value } => {
-                    for (a, b) in cf.delta {
+                    for &(a, b) in &cf.delta {
                         value.remove(a, b);
                     }
                 }
                 ConState::EmptySet { value } => {
-                    for e in cf.elems {
+                    for &e in &cf.elems {
                         value.remove(e);
                     }
                 }
             }
+            cf.delta.clear();
+            cf.elems.clear();
+            cf.selfloops = 0;
         }
+        self.spare_frames.push(frame);
     }
 
     /// The current partial verdict, O(#constraints).

@@ -115,6 +115,12 @@ pub struct SimResult {
     pub crashed: bool,
     /// Allowed executions, when [`SimConfig::keep_executions`] was set.
     pub executions: Vec<crate::event::Execution>,
+    /// Full (non-incremental) acyclicity traversals run during this
+    /// simulation, summed over all worker threads. Zero whenever every
+    /// model session answered from incremental per-edge state — the
+    /// pinned property for the bundled interpreted models, at every
+    /// thread count and under intra-combo work stealing.
+    pub full_traversals: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
 }

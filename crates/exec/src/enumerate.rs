@@ -48,6 +48,34 @@
 //! and the crash bit are set unions/sums, so **results are identical for
 //! every thread count**; with `threads = 1` the engine degenerates to the
 //! exact sequential enumeration order of the reference engine.
+//!
+//! # Intra-combo work stealing
+//!
+//! Combo-granular sharding starves when a simulation has fewer combos
+//! than workers (one giant combo monopolises the budget while the other
+//! workers idle). When `threads > 1` and the combo count is below the
+//! worker count, the engine switches to **frontier tasks**: a sequential
+//! pre-pass sizes each combo's decision tree — rf choice arities first,
+//! then the `m, m-1, …, 1` arities of each location's coherence positions
+//! — and picks the shallowest split depth `D` whose arity product reaches
+//! `threads × 4`. Every task is one assignment of the first `D` decisions
+//! (a mixed-radix index, most-significant-first, so ascending task ids
+//! walk the exact sequential DFS order), and workers claim task ids from
+//! the same atomic work-list.
+//!
+//! A worker *replays* its task's forced prefix — pushing each pre-decoded
+//! edge through the combo session so incremental checkers see the same
+//! prefix states the sequential DFS saw — then calls
+//! [`crate::model::ComboChecker::absorb`] to fold the prefix into the
+//! session baseline (for `IncrementalOrder`-backed sessions this is the
+//! existing `snapshot`, i.e. the worker's pool order is re-seeded from the
+//! split point), and runs the ordinary swap-DFS below `D`. Forced-level
+//! prunes charge the task's *tail product* (the candidates under one task)
+//! rather than the sequential subtree; summed over the sibling tasks that
+//! replay the same pruned prefix this equals the sequential charge
+//! exactly, so candidate accounting, outcome sets and kept executions
+//! (merged by ascending task id) stay **byte-identical to the sequential
+//! DFS** at every thread count.
 
 use crate::config::{SimConfig, SimResult};
 use crate::event::{Event, EventKind, Execution, INIT_THREAD};
@@ -103,6 +131,7 @@ pub fn simulate(
 ) -> Result<SimResult> {
     test.validate()?;
     let start = Instant::now();
+    let ft_start = crate::rel::full_traversals();
     let deadline = config.timeout.map(|t| start + t);
 
     let thread_traces = interpret_all_traces(test, config)?;
@@ -122,6 +151,7 @@ pub fn simulate(
         flags: BTreeSet::new(),
         crashed: false,
         executions: Vec::new(),
+        full_traversals: 0,
         elapsed: start.elapsed(),
     };
 
@@ -162,16 +192,56 @@ pub fn simulate(
         shared: &shared,
     };
 
-    let mut shards: Vec<Vec<(u64, ComboOut)>> = if threads == 1 {
+    // Fewer combos than workers: switch to intra-combo frontier tasks so
+    // idle workers steal unexplored subtrees of the swap-DFS (module docs).
+    let task_mode = config.threads > 1 && total < config.threads as u64;
+
+    // Spawned workers start with a fresh thread-local traversal counter,
+    // so their final value is their contribution; the spawning thread
+    // reports its delta.
+    let mut worker_traversals = 0u64;
+    let mut shards: Vec<Vec<(u64, ComboOut)>> = if task_mode {
+        let plans = build_task_plans(&ctx);
+        let total_tasks = plans.last().map_or(0, |p| p.first_task + p.tasks);
+        let workers = config
+            .threads
+            .min(usize::try_from(total_tasks).unwrap_or(usize::MAX));
+        if total_tasks == 0 {
+            Vec::new()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let shard = run_task_worker(&ctx, &plans, total_tasks);
+                            (shard, crate::rel::full_traversals())
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        let (shard, ft) = h.join().expect("enumeration worker panicked");
+                        worker_traversals += ft;
+                        shard
+                    })
+                    .collect()
+            })
+        }
+    } else if threads == 1 {
         vec![run_worker(&ctx)]
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| scope.spawn(|| run_worker(&ctx)))
+                .map(|_| scope.spawn(|| (run_worker(&ctx), crate::rel::full_traversals())))
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("enumeration worker panicked"))
+                .map(|h| {
+                    let (shard, ft) = h.join().expect("enumeration worker panicked");
+                    worker_traversals += ft;
+                    shard
+                })
                 .collect()
         })
     };
@@ -197,6 +267,8 @@ pub fn simulate(
         }
     }
     result.candidates = shared.candidates.load(Ordering::Relaxed);
+    result.full_traversals =
+        (crate::rel::full_traversals() - ft_start).saturating_add(worker_traversals);
     result.elapsed = start.elapsed();
     Ok(result)
 }
@@ -246,49 +318,176 @@ enum Stop {
     Fatal(Error),
 }
 
+/// Decodes a linear combo index into per-thread trace choices (thread 0
+/// least significant, matching the reference odometer's order).
+fn decode_combo<'a>(ctx: &WorkerCtx<'a>, idx: u64) -> Vec<&'a Trace> {
+    let mut rem = idx;
+    ctx.counts
+        .iter()
+        .enumerate()
+        .map(|(t, &c)| {
+            let i = (rem % c) as usize;
+            rem /= c;
+            &ctx.thread_traces[t][i]
+        })
+        .collect()
+}
+
+/// Cross-worker abort / deadline poll at claim boundaries. The intra-combo
+/// deadline tick only fires every 256 leaves, so a workload whose
+/// explosion is in *combinations* (many combos, each small) must also poll
+/// here. Returns `true` when the worker should unwind.
+fn poll_stop(ctx: &WorkerCtx<'_>) -> bool {
+    if ctx.shared.abort.load(Ordering::Relaxed) {
+        return true;
+    }
+    if let Some(d) = ctx.deadline {
+        if Instant::now() > d {
+            let limit_ms = ctx.config.timeout.map(|t| t.as_millis() as u64).unwrap_or(0);
+            let mut slot = ctx.shared.error.lock().expect("error slot");
+            if slot.is_none() {
+                *slot = Some((u64::MAX, Error::Timeout { limit_ms }));
+            }
+            ctx.shared.abort.store(true, Ordering::Relaxed);
+            return true;
+        }
+    }
+    false
+}
+
 fn run_worker(ctx: &WorkerCtx<'_>) -> Vec<(u64, ComboOut)> {
     let mut local = Vec::new();
     loop {
-        if ctx.shared.abort.load(Ordering::Relaxed) {
+        if poll_stop(ctx) {
             return local;
-        }
-        // The intra-combo deadline tick only fires every 256 leaves, so a
-        // workload whose explosion is in *combinations* (many combos, each
-        // small) must also poll the deadline at combo boundaries.
-        if let Some(d) = ctx.deadline {
-            if Instant::now() > d {
-                let limit_ms = ctx.config.timeout.map(|t| t.as_millis() as u64).unwrap_or(0);
-                let mut slot = ctx.shared.error.lock().expect("error slot");
-                if slot.is_none() {
-                    *slot = Some((u64::MAX, Error::Timeout { limit_ms }));
-                }
-                ctx.shared.abort.store(true, Ordering::Relaxed);
-                return local;
-            }
         }
         let idx = ctx.shared.next.fetch_add(1, Ordering::Relaxed);
         if idx >= ctx.total {
             return local;
         }
-        // Decode the linear index into per-thread trace choices.
-        let mut rem = idx;
-        let traces: Vec<&Trace> = ctx
-            .counts
-            .iter()
-            .enumerate()
-            .map(|(t, &c)| {
-                let i = (rem % c) as usize;
-                rem /= c;
-                &ctx.thread_traces[t][i]
-            })
-            .collect();
-        match run_combo(ctx, &traces) {
+        let traces = decode_combo(ctx, idx);
+        match run_combo(ctx, &traces, Vec::new(), 1) {
             Ok(out) => local.push((idx, out)),
             Err(Stop::Cancelled) => return local,
             Err(Stop::Fatal(e)) => {
                 let mut slot = ctx.shared.error.lock().expect("error slot");
                 if slot.as_ref().is_none_or(|(i, _)| idx < *i) {
                     *slot = Some((idx, e));
+                }
+                ctx.shared.abort.store(true, Ordering::Relaxed);
+                return local;
+            }
+        }
+    }
+}
+
+/// One combo's slice of the frontier-task space (module docs): the first
+/// `arities.len()` DFS decisions are pre-assigned per task, tasks are
+/// numbered `first_task ..` in sequential DFS order.
+struct TaskPlan {
+    /// Linear combo index (decodes to per-thread traces).
+    combo_idx: u64,
+    /// Global id of this combo's first frontier task.
+    first_task: u64,
+    /// Task count = Π `arities` (the mixed-radix space).
+    tasks: u64,
+    /// Arity of each *forced* decision level, in DFS order: rf choice
+    /// counts first, then the descending `m-k` coherence position
+    /// arities, truncated at the split depth.
+    arities: Vec<u64>,
+    /// Candidates under one task — the Π of the arities *below* the split
+    /// depth (saturating). A forced-level prune charges this much; summed
+    /// over the sibling tasks sharing the pruned prefix it equals the
+    /// sequential subtree charge exactly.
+    task_charge: u64,
+}
+
+/// Sizes every combo's decision tree and splits it into frontier tasks.
+/// Sequential pre-pass: the task-mode trigger guarantees fewer combos
+/// than workers, so the extra `build_combined` here is negligible.
+fn build_task_plans(ctx: &WorkerCtx<'_>) -> Vec<TaskPlan> {
+    let want = (ctx.config.threads as u64).saturating_mul(4);
+    let mut plans = Vec::new();
+    let mut first_task = 0u64;
+    for combo_idx in 0..ctx.total {
+        let traces = decode_combo(ctx, combo_idx);
+        let combined = build_combined(ctx.test, &traces);
+        let Some(rf_choices) = combined.rf_candidates() else {
+            continue; // unjustifiable read: no candidates, no tasks
+        };
+        // Decision arities in DFS order: rf levels, then the co positions
+        // of each location (m, m-1, …, 1 — the swap DFS picks one of the
+        // remaining writes per position).
+        let mut arities: Vec<u64> = rf_choices.iter().map(|c| c.len() as u64).collect();
+        for writes in combined.writes_by_loc.values() {
+            let m = writes.len() - 1; // element 0 is the init write
+            for k in 0..m {
+                arities.push((m - k) as u64);
+            }
+        }
+        // Shallowest split depth whose arity product covers the workers a
+        // few times over (load balance without flooding the claim queue);
+        // the remaining tail product is the per-task charge.
+        let mut tasks = 1u64;
+        let mut depth = 0;
+        while depth < arities.len() && tasks < want {
+            tasks = tasks.saturating_mul(arities[depth]);
+            depth += 1;
+        }
+        let task_charge = arities[depth..]
+            .iter()
+            .fold(1u64, |p, &a| p.saturating_mul(a));
+        arities.truncate(depth);
+        plans.push(TaskPlan {
+            combo_idx,
+            first_task,
+            tasks,
+            arities,
+            task_charge,
+        });
+        first_task += tasks;
+    }
+    plans
+}
+
+/// The work-stealing claim loop: identical to [`run_worker`] except the
+/// atomic work-list ranges over frontier tasks instead of combos, and
+/// results/errors are keyed by global task id (ascending ids are
+/// sequential DFS order, so the merge stays byte-identical).
+fn run_task_worker(
+    ctx: &WorkerCtx<'_>,
+    plans: &[TaskPlan],
+    total_tasks: u64,
+) -> Vec<(u64, ComboOut)> {
+    let mut local = Vec::new();
+    loop {
+        if poll_stop(ctx) {
+            return local;
+        }
+        let tid = ctx.shared.next.fetch_add(1, Ordering::Relaxed);
+        if tid >= total_tasks {
+            return local;
+        }
+        let plan = plans
+            .iter()
+            .find(|p| tid >= p.first_task && tid - p.first_task < p.tasks)
+            .expect("task id within plan range");
+        // Mixed-radix decode, most significant (shallowest) level first:
+        // ascending task ids walk forced prefixes in sequential DFS order.
+        let mut forced = vec![0usize; plan.arities.len()];
+        let mut rem = tid - plan.first_task;
+        for (j, &a) in plan.arities.iter().enumerate().rev() {
+            forced[j] = (rem % a) as usize;
+            rem /= a;
+        }
+        let traces = decode_combo(ctx, plan.combo_idx);
+        match run_combo(ctx, &traces, forced, plan.task_charge) {
+            Ok(out) => local.push((tid, out)),
+            Err(Stop::Cancelled) => return local,
+            Err(Stop::Fatal(e)) => {
+                let mut slot = ctx.shared.error.lock().expect("error slot");
+                if slot.as_ref().is_none_or(|(i, _)| tid < *i) {
+                    *slot = Some((tid, e));
                 }
                 ctx.shared.abort.store(true, Ordering::Relaxed);
                 return local;
@@ -309,7 +508,16 @@ fn fact(n: u64) -> u64 {
 /// small simulations at reference-engine speed).
 const PRUNE_THRESHOLD: u64 = 8;
 
-fn run_combo(ctx: &WorkerCtx<'_>, traces: &[&Trace]) -> std::result::Result<ComboOut, Stop> {
+/// Runs one combo's DFS — the whole combo when `forced` is empty, or one
+/// stolen frontier task: the DFS restricted to the pre-decoded choice at
+/// each of the first `forced.len()` decisions, charging `task_charge` per
+/// forced-level prune (see the module docs and [`ComboRun::maybe_absorb`]).
+fn run_combo(
+    ctx: &WorkerCtx<'_>,
+    traces: &[&Trace],
+    forced: Vec<usize>,
+    task_charge: u64,
+) -> std::result::Result<ComboOut, Stop> {
     let combined = build_combined(ctx.test, traces);
 
     let Some(rf_choices) = combined.rf_candidates() else {
@@ -374,6 +582,17 @@ fn run_combo(ctx: &WorkerCtx<'_>, traces: &[&Trace]) -> std::result::Result<Comb
     let loc_index: BTreeMap<&Loc, usize> =
         locs.iter().enumerate().map(|(i, l)| (l, i)).collect();
 
+    // Decision-depth offset of each location's first co position (one
+    // extra entry so the leaf depth is addressable too): the DFS depth of
+    // co position (li, k) is reads.len() + co_offsets[li] + k.
+    let mut co_offsets = Vec::with_capacity(co_writes.len() + 1);
+    let mut off = 0usize;
+    for w in &co_writes {
+        co_offsets.push(off);
+        off += w.len();
+    }
+    co_offsets.push(off);
+
     // Open the model's combo session on the skeleton: combo-constant
     // derived relations (loc/ext/int, annotation sets, …) are computed
     // once here and shared by every candidate below. Incremental sessions
@@ -392,6 +611,10 @@ fn run_combo(ctx: &WorkerCtx<'_>, traces: &[&Trace]) -> std::result::Result<Comb
         chains,
         co_tail,
         loc_index,
+        co_offsets,
+        forced,
+        task_charge,
+        absorbed: false,
         execution,
         reg_outcome,
         writes_readonly,
@@ -418,6 +641,17 @@ struct ComboRun<'a, 'c> {
     chains: Vec<Vec<EventId>>,
     co_tail: Vec<u64>,
     loc_index: BTreeMap<&'c Loc, usize>,
+    /// Decision-depth offset of each location's first co position
+    /// (`len + 1` entries; see [`run_combo`]).
+    co_offsets: Vec<usize>,
+    /// Forced decision prefix of a stolen frontier task, empty in combo
+    /// mode: `forced[d]` is the choice index taken at DFS depth `d`.
+    forced: Vec<usize>,
+    /// Candidates under one frontier task (1 in combo mode): the charge
+    /// for a prune at a forced level.
+    task_charge: u64,
+    /// Whether the forced prefix has been absorbed into the session.
+    absorbed: bool,
     execution: Execution,
     reg_outcome: Outcome,
     writes_readonly: bool,
@@ -462,6 +696,20 @@ impl ComboRun<'_, '_> {
         Ok(())
     }
 
+    /// Folds the forced prefix into the model session the first time the
+    /// DFS reaches the free region (depth = forced length): from here on
+    /// the task is an ordinary combo DFS whose session was re-seeded from
+    /// the split point, and the forced pushes are never popped (the task
+    /// owns this `ComboRun`; nothing below ever unwinds past the split).
+    fn maybe_absorb(&mut self, depth: usize) {
+        if !self.absorbed && !self.forced.is_empty() && depth >= self.forced.len() {
+            if self.incremental {
+                self.checker.absorb();
+            }
+            self.absorbed = true;
+        }
+    }
+
     /// Stage 2: justify read `i`, then recurse; prune on partial verdicts.
     ///
     /// Incremental sessions see *every* edge (`push_rf`/`pop_rf`) and their
@@ -469,11 +717,34 @@ impl ComboRun<'_, '_> {
     /// size; re-check sessions are only consulted when a subtree of at
     /// least [`PRUNE_THRESHOLD`] completions hangs off the node.
     fn assign_rf(&mut self, i: usize) -> std::result::Result<(), Stop> {
+        self.maybe_absorb(i);
         if i == self.reads.len() {
             return self.assign_co(0, 0);
         }
         let r = self.reads[i];
         let subtree = self.rf_tail[i + 1];
+        if i < self.forced.len() {
+            // Stolen frontier: replay the one pre-decoded choice, with the
+            // same verdict protocol the sequential loop body uses, so the
+            // session and the prune decisions match the sequential DFS
+            // exactly. A prune charges the per-task tail product — summed
+            // over the sibling tasks replaying this prefix that equals
+            // `subtree`, the sequential charge.
+            let w = self.rf_choices[i][self.forced[i]];
+            self.execution.rf.insert(w, r);
+            let verdict = if self.incremental {
+                self.checker.push_rf(&self.execution, w, r)
+            } else if subtree >= PRUNE_THRESHOLD {
+                self.checker.check_partial(&self.execution)
+            } else {
+                PartialVerdict::Undecided
+            };
+            return if verdict == PartialVerdict::Forbidden {
+                self.charge(self.task_charge)
+            } else {
+                self.assign_rf(i + 1)
+            };
+        }
         for ci in 0..self.rf_choices[i].len() {
             let w = self.rf_choices[i][ci];
             self.execution.rf.insert(w, r);
@@ -502,11 +773,44 @@ impl ComboRun<'_, '_> {
     /// (position `k`), lazily walking permutations with undo.
     fn assign_co(&mut self, li: usize, k: usize) -> std::result::Result<(), Stop> {
         if li == self.chains.len() {
+            self.maybe_absorb(self.reads.len() + self.co_offsets[li]);
             return self.leaf();
         }
+        let depth = self.reads.len() + self.co_offsets[li] + k;
+        self.maybe_absorb(depth);
         let m = self.co_writes[li].len();
         if k == m {
             return self.assign_co(li + 1, 0);
+        }
+        if depth < self.forced.len() {
+            // Stolen frontier: apply the pre-decoded swap so everything
+            // below the split sees exactly the permutation prefix the
+            // sequential DFS would have built; nothing is unwound.
+            let pick = k + self.forced[depth];
+            self.co_writes[li].swap(k, pick);
+            let w = self.co_writes[li][k];
+            for idx in 0..self.chains[li].len() {
+                let p = self.chains[li][idx];
+                self.execution.co.insert(p, w);
+            }
+            let verdict = if self.incremental {
+                self.checker.push_co(&self.execution, &self.chains[li], w)
+            } else {
+                PartialVerdict::Undecided
+            };
+            self.chains[li].push(w);
+            let subtree = fact((m - k - 1) as u64).saturating_mul(self.co_tail[li + 1]);
+            let pruned = if self.incremental {
+                verdict == PartialVerdict::Forbidden
+            } else {
+                subtree >= PRUNE_THRESHOLD
+                    && self.checker.check_partial(&self.execution) == PartialVerdict::Forbidden
+            };
+            return if pruned {
+                self.charge(self.task_charge)
+            } else {
+                self.assign_co(li, k + 1)
+            };
         }
         for pick in k..m {
             self.co_writes[li].swap(k, pick);
@@ -982,6 +1286,75 @@ exists (true)
             assert_eq!(r.outcomes, base.outcomes, "threads={threads}");
             assert_eq!(r.candidates, base.candidates, "threads={threads}");
             assert_eq!(r.allowed, base.allowed, "threads={threads}");
+        }
+    }
+
+    /// Three same-value writers to one location plus a reader: a single
+    /// trace combo whose swap-DFS has decision arities [3, 3, 2, 1]
+    /// (one rf choice of 3, then co positions 3·2·1), so intra-combo
+    /// work stealing splits mid-coherence rather than only at rf.
+    const WIDE_CO: &str = r#"
+C11 "WIDE-CO"
+{ x = 0; }
+P0 (atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+P2 (atomic_int* x) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+P3 (atomic_int* x) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P3:r0=1)
+"#;
+
+    #[test]
+    fn work_stealing_byte_identical_results() {
+        // Intra-combo work stealing (threads > combos) must reproduce the
+        // sequential run byte for byte: outcomes, candidate accounting,
+        // flags, crash bit AND the kept-execution list in order.
+        for model in [&AllowAll as &dyn ConsistencyModel, &SeqCstRef, &CoherenceOnly] {
+            for src in [SB, LB, WIDE_CO] {
+                let test = parse_c11(src).unwrap();
+                let base_cfg = SimConfig::default().keeping_executions();
+                let base = simulate(&test, model, &base_cfg).unwrap();
+                for threads in [2, 4, 8] {
+                    let cfg = base_cfg.clone().with_threads(threads);
+                    let r = simulate(&test, model, &cfg).unwrap();
+                    let tag = format!("{} under {} threads={threads}", test.name, model.name());
+                    assert_eq!(r.outcomes, base.outcomes, "{tag}");
+                    assert_eq!(r.candidates, base.candidates, "{tag}");
+                    assert_eq!(r.allowed, base.allowed, "{tag}");
+                    assert_eq!(r.flags, base.flags, "{tag}");
+                    assert_eq!(r.crashed, base.crashed, "{tag}");
+                    assert_eq!(r.executions, base.executions, "{tag}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn work_stealing_runs_no_full_traversals() {
+        // Stolen frontiers replay their forced prefix and absorb it into
+        // the session baseline — still zero full toposort traversals at
+        // every thread count, including mid-co steal points (WIDE_CO).
+        for src in [SB, LB, WIDE_CO] {
+            let test = parse_c11(src).unwrap();
+            for model in [&SeqCstRef as &dyn ConsistencyModel, &CoherenceOnly] {
+                for threads in [1, 2, 4] {
+                    let cfg = SimConfig::default().with_threads(threads);
+                    let r = simulate(&test, model, &cfg).unwrap();
+                    assert_eq!(
+                        r.full_traversals, 0,
+                        "full traversal during {} enumeration of {} at threads={threads}",
+                        model.name(),
+                        test.name
+                    );
+                }
+            }
         }
     }
 

@@ -21,6 +21,7 @@
 //! prunes a subtree the moment its verdict goes `Forbidden`, so in
 //! practice at most one cycle edge is ever outstanding per DFS branch.
 
+use crate::kernels;
 use crate::rel::Relation;
 use telechat_common::EventId;
 
@@ -167,15 +168,12 @@ impl IncrementalOrder {
                 continue;
             }
             let row = &self.reach[a * stride..(a + 1) * stride];
-            if row.iter().zip(&targets).all(|(r, t)| r & t == *t) {
+            if kernels::is_superset(row, &targets) {
                 continue; // already reaches everything new
             }
             self.journal_idx.push(a as u32);
             self.journal_rows.extend_from_slice(row);
-            let row = &mut self.reach[a * stride..(a + 1) * stride];
-            for (r, t) in row.iter_mut().zip(&targets) {
-                *r |= t;
-            }
+            kernels::or_assign(&mut self.reach[a * stride..(a + 1) * stride], &targets);
         }
         true
     }

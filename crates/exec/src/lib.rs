@@ -47,6 +47,7 @@ pub mod config;
 pub mod enumerate;
 pub mod event;
 pub mod incr;
+pub mod kernels;
 pub mod model;
 pub mod reference;
 pub mod rel;

@@ -172,6 +172,19 @@ pub trait ComboChecker: Send {
 
     /// Undoes the most recent [`push_co`](ComboChecker::push_co).
     fn pop_co(&mut self, _partial: &Execution, _preds: &[EventId], _w: EventId) {}
+
+    /// Folds every edge pushed so far into the session's permanent
+    /// baseline: subsequent pops may only unwind pushes made *after* this
+    /// call, and the absorbed pushes will never be popped.
+    ///
+    /// The work-stealing enumerator calls this once per stolen DFS
+    /// frontier, after replaying the frontier's forced edge prefix — the
+    /// session is then re-seeded from the split point exactly like a fresh
+    /// session opened on the extended skeleton, but without re-deriving
+    /// any combo-constant state. Sessions backed by
+    /// [`IncrementalOrder`] implement it with the existing
+    /// [`IncrementalOrder::snapshot`]; the default is a no-op.
+    fn absorb(&mut self) {}
 }
 
 /// The default session: no combo-constant state, plain forwarding.
@@ -314,6 +327,12 @@ impl ComboChecker for SeqCstSession {
 
     fn pop_co(&mut self, _partial: &Execution, _preds: &[EventId], _w: EventId) {
         self.order.undo();
+    }
+
+    fn absorb(&mut self) {
+        // The `readers` mirror needs no frame handling: absorbed edges are
+        // never popped, so the plain bit-matrix is already consistent.
+        self.order.snapshot();
     }
 }
 
@@ -482,6 +501,12 @@ impl ComboChecker for CoherenceSession {
             }
         }
         self.order.undo();
+    }
+
+    fn absorb(&mut self) {
+        // `readers`/`co`/`fr` are plain mirrors (no undo frames); only the
+        // reachability order carries journal state to collapse.
+        self.order.snapshot();
     }
 }
 

@@ -41,6 +41,7 @@ pub fn simulate_reference(
 ) -> Result<SimResult> {
     test.validate()?;
     let start = Instant::now();
+    let ft_start = crate::rel::full_traversals();
     let deadline = config.timeout.map(|t| start + t);
 
     let thread_traces = interpret_all_traces(test, config)?;
@@ -60,6 +61,7 @@ pub fn simulate_reference(
         flags: BTreeSet::new(),
         crashed: false,
         executions: Vec::new(),
+        full_traversals: 0,
         elapsed: start.elapsed(),
     };
 
@@ -85,6 +87,8 @@ pub fn simulate_reference(
         let mut t = 0;
         loop {
             if t == combo.len() {
+                // Single-threaded: the thread-local delta is the total.
+                result.full_traversals = crate::rel::full_traversals() - ft_start;
                 result.elapsed = start.elapsed();
                 return Ok(result);
             }
