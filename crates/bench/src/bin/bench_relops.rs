@@ -17,7 +17,8 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use telechat::{run_campaign, CampaignSpec, PipelineConfig, Telechat};
+use telechat::persist::MemBackend;
+use telechat::{run_campaign, CampaignSpec, PersistStore, PipelineConfig, Telechat};
 use telechat_bench::FIG7_LB_FENCES;
 use telechat_cat::CatModel;
 use telechat_common::{Arch, EventId, Result, ThreadId, XorShiftRng};
@@ -425,6 +426,7 @@ fn main() -> Result<()> {
         source_model: "rc11".into(),
         threads: 1,
         cache: true,
+        store: None,
     };
     let mut spec_off = spec.clone();
     spec_off.cache = false;
@@ -453,6 +455,45 @@ fn main() -> Result<()> {
         on.source_tests,
         campaign_profiles,
         on.cache.deduped_simulations()
+    );
+
+    // Persistent-store tier: the same campaign cold (writing the log) and
+    // warm (a fresh store over the same log — a "process restart" — so
+    // every leg answers from disk). Both must stay byte-identical to the
+    // uncached driver, and the warm run must actually hit the store.
+    let store_log = MemBackend::new();
+    let mut spec_store = spec.clone();
+    spec_store.store = Some(std::sync::Arc::new(
+        PersistStore::open_backend(Box::new(store_log.clone())).expect("open store"),
+    ));
+    let (store_cold_ms, store_cold) = time_campaign(&spec_store);
+    spec_store.store = Some(std::sync::Arc::new(
+        PersistStore::open_backend(Box::new(store_log)).expect("reopen store"),
+    ));
+    let (store_warm_ms, store_warm) = time_campaign(&spec_store);
+    let store_identical = [&store_cold, &store_warm].iter().all(|r| {
+        r.cells == off.cells
+            && r.positive_tests == off.positive_tests
+            && r.source_tests == off.source_tests
+            && r.compiled_tests == off.compiled_tests
+    });
+    assert!(
+        store_identical,
+        "store-backed campaign must be byte-identical to uncached"
+    );
+    assert!(
+        store_warm.cache.disk_hits > 0,
+        "warm rerun must answer from the store"
+    );
+    assert_eq!(
+        store_warm.cache.disk_hits,
+        store_cold.cache.disk_writes,
+        "warm rerun replays exactly what the cold run logged"
+    );
+    let store_speedup = store_cold_ms / store_warm_ms;
+    println!(
+        "  campaign store:       cold {store_cold_ms:7.1} ms, warm {store_warm_ms:7.1} ms  ({store_speedup:.1}x, {} disk hits)",
+        store_warm.cache.disk_hits
     );
 
     // Hand-rolled JSON (the workspace vendors no serde).
@@ -505,6 +546,18 @@ fn main() -> Result<()> {
         "    \"deduped_sims\": {}",
         on.cache.deduped_simulations()
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"campaign_store\": {{");
+    let _ = writeln!(
+        json,
+        "    \"shape\": \"same campaign, persistent store: cold writes the log, warm reopens it (process restart)\","
+    );
+    let _ = writeln!(json, "    \"cold_ms\": {store_cold_ms:.2},");
+    let _ = writeln!(json, "    \"warm_ms\": {store_warm_ms:.2},");
+    let _ = writeln!(json, "    \"speedup_warm\": {store_speedup:.2},");
+    let _ = writeln!(json, "    \"disk_writes\": {},", store_cold.cache.disk_writes);
+    let _ = writeln!(json, "    \"disk_hits\": {},", store_warm.cache.disk_hits);
+    let _ = writeln!(json, "    \"identical\": {store_identical}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"fuzz\": {{");
     let _ = writeln!(

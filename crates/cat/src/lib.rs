@@ -73,7 +73,9 @@ pub use ast::{CatExpr, CatProgram, CatStmt, CheckKind};
 pub use eval::{eval_expr, run_program, CatValue, Env};
 pub use monotone::{expr_dep, Dep, DepMap};
 pub use parse::parse_cat;
-pub use registry::{model_names, CatModel, ModelIntersection, ModelRegistry, BUNDLED};
+pub use registry::{
+    bundled_fingerprint, model_names, CatModel, ModelIntersection, ModelRegistry, BUNDLED,
+};
 pub use staged::{StagedPlan, StagedState};
 
 #[cfg(test)]

@@ -7,7 +7,7 @@ use crate::staged::{StagedPlan, StagedState};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
-use telechat_common::{Arch, Error, EventId, Result};
+use telechat_common::{fnv1a64, Arch, Error, EventId, Result};
 use telechat_exec::{ComboChecker, ConsistencyModel, Execution, PartialVerdict, Verdict};
 
 /// `(name, source)` pairs of every bundled `.cat` file.
@@ -34,6 +34,22 @@ pub fn model_names() -> Vec<&'static str> {
         .map(|(n, _)| *n)
         .filter(|n| *n != "prelude")
         .collect()
+}
+
+/// A fingerprint of the entire bundled model library: every `(name,
+/// source)` pair in [`BUNDLED`], in order. The persistent campaign store
+/// stamps this into its file header next to the engine revision, so *any*
+/// change to the shipped `.cat` files retires stores recorded before it.
+pub fn bundled_fingerprint() -> u64 {
+    static FP: OnceLock<u64> = OnceLock::new();
+    *FP.get_or_init(|| {
+        let mut h = 0u64;
+        for (name, src) in BUNDLED {
+            h = fnv1a64(h, name.as_bytes());
+            h = fnv1a64(h, src.as_bytes());
+        }
+        h
+    })
 }
 
 /// Resolves an include path against the bundled registry. `"prelude.cat"`
@@ -64,6 +80,10 @@ pub struct CatModel {
     program: CatProgram,
     plan: StagedPlan,
     staged: bool,
+    /// Content fingerprint (see [`CatModel::content_fingerprint`]); `None`
+    /// for models built from an in-memory [`CatProgram`], whose source
+    /// text is unknown.
+    content_fp: Option<u64>,
 }
 
 impl CatModel {
@@ -87,7 +107,16 @@ impl CatModel {
     /// Propagates parse errors.
     pub fn from_source(name: &str, src: &str) -> Result<CatModel> {
         let program = parse_cat(name, src, &|p| resolve_bundled(p))?;
-        Ok(CatModel::from_program(program))
+        let mut model = CatModel::from_program(program);
+        // The fingerprint folds the raw source *and* every bundled file:
+        // includes resolve against the bundled registry, so an edit to an
+        // included file (e.g. the prelude) must change the fingerprint of
+        // every model that could have pulled it in.
+        let mut fp = fnv1a64(0, name.as_bytes());
+        fp = fnv1a64(fp, src.as_bytes());
+        fp = fnv1a64(fp, &bundled_fingerprint().to_le_bytes());
+        model.content_fp = Some(fp);
+        Ok(model)
     }
 
     /// Wraps an already parsed program (compiling its staged plan).
@@ -97,7 +126,21 @@ impl CatModel {
             program,
             plan,
             staged: true,
+            content_fp: None,
         }
+    }
+
+    /// A stable fingerprint of the model's *content* — name, source text
+    /// and every bundled file an include could have resolved to — or
+    /// `None` for ad-hoc in-memory programs ([`CatModel::from_program`]),
+    /// which have no source text to hash.
+    ///
+    /// The persistent campaign store keys cached simulation legs by this
+    /// value, so editing a `.cat` file (or the prelude it includes)
+    /// invalidates exactly the entries recorded under the old model;
+    /// content-less models are simply never persisted.
+    pub fn content_fingerprint(&self) -> Option<u64> {
+        self.content_fp
     }
 
     /// Disables the staged engine for this model: combo sessions fall back

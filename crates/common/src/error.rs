@@ -44,6 +44,23 @@ pub enum Error {
     Unsupported(String),
     /// The compiler under test crashed (internal compiler error).
     InternalCompilerError(String),
+    /// A pipeline leg panicked and the panic was caught at an isolation
+    /// boundary (the campaign driver's `catch_unwind`). The payload is the
+    /// panic message. A panicking work item degrades to an error cell
+    /// instead of killing the whole campaign.
+    Panicked(String),
+    /// A campaign work item exceeded its wall-clock deadline
+    /// (`SimConfig::deadline`) — distinct from [`Error::Timeout`], which is
+    /// the *simulator's own* cooperative budget check: the deadline also
+    /// catches legs stalled outside the enumerator (I/O, injected stalls).
+    Deadline {
+        /// The configured limit, in milliseconds.
+        limit_ms: u64,
+    },
+    /// An I/O failure in the persistent campaign store. Store I/O errors
+    /// degrade (the affected entry stays memory-only) rather than failing
+    /// the campaign; this variant surfaces them where a caller asks.
+    Io(String),
 }
 
 impl Error {
@@ -68,6 +85,17 @@ impl Error {
     pub fn is_exhaustion(&self) -> bool {
         matches!(self, Error::Budget { .. } | Error::Timeout { .. })
     }
+
+    /// True if this error is a *fault* — a caught panic, a missed
+    /// wall-clock deadline, or a store I/O failure — rather than a
+    /// deterministic property of the input. Faults are never cached or
+    /// persisted: a rerun recomputes instead of replaying them.
+    pub fn is_fault(&self) -> bool {
+        matches!(
+            self,
+            Error::Panicked(_) | Error::Deadline { .. } | Error::Io(_)
+        )
+    }
 }
 
 impl fmt::Display for Error {
@@ -82,6 +110,11 @@ impl fmt::Display for Error {
             Error::Timeout { limit_ms } => write!(f, "simulation timed out after {limit_ms} ms"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::InternalCompilerError(m) => write!(f, "internal compiler error: {m}"),
+            Error::Panicked(m) => write!(f, "work item panicked: {m}"),
+            Error::Deadline { limit_ms } => {
+                write!(f, "work item missed its {limit_ms} ms wall-clock deadline")
+            }
+            Error::Io(m) => write!(f, "store i/o error: {m}"),
         }
     }
 }
@@ -103,6 +136,15 @@ mod tests {
         assert!(Error::Budget { steps: 10 }.is_exhaustion());
         assert!(Error::Timeout { limit_ms: 5 }.is_exhaustion());
         assert!(!Error::parse("x").is_exhaustion());
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(Error::Panicked("boom".into()).is_fault());
+        assert!(Error::Deadline { limit_ms: 50 }.is_fault());
+        assert!(Error::Io("disk full".into()).is_fault());
+        assert!(!Error::Budget { steps: 10 }.is_fault());
+        assert!(!Error::Deadline { limit_ms: 50 }.is_exhaustion());
     }
 
     #[test]

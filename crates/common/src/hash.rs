@@ -1,0 +1,38 @@
+//! The workspace's one content-hash primitive: chained FNV-1a.
+//!
+//! Every content-addressed subsystem — canonical litmus fingerprints
+//! (`telechat_litmus::fingerprint`), fuzz corpus stream hashes, the
+//! campaign cache's key derivation, model content fingerprints and the
+//! persistent store's record checksums — folds bytes through this single
+//! definition, so two subsystems can never disagree about what a given
+//! byte string hashes to.
+
+/// FNV-1a over bytes, chained: pass the previous hash (or `0` to start —
+/// `0` selects the standard offset basis) and the next chunk of bytes.
+pub fn fnv1a64(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = if hash == 0 { 0xcbf2_9ce4_8422_2325 } else { hash };
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_vectors() {
+        // Reference FNV-1a test vectors (64-bit).
+        assert_eq!(fnv1a64(0, b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(0, b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn chaining_concatenates() {
+        let whole = fnv1a64(0, b"hello world");
+        let chained = fnv1a64(fnv1a64(0, b"hello "), b"world");
+        assert_eq!(whole, chained);
+    }
+}

@@ -27,6 +27,7 @@
 pub mod annot;
 pub mod arch;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod outcome;
 pub mod rng;
@@ -35,6 +36,7 @@ pub mod value;
 pub use annot::{Annot, AnnotSet};
 pub use arch::Arch;
 pub use error::{Error, Result};
+pub use hash::fnv1a64;
 pub use ids::{sym_count, EventId, Loc, Reg, Sym, ThreadId};
 pub use outcome::{Outcome, OutcomeSet, StateKey};
 pub use rng::XorShiftRng;

@@ -34,17 +34,28 @@
 //! `tests/campaign_cache.rs`). Only wall-clock fields (`SimResult::elapsed`)
 //! reflect the original computation rather than the replay.
 
+use crate::fault::{self, FaultLeg};
 use crate::l2c::{self, PreparedSource};
 use crate::mcompare::SourceObservables;
+use crate::persist::{LegKind, PersistKey, PersistStore, StoredSim, StoredValue};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use telechat_cat::CatModel;
 use telechat_common::{Error, Result};
 use telechat_exec::{simulate, SimConfig, SimResult};
 use telechat_litmus::{fingerprint::fnv1a64, LitmusTest};
+
+/// Locks a mutex, tolerating poison. Every guarded region in this module
+/// leaves its map or gate value-consistent (single-call inserts/removes),
+/// so poison carries no information here — honouring it would let one
+/// panicking worker cascade into killing every unrelated campaign worker
+/// that later touches the same shard.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Number of lock stripes per map: contention is per-shard, so campaign
 /// workers touching different tests almost never serialise on a lock.
@@ -108,7 +119,7 @@ impl<K: Hash + Eq + Clone, V: Clone> Striped<K, V> {
         let mut compute = Some(compute);
         loop {
             let gate = {
-                let mut map = shard.lock().expect("cache shard lock");
+                let mut map = lock_unpoisoned(shard);
                 match map.get(&key) {
                     Some(Slot::Ready(v)) => return (v.clone(), true),
                     Some(Slot::Pending(gate)) => gate.clone(),
@@ -123,21 +134,19 @@ impl<K: Hash + Eq + Clone, V: Clone> Striped<K, V> {
                         let outcome = std::panic::catch_unwind(
                             std::panic::AssertUnwindSafe(compute),
                         );
-                        let mut map = shard.lock().expect("cache shard lock");
+                        let mut map = lock_unpoisoned(shard);
                         match outcome {
                             Ok(v) => {
                                 map.insert(key, Slot::Ready(v.clone()));
                                 drop(map);
-                                *gate.state.lock().expect("cache gate lock") =
-                                    GateState::Done(v.clone());
+                                *lock_unpoisoned(&gate.state) = GateState::Done(v.clone());
                                 gate.ready.notify_all();
                                 return (v, false);
                             }
                             Err(panic) => {
                                 map.remove(&key);
                                 drop(map);
-                                *gate.state.lock().expect("cache gate lock") =
-                                    GateState::Poisoned;
+                                *lock_unpoisoned(&gate.state) = GateState::Poisoned;
                                 gate.ready.notify_all();
                                 std::panic::resume_unwind(panic);
                             }
@@ -145,11 +154,11 @@ impl<K: Hash + Eq + Clone, V: Clone> Striped<K, V> {
                     }
                 }
             };
-            let mut state = gate.state.lock().expect("cache gate lock");
+            let mut state = lock_unpoisoned(&gate.state);
             loop {
                 match &*state {
                     GateState::Waiting => {
-                        state = gate.ready.wait(state).expect("cache gate wait");
+                        state = gate.ready.wait(state).unwrap_or_else(|e| e.into_inner());
                     }
                     GateState::Done(v) => return (v.clone(), true),
                     // The computer died; go around and try to become the
@@ -233,6 +242,12 @@ pub struct CacheStats {
     /// Target simulations performed — one per distinct (extracted test,
     /// architecture model, budget).
     pub target_misses: u64,
+    /// Simulations answered by the persistent store instead of computing.
+    /// Only the computing lead of a key ever probes the store, so this is
+    /// as scheduling-independent as the hit/miss counters.
+    pub disk_hits: u64,
+    /// Computed legs offered to the persistent store (write-through).
+    pub disk_writes: u64,
 }
 
 impl CacheStats {
@@ -259,7 +274,11 @@ impl fmt::Display for CacheStats {
             self.prepare_misses,
             self.prepare_hits,
             self.deduped_simulations()
-        )
+        )?;
+        if self.disk_hits > 0 || self.disk_writes > 0 {
+            write!(f, "; disk {} hits + {} writes", self.disk_hits, self.disk_writes)?;
+        }
+        Ok(())
     }
 }
 
@@ -272,12 +291,17 @@ pub struct SimCache {
     prepared: Striped<(u128, bool), Arc<PreparedSource>>,
     source: Striped<LegKey, Result<SourceLeg>>,
     target: Striped<LegKey, Result<Arc<SimResult>>>,
+    /// Optional write-through persistence tier (see [`crate::persist`]):
+    /// probed on every in-memory miss, written after every compute.
+    store: Option<Arc<PersistStore>>,
     prepare_hits: AtomicU64,
     prepare_misses: AtomicU64,
     source_hits: AtomicU64,
     source_misses: AtomicU64,
     target_hits: AtomicU64,
     target_misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_writes: AtomicU64,
 }
 
 impl Default for SimCache {
@@ -299,18 +323,33 @@ impl SimCache {
             prepared: Striped::new(),
             source: Striped::new(),
             target: Striped::new(),
+            store: None,
             prepare_hits: AtomicU64::new(0),
             prepare_misses: AtomicU64::new(0),
             source_hits: AtomicU64::new(0),
             source_misses: AtomicU64::new(0),
             target_hits: AtomicU64::new(0),
             target_misses: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            disk_writes: AtomicU64::new(0),
         }
     }
 
     /// A fresh shareable cache.
     pub fn shared() -> Arc<SimCache> {
         Arc::new(SimCache::new())
+    }
+
+    /// Attaches a persistent store as a write-through tier under the
+    /// in-memory maps: a leg missing in memory is looked up on disk before
+    /// being simulated, and every computed leg is written back. Legs keyed
+    /// on models without a stable content fingerprint (ad-hoc
+    /// `CatProgram`s) bypass the store; fault errors and kept-execution
+    /// runs are never persisted.
+    #[must_use]
+    pub fn with_store(mut self, store: Arc<PersistStore>) -> SimCache {
+        self.store = Some(store);
+        self
     }
 
     /// A snapshot of the traffic counters.
@@ -322,7 +361,48 @@ impl SimCache {
             source_misses: self.source_misses.load(Ordering::Relaxed),
             target_hits: self.target_hits.load(Ordering::Relaxed),
             target_misses: self.target_misses.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            disk_writes: self.disk_writes.load(Ordering::Relaxed),
         }
+    }
+
+    /// The persistence key for a leg, when the store tier applies: there
+    /// must be a store attached and the model must carry a stable content
+    /// fingerprint.
+    fn store_key(
+        &self,
+        kind: LegKind,
+        test: u128,
+        model: &CatModel,
+        config: u64,
+    ) -> Option<(Arc<PersistStore>, PersistKey)> {
+        let store = self.store.as_ref()?;
+        let model = model.content_fingerprint()?;
+        Some((
+            store.clone(),
+            PersistKey {
+                kind,
+                test,
+                model,
+                config,
+            },
+        ))
+    }
+
+    /// Write-through after a compute. Fault errors and kept-execution
+    /// results are skipped; store-level I/O failures degrade inside
+    /// [`PersistStore::put`].
+    fn persist(&self, store: &PersistStore, key: PersistKey, computed: &Result<SimResult>) {
+        let value: StoredValue = match computed {
+            Ok(r) => match StoredSim::capture(r) {
+                Some(s) => Ok(s),
+                None => return,
+            },
+            Err(e) if e.is_fault() => return,
+            Err(e) => Err(e.clone()),
+        };
+        self.disk_writes.fetch_add(1, Ordering::Relaxed);
+        store.put(key, &value);
     }
 
     fn count(&self, hits: &AtomicU64, misses: &AtomicU64, hit: bool) {
@@ -362,11 +442,31 @@ impl SimCache {
             model: model_fingerprint(model),
             config: sim_config_fingerprint(config),
         };
-        let (v, hit) = self.source.get_or_compute(key, || {
-            let result = simulate(&prepared.test, model, config)?;
-            Ok(SourceLeg {
-                observables: SourceObservables::of(&result.outcomes),
-                result: Arc::new(result),
+        let (v, hit) = self.source.get_or_compute(key.clone(), || {
+            let store = self.store_key(LegKind::Source, key.test, model, key.config);
+            if let Some((store, pkey)) = &store {
+                if let Some(stored) = store.get(pkey) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return stored.map(|sim| {
+                        let result = Arc::new(sim.into_result());
+                        SourceLeg {
+                            observables: SourceObservables::of(&result.outcomes),
+                            result,
+                        }
+                    });
+                }
+            }
+            fault::fire(FaultLeg::Source, &prepared.test.name);
+            let computed = simulate(&prepared.test, model, config);
+            if let Some((store, pkey)) = store {
+                self.persist(&store, pkey, &computed);
+            }
+            computed.map(|result| {
+                let result = Arc::new(result);
+                SourceLeg {
+                    observables: SourceObservables::of(&result.outcomes),
+                    result,
+                }
             })
         });
         self.count(&self.source_hits, &self.source_misses, hit);
@@ -392,9 +492,21 @@ impl SimCache {
             model: model_fingerprint(model),
             config: sim_config_fingerprint(config),
         };
-        let (v, hit) = self
-            .target
-            .get_or_compute(key, || simulate(target, model, config).map(Arc::new));
+        let (v, hit) = self.target.get_or_compute(key.clone(), || {
+            let store = self.store_key(LegKind::Target, key.test, model, key.config);
+            if let Some((store, pkey)) = &store {
+                if let Some(stored) = store.get(pkey) {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    return stored.map(|sim| Arc::new(sim.into_result()));
+                }
+            }
+            fault::fire(FaultLeg::Target, &target.name);
+            let computed = simulate(target, model, config);
+            if let Some((store, pkey)) = store {
+                self.persist(&store, pkey, &computed);
+            }
+            computed.map(Arc::new)
+        });
         self.count(&self.target_hits, &self.target_misses, hit);
         v
     }
@@ -570,9 +682,47 @@ exists (P0:r0=0 /\ P1:r0=0)
             target_hits: 7,
             prepare_misses: 2,
             prepare_hits: 8,
+            disk_hits: 0,
+            disk_writes: 0,
         };
         let line = s.to_string();
         assert!(line.contains("source 2 sims + 8 hits"), "{line}");
         assert!(line.contains("15 simulations shared"), "{line}");
+        assert!(!line.contains("disk"), "storeless stats stay short: {line}");
+        let with_disk = CacheStats {
+            disk_hits: 5,
+            disk_writes: 1,
+            ..s
+        };
+        assert!(with_disk.to_string().contains("disk 5 hits + 1 writes"));
+    }
+
+    #[test]
+    fn store_tier_round_trips_through_the_cache() {
+        use crate::persist::{MemBackend, PersistStore};
+        let mem = MemBackend::new();
+        let model = ModelRegistry::global().bundled("rc11").unwrap();
+        let cfg = SimConfig::default();
+        let test = parse_c11(SB).unwrap();
+
+        // Cold: computes and writes through.
+        let store = Arc::new(PersistStore::open_backend(Box::new(mem.clone())).unwrap());
+        let cache = SimCache::new().with_store(store);
+        let prepared = cache.prepared(&test, true);
+        let a = cache.source_leg(&prepared, &model, &cfg).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.disk_hits, s.disk_writes), (0, 1));
+
+        // Warm, fresh process: answers from disk, no new simulation state.
+        let store = Arc::new(PersistStore::open_backend(Box::new(mem)).unwrap());
+        let cache = SimCache::new().with_store(store);
+        let prepared = cache.prepared(&test, true);
+        let b = cache.source_leg(&prepared, &model, &cfg).unwrap();
+        let s = cache.stats();
+        assert_eq!((s.disk_hits, s.disk_writes), (1, 0));
+        assert_eq!(s.source_misses, 1, "a disk hit still counts as the lead compute");
+        assert_eq!(a.result.outcomes, b.result.outcomes);
+        assert_eq!(a.result.candidates, b.result.candidates);
+        assert_eq!(a.observables, b.observables);
     }
 }

@@ -7,12 +7,15 @@
 //! iterators) and generative fuzz streams (`telechat-fuzz`), so a campaign
 //! can consume an unbounded generator without materialising it first.
 
-use crate::cache::{CacheStats, SimCache};
-use crate::pipeline::{PipelineConfig, Telechat, TestVerdict};
+use crate::cache::{lock_unpoisoned, CacheStats, SimCache};
+use crate::fault;
+use crate::persist::PersistStore;
+use crate::pipeline::{PipelineConfig, Telechat, TestReport, TestVerdict};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Condvar, Mutex};
-use telechat_common::{Arch, Result};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+use telechat_common::{Arch, Error, Result};
 use telechat_compiler::{Compiler, CompilerFamily, CompilerId, OptLevel, Target};
 use telechat_litmus::LitmusTest;
 
@@ -68,6 +71,15 @@ pub struct CampaignSpec {
     /// `tests/campaign_cache.rs`); [`CampaignResult::cache`] reports the
     /// traffic.
     pub cache: bool,
+    /// Optional persistent store ([`crate::persist`]) attached under the
+    /// sharing layer as a write-through tier: legs computed by this
+    /// campaign are logged to disk, and a warm rerun (same process or not)
+    /// answers them from the log instead of simulating. Implies `cache`.
+    /// Store contents never change results — a store-backed campaign is
+    /// byte-identical to the uncached driver, including after crashes and
+    /// log corruption (recovery drops damaged records, which simply
+    /// recompute).
+    pub store: Option<Arc<PersistStore>>,
 }
 
 impl CampaignSpec {
@@ -83,6 +95,7 @@ impl CampaignSpec {
                 .map(|n| n.get())
                 .unwrap_or(4),
             cache: true,
+            store: None,
         }
     }
 }
@@ -266,7 +279,14 @@ pub fn run_campaign_source(
     if spec.threads > 1 {
         config.sim.threads = 1;
     }
-    let cache = spec.cache.then(SimCache::shared);
+    let deadline = config.sim.deadline;
+    let cache = (spec.cache || spec.store.is_some()).then(|| {
+        let mut cache = SimCache::new();
+        if let Some(store) = &spec.store {
+            cache = cache.with_store(store.clone());
+        }
+        Arc::new(cache)
+    });
     let tool = {
         let tool = Telechat::with_config(&spec.source_model, config)?;
         match &cache {
@@ -322,7 +342,7 @@ pub fn run_campaign_source(
 
     impl Drop for FollowerRelease<'_, '_> {
         fn drop(&mut self) {
-            let mut fr = self.frontier.lock().expect("campaign frontier lock");
+            let mut fr = lock_unpoisoned(self.frontier);
             // Cache-hot: ahead of queued leads (front of the deque, in the
             // original profile order).
             for p in self.followers.drain(..).rev() {
@@ -346,7 +366,7 @@ pub fn run_campaign_source(
         for _ in 0..spec.threads.max(1) {
             scope.spawn(|| loop {
                 let item = {
-                    let mut fr = frontier.lock().expect("campaign frontier lock");
+                    let mut fr = lock_unpoisoned(&frontier);
                     loop {
                         if let Some(item) = fr.queue.pop_front() {
                             break Some(item);
@@ -354,7 +374,7 @@ pub fn run_campaign_source(
                         match fr.source.next_test() {
                             Some(test) => {
                                 {
-                                    let mut res = result.lock().expect("campaign lock");
+                                    let mut res = lock_unpoisoned(&result);
                                     res.source_tests += 1;
                                     res.compiled_tests += profiles.len();
                                 }
@@ -380,7 +400,7 @@ pub fn run_campaign_source(
                             // for a release to refill the queue.
                             None if fr.outstanding_leads == 0 => break None,
                             None => {
-                                fr = idle.wait(fr).expect("campaign frontier wait");
+                                fr = idle.wait(fr).unwrap_or_else(|e| e.into_inner());
                             }
                         }
                     }
@@ -400,14 +420,27 @@ pub fn run_campaign_source(
                     // their compiles in parallel with the lead's. A
                     // simulation error is cached too and replays
                     // identically for every item, so it is ignored here.
-                    let _ = tool.simulate_source(&test);
+                    // Panics are contained (the gate poisons, the retry
+                    // happens in the item run below) — a warm-up must
+                    // never take down the worker.
+                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        tool.simulate_source(&test)
+                    }));
                     drop(release);
                 }
                 let compiler = &profiles[p];
                 let key = (compiler.target.arch, compiler.id.family, compiler.opt);
-                let outcome = tool.run(&test, compiler);
+                let mut outcome = run_isolated(&tool, &test, compiler, deadline);
+                // One retry, only when the failure provably came from an
+                // injected *transient* fault: production failures stay
+                // deterministic (a flaky-looking leg is a bug, not noise).
+                if outcome.as_ref().is_err_and(Error::is_fault)
+                    && fault::take_transient(&test.name)
                 {
-                    let mut res = result.lock().expect("campaign lock");
+                    outcome = run_isolated(&tool, &test, compiler, deadline);
+                }
+                {
+                    let mut res = lock_unpoisoned(&result);
                     let cell = res.cells.entry(key).or_default();
                     match outcome {
                         Ok(report) => match report.verdict {
@@ -428,10 +461,65 @@ pub fn run_campaign_source(
         }
     });
 
-    let mut result = result.into_inner().expect("campaign lock");
+    let mut result = result.into_inner().unwrap_or_else(|e| e.into_inner());
     result.positive_tests.sort();
     if let Some(cache) = &cache {
         result.cache = cache.stats();
     }
     Ok(result)
+}
+
+/// Runs one work item behind the failure-isolation boundary: a panic
+/// anywhere in the pipeline is caught and becomes [`Error::Panicked`], and
+/// when a wall-clock deadline is configured ([`telechat_exec::SimConfig::deadline`])
+/// the item runs on a watchdog thread and is abandoned — as
+/// [`Error::Deadline`] — if it overruns. Either way the rest of the
+/// campaign completes; the faulted item is a typed error cell.
+fn run_isolated(
+    tool: &Telechat,
+    test: &Arc<LitmusTest>,
+    compiler: &Compiler,
+    deadline: Option<Duration>,
+) -> Result<TestReport> {
+    let Some(limit) = deadline else {
+        return catch_run(tool, test, compiler);
+    };
+    let (done, took) = std::sync::mpsc::channel();
+    let watched = {
+        let tool = tool.clone();
+        let test = test.clone();
+        let compiler = *compiler;
+        std::thread::spawn(move || {
+            let _ = done.send(catch_run(&tool, &test, &compiler));
+        })
+    };
+    match took.recv_timeout(limit) {
+        Ok(outcome) => {
+            let _ = watched.join();
+            outcome
+        }
+        // Abandon the stalled thread: it holds only `Arc`s and will exit
+        // harmlessly whenever (if ever) the stall clears — in particular
+        // it still publishes its cache gate then, so waiters never hang.
+        Err(_) => Err(Error::Deadline {
+            limit_ms: u64::try_from(limit.as_millis()).unwrap_or(u64::MAX),
+        }),
+    }
+}
+
+/// `tool.run` with panics converted to [`Error::Panicked`].
+fn catch_run(tool: &Telechat, test: &LitmusTest, compiler: &Compiler) -> Result<TestReport> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tool.run(test, compiler)))
+        .unwrap_or_else(|panic| Err(Error::Panicked(panic_message(panic.as_ref()))))
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }

@@ -1,0 +1,193 @@
+//! Engine-level fault injection for failure-isolation tests.
+//!
+//! A tiny global registry of *armed* faults that the simulation legs
+//! consult at their compute entry points ([`fire`]): a matching fault can
+//! panic the leg (exercising the cache's gate-poisoning and the campaign's
+//! `catch_unwind` isolation) or stall it (exercising the wall-clock
+//! deadline watchdog). The registry is empty in production — [`fire`] is a
+//! single relaxed atomic load on the hot path — and is only populated by
+//! tests via [`arm`].
+//!
+//! Transient faults additionally record themselves when they fire, and the
+//! campaign driver consumes that record ([`take_transient`]) to retry the
+//! work item exactly once: production failures stay deterministic (no
+//! blind retries), while injected-transient faults prove the retry path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Which simulation leg a fault targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultLeg {
+    /// The source-program leg.
+    Source,
+    /// The compiled-program leg.
+    Target,
+}
+
+/// What a firing fault does to the leg.
+#[derive(Debug, Clone)]
+pub enum FaultAction {
+    /// Panic with an "injected fault" message.
+    Panic,
+    /// Sleep for the given duration before proceeding normally.
+    Stall(Duration),
+}
+
+/// One armed fault.
+#[derive(Debug, Clone)]
+pub struct EngineFault {
+    /// Leg to intercept.
+    pub leg: FaultLeg,
+    /// Fires only when the test's name contains this substring
+    /// (empty matches everything).
+    pub test_contains: String,
+    /// Effect on the leg.
+    pub action: FaultAction,
+    /// How many times to fire before disarming.
+    pub fires: u32,
+    /// Transient faults are recorded when they fire so the campaign
+    /// driver retries the work item once ([`take_transient`]).
+    pub transient: bool,
+}
+
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+static ARMED: Mutex<Vec<EngineFault>> = Mutex::new(Vec::new());
+static TRANSIENT_FIRED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+
+/// Arms a fault. Test-only in spirit; does nothing harmful if unused.
+pub fn arm(fault: EngineFault) {
+    ARMED
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(fault);
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarms every fault and clears the transient record. Tests call this
+/// in a drop guard so a failing assertion cannot leak faults into the
+/// next test.
+pub fn disarm_all() {
+    ARMED.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    TRANSIENT_FIRED
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clear();
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// The simulation legs' check-in point: called with the leg kind and the
+/// test's name at the top of every leg compute (cached or not). A matching
+/// armed fault fires — panicking or stalling this thread — and burns one
+/// of its remaining firings.
+pub fn fire(leg: FaultLeg, test_name: &str) {
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return;
+    }
+    let action = {
+        let mut armed = ARMED.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(i) = armed
+            .iter()
+            .position(|f| f.leg == leg && f.fires > 0 && test_name.contains(&f.test_contains))
+        else {
+            return;
+        };
+        armed[i].fires -= 1;
+        let fault = armed[i].clone();
+        if armed[i].fires == 0 {
+            armed.remove(i);
+            if armed.is_empty() {
+                ANY_ARMED.store(false, Ordering::Release);
+            }
+        }
+        if fault.transient {
+            // Record before acting: a stalled leg may be abandoned by the
+            // deadline watchdog mid-sleep, and the campaign driver must
+            // still see the transient marker when it classifies the error.
+            TRANSIENT_FIRED
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(test_name.to_string());
+        }
+        fault.action
+    };
+    match action {
+        FaultAction::Panic => panic!("injected {leg:?}-leg fault on `{test_name}`"),
+        FaultAction::Stall(d) => std::thread::sleep(d),
+    }
+}
+
+/// Consumes the transient-fault record for a work item, if one fired.
+/// The campaign driver calls this after a faulted work item
+/// (`Error::is_fault`) and retries once when it returns true. The firing
+/// leg may have seen a *derived* test name (the target leg prefixes the
+/// compiler profile), so matching is by containment either way.
+pub fn take_transient(test_name: &str) -> bool {
+    let mut fired = TRANSIENT_FIRED.lock().unwrap_or_else(|e| e.into_inner());
+    let Some(i) = fired
+        .iter()
+        .position(|n| n.contains(test_name) || test_name.contains(n.as_str()))
+    else {
+        return false;
+    };
+    fired.remove(i);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The registry is process-global, so these tests serialise themselves.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn fire_is_inert_when_nothing_is_armed() {
+        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        fire(FaultLeg::Source, "SB"); // must not panic
+    }
+
+    #[test]
+    fn armed_panic_fires_once_and_disarms() {
+        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        arm(EngineFault {
+            leg: FaultLeg::Source,
+            test_contains: "SB".into(),
+            action: FaultAction::Panic,
+            fires: 1,
+            transient: true,
+        });
+        // Wrong leg and wrong name do not fire.
+        fire(FaultLeg::Target, "SB");
+        fire(FaultLeg::Source, "MP");
+        let caught = std::panic::catch_unwind(|| fire(FaultLeg::Source, "SB"));
+        assert!(caught.is_err());
+        // Burned out: firing again is inert.
+        fire(FaultLeg::Source, "SB");
+        // The transient marker is consumable exactly once.
+        assert!(take_transient("SB"));
+        assert!(!take_transient("SB"));
+        disarm_all();
+    }
+
+    #[test]
+    fn transient_matching_is_bidirectional() {
+        let _g = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        disarm_all();
+        arm(EngineFault {
+            leg: FaultLeg::Target,
+            test_contains: "SB".into(),
+            action: FaultAction::Stall(Duration::from_millis(1)),
+            fires: 1,
+            transient: true,
+        });
+        // The target leg sees the profile-prefixed derived name…
+        fire(FaultLeg::Target, "clang-11-O2-AArch64.SB");
+        // …while the campaign retries under the source name.
+        assert!(take_transient("SB"));
+        disarm_all();
+    }
+}

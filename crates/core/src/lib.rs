@@ -57,9 +57,11 @@
 
 pub mod cache;
 pub mod campaign;
+pub mod fault;
 pub mod l2c;
 pub mod mapping;
 pub mod mcompare;
+pub mod persist;
 pub mod pipeline;
 pub mod s2l;
 
@@ -70,6 +72,7 @@ pub use campaign::{
 pub use l2c::{prepare, PreparedSource};
 pub use mapping::StateMapping;
 pub use mcompare::{mcompare, mcompare_shared, Comparison, SourceObservables};
+pub use persist::{PersistStore, StoreStats};
 pub use pipeline::{PipelineConfig, Telechat, TestReport, TestVerdict};
 pub use s2l::{object_to_asm_test, object_to_litmus, S2lOptions};
 
@@ -77,8 +80,8 @@ pub use s2l::{object_to_asm_test, object_to_litmus, S2lOptions};
 pub mod prelude {
     pub use crate::{
         mcompare, prepare, run_campaign, run_campaign_source, CacheStats, CampaignResult,
-        CampaignSpec, PipelineConfig, SimCache, StateMapping, Telechat, TestReport, TestVerdict,
-        TestSource,
+        CampaignSpec, PersistStore, PipelineConfig, SimCache, StateMapping, Telechat, TestReport,
+        TestVerdict, TestSource,
     };
     pub use telechat_cat::CatModel;
     pub use telechat_compiler::{Compiler, CompilerFamily, CompilerId, OptLevel, Target};

@@ -18,7 +18,7 @@ use telechat_common::{OutcomeSet, StateKey};
 /// depends only on the source simulation, so the campaign cache shares one
 /// instance (cheap `Arc` clones) across every profile's `mcompare` of the
 /// same test instead of re-restricting the set ~50 times.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SourceObservables {
     /// Union of the keys the source outcomes mention — the comparison is
     /// restricted to these on both sides.

@@ -1,0 +1,1141 @@
+//! Crash-safe persistent campaign store.
+//!
+//! An append-only, content-addressed record log that persists simulation
+//! legs across processes, wired under [`crate::SimCache`] as a
+//! write-through tier: a warm rerun of a campaign answers every leg from
+//! disk and only simulates fingerprints it has never seen.
+//!
+//! # File format
+//!
+//! ```text
+//! header   := MAGIC(8) version(u32) engine_revision(u64) models_fp(u64) cksum(u64)
+//! record   := len(u32) payload(len bytes) cksum(u64)      // cksum = fnv1a64(payload)
+//! payload  := kind(u8) test(u128) model(u64) config(u64) value
+//! value    := 0 StoredSim | 1 Error
+//! ```
+//!
+//! All integers are little-endian. The log is *append-only*: a record is
+//! never rewritten in place, so any prefix of the file that passes
+//! validation is a faithful prefix of some past store state.
+//!
+//! # Crash safety
+//!
+//! Recovery on open scans the log front to back and keeps the longest
+//! valid prefix: the first record whose length field overruns the file,
+//! whose checksum does not match, or whose payload fails to decode marks
+//! the damaged suffix, which is dropped (and physically truncated) in its
+//! entirety. A torn append, a `kill -9` mid-write, or a bit-flipped tail
+//! therefore costs exactly the damaged records — the reopened store serves
+//! only checksum-valid entries and the campaign recomputes the rest. A
+//! corrupt entry can degrade to a recompute, never to wrong data.
+//!
+//! # Versioning
+//!
+//! The header stamps [`telechat_exec::ENGINE_REVISION`] and the bundled
+//! model corpus fingerprint ([`telechat_cat::bundled_fingerprint`]); a
+//! mismatch on open resets the store wholesale, so an engine or model
+//! change can never replay stale results. Individual records additionally
+//! key on the *per-model* content fingerprint
+//! ([`telechat_cat::CatModel::content_fingerprint`]), so two models never
+//! alias. Ad-hoc models built from a raw [`telechat_cat::CatProgram`]
+//! have no stable content fingerprint and are simply never persisted.
+//!
+//! # Failure semantics
+//!
+//! Store I/O failures *degrade*: a failed append is rolled back (the torn
+//! tail truncated) and counted, and the entry stays memory-only; the
+//! campaign never fails because its cache could not be written. Injected
+//! faults are driven through the [`StoreBackend`] trait — see
+//! [`FaultyBackend`] and [`FaultPlan`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{Read as _, Write as _};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use telechat_common::{fnv1a64, Error, Loc, Outcome, OutcomeSet, Reg, Result, StateKey, ThreadId, Val};
+use telechat_exec::SimResult;
+
+/// Magic bytes identifying a Téléchat store log.
+const MAGIC: &[u8; 8] = b"TCHSTORE";
+/// On-disk format version (bump on layout changes).
+const FORMAT_VERSION: u32 = 1;
+/// Header size: magic + version + engine revision + models fp + checksum.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
+/// Upper bound on a single record payload; anything larger is treated as
+/// corruption (a litmus-scale leg is a few kilobytes).
+const MAX_RECORD: u32 = 1 << 24;
+
+// ---------------------------------------------------------------------------
+// Backend: the I/O surface, small enough to shim for fault injection.
+// ---------------------------------------------------------------------------
+
+/// The file operations the store performs, as a trait so tests can inject
+/// faults deterministically ([`FaultyBackend`]) and run entirely in memory
+/// ([`MemBackend`]).
+pub trait StoreBackend: Send + Sync {
+    /// Reads the entire current log image.
+    fn load(&self) -> std::io::Result<Vec<u8>>;
+    /// Appends bytes at the end of the log.
+    fn append(&self, bytes: &[u8]) -> std::io::Result<()>;
+    /// Truncates the log to `len` bytes (recovery and torn-write rollback).
+    fn truncate(&self, len: u64) -> std::io::Result<()>;
+}
+
+/// The real thing: a single log file on disk.
+pub struct FileBackend {
+    path: PathBuf,
+}
+
+impl FileBackend {
+    /// A backend over the given path; the file is created on first append.
+    pub fn new(path: impl Into<PathBuf>) -> FileBackend {
+        FileBackend { path: path.into() }
+    }
+}
+
+impl StoreBackend for FileBackend {
+    fn load(&self) -> std::io::Result<Vec<u8>> {
+        match std::fs::File::open(&self.path) {
+            Ok(mut f) => {
+                let mut buf = Vec::new();
+                f.read_to_end(&mut buf)?;
+                Ok(buf)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn append(&self, bytes: &[u8]) -> std::io::Result<()> {
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        f.write_all(bytes)?;
+        f.sync_data()
+    }
+
+    fn truncate(&self, len: u64) -> std::io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(&self.path)?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+}
+
+/// An in-memory backend. Cloning shares the underlying buffer, so a test
+/// can "restart the process" by reopening a clone, and can corrupt the
+/// image directly through [`MemBackend::bytes`].
+#[derive(Clone, Default)]
+pub struct MemBackend {
+    buf: Arc<Mutex<Vec<u8>>>,
+}
+
+impl MemBackend {
+    /// A fresh, empty in-memory log.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+
+    /// The shared log image, for inspection and deliberate corruption.
+    pub fn bytes(&self) -> Arc<Mutex<Vec<u8>>> {
+        self.buf.clone()
+    }
+}
+
+impl StoreBackend for MemBackend {
+    fn load(&self) -> std::io::Result<Vec<u8>> {
+        Ok(self.buf.lock().unwrap_or_else(|e| e.into_inner()).clone())
+    }
+
+    fn append(&self, bytes: &[u8]) -> std::io::Result<()> {
+        self.buf
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn truncate(&self, len: u64) -> std::io::Result<()> {
+        let mut buf = self.buf.lock().unwrap_or_else(|e| e.into_inner());
+        let len = len.min(buf.len() as u64) as usize;
+        buf.truncate(len);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+// ---------------------------------------------------------------------------
+
+/// A deterministic plan of I/O faults for [`FaultyBackend`].
+///
+/// Each field arms one fault; `Default` arms none. [`FaultPlan::seeded`]
+/// derives a plan from a seed, for matrix-style tests that want coverage
+/// without hand-picking every point.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    /// Fail the Nth append (0-based, counted across the backend's life).
+    pub fail_append: Option<u32>,
+    /// When the failing append fires, let the first N bytes land anyway —
+    /// a torn ("short") write, as a crash mid-`write` would leave.
+    pub torn_bytes: Option<usize>,
+    /// Flip one bit of the loaded image at this byte offset (mod length)
+    /// on every [`StoreBackend::load`].
+    pub flip_read_at: Option<u64>,
+    /// Fail every truncate call (recovery cannot repair the file).
+    pub fail_truncate: bool,
+}
+
+impl FaultPlan {
+    /// A deterministic plan derived from `seed` (splitmix64): fails one of
+    /// the first 16 appends, torn half the time.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let fail_at = (next() % 16) as u32;
+        let torn = if next() % 2 == 0 {
+            Some((next() % 24) as usize)
+        } else {
+            None
+        };
+        FaultPlan {
+            fail_append: Some(fail_at),
+            torn_bytes: torn,
+            flip_read_at: None,
+            fail_truncate: false,
+        }
+    }
+}
+
+/// Wraps a backend and injects the faults a [`FaultPlan`] arms. Used by
+/// the crash-matrix tests to prove recovery; never constructed on the
+/// production path.
+pub struct FaultyBackend<B> {
+    inner: B,
+    plan: FaultPlan,
+    appends: AtomicU32,
+}
+
+impl<B: StoreBackend> FaultyBackend<B> {
+    /// Wraps `inner`, arming `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> FaultyBackend<B> {
+        FaultyBackend {
+            inner,
+            plan,
+            appends: AtomicU32::new(0),
+        }
+    }
+}
+
+impl<B: StoreBackend> StoreBackend for FaultyBackend<B> {
+    fn load(&self) -> std::io::Result<Vec<u8>> {
+        let mut buf = self.inner.load()?;
+        if let Some(off) = self.plan.flip_read_at {
+            if !buf.is_empty() {
+                let i = (off % buf.len() as u64) as usize;
+                buf[i] ^= 0x40;
+            }
+        }
+        Ok(buf)
+    }
+
+    fn append(&self, bytes: &[u8]) -> std::io::Result<()> {
+        let n = self.appends.fetch_add(1, Ordering::Relaxed);
+        if self.plan.fail_append == Some(n) {
+            if let Some(torn) = self.plan.torn_bytes {
+                let torn = torn.min(bytes.len());
+                // Land the torn prefix, then report failure — the shape a
+                // crash mid-write leaves on disk.
+                let _ = self.inner.append(&bytes[..torn]);
+            }
+            return Err(std::io::Error::other("injected append fault"));
+        }
+        self.inner.append(bytes)
+    }
+
+    fn truncate(&self, len: u64) -> std::io::Result<()> {
+        if self.plan.fail_truncate {
+            return Err(std::io::Error::other("injected truncate fault"));
+        }
+        self.inner.truncate(len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Keys and values.
+// ---------------------------------------------------------------------------
+
+/// Which simulation leg a record caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LegKind {
+    /// The source-program leg (shared across compiler configurations).
+    Source,
+    /// The compiled-program leg.
+    Target,
+}
+
+/// The content-addressed key of one persisted leg: everything that
+/// determines the simulation result, nothing that does not (no test name,
+/// no thread count).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PersistKey {
+    /// Source or target leg.
+    pub kind: LegKind,
+    /// Canonical litmus fingerprint (`LitmusTest::fingerprint`).
+    pub test: u128,
+    /// Model *content* fingerprint (`CatModel::content_fingerprint`).
+    pub model: u64,
+    /// `sim_config_fingerprint` of the semantic simulation knobs.
+    pub config: u64,
+}
+
+/// The persistable subset of a [`SimResult`]: everything except kept
+/// executions (render-only, bounded but bulky, and excluded by their own
+/// config fingerprint anyway).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredSim {
+    /// Outcomes of all allowed executions.
+    pub outcomes: OutcomeSet,
+    /// Candidate executions examined.
+    pub candidates: u64,
+    /// Allowed executions.
+    pub allowed: u64,
+    /// Flags that fired on at least one allowed execution.
+    pub flags: std::collections::BTreeSet<String>,
+    /// Const-write crash marker.
+    pub crashed: bool,
+    /// Full acyclicity traversals (pinned-zero accounting field).
+    pub full_traversals: u64,
+    /// Original wall-clock simulation time, in nanoseconds.
+    pub elapsed_nanos: u64,
+}
+
+impl StoredSim {
+    /// Captures a result for persistence. `None` when the result carries
+    /// kept executions — those runs are never persisted.
+    pub fn capture(r: &SimResult) -> Option<StoredSim> {
+        if !r.executions.is_empty() {
+            return None;
+        }
+        Some(StoredSim {
+            outcomes: r.outcomes.clone(),
+            candidates: r.candidates,
+            allowed: r.allowed,
+            flags: r.flags.clone(),
+            crashed: r.crashed,
+            full_traversals: r.full_traversals,
+            elapsed_nanos: u64::try_from(r.elapsed.as_nanos()).unwrap_or(u64::MAX),
+        })
+    }
+
+    /// Rebuilds the full result (with an empty execution list).
+    pub fn into_result(self) -> SimResult {
+        SimResult {
+            outcomes: self.outcomes,
+            candidates: self.candidates,
+            allowed: self.allowed,
+            flags: self.flags,
+            crashed: self.crashed,
+            executions: Vec::new(),
+            full_traversals: self.full_traversals,
+            elapsed: Duration::from_nanos(self.elapsed_nanos),
+        }
+    }
+}
+
+/// What a record stores: a completed simulation or the *deterministic*
+/// error it produced (budget, timeout, ill-formed…). Faults
+/// ([`Error::is_fault`]) are never persisted.
+pub type StoredValue = Result<StoredSim>;
+
+// ---------------------------------------------------------------------------
+// Codec.
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn put_val(buf: &mut Vec<u8>, v: &Val) {
+    match v {
+        Val::Int(i) => {
+            buf.push(0);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Val::Addr(l) => {
+            buf.push(1);
+            put_str(buf, l.as_str());
+        }
+    }
+}
+
+fn put_key(buf: &mut Vec<u8>, k: &StateKey) {
+    match k {
+        StateKey::Reg(t, r) => {
+            buf.push(0);
+            buf.push(t.0);
+            put_str(buf, r.name());
+        }
+        StateKey::Loc(l) => {
+            buf.push(1);
+            put_str(buf, l.as_str());
+        }
+    }
+}
+
+/// Encodes a value; `false` when the value is unpersistable (a fault).
+fn encode_value(buf: &mut Vec<u8>, v: &StoredValue) -> bool {
+    match v {
+        Ok(sim) => {
+            buf.push(0);
+            put_u32(buf, sim.outcomes.len() as u32);
+            for o in sim.outcomes.iter() {
+                put_u32(buf, o.len() as u32);
+                for (k, val) in o.iter() {
+                    put_key(buf, k);
+                    put_val(buf, val);
+                }
+            }
+            put_u64(buf, sim.candidates);
+            put_u64(buf, sim.allowed);
+            put_u32(buf, sim.flags.len() as u32);
+            for f in &sim.flags {
+                put_str(buf, f);
+            }
+            buf.push(u8::from(sim.crashed));
+            put_u64(buf, sim.full_traversals);
+            put_u64(buf, sim.elapsed_nanos);
+            true
+        }
+        Err(e) => {
+            if e.is_fault() {
+                return false;
+            }
+            buf.push(1);
+            match e {
+                Error::Parse { msg, line } => {
+                    buf.push(0);
+                    put_str(buf, msg);
+                    put_u64(buf, line.map_or(u64::MAX, |l| l as u64));
+                }
+                Error::Model(m) => {
+                    buf.push(1);
+                    put_str(buf, m);
+                }
+                Error::IllFormed(m) => {
+                    buf.push(2);
+                    put_str(buf, m);
+                }
+                Error::Budget { steps } => {
+                    buf.push(3);
+                    put_u64(buf, *steps);
+                }
+                Error::Timeout { limit_ms } => {
+                    buf.push(4);
+                    put_u64(buf, *limit_ms);
+                }
+                Error::Vacuous(m) => {
+                    buf.push(5);
+                    put_str(buf, m);
+                }
+                Error::Unsupported(m) => {
+                    buf.push(6);
+                    put_str(buf, m);
+                }
+                Error::InternalCompilerError(m) => {
+                    buf.push(7);
+                    put_str(buf, m);
+                }
+                Error::Panicked(_) | Error::Deadline { .. } | Error::Io(_) => unreachable!(),
+            }
+            true
+        }
+    }
+}
+
+fn encode_record(key: &PersistKey, value: &StoredValue) -> Option<Vec<u8>> {
+    let mut payload = Vec::with_capacity(128);
+    payload.push(match key.kind {
+        LegKind::Source => 0,
+        LegKind::Target => 1,
+    });
+    payload.extend_from_slice(&key.test.to_le_bytes());
+    put_u64(&mut payload, key.model);
+    put_u64(&mut payload, key.config);
+    if !encode_value(&mut payload, value) {
+        return None;
+    }
+    let mut rec = Vec::with_capacity(payload.len() + 12);
+    put_u32(&mut rec, payload.len() as u32);
+    let cksum = fnv1a64(0, &payload);
+    rec.extend_from_slice(&payload);
+    put_u64(&mut rec, cksum);
+    Some(rec)
+}
+
+/// A bounds-checked little-endian reader; any overrun or bad tag reads as
+/// `None`, which recovery treats as a damaged record.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Option<i64> {
+        self.take(8).map(|s| i64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        self.take(16).map(|s| u128::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn val(&mut self) -> Option<Val> {
+        match self.u8()? {
+            0 => Some(Val::Int(self.i64()?)),
+            1 => Some(Val::Addr(Loc::new(self.str()?))),
+            _ => None,
+        }
+    }
+
+    fn key(&mut self) -> Option<StateKey> {
+        match self.u8()? {
+            0 => {
+                let t = ThreadId(self.u8()?);
+                Some(StateKey::Reg(t, Reg::new(self.str()?)))
+            }
+            1 => Some(StateKey::Loc(Loc::new(self.str()?))),
+            _ => None,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn decode_record(payload: &[u8]) -> Option<(PersistKey, StoredValue)> {
+    let mut d = Dec { buf: payload, pos: 0 };
+    let kind = match d.u8()? {
+        0 => LegKind::Source,
+        1 => LegKind::Target,
+        _ => return None,
+    };
+    let key = PersistKey {
+        kind,
+        test: d.u128()?,
+        model: d.u64()?,
+        config: d.u64()?,
+    };
+    let value = match d.u8()? {
+        0 => {
+            let n_outcomes = d.u32()?;
+            let mut outcomes = OutcomeSet::new();
+            for _ in 0..n_outcomes {
+                let n_slots = d.u32()?;
+                let mut o = Outcome::new();
+                for _ in 0..n_slots {
+                    let k = d.key()?;
+                    let v = d.val()?;
+                    o.set(k, v);
+                }
+                outcomes.insert(o);
+            }
+            let candidates = d.u64()?;
+            let allowed = d.u64()?;
+            let n_flags = d.u32()?;
+            let mut flags = std::collections::BTreeSet::new();
+            for _ in 0..n_flags {
+                flags.insert(d.str()?);
+            }
+            let crashed = match d.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            Ok(StoredSim {
+                outcomes,
+                candidates,
+                allowed,
+                flags,
+                crashed,
+                full_traversals: d.u64()?,
+                elapsed_nanos: d.u64()?,
+            })
+        }
+        1 => Err(match d.u8()? {
+            0 => {
+                let msg = d.str()?;
+                let line = d.u64()?;
+                Error::Parse {
+                    msg,
+                    line: (line != u64::MAX).then_some(line as usize),
+                }
+            }
+            1 => Error::Model(d.str()?),
+            2 => Error::IllFormed(d.str()?),
+            3 => Error::Budget { steps: d.u64()? },
+            4 => Error::Timeout { limit_ms: d.u64()? },
+            5 => Error::Vacuous(d.str()?),
+            6 => Error::Unsupported(d.str()?),
+            7 => Error::InternalCompilerError(d.str()?),
+            _ => return None,
+        }),
+        _ => return None,
+    };
+    // Trailing bytes mean the length field and the content disagree:
+    // treat the record as damaged rather than silently ignoring them.
+    d.done().then_some((key, value))
+}
+
+// ---------------------------------------------------------------------------
+// The store.
+// ---------------------------------------------------------------------------
+
+/// Counters describing one store's life: what recovery found and what has
+/// happened since.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Valid records recovered on open.
+    pub recovered: u64,
+    /// Bytes of damaged suffix dropped by recovery.
+    pub dropped_bytes: u64,
+    /// True if the header was missing/mismatched and the log was reset.
+    pub reset: bool,
+    /// Records appended since open.
+    pub appends: u64,
+    /// Failed appends (the entries stayed memory-only).
+    pub write_errors: u64,
+}
+
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "store: {} recovered, {} appended, {} write errors",
+            self.recovered, self.appends, self.write_errors
+        )?;
+        if self.dropped_bytes > 0 {
+            write!(f, ", {} damaged bytes dropped", self.dropped_bytes)?;
+        }
+        if self.reset {
+            write!(f, ", log reset (version mismatch)")?;
+        }
+        Ok(())
+    }
+}
+
+struct StoreState {
+    index: HashMap<PersistKey, StoredValue>,
+    /// Length of the valid log prefix (header + all indexed records).
+    len: u64,
+    /// Cleared when the backing file can no longer be kept consistent
+    /// (truncate after a torn write failed); the store then serves what it
+    /// recovered but accepts no further appends.
+    writable: bool,
+    stats: StoreStats,
+}
+
+/// The persistent content-addressed store. One instance per log file,
+/// shared across campaign workers behind an `Arc`; see the module docs
+/// for format, crash-safety and versioning.
+pub struct PersistStore {
+    backend: Box<dyn StoreBackend>,
+    state: Mutex<StoreState>,
+}
+
+impl fmt::Debug for PersistStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        f.debug_struct("PersistStore")
+            .field("entries", &st.index.len())
+            .field("len", &st.len)
+            .field("writable", &st.writable)
+            .finish()
+    }
+}
+
+impl PersistStore {
+    /// Opens (or creates) the store at `path`.
+    pub fn open(path: impl Into<PathBuf>) -> Result<PersistStore> {
+        PersistStore::open_backend(Box::new(FileBackend::new(path)))
+    }
+
+    /// Opens a store over an arbitrary backend, stamped with the current
+    /// engine revision and bundled-model fingerprint.
+    pub fn open_backend(backend: Box<dyn StoreBackend>) -> Result<PersistStore> {
+        PersistStore::open_versioned(
+            backend,
+            telechat_exec::ENGINE_REVISION,
+            telechat_cat::bundled_fingerprint(),
+        )
+    }
+
+    /// Opens with explicit version stamps. Production callers use
+    /// [`PersistStore::open_backend`]; tests use this to prove that a
+    /// revision or model-corpus bump invalidates cleanly.
+    pub fn open_versioned(
+        backend: Box<dyn StoreBackend>,
+        engine_revision: u64,
+        models_fp: u64,
+    ) -> Result<PersistStore> {
+        let image = backend
+            .load()
+            .map_err(|e| Error::Io(format!("store load: {e}")))?;
+
+        let mut state = StoreState {
+            index: HashMap::new(),
+            len: 0,
+            writable: true,
+            stats: StoreStats::default(),
+        };
+
+        let mut header = Vec::with_capacity(HEADER_LEN);
+        header.extend_from_slice(MAGIC);
+        put_u32(&mut header, FORMAT_VERSION);
+        put_u64(&mut header, engine_revision);
+        put_u64(&mut header, models_fp);
+        let hck = fnv1a64(0, &header);
+        put_u64(&mut header, hck);
+
+        let header_ok = image.len() >= HEADER_LEN && image[..HEADER_LEN] == header[..];
+
+        if header_ok {
+            // Scan records, keeping the longest valid prefix.
+            let mut pos = HEADER_LEN;
+            while let Some(len_bytes) = image.get(pos..pos + 4) {
+                let len = u32::from_le_bytes(len_bytes.try_into().unwrap());
+                let body = (len <= MAX_RECORD)
+                    .then(|| image.get(pos + 4..pos + 4 + len as usize + 8))
+                    .flatten();
+                let Some(body) = body else { break };
+                let (payload, ck) = body.split_at(len as usize);
+                let ck = u64::from_le_bytes(ck.try_into().unwrap());
+                if fnv1a64(0, payload) != ck {
+                    break;
+                }
+                let Some((key, value)) = decode_record(payload) else {
+                    break;
+                };
+                state.index.insert(key, value);
+                state.stats.recovered += 1;
+                pos += 4 + len as usize + 8;
+            }
+            state.len = pos as u64;
+            let dropped = image.len() - pos;
+            if dropped > 0 {
+                state.stats.dropped_bytes = dropped as u64;
+                if backend.truncate(pos as u64).is_err() {
+                    // The damaged tail is stuck on disk; serving the
+                    // recovered prefix is still sound, but appending after
+                    // it would interleave with garbage.
+                    state.writable = false;
+                }
+            }
+        } else {
+            // Missing, truncated or mismatched header: reset wholesale.
+            if !image.is_empty() {
+                state.stats.reset = true;
+                state.stats.dropped_bytes = image.len() as u64;
+            }
+            let fresh = if image.is_empty() {
+                Ok(())
+            } else {
+                backend.truncate(0)
+            }
+            .and_then(|()| backend.append(&header));
+            match fresh {
+                Ok(()) => state.len = HEADER_LEN as u64,
+                Err(_) => {
+                    // Cannot even lay down a header: degrade to a
+                    // memory-only session rather than failing the caller.
+                    state.writable = false;
+                    state.stats.write_errors += 1;
+                }
+            }
+        }
+
+        Ok(PersistStore {
+            backend,
+            state: Mutex::new(state),
+        })
+    }
+
+    /// Looks up a persisted leg.
+    pub fn get(&self, key: &PersistKey) -> Option<StoredValue> {
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.index.get(key).cloned()
+    }
+
+    /// Persists a leg. Fault values and unpersistable results are skipped;
+    /// I/O failures degrade (rolled back and counted, never surfaced).
+    pub fn put(&self, key: PersistKey, value: &StoredValue) {
+        let Some(rec) = encode_record(&key, value) else {
+            return;
+        };
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if !st.writable {
+            return;
+        }
+        match self.backend.append(&rec) {
+            Ok(()) => {
+                st.len += rec.len() as u64;
+                st.stats.appends += 1;
+                st.index.insert(key, value.clone());
+            }
+            Err(_) => {
+                st.stats.write_errors += 1;
+                // Roll back a possible torn tail so the log stays a valid
+                // prefix; if even that fails, stop writing — recovery on
+                // the next open will drop the damage.
+                if self.backend.truncate(st.len).is_err() {
+                    st.writable = false;
+                }
+            }
+        }
+    }
+
+    /// Number of entries currently indexed.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .index
+            .len()
+    }
+
+    /// True if no entries are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A snapshot of the store's counters.
+    pub fn stats(&self) -> StoreStats {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_sim() -> StoredSim {
+        let mut outcomes = OutcomeSet::new();
+        let mut o = Outcome::new();
+        o.set(StateKey::reg(ThreadId(0), "r0"), Val::Int(1));
+        o.set(StateKey::loc("y"), Val::Int(2));
+        outcomes.insert(o);
+        let mut o2 = Outcome::new();
+        o2.set(StateKey::reg(ThreadId(1), "r0"), Val::Addr(Loc::new("x")));
+        outcomes.insert(o2);
+        StoredSim {
+            outcomes,
+            candidates: 12,
+            allowed: 3,
+            flags: ["race".to_string()].into_iter().collect(),
+            crashed: false,
+            full_traversals: 0,
+            elapsed_nanos: 1234,
+        }
+    }
+
+    fn k(test: u128) -> PersistKey {
+        PersistKey {
+            kind: LegKind::Source,
+            test,
+            model: 7,
+            config: 9,
+        }
+    }
+
+    #[test]
+    fn codec_round_trips_results_and_errors() {
+        for value in [
+            Ok(sample_sim()),
+            Err(Error::Budget { steps: 42 }),
+            Err(Error::parse_at("bad token", 3)),
+            Err(Error::Timeout { limit_ms: 5000 }),
+        ] {
+            let rec = encode_record(&k(1), &value).unwrap();
+            let len = u32::from_le_bytes(rec[..4].try_into().unwrap()) as usize;
+            let (key, decoded) = decode_record(&rec[4..4 + len]).unwrap();
+            assert_eq!(key, k(1));
+            assert_eq!(decoded, value);
+        }
+    }
+
+    #[test]
+    fn faults_are_never_encoded() {
+        assert!(encode_record(&k(1), &Err(Error::Panicked("boom".into()))).is_none());
+        assert!(encode_record(&k(1), &Err(Error::Deadline { limit_ms: 9 })).is_none());
+        assert!(encode_record(&k(1), &Err(Error::Io("disk".into()))).is_none());
+    }
+
+    #[test]
+    fn reopen_recovers_the_index() {
+        let mem = MemBackend::new();
+        let store = PersistStore::open_backend(Box::new(mem.clone())).unwrap();
+        store.put(k(1), &Ok(sample_sim()));
+        store.put(k(2), &Err(Error::Budget { steps: 8 }));
+        drop(store);
+
+        let store = PersistStore::open_backend(Box::new(mem)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().recovered, 2);
+        assert_eq!(store.get(&k(1)), Some(Ok(sample_sim())));
+        assert_eq!(store.get(&k(2)), Some(Err(Error::Budget { steps: 8 })));
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_exactly() {
+        let mem = MemBackend::new();
+        let store = PersistStore::open_backend(Box::new(mem.clone())).unwrap();
+        store.put(k(1), &Ok(sample_sim()));
+        store.put(k(2), &Ok(sample_sim()));
+        drop(store);
+
+        // Chop bytes off the tail: the damaged record vanishes, the rest
+        // survives — for every cut point inside the last record.
+        let full = mem.bytes().lock().unwrap().clone();
+        let store = PersistStore::open_backend(Box::new(mem.clone())).unwrap();
+        assert_eq!(store.len(), 2);
+        drop(store);
+        for cut in (HEADER_LEN as u64 + 1)..full.len() as u64 {
+            let mem = MemBackend::new();
+            mem.bytes().lock().unwrap().extend_from_slice(&full[..cut as usize]);
+            let store = PersistStore::open_backend(Box::new(mem)).unwrap();
+            assert!(store.len() <= 2);
+            let whole_records =
+                store.stats().recovered == 2 && store.stats().dropped_bytes == 0;
+            assert_eq!(whole_records, cut == full.len() as u64, "cut at {cut}");
+            // Whatever survived is intact.
+            if let Some(v) = store.get(&k(1)) {
+                assert_eq!(v, Ok(sample_sim()));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flip_drops_the_damaged_suffix() {
+        let mem = MemBackend::new();
+        let store = PersistStore::open_backend(Box::new(mem.clone())).unwrap();
+        store.put(k(1), &Ok(sample_sim()));
+        store.put(k(2), &Ok(sample_sim()));
+        drop(store);
+
+        let len = mem.bytes().lock().unwrap().len();
+        for off in HEADER_LEN..len {
+            let mem2 = MemBackend::new();
+            {
+                let src = mem.bytes();
+                let src = src.lock().unwrap();
+                mem2.bytes().lock().unwrap().extend_from_slice(&src);
+                mem2.bytes().lock().unwrap()[off] ^= 0x01;
+            }
+            let store = PersistStore::open_backend(Box::new(mem2)).unwrap();
+            // Never serve damaged data: any surviving entry decodes to
+            // exactly what was written.
+            assert!(store.len() < 2 || store.stats().dropped_bytes == 0 || store.len() == 2);
+            if let Some(v) = store.get(&k(2)) {
+                assert_eq!(v, Ok(sample_sim()), "flip at {off}");
+            }
+        }
+    }
+
+    #[test]
+    fn header_flip_resets_the_store() {
+        let mem = MemBackend::new();
+        let store = PersistStore::open_backend(Box::new(mem.clone())).unwrap();
+        store.put(k(1), &Ok(sample_sim()));
+        drop(store);
+
+        mem.bytes().lock().unwrap()[3] ^= 0x80;
+        let store = PersistStore::open_backend(Box::new(mem.clone())).unwrap();
+        assert!(store.stats().reset);
+        assert_eq!(store.len(), 0);
+        // The reset store is immediately usable again.
+        store.put(k(3), &Ok(sample_sim()));
+        drop(store);
+        let store = PersistStore::open_backend(Box::new(mem)).unwrap();
+        assert_eq!(store.get(&k(3)), Some(Ok(sample_sim())));
+    }
+
+    #[test]
+    fn revision_bump_invalidates_cleanly() {
+        let mem = MemBackend::new();
+        let store = PersistStore::open_versioned(Box::new(mem.clone()), 1, 99).unwrap();
+        store.put(k(1), &Ok(sample_sim()));
+        drop(store);
+
+        // Same stamps: warm.
+        let store = PersistStore::open_versioned(Box::new(mem.clone()), 1, 99).unwrap();
+        assert_eq!(store.len(), 1);
+        drop(store);
+
+        // Engine revision bump: cold, no stale hits.
+        let store = PersistStore::open_versioned(Box::new(mem.clone()), 2, 99).unwrap();
+        assert!(store.stats().reset);
+        assert_eq!(store.get(&k(1)), None);
+        drop(store);
+
+        // Model-corpus bump likewise.
+        let store = PersistStore::open_versioned(Box::new(mem.clone()), 2, 100).unwrap();
+        assert!(store.stats().reset);
+        assert_eq!(store.get(&k(1)), None);
+    }
+
+    #[test]
+    fn torn_append_is_rolled_back_and_degrades() {
+        let mem = MemBackend::new();
+        // Append #0 is the header (fresh store); fail append #2 torn.
+        let plan = FaultPlan {
+            fail_append: Some(2),
+            torn_bytes: Some(7),
+            ..FaultPlan::default()
+        };
+        let store =
+            PersistStore::open_backend(Box::new(FaultyBackend::new(mem.clone(), plan))).unwrap();
+        store.put(k(1), &Ok(sample_sim())); // append #1: lands
+        store.put(k(2), &Ok(sample_sim())); // append #2: torn, rolled back
+        store.put(k(3), &Ok(sample_sim())); // append #3: lands again
+        let stats = store.stats();
+        assert_eq!(stats.appends, 2);
+        assert_eq!(stats.write_errors, 1);
+        assert_eq!(store.get(&k(2)), None);
+        drop(store);
+
+        // The log on disk is a clean prefix: full recovery, nothing dropped.
+        let store = PersistStore::open_backend(Box::new(mem)).unwrap();
+        assert_eq!(store.stats().recovered, 2);
+        assert_eq!(store.stats().dropped_bytes, 0);
+        assert_eq!(store.get(&k(1)), Some(Ok(sample_sim())));
+        assert_eq!(store.get(&k(3)), Some(Ok(sample_sim())));
+    }
+
+    #[test]
+    fn torn_append_without_rollback_is_dropped_on_reopen() {
+        let mem = MemBackend::new();
+        let plan = FaultPlan {
+            fail_append: Some(1),
+            torn_bytes: Some(5),
+            fail_truncate: true,
+            ..FaultPlan::default()
+        };
+        let store =
+            PersistStore::open_backend(Box::new(FaultyBackend::new(mem.clone(), plan))).unwrap();
+        store.put(k(1), &Ok(sample_sim())); // torn, rollback also fails
+        store.put(k(2), &Ok(sample_sim())); // store is read-only now
+        assert_eq!(store.stats().write_errors, 1);
+        assert_eq!(store.stats().appends, 0);
+        drop(store);
+
+        // Recovery drops exactly the 5 torn bytes.
+        let store = PersistStore::open_backend(Box::new(mem)).unwrap();
+        assert_eq!(store.stats().recovered, 0);
+        assert_eq!(store.stats().dropped_bytes, 5);
+        store.put(k(4), &Ok(sample_sim()));
+        assert_eq!(store.stats().appends, 1);
+    }
+
+    #[test]
+    fn file_backend_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "telechat-store-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("campaign.store");
+        let _ = std::fs::remove_file(&path);
+
+        let store = PersistStore::open(&path).unwrap();
+        store.put(k(1), &Ok(sample_sim()));
+        drop(store);
+        let store = PersistStore::open(&path).unwrap();
+        assert_eq!(store.get(&k(1)), Some(Ok(sample_sim())));
+        drop(store);
+
+        // Truncate the file mid-record; reopen recovers.
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap();
+        drop(f);
+        let store = PersistStore::open(&path).unwrap();
+        assert_eq!(store.len(), 0);
+        assert!(store.stats().dropped_bytes > 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(11);
+        let b = FaultPlan::seeded(11);
+        assert_eq!(a.fail_append, b.fail_append);
+        assert_eq!(a.torn_bytes, b.torn_bytes);
+        assert!(a.fail_append.unwrap() < 16);
+    }
+
+    #[test]
+    fn stats_display_is_compact() {
+        let s = StoreStats {
+            recovered: 3,
+            appends: 2,
+            write_errors: 1,
+            dropped_bytes: 17,
+            reset: false,
+        };
+        assert_eq!(
+            s.to_string(),
+            "store: 3 recovered, 2 appended, 1 write errors, 17 damaged bytes dropped"
+        );
+    }
+}

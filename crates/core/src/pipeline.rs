@@ -13,6 +13,7 @@
 //! `Telechat`/run.
 
 use crate::cache::{SimCache, SourceLeg};
+use crate::fault::{self, FaultLeg};
 use crate::l2c::{self, PreparedSource};
 use crate::mapping::StateMapping;
 use crate::mcompare::{mcompare_shared, Comparison, SourceObservables};
@@ -178,6 +179,7 @@ impl Telechat {
         match &self.cache {
             Some(cache) => cache.source_leg(prepared, &self.source_model, &self.config.sim),
             None => {
+                fault::fire(FaultLeg::Source, &prepared.test.name);
                 let result = simulate(&prepared.test, &*self.source_model, &self.config.sim)?;
                 Ok(SourceLeg {
                     observables: SourceObservables::of(&result.outcomes),
@@ -201,7 +203,10 @@ impl Telechat {
     fn target_leg(&self, target: &LitmusTest, model: &CatModel) -> Result<Arc<SimResult>> {
         match &self.cache {
             Some(cache) => cache.target_leg(target, model, &self.config.sim),
-            None => Ok(Arc::new(simulate(target, model, &self.config.sim)?)),
+            None => {
+                fault::fire(FaultLeg::Target, &target.name);
+                Ok(Arc::new(simulate(target, model, &self.config.sim)?))
+            }
         }
     }
 

@@ -21,6 +21,17 @@ pub struct SimConfig {
     pub max_candidates: u64,
     /// Wall-clock limit for the whole simulation.
     pub timeout: Option<Duration>,
+    /// Wall-clock deadline for one campaign *work item* (prepare, compile,
+    /// extract and both simulation legs). Enforced by the campaign driver,
+    /// not the enumerator: a work item that overruns — including one
+    /// stalled *outside* the simulator's cooperative [`SimConfig::timeout`]
+    /// checks — is abandoned and becomes a typed
+    /// `Error::Deadline` cell while the rest of the campaign completes.
+    /// `None` (the default) disables the watchdog. Excluded from the cache
+    /// key (`sim_config_fingerprint`): like `threads`, it is an
+    /// enforcement knob, not a semantic input — cached results are only
+    /// ever recorded from runs that finished.
+    pub deadline: Option<Duration>,
     /// Explore store-exclusive failure paths (off = exclusives always
     /// succeed, the common litmus assumption).
     pub excl_fail_paths: bool,
@@ -47,6 +58,7 @@ impl Default for SimConfig {
             max_steps: 4_000_000,
             max_candidates: 4_000_000,
             timeout: Some(Duration::from_secs(120)),
+            deadline: None,
             excl_fail_paths: false,
             keep_executions: false,
             max_kept: 64,
@@ -84,6 +96,14 @@ impl SimConfig {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> SimConfig {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the campaign work-item wall-clock deadline (see
+    /// [`SimConfig::deadline`]).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> SimConfig {
+        self.deadline = Some(deadline);
         self
     }
 

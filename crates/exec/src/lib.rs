@@ -43,6 +43,17 @@
 //! # Ok::<(), telechat_common::Error>(())
 //! ```
 
+/// Revision counter of the simulation engine's *observable semantics*.
+///
+/// The persistent campaign store (`telechat::persist`) stamps this into
+/// every log file it writes: a store recorded under a different revision is
+/// discarded wholesale on open, so an engine change can never replay stale
+/// simulation results as fresh ones. Bump it whenever a change could alter
+/// any simulation outcome, accounting field or error — candidate counting,
+/// outcome collection, model evaluation order — and leave it alone for
+/// pure-performance work that is pinned byte-identical.
+pub const ENGINE_REVISION: u64 = 1;
+
 pub mod config;
 pub mod enumerate;
 pub mod event;

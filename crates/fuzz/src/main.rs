@@ -4,7 +4,7 @@
 //! telechat-fuzz generate [--comm N] [--po-run N] [--limit N] [--print] [--hash-only]
 //! telechat-fuzz campaign [--seed S] [--count N] [--source-model M] [--target-model M]
 //!                        [--arch A] [--compiler llvm-N|gcc-N] [--opt -ON]
-//!                        [--threads T] [--assert-no-positive]
+//!                        [--threads T] [--assert-no-positive] [--store PATH]
 //! telechat-fuzz minimize [--seed S] [--count N] [--source-model M] [--target-model M]
 //!                        [--arch A] [--compiler llvm-N|gcc-N] [--opt -ON]
 //! ```
@@ -15,7 +15,9 @@
 //! tabulates the differences. `minimize` hunts the stream for the first
 //! positive difference and shrinks it to a 1-minimal witness.
 
-use telechat::{run_campaign_source, CampaignSpec, PipelineConfig, Telechat, TestVerdict};
+use telechat::{
+    run_campaign_source, CampaignSpec, PersistStore, PipelineConfig, Telechat, TestVerdict,
+};
 use telechat_common::{Arch, Error, Result};
 use telechat_compiler::{Compiler, CompilerId, OptLevel, Target};
 use telechat_fuzz::{corpus, fnv1a64, minimize_positive, FuzzConfig, FuzzSource, GenConfig};
@@ -62,6 +64,7 @@ struct Opts {
     opt: OptLevel,
     threads: usize,
     assert_no_positive: bool,
+    store: Option<std::path::PathBuf>,
 }
 
 impl Opts {
@@ -85,6 +88,7 @@ impl Opts {
             opt: OptLevel::O2,
             threads: 1,
             assert_no_positive: false,
+            store: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -107,6 +111,7 @@ impl Opts {
                 "--opt" => o.opt = value()?.parse()?,
                 "--threads" => o.threads = parse_num(value()?)?,
                 "--assert-no-positive" => o.assert_no_positive = true,
+                "--store" => o.store = Some(value()?.into()),
                 other => return Err(Error::parse(format!("unknown option `{other}`"))),
             }
         }
@@ -177,15 +182,22 @@ fn generate(o: &Opts) -> Result<i32> {
     Ok(0)
 }
 
-fn campaign_spec(o: &Opts) -> CampaignSpec {
-    CampaignSpec {
+fn campaign_spec(o: &Opts) -> Result<CampaignSpec> {
+    // `--store PATH` attaches the crash-safe persistent store: a rerun
+    // with the same path answers already-simulated legs from the log.
+    let store = match &o.store {
+        Some(path) => Some(std::sync::Arc::new(PersistStore::open(path)?)),
+        None => None,
+    };
+    Ok(CampaignSpec {
         compilers: vec![o.compiler],
         opts: vec![o.opt],
         targets: vec![Target::new(o.arch)],
         source_model: o.source_model.clone(),
         threads: o.threads,
         cache: true,
-    }
+        store,
+    })
 }
 
 fn pipeline_config(o: &Opts) -> PipelineConfig {
@@ -197,8 +209,12 @@ fn pipeline_config(o: &Opts) -> PipelineConfig {
 
 fn campaign(o: &Opts) -> Result<i32> {
     let mut source = FuzzSource::new(&o.fuzz_config());
-    let result = run_campaign_source(&mut source, &campaign_spec(o), &pipeline_config(o))?;
+    let spec = campaign_spec(o)?;
+    let result = run_campaign_source(&mut source, &spec, &pipeline_config(o))?;
     println!("{result}");
+    if let Some(store) = &spec.store {
+        println!("{}", store.stats());
+    }
     println!(
         "fuzz stream: seed {} -> {} tests, fnv1a64 {:016x}",
         o.seed,

@@ -17,16 +17,10 @@
 use crate::test::LitmusTest;
 use std::fmt::Write as _;
 
-/// FNV-1a over bytes, chained: pass the previous hash (or `0` to start —
-/// `0` selects the standard offset basis) and the next chunk of bytes.
-pub fn fnv1a64(hash: u64, bytes: &[u8]) -> u64 {
-    let mut h = if hash == 0 { 0xcbf2_9ce4_8422_2325 } else { hash };
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// FNV-1a over bytes, chained — the workspace-wide definition, hoisted to
+/// `telechat_common` so crates below the litmus layer (models, the
+/// persistent store) share it; re-exported here for the existing callers.
+pub use telechat_common::fnv1a64;
 
 /// Second-lane offset basis for the 128-bit widening: an arbitrary odd
 /// constant distinct from the FNV offset basis (the golden-ratio mix word).

@@ -26,6 +26,7 @@ fn main() -> Result<(), Error> {
         source_model: "rc11".into(),
         threads: 4,
         cache: true,
+        store: None,
     };
     let config = PipelineConfig {
         sim: SimConfig::fast(),
