@@ -208,6 +208,29 @@ fn main() -> Result<()> {
         PR1_BASELINE_MS / staged_ms
     );
 
+    // Observability overhead: the same staged row with the obs layer
+    // collecting (spans + counters) vs the default disabled path,
+    // interleaved rep-for-rep so both sides sample the same scheduler
+    // noise, best-of-N each. The CI quick-smoke gate asserts < 5%.
+    let overhead_reps = if quick { 5 } else { 9 };
+    let mut obs_off_ms = f64::INFINITY;
+    let mut obs_on_ms = f64::INFINITY;
+    for _ in 0..overhead_reps {
+        let t0 = Instant::now();
+        std::hint::black_box(simulate(&target, &aarch64, &capped).is_err());
+        obs_off_ms = obs_off_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+
+        telechat::obs::begin();
+        let t0 = Instant::now();
+        std::hint::black_box(simulate(&target, &aarch64, &capped).is_err());
+        obs_on_ms = obs_on_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        telechat::obs::finish();
+    }
+    let obs_overhead_pct = (obs_on_ms / obs_off_ms - 1.0) * 100.0;
+    println!(
+        "  obs instrumentation:  enabled {obs_on_ms:7.2} ms, disabled {obs_off_ms:7.2} ms  ({obs_overhead_pct:+.1}%)"
+    );
+
     // Micro numbers on a dense-ish random graph (litmus-scale, multi-word).
     let mut rng = XorShiftRng::seed_from_u64(7);
     let n = 72u32;
@@ -427,6 +450,7 @@ fn main() -> Result<()> {
         threads: 1,
         cache: true,
         store: None,
+        metrics: false,
     };
     let mut spec_off = spec.clone();
     spec_off.cache = false;
@@ -496,6 +520,15 @@ fn main() -> Result<()> {
         store_warm.cache.disk_hits
     );
 
+    // Instrumented snapshot of the same campaign: the [`ObsReport`] that
+    // `--metrics` renders, embedded in the JSON so the trajectory file
+    // carries per-phase wall-time and the deterministic counter totals
+    // alongside the raw campaign numbers.
+    let mut spec_obs = spec.clone();
+    spec_obs.metrics = true;
+    let (_, obs_run) = time_campaign(&spec_obs);
+    let obs_report = obs_run.obs.expect("metrics: true attaches a report");
+
     // Hand-rolled JSON (the workspace vendors no serde).
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -525,6 +558,20 @@ fn main() -> Result<()> {
     let _ = writeln!(
         json,
         "    \"baseline_note\": \"PR 1/PR 2 engines, 20k budget, dev container; cross-machine comparisons are indicative only\""
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"observability\": {{");
+    let _ = writeln!(
+        json,
+        "    \"shape\": \"staged engine row, obs layer enabled (spans + counters) vs disabled, interleaved best-of-{overhead_reps}\","
+    );
+    let _ = writeln!(json, "    \"enabled_ms\": {obs_on_ms:.2},");
+    let _ = writeln!(json, "    \"disabled_ms\": {obs_off_ms:.2},");
+    let _ = writeln!(json, "    \"overhead_pct\": {obs_overhead_pct:.2},");
+    let _ = writeln!(
+        json,
+        "    \"campaign_report\": {}",
+        obs_report.to_json("    ")
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"campaign\": {{");

@@ -361,12 +361,14 @@ impl ModelRegistry {
     pub fn bundled(&self, name: &str) -> Result<Arc<CatModel>> {
         let stem = name.strip_suffix(".cat").unwrap_or(name);
         self.loads.fetch_add(1, Ordering::Relaxed);
+        telechat_obs::add(telechat_obs::Counter::RegistryLoads, 1);
         let mut models = self.models.lock().expect("model registry lock");
         if let Some(m) = models.get(stem) {
             return Ok(m.clone());
         }
         let model = Arc::new(CatModel::bundled(stem)?);
         self.compiles.fetch_add(1, Ordering::Relaxed);
+        telechat_obs::add(telechat_obs::Counter::RegistryCompiles, 1);
         models.insert(stem.to_string(), model.clone());
         Ok(model)
     }

@@ -614,6 +614,7 @@ impl<'a> StagedState<'a> {
     /// Builds the combo state: evaluates constants into the base, seeds
     /// every staged constraint from the skeleton (empty rf/co/fr).
     pub fn new(plan: &'a StagedPlan, skeleton: &Execution) -> Result<StagedState<'a>> {
+        telechat_obs::add(telechat_obs::Counter::CatSessions, 1);
         let nodes = skeleton.events.len();
         let mut state = StagedState {
             plan,

@@ -122,7 +122,10 @@ impl<K: Hash + Eq + Clone, V: Clone> Striped<K, V> {
                 let mut map = lock_unpoisoned(shard);
                 match map.get(&key) {
                     Some(Slot::Ready(v)) => return (v.clone(), true),
-                    Some(Slot::Pending(gate)) => gate.clone(),
+                    Some(Slot::Pending(gate)) => {
+                        telechat_obs::add(telechat_obs::Counter::CacheGateWaits, 1);
+                        gate.clone()
+                    }
                     None => {
                         let gate = Arc::new(Gate {
                             state: Mutex::new(GateState::Waiting),
@@ -131,9 +134,8 @@ impl<K: Hash + Eq + Clone, V: Clone> Striped<K, V> {
                         map.insert(key.clone(), Slot::Pending(gate.clone()));
                         drop(map);
                         let compute = compute.take().expect("compute consumed once");
-                        let outcome = std::panic::catch_unwind(
-                            std::panic::AssertUnwindSafe(compute),
-                        );
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute));
                         let mut map = lock_unpoisoned(shard);
                         match outcome {
                             Ok(v) => {
@@ -276,7 +278,11 @@ impl fmt::Display for CacheStats {
             self.deduped_simulations()
         )?;
         if self.disk_hits > 0 || self.disk_writes > 0 {
-            write!(f, "; disk {} hits + {} writes", self.disk_hits, self.disk_writes)?;
+            write!(
+                f,
+                "; disk {} hits + {} writes",
+                self.disk_hits, self.disk_writes
+            )?;
         }
         Ok(())
     }
@@ -312,7 +318,9 @@ impl Default for SimCache {
 
 impl fmt::Debug for SimCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SimCache").field("stats", &self.stats()).finish()
+        f.debug_struct("SimCache")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 
@@ -720,7 +728,10 @@ exists (P0:r0=0 /\ P1:r0=0)
         let b = cache.source_leg(&prepared, &model, &cfg).unwrap();
         let s = cache.stats();
         assert_eq!((s.disk_hits, s.disk_writes), (1, 0));
-        assert_eq!(s.source_misses, 1, "a disk hit still counts as the lead compute");
+        assert_eq!(
+            s.source_misses, 1,
+            "a disk hit still counts as the lead compute"
+        );
         assert_eq!(a.result.outcomes, b.result.outcomes);
         assert_eq!(a.result.candidates, b.result.candidates);
         assert_eq!(a.observables, b.observables);

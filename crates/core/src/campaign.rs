@@ -80,6 +80,14 @@ pub struct CampaignSpec {
     /// log corruption (recovery drops damaged records, which simply
     /// recompute).
     pub store: Option<Arc<PersistStore>>,
+    /// Collect telemetry ([`telechat_obs`]): a span trace of the whole
+    /// campaign plus the unified metrics registry, snapshotted into
+    /// [`CampaignResult::obs`]. Off (the default) is a true no-op — one
+    /// relaxed flag load per instrumentation point — and never changes
+    /// results either way; the deterministic (`count`-class) metric totals
+    /// are themselves byte-identical across worker counts, cache on/off
+    /// and store warm/cold.
+    pub metrics: bool,
 }
 
 impl CampaignSpec {
@@ -96,6 +104,7 @@ impl CampaignSpec {
                 .unwrap_or(4),
             cache: true,
             store: None,
+            metrics: false,
         }
     }
 }
@@ -141,6 +150,11 @@ pub struct CampaignResult {
     /// count and scheduling — because the cache computes each distinct key
     /// exactly once.
     pub cache: CacheStats,
+    /// Persistent-store traffic, when a store was attached.
+    pub store: Option<crate::persist::StoreStats>,
+    /// The telemetry snapshot, when [`CampaignSpec::metrics`] was set:
+    /// counters, per-phase wall time and the normalised span trace.
+    pub obs: Option<telechat_obs::ObsReport>,
 }
 
 impl CampaignResult {
@@ -157,6 +171,83 @@ impl CampaignResult {
     /// The cell for a combination, if populated.
     pub fn cell(&self, arch: Arch, family: CompilerFamily, opt: OptLevel) -> Option<&CampaignCell> {
         self.cells.get(&(arch, family, opt))
+    }
+
+    /// Every metric row of this campaign — telemetry counters and phase
+    /// times (when collected), cache traffic, store traffic and derived
+    /// rates — in the one shape [`telechat_obs::render_metrics`] renders.
+    /// Rows tagged `count` are deterministic: byte-identical across worker
+    /// counts, cache on/off and store warm/cold; `sched`/`proc`/`time`/
+    /// `rate` rows are honest about depending on scheduling, process
+    /// history or the clock.
+    pub fn metric_rows(&self) -> Vec<telechat_obs::MetricRow> {
+        use telechat_obs::MetricRow;
+        let count = |name: &str, value: u64| MetricRow {
+            kind: "count",
+            name: name.to_string(),
+            value: value.to_string(),
+        };
+        let rate = |name: &str, value: String| MetricRow {
+            kind: "rate",
+            name: name.to_string(),
+            value,
+        };
+        let ratio = |part: u64, whole: u64| {
+            if whole == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", part as f64 * 100.0 / whole as f64)
+            }
+        };
+
+        let mut rows = Vec::new();
+        if let Some(obs) = &self.obs {
+            rows.extend(obs.rows());
+            if let (Some(pruned), Some(cand)) = (
+                obs.counter("sim.pruned_candidates"),
+                obs.counter("sim.candidates"),
+            ) {
+                rows.push(rate("sim.prune_ratio", ratio(pruned, cand)));
+            }
+            let campaign_ns = obs.phase_ns("campaign");
+            if campaign_ns > 0 {
+                let per_s = self.compiled_tests as f64 / (campaign_ns as f64 / 1e9);
+                rows.push(rate("campaign.tests_per_s", format!("{per_s:.1}")));
+            }
+        }
+        if self.cache.any() {
+            let c = &self.cache;
+            rows.push(count("cache.prepare.hits", c.prepare_hits));
+            rows.push(count("cache.prepare.misses", c.prepare_misses));
+            rows.push(count("cache.source.hits", c.source_hits));
+            rows.push(count("cache.source.misses", c.source_misses));
+            rows.push(count("cache.target.hits", c.target_hits));
+            rows.push(count("cache.target.misses", c.target_misses));
+            if c.disk_hits > 0 || c.disk_writes > 0 {
+                rows.push(count("cache.disk.hits", c.disk_hits));
+                rows.push(count("cache.disk.writes", c.disk_writes));
+            }
+            rows.push(rate(
+                "cache.source.hit_rate",
+                ratio(c.source_hits, c.source_hits + c.source_misses),
+            ));
+            rows.push(rate(
+                "cache.target.hit_rate",
+                ratio(c.target_hits, c.target_hits + c.target_misses),
+            ));
+        }
+        if let Some(s) = &self.store {
+            rows.push(count("store.recovered", s.recovered));
+            rows.push(count("store.appends", s.appends));
+            rows.push(count("store.write_errors", s.write_errors));
+            if s.dropped_bytes > 0 {
+                rows.push(count("store.dropped_bytes", s.dropped_bytes));
+            }
+            if s.reset {
+                rows.push(count("store.reset", 1));
+            }
+        }
+        rows
     }
 }
 
@@ -187,15 +278,17 @@ impl fmt::Display for CampaignResult {
         };
         for arch in archs {
             writeln!(f, "{arch} clang/gcc")?;
-            for (label, pick) in [
-                ("+ve", 0usize),
-                ("-ve", 1usize),
-            ] {
+            for (label, pick) in [("+ve", 0usize), ("-ve", 1usize)] {
                 write!(f, "  {label:20}")?;
                 for opt in opts {
                     let get = |fam| {
-                        self.cell(arch, fam, opt)
-                            .map(|c| if pick == 0 { c.positive } else { c.negative })
+                        self.cell(arch, fam, opt).map(|c| {
+                            if pick == 0 {
+                                c.positive
+                            } else {
+                                c.negative
+                            }
+                        })
                     };
                     let clang = get(CompilerFamily::Llvm)
                         .map(|v| v.to_string())
@@ -216,8 +309,12 @@ impl fmt::Display for CampaignResult {
             self.total_positive(),
             self.total_negative()
         )?;
-        if self.cache.any() {
-            writeln!(f, "cache: {}", self.cache)?;
+        // One renderer for every stat family (cache, store, telemetry) —
+        // previously cache and store printed two ad-hoc formats.
+        let rows = self.metric_rows();
+        if !rows.is_empty() {
+            writeln!(f, "metrics:")?;
+            write!(f, "{}", telechat_obs::render_metrics(&rows))?;
         }
         Ok(())
     }
@@ -280,6 +377,11 @@ pub fn run_campaign_source(
         config.sim.threads = 1;
     }
     let deadline = config.sim.deadline;
+    // Arm telemetry before anything that loads models or probes the store,
+    // so the whole campaign lands inside the window.
+    if spec.metrics {
+        telechat_obs::begin();
+    }
     let cache = (spec.cache || spec.store.is_some()).then(|| {
         let mut cache = SimCache::new();
         if let Some(store) = &spec.store {
@@ -288,7 +390,17 @@ pub fn run_campaign_source(
         Arc::new(cache)
     });
     let tool = {
-        let tool = Telechat::with_config(&spec.source_model, config)?;
+        let tool = match Telechat::with_config(&spec.source_model, config) {
+            Ok(tool) => tool,
+            Err(e) => {
+                // Disarm on the configuration-error path, or the window
+                // would leak into the caller's next campaign.
+                if spec.metrics {
+                    let _ = telechat_obs::finish();
+                }
+                return Err(e);
+            }
+        };
         match &cache {
             Some(c) => tool.with_cache(c.clone()),
             None => tool,
@@ -311,7 +423,11 @@ pub fn run_campaign_source(
     // to run. Return before touching the source — draining it would spin
     // forever on an unbounded generator.
     if profiles.is_empty() {
-        return Ok(CampaignResult::default());
+        let mut empty = CampaignResult::default();
+        if spec.metrics {
+            empty.obs = Some(telechat_obs::finish());
+        }
+        return Ok(empty);
     }
 
     /// One frontier entry: a test, the profile index to run, and — for a
@@ -362,99 +478,124 @@ pub fn run_campaign_source(
     });
     let idle = Condvar::new();
 
+    // The root span of the trace; workers re-parent themselves under it so
+    // every work item nests below "campaign" whichever thread ran it.
+    let root_span = telechat_obs::span("campaign");
+    let root_ref = telechat_obs::current();
+
     std::thread::scope(|scope| {
         for _ in 0..spec.threads.max(1) {
-            scope.spawn(|| loop {
-                let item = {
-                    let mut fr = lock_unpoisoned(&frontier);
-                    loop {
-                        if let Some(item) = fr.queue.pop_front() {
-                            break Some(item);
-                        }
-                        match fr.source.next_test() {
-                            Some(test) => {
-                                {
-                                    let mut res = lock_unpoisoned(&result);
-                                    res.source_tests += 1;
-                                    res.compiled_tests += profiles.len();
-                                }
-                                let test = std::sync::Arc::new(test);
-                                if cache.is_some() && profiles.len() > 1 {
-                                    // Source-leg-first: queue the lead,
-                                    // defer the followers until the lead
-                                    // has populated the shared entries.
-                                    fr.outstanding_leads += 1;
-                                    fr.queue.push_back((
-                                        test,
-                                        0,
-                                        (1..profiles.len()).collect(),
-                                    ));
-                                } else {
-                                    for p in 0..profiles.len() {
-                                        fr.queue.push_back((test.clone(), p, Vec::new()));
+            scope.spawn(|| {
+                let _trace = telechat_obs::adopt(root_ref);
+                loop {
+                    let item = {
+                        let mut fr = lock_unpoisoned(&frontier);
+                        loop {
+                            if let Some(item) = fr.queue.pop_front() {
+                                break Some(item);
+                            }
+                            match fr.source.next_test() {
+                                Some(test) => {
+                                    telechat_obs::add(telechat_obs::Counter::CampaignTests, 1);
+                                    {
+                                        let mut res = lock_unpoisoned(&result);
+                                        res.source_tests += 1;
+                                        res.compiled_tests += profiles.len();
+                                    }
+                                    let test = std::sync::Arc::new(test);
+                                    if cache.is_some() && profiles.len() > 1 {
+                                        // Source-leg-first: queue the lead,
+                                        // defer the followers until the lead
+                                        // has populated the shared entries.
+                                        fr.outstanding_leads += 1;
+                                        fr.queue.push_back((
+                                            test,
+                                            0,
+                                            (1..profiles.len()).collect(),
+                                        ));
+                                    } else {
+                                        for p in 0..profiles.len() {
+                                            fr.queue.push_back((test.clone(), p, Vec::new()));
+                                        }
                                     }
                                 }
-                            }
-                            // Source dry: finished only once every lead's
-                            // followers have been released; otherwise wait
-                            // for a release to refill the queue.
-                            None if fr.outstanding_leads == 0 => break None,
-                            None => {
-                                fr = idle.wait(fr).unwrap_or_else(|e| e.into_inner());
+                                // Source dry: finished only once every lead's
+                                // followers have been released; otherwise wait
+                                // for a release to refill the queue.
+                                None if fr.outstanding_leads == 0 => break None,
+                                None => {
+                                    fr = idle.wait(fr).unwrap_or_else(|e| e.into_inner());
+                                }
                             }
                         }
-                    }
-                };
-                let Some((test, p, followers)) = item else { return };
-                if !followers.is_empty() {
-                    let release = FollowerRelease {
-                        frontier: &frontier,
-                        idle: &idle,
-                        test: test.clone(),
-                        followers,
                     };
-                    // Populate the shared prepare + source-leg entries,
-                    // then release the followers *before* this worker's
-                    // own profile-specific compile/extract/target work —
-                    // followers hit the source cache immediately and run
-                    // their compiles in parallel with the lead's. A
-                    // simulation error is cached too and replays
-                    // identically for every item, so it is ignored here.
-                    // Panics are contained (the gate poisons, the retry
-                    // happens in the item run below) — a warm-up must
-                    // never take down the worker.
-                    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        tool.simulate_source(&test)
-                    }));
-                    drop(release);
-                }
-                let compiler = &profiles[p];
-                let key = (compiler.target.arch, compiler.id.family, compiler.opt);
-                let mut outcome = run_isolated(&tool, &test, compiler, deadline);
-                // One retry, only when the failure provably came from an
-                // injected *transient* fault: production failures stay
-                // deterministic (a flaky-looking leg is a bug, not noise).
-                if outcome.as_ref().is_err_and(Error::is_fault)
-                    && fault::take_transient(&test.name)
-                {
-                    outcome = run_isolated(&tool, &test, compiler, deadline);
-                }
-                {
-                    let mut res = lock_unpoisoned(&result);
-                    let cell = res.cells.entry(key).or_default();
-                    match outcome {
-                        Ok(report) => match report.verdict {
-                            TestVerdict::Pass => cell.pass += 1,
-                            TestVerdict::NegativeDifference => cell.negative += 1,
-                            TestVerdict::PositiveDifference => {
-                                cell.positive += 1;
-                                res.positive_tests
-                                    .push((test.name.clone(), compiler.profile_name()));
-                            }
-                            TestVerdict::RuntimeCrash => cell.crashed += 1,
-                            TestVerdict::SourceRace => cell.racy += 1,
-                        },
-                        Err(_) => cell.errors += 1,
+                    let Some((test, p, followers)) = item else {
+                        return;
+                    };
+                    telechat_obs::add(telechat_obs::Counter::CampaignWorkItems, 1);
+                    let _span = telechat_obs::span_with("work-item", || {
+                        format!("{}:{}", test.name, profiles[p].profile_name())
+                    });
+                    if !followers.is_empty() {
+                        let release = FollowerRelease {
+                            frontier: &frontier,
+                            idle: &idle,
+                            test: test.clone(),
+                            followers,
+                        };
+                        // Populate the shared prepare + source-leg entries,
+                        // then release the followers *before* this worker's
+                        // own profile-specific compile/extract/target work —
+                        // followers hit the source cache immediately and run
+                        // their compiles in parallel with the lead's. A
+                        // simulation error is cached too and replays
+                        // identically for every item, so it is ignored here.
+                        // Panics are contained (the gate poisons, the retry
+                        // happens in the item run below) — a warm-up must
+                        // never take down the worker.
+                        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            tool.simulate_source(&test)
+                        }));
+                        drop(release);
+                    }
+                    let compiler = &profiles[p];
+                    let key = (compiler.target.arch, compiler.id.family, compiler.opt);
+                    let mut outcome = run_isolated(&tool, &test, compiler, deadline);
+                    // One retry, only when the failure provably came from an
+                    // injected *transient* fault: production failures stay
+                    // deterministic (a flaky-looking leg is a bug, not noise).
+                    if outcome.as_ref().is_err_and(Error::is_fault)
+                        && fault::take_transient(&test.name)
+                    {
+                        telechat_obs::add(telechat_obs::Counter::CampaignRetries, 1);
+                        outcome = run_isolated(&tool, &test, compiler, deadline);
+                    }
+                    match &outcome {
+                        Err(Error::Deadline { .. }) => {
+                            telechat_obs::add(telechat_obs::Counter::CampaignDeadlineKills, 1);
+                        }
+                        Err(Error::Panicked(_)) => {
+                            telechat_obs::add(telechat_obs::Counter::CampaignPanics, 1);
+                        }
+                        _ => {}
+                    }
+                    {
+                        let mut res = lock_unpoisoned(&result);
+                        let cell = res.cells.entry(key).or_default();
+                        match outcome {
+                            Ok(report) => match report.verdict {
+                                TestVerdict::Pass => cell.pass += 1,
+                                TestVerdict::NegativeDifference => cell.negative += 1,
+                                TestVerdict::PositiveDifference => {
+                                    cell.positive += 1;
+                                    res.positive_tests
+                                        .push((test.name.clone(), compiler.profile_name()));
+                                }
+                                TestVerdict::RuntimeCrash => cell.crashed += 1,
+                                TestVerdict::SourceRace => cell.racy += 1,
+                            },
+                            Err(_) => cell.errors += 1,
+                        }
                     }
                 }
             });
@@ -465,6 +606,13 @@ pub fn run_campaign_source(
     result.positive_tests.sort();
     if let Some(cache) = &cache {
         result.cache = cache.stats();
+    }
+    result.store = spec.store.as_ref().map(|s| s.stats());
+    // Close the root span before snapshotting, so its duration (and the
+    // main thread's buffered spans) land in the report.
+    drop(root_span);
+    if spec.metrics {
+        result.obs = Some(telechat_obs::finish());
     }
     Ok(result)
 }
@@ -489,7 +637,11 @@ fn run_isolated(
         let tool = tool.clone();
         let test = test.clone();
         let compiler = *compiler;
+        // The watchdog thread re-parents under the caller's work-item
+        // span, so leg spans stay nested even when the item is watched.
+        let parent = telechat_obs::current();
         std::thread::spawn(move || {
+            let _trace = telechat_obs::adopt(parent);
             let _ = done.send(catch_run(&tool, &test, &compiler));
         })
     };

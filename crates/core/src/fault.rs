@@ -58,10 +58,7 @@ static TRANSIENT_FIRED: Mutex<Vec<String>> = Mutex::new(Vec::new());
 
 /// Arms a fault. Test-only in spirit; does nothing harmful if unused.
 pub fn arm(fault: EngineFault) {
-    ARMED
-        .lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .push(fault);
+    ARMED.lock().unwrap_or_else(|e| e.into_inner()).push(fault);
     ANY_ARMED.store(true, Ordering::Release);
 }
 
@@ -112,6 +109,7 @@ pub fn fire(leg: FaultLeg, test_name: &str) {
         }
         fault.action
     };
+    telechat_obs::add(telechat_obs::Counter::FaultFirings, 1);
     match action {
         FaultAction::Panic => panic!("injected {leg:?}-leg fault on `{test_name}`"),
         FaultAction::Stall(d) => std::thread::sleep(d),

@@ -75,13 +75,14 @@ pub use mcompare::{mcompare, mcompare_shared, Comparison, SourceObservables};
 pub use persist::{PersistStore, StoreStats};
 pub use pipeline::{PipelineConfig, Telechat, TestReport, TestVerdict};
 pub use s2l::{object_to_asm_test, object_to_litmus, S2lOptions};
+pub use telechat_obs as obs;
 
 /// One-stop imports for examples and binaries.
 pub mod prelude {
     pub use crate::{
         mcompare, prepare, run_campaign, run_campaign_source, CacheStats, CampaignResult,
         CampaignSpec, PersistStore, PipelineConfig, SimCache, StateMapping, Telechat, TestReport,
-        TestVerdict, TestSource,
+        TestSource, TestVerdict,
     };
     pub use telechat_cat::CatModel;
     pub use telechat_compiler::{Compiler, CompilerFamily, CompilerId, OptLevel, Target};
@@ -134,7 +135,9 @@ exists (P1:r0=1 /\ P1:r1=0)
     fn fig7_lb_is_a_positive_difference_on_aarch64() {
         let tool = Telechat::new("rc11").unwrap();
         let test = parse_c11(LB_FENCES).unwrap();
-        let report = tool.run(&test, &clang(OptLevel::O3, Arch::AArch64)).unwrap();
+        let report = tool
+            .run(&test, &clang(OptLevel::O3, Arch::AArch64))
+            .unwrap();
         assert_eq!(
             report.verdict,
             TestVerdict::PositiveDifference,
@@ -152,7 +155,9 @@ exists (P1:r0=1 /\ P1:r1=0)
         // reordering is permitted (rc11+lb model).
         let tool = Telechat::new("rc11-lb").unwrap();
         let test = parse_c11(LB_FENCES).unwrap();
-        let report = tool.run(&test, &clang(OptLevel::O3, Arch::AArch64)).unwrap();
+        let report = tool
+            .run(&test, &clang(OptLevel::O3, Arch::AArch64))
+            .unwrap();
         assert_ne!(report.verdict, TestVerdict::PositiveDifference);
     }
 
@@ -215,7 +220,9 @@ exists (P1:r0=1 /\ P1:r1=0)
         };
         let tool = Telechat::with_config("rc11", config).unwrap();
         let test = parse_c11(LB_FENCES).unwrap();
-        let report = tool.run(&test, &clang(OptLevel::O2, Arch::AArch64)).unwrap();
+        let report = tool
+            .run(&test, &clang(OptLevel::O2, Arch::AArch64))
+            .unwrap();
         assert_ne!(
             report.verdict,
             TestVerdict::PositiveDifference,
@@ -224,7 +231,9 @@ exists (P1:r0=1 /\ P1:r1=0)
         );
         // With augmentation the same compilation shows the difference.
         let tool = Telechat::new("rc11").unwrap();
-        let report = tool.run(&test, &clang(OptLevel::O2, Arch::AArch64)).unwrap();
+        let report = tool
+            .run(&test, &clang(OptLevel::O2, Arch::AArch64))
+            .unwrap();
         assert_eq!(report.verdict, TestVerdict::PositiveDifference);
     }
 }

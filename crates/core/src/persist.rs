@@ -56,13 +56,17 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use telechat_common::{fnv1a64, Error, Loc, Outcome, OutcomeSet, Reg, Result, StateKey, ThreadId, Val};
+use telechat_common::{
+    fnv1a64, Error, Loc, Outcome, OutcomeSet, Reg, Result, StateKey, ThreadId, Val,
+};
 use telechat_exec::SimResult;
 
 /// Magic bytes identifying a Téléchat store log.
 const MAGIC: &[u8; 8] = b"TCHSTORE";
-/// On-disk format version (bump on layout changes).
-const FORMAT_VERSION: u32 = 1;
+/// On-disk format version (bump on layout changes). v2 added
+/// `StoredSim::pruned_candidates`; a v1 log is recovered as a reset (the
+/// legs recompute — store contents never change results).
+const FORMAT_VERSION: u32 = 2;
 /// Header size: magic + version + engine revision + models fp + checksum.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
 /// Upper bound on a single record payload; anything larger is treated as
@@ -316,6 +320,10 @@ pub struct StoredSim {
     pub crashed: bool,
     /// Full acyclicity traversals (pinned-zero accounting field).
     pub full_traversals: u64,
+    /// Budget charge covered by pruned subtrees. Deterministic (a charge
+    /// sum), unlike `SimResult::steal_tasks`, which is scheduling-class
+    /// and deliberately *not* persisted — replays report 0.
+    pub pruned_candidates: u64,
     /// Original wall-clock simulation time, in nanoseconds.
     pub elapsed_nanos: u64,
 }
@@ -334,6 +342,7 @@ impl StoredSim {
             flags: r.flags.clone(),
             crashed: r.crashed,
             full_traversals: r.full_traversals,
+            pruned_candidates: r.pruned_candidates,
             elapsed_nanos: u64::try_from(r.elapsed.as_nanos()).unwrap_or(u64::MAX),
         })
     }
@@ -348,6 +357,8 @@ impl StoredSim {
             crashed: self.crashed,
             executions: Vec::new(),
             full_traversals: self.full_traversals,
+            pruned_candidates: self.pruned_candidates,
+            steal_tasks: 0,
             elapsed: Duration::from_nanos(self.elapsed_nanos),
         }
     }
@@ -423,6 +434,7 @@ fn encode_value(buf: &mut Vec<u8>, v: &StoredValue) -> bool {
             }
             buf.push(u8::from(sim.crashed));
             put_u64(buf, sim.full_traversals);
+            put_u64(buf, sim.pruned_candidates);
             put_u64(buf, sim.elapsed_nanos);
             true
         }
@@ -515,19 +527,23 @@ impl<'a> Dec<'a> {
     }
 
     fn u32(&mut self) -> Option<u32> {
-        self.take(4).map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
     }
 
     fn u64(&mut self) -> Option<u64> {
-        self.take(8).map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
     }
 
     fn i64(&mut self) -> Option<i64> {
-        self.take(8).map(|s| i64::from_le_bytes(s.try_into().unwrap()))
+        self.take(8)
+            .map(|s| i64::from_le_bytes(s.try_into().unwrap()))
     }
 
     fn u128(&mut self) -> Option<u128> {
-        self.take(16).map(|s| u128::from_le_bytes(s.try_into().unwrap()))
+        self.take(16)
+            .map(|s| u128::from_le_bytes(s.try_into().unwrap()))
     }
 
     fn str(&mut self) -> Option<String> {
@@ -561,7 +577,10 @@ impl<'a> Dec<'a> {
 }
 
 fn decode_record(payload: &[u8]) -> Option<(PersistKey, StoredValue)> {
-    let mut d = Dec { buf: payload, pos: 0 };
+    let mut d = Dec {
+        buf: payload,
+        pos: 0,
+    };
     let kind = match d.u8()? {
         0 => LegKind::Source,
         1 => LegKind::Target,
@@ -606,6 +625,7 @@ fn decode_record(payload: &[u8]) -> Option<(PersistKey, StoredValue)> {
                 flags,
                 crashed,
                 full_traversals: d.u64()?,
+                pruned_candidates: d.u64()?,
                 elapsed_nanos: d.u64()?,
             })
         }
@@ -885,6 +905,7 @@ mod tests {
             flags: ["race".to_string()].into_iter().collect(),
             crashed: false,
             full_traversals: 0,
+            pruned_candidates: 5,
             elapsed_nanos: 1234,
         }
     }
@@ -952,11 +973,13 @@ mod tests {
         drop(store);
         for cut in (HEADER_LEN as u64 + 1)..full.len() as u64 {
             let mem = MemBackend::new();
-            mem.bytes().lock().unwrap().extend_from_slice(&full[..cut as usize]);
+            mem.bytes()
+                .lock()
+                .unwrap()
+                .extend_from_slice(&full[..cut as usize]);
             let store = PersistStore::open_backend(Box::new(mem)).unwrap();
             assert!(store.len() <= 2);
-            let whole_records =
-                store.stats().recovered == 2 && store.stats().dropped_bytes == 0;
+            let whole_records = store.stats().recovered == 2 && store.stats().dropped_bytes == 0;
             assert_eq!(whole_records, cut == full.len() as u64, "cut at {cut}");
             // Whatever survived is intact.
             if let Some(v) = store.get(&k(1)) {
@@ -1089,10 +1112,7 @@ mod tests {
 
     #[test]
     fn file_backend_round_trips() {
-        let dir = std::env::temp_dir().join(format!(
-            "telechat-store-test-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("telechat-store-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("campaign.store");
         let _ = std::fs::remove_file(&path);

@@ -221,9 +221,22 @@ impl Telechat {
         &self,
         test: &LitmusTest,
         compiler: &Compiler,
-    ) -> Result<(Arc<PreparedSource>, CompileOutput, StateMapping, AsmTest, LitmusTest)> {
-        let prepared = self.prepare(test);
-        let compiled = compiler.compile(&prepared.test)?;
+    ) -> Result<(
+        Arc<PreparedSource>,
+        CompileOutput,
+        StateMapping,
+        AsmTest,
+        LitmusTest,
+    )> {
+        let prepared = {
+            let _span = telechat_obs::span("prepare");
+            self.prepare(test)
+        };
+        let compiled = {
+            let _span = telechat_obs::span("compile");
+            compiler.compile(&prepared.test)?
+        };
+        let _span = telechat_obs::span("extract");
         let mapping = StateMapping::build(
             prepared.observed_keys.iter().cloned(),
             &prepared.augmented,
@@ -252,21 +265,44 @@ impl Telechat {
     /// extraction failures. Cached legs replay the original error for
     /// every profile, exactly as the uncached driver fails each one.
     pub fn run(&self, test: &LitmusTest, compiler: &Compiler) -> Result<TestReport> {
-        let (prepared, _compiled, mapping, asm, target_litmus) =
-            self.extract(test, compiler)?;
+        let (prepared, _compiled, mapping, asm, target_litmus) = self.extract(test, compiler)?;
 
         // Step 3: simulate the source under the source model (shared
         // across profiles through the cache).
-        let source: SourceLeg = self.source_leg(&prepared)?;
+        let source: SourceLeg = {
+            let _span = telechat_obs::span("source-sim");
+            self.source_leg(&prepared)?
+        };
 
         // Step 4: simulate the compiled test under the architecture model
         // (shared across profiles that extracted identical code).
-        let target_model = self.target_model(&target_litmus)?;
-        let target_result: Arc<SimResult> = self.target_leg(&target_litmus, &target_model)?;
+        let target_result: Arc<SimResult> = {
+            let _span = telechat_obs::span("target-sim");
+            let target_model = self.target_model(&target_litmus)?;
+            self.target_leg(&target_litmus, &target_model)?
+        };
+
+        // Both legs succeeded: absorb their simulation accounting into the
+        // metrics registry. Cached/stored replays carry the original run's
+        // counters, so the campaign totals are a pure function of the work
+        // list — invariant across thread counts, cache on/off and store
+        // warm/cold. (`steal_tasks` is scheduling-class and replays as 0.)
+        for leg in [source.result.as_ref(), target_result.as_ref()] {
+            telechat_obs::add(telechat_obs::Counter::SimCandidates, leg.candidates);
+            telechat_obs::add(telechat_obs::Counter::SimAllowed, leg.allowed);
+            telechat_obs::add(telechat_obs::Counter::SimPruned, leg.pruned_candidates);
+            telechat_obs::add(
+                telechat_obs::Counter::SimFullTraversals,
+                leg.full_traversals,
+            );
+            telechat_obs::add(telechat_obs::Counter::SimStealTasks, leg.steal_tasks);
+        }
 
         // Step 5: mcompare — only the target half runs per profile.
-        let cmp: Comparison =
-            mcompare_shared(&source.observables, &target_result.outcomes, &mapping);
+        let cmp: Comparison = {
+            let _span = telechat_obs::span("compare");
+            mcompare_shared(&source.observables, &target_result.outcomes, &mapping)
+        };
 
         let verdict = if source.result.has_flag("race") {
             TestVerdict::SourceRace

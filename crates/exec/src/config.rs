@@ -141,6 +141,16 @@ pub struct SimResult {
     /// pinned property for the bundled interpreted models, at every
     /// thread count and under intra-combo work stealing.
     pub full_traversals: u64,
+    /// Candidate executions accounted for by pruned subtrees (forced-
+    /// choice and free-choice cutoffs in the coherence DFS) rather than
+    /// visited leaves. Charge sums, so byte-identical across thread
+    /// counts and task-splitting mode: `candidates` = leaves + this.
+    pub pruned_candidates: u64,
+    /// DFS shard tasks executed when intra-combo work stealing split the
+    /// search (0 in plain per-combo mode). Scheduling-dependent — how the
+    /// search is carved up, never what it finds — and therefore excluded
+    /// from the persist codec: replayed results report 0.
+    pub steal_tasks: u64,
     /// Wall-clock time spent.
     pub elapsed: Duration,
 }

@@ -152,6 +152,8 @@ pub fn simulate(
         crashed: false,
         executions: Vec::new(),
         full_traversals: 0,
+        pruned_candidates: 0,
+        steal_tasks: 0,
         elapsed: start.elapsed(),
     };
 
@@ -175,6 +177,7 @@ pub fn simulate(
     let shared = Shared {
         next: AtomicU64::new(0),
         candidates: AtomicU64::new(0),
+        pruned: AtomicU64::new(0),
         abort: AtomicBool::new(false),
         error: Mutex::new(None),
     };
@@ -198,11 +201,15 @@ pub fn simulate(
 
     // Spawned workers start with a fresh thread-local traversal counter,
     // so their final value is their contribution; the spawning thread
-    // reports its delta.
+    // reports its delta. They also re-parent their trace spans under the
+    // caller's current span (the simulation leg).
+    let parent_span = telechat_obs::current();
     let mut worker_traversals = 0u64;
+    let mut steal_tasks = 0u64;
     let mut shards: Vec<Vec<(u64, ComboOut)>> = if task_mode {
         let plans = build_task_plans(&ctx);
         let total_tasks = plans.last().map_or(0, |p| p.first_task + p.tasks);
+        steal_tasks = total_tasks;
         let workers = config
             .threads
             .min(usize::try_from(total_tasks).unwrap_or(usize::MAX));
@@ -213,6 +220,7 @@ pub fn simulate(
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
                         scope.spawn(|| {
+                            let _trace = telechat_obs::adopt(parent_span);
                             let shard = run_task_worker(&ctx, &plans, total_tasks);
                             (shard, crate::rel::full_traversals())
                         })
@@ -233,7 +241,12 @@ pub fn simulate(
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| scope.spawn(|| (run_worker(&ctx), crate::rel::full_traversals())))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let _trace = telechat_obs::adopt(parent_span);
+                        (run_worker(&ctx), crate::rel::full_traversals())
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
@@ -267,6 +280,8 @@ pub fn simulate(
         }
     }
     result.candidates = shared.candidates.load(Ordering::Relaxed);
+    result.pruned_candidates = shared.pruned.load(Ordering::Relaxed);
+    result.steal_tasks = steal_tasks;
     result.full_traversals =
         (crate::rel::full_traversals() - ft_start).saturating_add(worker_traversals);
     result.elapsed = start.elapsed();
@@ -280,6 +295,10 @@ struct Shared {
     /// Candidate counter (examined + pruned-accounted), shared so the
     /// budget is global like the sequential engine's.
     candidates: AtomicU64,
+    /// The pruned-subtree slice of `candidates` (charge sums, not prune
+    /// events, so the total matches the sequential DFS at every thread
+    /// count and in task mode).
+    pruned: AtomicU64,
     /// Set on error; workers stop claiming and unwind.
     abort: AtomicBool,
     /// First error by lowest combo index (deterministic for `threads = 1`).
@@ -365,6 +384,7 @@ fn run_worker(ctx: &WorkerCtx<'_>) -> Vec<(u64, ComboOut)> {
         if idx >= ctx.total {
             return local;
         }
+        let _span = telechat_obs::span_idx("combo", idx);
         let traces = decode_combo(ctx, idx);
         match run_combo(ctx, &traces, Vec::new(), 1) {
             Ok(out) => local.push((idx, out)),
@@ -468,6 +488,7 @@ fn run_task_worker(
         if tid >= total_tasks {
             return local;
         }
+        let _span = telechat_obs::span_idx("dfs-shard", tid);
         let plan = plans
             .iter()
             .find(|p| tid >= p.first_task && tid - p.first_task < p.tasks)
@@ -672,6 +693,16 @@ impl ComboRun<'_, '_> {
         Ok(())
     }
 
+    /// [`ComboRun::charge`] for a pruned subtree: the charge also lands in
+    /// the shared pruned tally, so `SimResult::pruned_candidates` reports
+    /// how much of the budget prunes covered. Always on (it feeds result
+    /// accounting, not just telemetry) and deterministic by the same
+    /// charge-sum argument as the budget itself.
+    fn charge_pruned(&self, n: u64) -> std::result::Result<(), Stop> {
+        self.ctx.shared.pruned.fetch_add(n, Ordering::Relaxed);
+        self.charge(n)
+    }
+
     /// Periodic deadline / cross-worker abort check.
     fn tick(&mut self) -> std::result::Result<(), Stop> {
         self.visits += 1;
@@ -740,7 +771,7 @@ impl ComboRun<'_, '_> {
                 PartialVerdict::Undecided
             };
             return if verdict == PartialVerdict::Forbidden {
-                self.charge(self.task_charge)
+                self.charge_pruned(self.task_charge)
             } else {
                 self.assign_rf(i + 1)
             };
@@ -756,7 +787,7 @@ impl ComboRun<'_, '_> {
                 PartialVerdict::Undecided
             };
             let res = if verdict == PartialVerdict::Forbidden {
-                self.charge(subtree)
+                self.charge_pruned(subtree)
             } else {
                 self.assign_rf(i + 1)
             };
@@ -807,7 +838,7 @@ impl ComboRun<'_, '_> {
                     && self.checker.check_partial(&self.execution) == PartialVerdict::Forbidden
             };
             return if pruned {
-                self.charge(self.task_charge)
+                self.charge_pruned(self.task_charge)
             } else {
                 self.assign_co(li, k + 1)
             };
@@ -834,7 +865,7 @@ impl ComboRun<'_, '_> {
                     && self.checker.check_partial(&self.execution) == PartialVerdict::Forbidden
             };
             let res = if pruned {
-                self.charge(subtree)
+                self.charge_pruned(subtree)
             } else {
                 self.assign_co(li, k + 1)
             };

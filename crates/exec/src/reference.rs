@@ -62,6 +62,8 @@ pub fn simulate_reference(
         crashed: false,
         executions: Vec::new(),
         full_traversals: 0,
+        pruned_candidates: 0,
+        steal_tasks: 0,
         elapsed: start.elapsed(),
     };
 

@@ -48,9 +48,9 @@
 //! stays flat during enumeration under the built-in models.
 
 use crate::kernels;
-use std::cell::Cell;
 use std::fmt;
 use telechat_common::EventId;
+use telechat_obs::LocalMetric;
 
 /// Bits per word of the bitset representation.
 const WORD: usize = 64;
@@ -60,23 +60,18 @@ fn words_for(n: usize) -> usize {
     n.div_ceil(WORD)
 }
 
-thread_local! {
-    /// Per-thread count of full-graph traversals (Kahn-style eliminations
-    /// in [`Relation::is_acyclic`] / [`Relation::union_is_acyclic`] /
-    /// [`Relation::topological_order`]). The enumeration engine's
-    /// incremental acyclicity state exists to keep this flat during
-    /// coherence DFS; a pin test in `crate::enumerate` asserts it.
-    /// Thread-local so concurrently running tests cannot perturb a pin.
-    static FULL_TRAVERSALS: Cell<u64> = const { Cell::new(0) };
-}
-
 /// The current value of this thread's full-traversal counter (monotone).
+///
+/// The cell itself lives in the process-wide metrics layer
+/// ([`telechat_obs::LocalMetric::FullTraversals`]) — still per thread, so
+/// concurrently running tests cannot perturb a pin, and still counted
+/// unconditionally because pin tests assert on it with telemetry off.
 pub fn full_traversals() -> u64 {
-    FULL_TRAVERSALS.with(Cell::get)
+    telechat_obs::local_get(LocalMetric::FullTraversals)
 }
 
 fn count_traversal() {
-    FULL_TRAVERSALS.with(|c| c.set(c.get() + 1));
+    telechat_obs::local_add(LocalMetric::FullTraversals, 1);
 }
 
 /// Iterates the set bit indices of a word slice, ascending.

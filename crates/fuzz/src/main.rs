@@ -5,6 +5,7 @@
 //! telechat-fuzz campaign [--seed S] [--count N] [--source-model M] [--target-model M]
 //!                        [--arch A] [--compiler llvm-N|gcc-N] [--opt -ON]
 //!                        [--threads T] [--assert-no-positive] [--store PATH]
+//!                        [--metrics] [--trace PATH]
 //! telechat-fuzz minimize [--seed S] [--count N] [--source-model M] [--target-model M]
 //!                        [--arch A] [--compiler llvm-N|gcc-N] [--opt -ON]
 //! ```
@@ -65,6 +66,8 @@ struct Opts {
     threads: usize,
     assert_no_positive: bool,
     store: Option<std::path::PathBuf>,
+    metrics: bool,
+    trace: Option<std::path::PathBuf>,
 }
 
 impl Opts {
@@ -89,6 +92,8 @@ impl Opts {
             threads: 1,
             assert_no_positive: false,
             store: None,
+            metrics: false,
+            trace: None,
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
@@ -112,6 +117,8 @@ impl Opts {
                 "--threads" => o.threads = parse_num(value()?)?,
                 "--assert-no-positive" => o.assert_no_positive = true,
                 "--store" => o.store = Some(value()?.into()),
+                "--metrics" => o.metrics = true,
+                "--trace" => o.trace = Some(value()?.into()),
                 other => return Err(Error::parse(format!("unknown option `{other}`"))),
             }
         }
@@ -197,6 +204,8 @@ fn campaign_spec(o: &Opts) -> Result<CampaignSpec> {
         threads: o.threads,
         cache: true,
         store,
+        // A trace needs the span/metric collection even without --metrics.
+        metrics: o.metrics || o.trace.is_some(),
     })
 }
 
@@ -212,8 +221,21 @@ fn campaign(o: &Opts) -> Result<i32> {
     let spec = campaign_spec(o)?;
     let result = run_campaign_source(&mut source, &spec, &pipeline_config(o))?;
     println!("{result}");
-    if let Some(store) = &spec.store {
-        println!("{}", store.stats());
+    if let Some(path) = &o.trace {
+        let report = result
+            .obs
+            .as_ref()
+            .expect("--trace implies metrics collection");
+        let io = |e: std::io::Error| Error::Io(e.to_string());
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path).map_err(io)?);
+        report.write_jsonl(&mut file).map_err(io)?;
+        std::io::Write::flush(&mut file).map_err(io)?;
+        eprintln!(
+            "trace: {} span(s), {} metric row(s) -> {}",
+            report.spans.len(),
+            report.counters.len(),
+            path.display()
+        );
     }
     println!(
         "fuzz stream: seed {} -> {} tests, fnv1a64 {:016x}",

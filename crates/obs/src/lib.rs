@@ -1,0 +1,872 @@
+//! Unified tracing + metrics for the simulation and campaign engines.
+//!
+//! Like `criterion-shim`, this crate is hand-rolled in-tree (the build
+//! environment vendors no registry crates): a deliberately small subset of
+//! the tracing-library surface, shaped around what the campaign driver,
+//! the pipeline and the enumeration engine actually need.
+//!
+//! # Design
+//!
+//! The subsystem is **off by default** and a true no-op while off: every
+//! entry point starts with one relaxed load of a process-wide flag (the
+//! same pattern as `telechat::fault::fire`), no clock is read, no key
+//! string is formatted ([`span_with`] takes the key lazily), and nothing
+//! allocates. [`begin`] resets all state and arms the flag; [`finish`]
+//! disarms it and returns an [`ObsReport`] snapshot.
+//!
+//! **Spans** form a hierarchy — campaign → work item → leg → simulate →
+//! combo → DFS shard — threaded through the stack by a thread-local span
+//! stack. Work crossing a thread boundary (campaign workers, enumeration
+//! workers, the deadline watchdog) carries a [`SpanRef`] and re-parents
+//! itself with [`adopt`]. Span ids are *stable*: `id = fnv1a64(parent,
+//! name, key)`, so the id of "the source-sim leg of test X" is the same in
+//! every run at every thread count; completed spans are buffered
+//! thread-locally and flushed to a capped global sink, and [`finish`]
+//! normalises their order (depth, name, key, id, start) so the JSONL trace
+//! is diffable even though the OS scheduled the threads differently.
+//!
+//! **Counters** live in a fixed process-wide registry ([`Counter`]), each
+//! tagged with a determinism [`Class`]:
+//!
+//! * [`Class::Deterministic`] — byte-identical across thread counts,
+//!   cache on/off and store warm/cold; the set CI gates on.
+//! * [`Class::Scheduling`] — honest about depending on scheduling (gate
+//!   waits, stolen tasks, deadline kills).
+//! * [`Class::Process`] — process-scoped monotone state (model-registry
+//!   traffic, fault firings) that earlier work in the same process can
+//!   have absorbed already.
+//!
+//! A few hot counters that existing pin tests read *per thread* (the
+//! full-traversal counter of `telechat_exec::rel`) are promoted here as
+//! [`LocalMetric`]s: thread-local cells, always counted, never gated.
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+use telechat_common::fnv1a64;
+
+// ---------------------------------------------------------------------------
+// Enablement.
+// ---------------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether the subsystem is recording. One relaxed load; the hot-path
+/// guard of every other entry point.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Arms recording: resets every counter and the span sink, then enables.
+/// One campaign (or bench pass) per `begin`/`finish` window; concurrent
+/// windows in one process interleave and belong to whoever calls
+/// [`finish`] — callers that share a process (tests) serialise themselves.
+pub fn begin() {
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+    {
+        let mut sink = lock(&EVENTS);
+        sink.clear();
+    }
+    DROPPED.store(0, Ordering::Relaxed);
+    epoch(); // pin the time origin before the first span
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Disarms recording and snapshots everything recorded since [`begin`].
+/// The calling thread's spans must all be closed (dropped) by now.
+pub fn finish() -> ObsReport {
+    ENABLED.store(false, Ordering::Relaxed);
+    flush_thread();
+    let mut spans: Vec<SpanEvent> = std::mem::take(&mut *lock(&EVENTS));
+    // Normalise: start times relative to the earliest span, order by the
+    // stable key — scheduling decides none of the output.
+    let origin = spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    for s in &mut spans {
+        s.start_ns -= origin;
+    }
+    spans.sort_by(|a, b| {
+        (a.depth, a.name, &a.key, a.id, a.start_ns).cmp(&(b.depth, b.name, &b.key, b.id, b.start_ns))
+    });
+
+    let mut phases: Vec<PhaseRow> = Vec::new();
+    for s in &spans {
+        match phases.iter_mut().find(|p| p.name == s.name) {
+            Some(p) => {
+                p.count += 1;
+                p.total_ns += u128::from(s.dur_ns);
+            }
+            None => phases.push(PhaseRow {
+                name: s.name.to_string(),
+                count: 1,
+                total_ns: u128::from(s.dur_ns),
+            }),
+        }
+    }
+
+    let counters = Counter::ALL
+        .iter()
+        .map(|&c| CounterRow {
+            name: c.name().to_string(),
+            class: c.class(),
+            value: COUNTERS[c as usize].load(Ordering::Relaxed),
+        })
+        .collect();
+
+    ObsReport {
+        counters,
+        phases,
+        spans,
+        dropped_events: DROPPED.load(Ordering::Relaxed),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters.
+// ---------------------------------------------------------------------------
+
+/// Determinism class of a counter (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Class {
+    /// Byte-identical across thread counts, cache on/off, store warm/cold.
+    Deterministic,
+    /// Depends on scheduling or configuration knobs that never change
+    /// results (thread count, cache state).
+    Scheduling,
+    /// Process-scoped monotone state a previous window may have absorbed.
+    Process,
+}
+
+impl Class {
+    /// The row tag the table renderer and the JSONL sink print.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Class::Deterministic => "count",
+            Class::Scheduling => "sched",
+            Class::Process => "proc",
+        }
+    }
+}
+
+macro_rules! counters {
+    ($($variant:ident => ($name:literal, $class:ident),)*) => {
+        /// The process-wide counter registry (fixed set; see module docs).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        #[repr(usize)]
+        pub enum Counter {
+            $(#[doc = $name] $variant,)*
+        }
+
+        impl Counter {
+            /// Every counter, in registry (and render) order.
+            pub const ALL: &'static [Counter] = &[$(Counter::$variant,)*];
+
+            /// The dotted metric name.
+            pub fn name(self) -> &'static str {
+                match self { $(Counter::$variant => $name,)* }
+            }
+
+            /// The determinism class.
+            pub fn class(self) -> Class {
+                match self { $(Counter::$variant => Class::$class,)* }
+            }
+        }
+
+        static COUNTERS: [AtomicU64; Counter::ALL.len()] =
+            [const { AtomicU64::new(0) }; Counter::ALL.len()];
+    };
+}
+
+counters! {
+    CampaignTests => ("campaign.tests", Deterministic),
+    CampaignWorkItems => ("campaign.work_items", Deterministic),
+    SimCandidates => ("sim.candidates", Deterministic),
+    SimAllowed => ("sim.allowed", Deterministic),
+    SimPruned => ("sim.pruned_candidates", Deterministic),
+    SimFullTraversals => ("sim.full_traversals", Deterministic),
+    SimStealTasks => ("sim.steal_tasks", Scheduling),
+    CacheGateWaits => ("cache.gate_waits", Scheduling),
+    CatSessions => ("cat.combo_sessions", Scheduling),
+    CampaignRetries => ("campaign.retries", Scheduling),
+    CampaignDeadlineKills => ("campaign.deadline_kills", Scheduling),
+    CampaignPanics => ("campaign.panics", Scheduling),
+    RegistryLoads => ("registry.loads", Process),
+    RegistryCompiles => ("registry.compiles", Process),
+    FaultFirings => ("fault.firings", Process),
+}
+
+/// Adds `n` to a registry counter. No-op (one relaxed load) while off.
+#[inline]
+pub fn add(c: Counter, n: u64) {
+    if enabled() {
+        COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Current value of a registry counter (test/diagnostic use).
+pub fn get(c: Counter) -> u64 {
+    COUNTERS[c as usize].load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local metrics (always counted, never gated).
+// ---------------------------------------------------------------------------
+
+/// Metrics kept per thread because existing pin tests read per-thread
+/// deltas (spawned enumeration workers report their own contribution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalMetric {
+    /// Full-graph acyclicity/topological traversals — the counter the
+    /// zero-full-traversal pins in `telechat_exec` assert stays flat.
+    FullTraversals,
+}
+
+thread_local! {
+    static LOCAL_FULL_TRAVERSALS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Adds to this thread's cell. Unconditional: local metrics back
+/// invariants (pinned-zero accounting), not just telemetry.
+#[inline]
+pub fn local_add(m: LocalMetric, n: u64) {
+    match m {
+        LocalMetric::FullTraversals => LOCAL_FULL_TRAVERSALS.with(|c| c.set(c.get() + n)),
+    }
+}
+
+/// This thread's current cell value (monotone).
+pub fn local_get(m: LocalMetric) -> u64 {
+    match m {
+        LocalMetric::FullTraversals => LOCAL_FULL_TRAVERSALS.with(Cell::get),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans.
+// ---------------------------------------------------------------------------
+
+/// One completed span, as flushed to the sink and emitted to JSONL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Stable id: `fnv1a64(parent, name, key)` (never 0).
+    pub id: u64,
+    /// Parent span id, 0 at the root.
+    pub parent: u64,
+    /// Phase name (`campaign`, `work-item`, `source-sim`, `combo`, …).
+    pub name: &'static str,
+    /// Instance key (test:profile, combo index, …); empty when the parent
+    /// already identifies the instance.
+    pub key: String,
+    /// Nesting depth (root = 0).
+    pub depth: u32,
+    /// Start, nanoseconds relative to the window origin.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A handle for re-parenting work that hops threads.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanRef {
+    id: u64,
+    depth: u32,
+}
+
+struct TlTrace {
+    /// Open spans on this thread: (id, depth). Adopted parents count.
+    stack: Vec<(u64, u32)>,
+    /// Completed spans awaiting a flush.
+    buf: Vec<SpanEvent>,
+}
+
+thread_local! {
+    static TRACE: RefCell<TlTrace> = const {
+        RefCell::new(TlTrace {
+            stack: Vec::new(),
+            buf: Vec::new(),
+        })
+    };
+}
+
+/// Completed spans flushed by all threads, capped at [`EVENT_CAP`].
+static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+/// Spans dropped because the sink was full.
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Sink cap: a campaign-scale trace is thousands of spans; a runaway
+/// producer degrades to counting drops instead of exhausting memory.
+const EVENT_CAP: usize = 1 << 20;
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The window's time origin (process-wide, pinned by [`begin`]).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// The stable id of a span (exposed so tests can predict ids).
+pub fn span_id(parent: u64, name: &str, key: &str) -> u64 {
+    let mut h = fnv1a64(0, &parent.to_le_bytes());
+    h = fnv1a64(h, name.as_bytes());
+    h = fnv1a64(h, key.as_bytes());
+    h.max(1) // 0 means "no parent"
+}
+
+/// An open span; records itself into the sink when dropped. The no-op
+/// variant (subsystem off) is a `None` and costs nothing to drop.
+pub struct Span(Option<ActiveSpan>);
+
+struct ActiveSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    key: String,
+    depth: u32,
+    start: Instant,
+}
+
+/// Opens a span with an empty key.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    enter(name, String::new())
+}
+
+/// Opens a span whose key is built lazily — the closure never runs while
+/// the subsystem is off, so hot paths pay no formatting.
+#[inline]
+pub fn span_with(name: &'static str, key: impl FnOnce() -> String) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    enter(name, key())
+}
+
+/// Opens a span keyed by an index (combo number, task id).
+#[inline]
+pub fn span_idx(name: &'static str, idx: u64) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    enter(name, idx.to_string())
+}
+
+fn enter(name: &'static str, key: String) -> Span {
+    TRACE.with(|t| {
+        let mut t = t.borrow_mut();
+        let (parent, parent_depth) = t.stack.last().copied().map_or((0, None), |(id, d)| (id, Some(d)));
+        let depth = parent_depth.map_or(0, |d| d + 1);
+        let id = span_id(parent, name, &key);
+        t.stack.push((id, depth));
+        Span(Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            key,
+            depth,
+            start: Instant::now(),
+        }))
+    })
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else { return };
+        let dur_ns = u64::try_from(a.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let start_ns =
+            u64::try_from(a.start.duration_since(epoch()).as_nanos()).unwrap_or(u64::MAX);
+        TRACE.with(|t| {
+            let mut t = t.borrow_mut();
+            // Spans close LIFO on one thread; tolerate (and self-heal
+            // from) a leaked guard rather than corrupting the stack.
+            if let Some(pos) = t.stack.iter().rposition(|&(id, _)| id == a.id) {
+                t.stack.truncate(pos);
+            }
+            t.buf.push(SpanEvent {
+                id: a.id,
+                parent: a.parent,
+                name: a.name,
+                key: a.key,
+                depth: a.depth,
+                start_ns,
+                dur_ns,
+            });
+            if t.stack.is_empty() {
+                flush_buf(&mut t.buf);
+            }
+        });
+    }
+}
+
+/// The current innermost span, for handing to a spawned thread.
+pub fn current() -> Option<SpanRef> {
+    if !enabled() {
+        return None;
+    }
+    TRACE.with(|t| {
+        t.borrow()
+            .stack
+            .last()
+            .map(|&(id, depth)| SpanRef { id, depth })
+    })
+}
+
+/// Guard that re-parents this thread under `parent` until dropped; spans
+/// opened meanwhile nest below it. `None` (subsystem off, or no parent on
+/// the spawning thread) adopts nothing.
+pub struct Adopt(bool);
+
+/// Adopts a [`SpanRef`] on the current thread (see [`Adopt`]).
+pub fn adopt(parent: Option<SpanRef>) -> Adopt {
+    let Some(p) = parent else { return Adopt(false) };
+    if !enabled() {
+        return Adopt(false);
+    }
+    TRACE.with(|t| t.borrow_mut().stack.push((p.id, p.depth)));
+    Adopt(true)
+}
+
+impl Drop for Adopt {
+    fn drop(&mut self) {
+        if !self.0 {
+            return;
+        }
+        TRACE.with(|t| {
+            let mut t = t.borrow_mut();
+            t.stack.pop();
+            if t.stack.is_empty() {
+                flush_buf(&mut t.buf);
+            }
+        });
+    }
+}
+
+fn flush_buf(buf: &mut Vec<SpanEvent>) {
+    if buf.is_empty() {
+        return;
+    }
+    let mut sink = lock(&EVENTS);
+    let room = EVENT_CAP.saturating_sub(sink.len());
+    if buf.len() > room {
+        DROPPED.fetch_add((buf.len() - room) as u64, Ordering::Relaxed);
+        buf.truncate(room);
+    }
+    sink.append(buf);
+}
+
+/// Flushes the calling thread's buffered spans (called by [`finish`]; the
+/// worker threads flushed when their stacks emptied).
+fn flush_thread() {
+    TRACE.with(|t| {
+        let mut t = t.borrow_mut();
+        t.stack.clear();
+        flush_buf(&mut t.buf);
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Report and sinks.
+// ---------------------------------------------------------------------------
+
+/// One counter row of a report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterRow {
+    /// Dotted metric name.
+    pub name: String,
+    /// Determinism class.
+    pub class: Class,
+    /// Total over the window.
+    pub value: u64,
+}
+
+/// Per-phase wall-time aggregate (spans summed by name).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Span name.
+    pub name: String,
+    /// Number of spans.
+    pub count: u64,
+    /// Total wall time, nanoseconds (phases overlap across threads; the
+    /// sum is *work* time, not elapsed time).
+    pub total_ns: u128,
+}
+
+/// The programmatic snapshot [`finish`] returns: counters, per-phase time
+/// and the normalised span list. Embedded by `bench_relops` into
+/// `BENCH_relops.json` and rendered by `CampaignResult`'s `--metrics`
+/// table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsReport {
+    /// Registry counters (every registered counter, zero or not) plus any
+    /// rows absorbed afterwards ([`ObsReport::push_counter`]).
+    pub counters: Vec<CounterRow>,
+    /// Wall-time per span name.
+    pub phases: Vec<PhaseRow>,
+    /// Every completed span, normalised (relative starts, stable order).
+    pub spans: Vec<SpanEvent>,
+    /// Spans dropped at the sink cap (0 in any sane run).
+    pub dropped_events: u64,
+}
+
+impl ObsReport {
+    /// Appends a counter row (used to absorb `CacheStats`/`StoreStats`
+    /// totals that are collected outside the registry).
+    pub fn push_counter(&mut self, name: impl Into<String>, class: Class, value: u64) {
+        self.counters.push(CounterRow {
+            name: name.into(),
+            class,
+            value,
+        });
+    }
+
+    /// The value of a counter row, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|c| c.name == name).map(|c| c.value)
+    }
+
+    /// The deterministic-class counters — the invariance-gate subset that
+    /// must be byte-identical across thread counts.
+    pub fn deterministic_counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|c| c.class == Class::Deterministic)
+            .map(|c| (c.name.clone(), c.value))
+            .collect()
+    }
+
+    /// Total nanoseconds of the named phase, 0 if absent.
+    pub fn phase_ns(&self, name: &str) -> u128 {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(0, |p| p.total_ns)
+    }
+
+    /// The metric rows of this report (counters first, then phase times),
+    /// for [`render_metrics`].
+    pub fn rows(&self) -> Vec<MetricRow> {
+        let mut rows: Vec<MetricRow> = self
+            .counters
+            .iter()
+            .map(|c| MetricRow {
+                kind: c.class.tag(),
+                name: c.name.clone(),
+                value: c.value.to_string(),
+            })
+            .collect();
+        for p in &self.phases {
+            rows.push(MetricRow {
+                kind: "time",
+                name: p.name.clone(),
+                value: format!("{} ×{}", fmt_ms(p.total_ns), p.count),
+            });
+        }
+        if self.dropped_events > 0 {
+            rows.push(MetricRow {
+                kind: "sched",
+                name: "obs.dropped_events".into(),
+                value: self.dropped_events.to_string(),
+            });
+        }
+        rows
+    }
+
+    /// Writes the machine-readable JSONL trace: one `meta` line, one line
+    /// per span, one line per counter. Every line is a complete JSON
+    /// object (`python3 -m json.tool` validates each).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl(&self, w: &mut impl std::io::Write) -> std::io::Result<()> {
+        writeln!(
+            w,
+            "{{\"type\":\"meta\",\"format\":1,\"spans\":{},\"counters\":{},\"dropped\":{}}}",
+            self.spans.len(),
+            self.counters.len(),
+            self.dropped_events
+        )?;
+        for s in &self.spans {
+            writeln!(
+                w,
+                "{{\"type\":\"span\",\"id\":\"{:016x}\",\"parent\":\"{:016x}\",\"name\":{},\"key\":{},\"depth\":{},\"start_us\":{},\"dur_us\":{}}}",
+                s.id,
+                s.parent,
+                json_str(s.name),
+                json_str(&s.key),
+                s.depth,
+                s.start_ns / 1_000,
+                s.dur_ns / 1_000
+            )?;
+        }
+        for c in &self.counters {
+            writeln!(
+                w,
+                "{{\"type\":\"metric\",\"name\":{},\"class\":\"{}\",\"value\":{}}}",
+                json_str(&c.name),
+                c.class.tag(),
+                c.value
+            )?;
+        }
+        Ok(())
+    }
+
+    /// A compact JSON object (counters + phase times) for embedding in
+    /// bench reports.
+    pub fn to_json(&self, indent: &str) -> String {
+        let mut out = String::new();
+        let pad = format!("{indent}  ");
+        out.push_str("{\n");
+        let _ = writeln!(out, "{pad}\"counters\": {{");
+        for (i, c) in self.counters.iter().enumerate() {
+            let comma = if i + 1 == self.counters.len() { "" } else { "," };
+            let _ = writeln!(out, "{pad}  {}: {}{comma}", json_str(&c.name), c.value);
+        }
+        let _ = writeln!(out, "{pad}}},");
+        let _ = writeln!(out, "{pad}\"phases\": {{");
+        for (i, p) in self.phases.iter().enumerate() {
+            let comma = if i + 1 == self.phases.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "{pad}  {}: {{\"count\": {}, \"total_ms\": {:.3}}}{comma}",
+                json_str(&p.name),
+                p.count,
+                p.total_ns as f64 / 1e6
+            );
+        }
+        let _ = writeln!(out, "{pad}}},");
+        let _ = writeln!(out, "{pad}\"dropped_events\": {}", self.dropped_events);
+        let _ = write!(out, "{indent}}}");
+        out
+    }
+}
+
+/// Parses one `"type":"span"` JSONL line back into a [`SpanEvent`] (the
+/// schema-check half of the trace round-trip; keys land in the order
+/// [`ObsReport::write_jsonl`] writes them). `None` for non-span lines or
+/// malformed input.
+pub fn span_from_jsonl(line: &str) -> Option<SpanEvent> {
+    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+        let tag = format!("\"{key}\":");
+        let at = line.find(&tag)? + tag.len();
+        let rest = &line[at..];
+        if let Some(stripped) = rest.strip_prefix('"') {
+            stripped.split('"').next()
+        } else {
+            rest.split([',', '}']).next()
+        }
+    }
+    if field(line, "type") != Some("span") {
+        return None;
+    }
+    Some(SpanEvent {
+        id: u64::from_str_radix(field(line, "id")?, 16).ok()?,
+        parent: u64::from_str_radix(field(line, "parent")?, 16).ok()?,
+        // Leaked so the borrowed-name field round-trips; schema checks
+        // parse a bounded number of lines.
+        name: Box::leak(field(line, "name")?.to_string().into_boxed_str()),
+        key: field(line, "key")?.to_string(),
+        depth: field(line, "depth")?.parse().ok()?,
+        start_ns: field(line, "start_us")?.parse::<u64>().ok()?.saturating_mul(1_000),
+        dur_ns: field(line, "dur_us")?.parse::<u64>().ok()?.saturating_mul(1_000),
+    })
+}
+
+/// One row of the human metrics table: a kind tag (`count`/`sched`/
+/// `proc`/`time`/`rate`), a dotted name and a preformatted value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricRow {
+    /// Row tag; deterministic rows are tagged `count`.
+    pub kind: &'static str,
+    /// Dotted metric name.
+    pub name: String,
+    /// Preformatted value.
+    pub value: String,
+}
+
+/// Renders metric rows as the aligned two-space-indented table every sink
+/// shares (`CampaignResult`'s `metrics:` block, `--metrics`).
+pub fn render_metrics(rows: &[MetricRow]) -> String {
+    let name_w = rows.iter().map(|r| r.name.len()).max().unwrap_or(0).max(24);
+    let mut out = String::new();
+    for r in rows {
+        let _ = writeln!(out, "  {:5}  {:name_w$}  {:>14}", r.kind, r.name, r.value);
+    }
+    out
+}
+
+/// Milliseconds with three decimals from a nanosecond total.
+fn fmt_ms(ns: u128) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+/// Minimal JSON string quoting (quotes, backslashes, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The registry and the span sink are process-global; tests serialise.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_is_inert() {
+        let _g = lock(&SERIAL);
+        ENABLED.store(false, Ordering::Relaxed);
+        let before = get(Counter::SimCandidates);
+        add(Counter::SimCandidates, 5);
+        assert_eq!(get(Counter::SimCandidates), before);
+        let ran = Cell::new(false);
+        let s = span_with("x", || {
+            ran.set(true);
+            "k".into()
+        });
+        drop(s);
+        assert!(!ran.get(), "key closures never run while off");
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn counters_and_spans_round_trip_through_a_window() {
+        let _g = lock(&SERIAL);
+        begin();
+        add(Counter::SimCandidates, 3);
+        add(Counter::SimCandidates, 4);
+        add(Counter::SimStealTasks, 2);
+        {
+            let _root = span("campaign");
+            let _leg = span_with("work-item", || "SB:clang".into());
+        }
+        let report = finish();
+        assert_eq!(report.counter("sim.candidates"), Some(7));
+        assert_eq!(report.counter("sim.steal_tasks"), Some(2));
+        assert_eq!(report.spans.len(), 2);
+        let root = &report.spans[0];
+        let item = &report.spans[1];
+        assert_eq!((root.name, root.depth, root.parent), ("campaign", 0, 0));
+        assert_eq!((item.name, item.depth, item.parent), ("work-item", 1, root.id));
+        assert_eq!(item.id, span_id(root.id, "work-item", "SB:clang"));
+        assert!(report.phase_ns("campaign") >= report.phase_ns("work-item"));
+        // Deterministic subset excludes the scheduling-class counter.
+        assert!(report
+            .deterministic_counters()
+            .iter()
+            .all(|(n, _)| n != "sim.steal_tasks"));
+    }
+
+    #[test]
+    fn span_ids_are_stable_across_windows_and_threads() {
+        let _g = lock(&SERIAL);
+        let run = || {
+            begin();
+            let parent = {
+                let _root = span("campaign");
+                let parent = current();
+                std::thread::scope(|s| {
+                    s.spawn(|| {
+                        let _a = adopt(parent);
+                        let _w = span_with("work-item", || "T:p".into());
+                    });
+                });
+                parent.unwrap().id
+            };
+            (finish(), parent)
+        };
+        let (a, root_a) = run();
+        let (b, root_b) = run();
+        assert_eq!(root_a, root_b);
+        let ids = |r: &ObsReport| r.spans.iter().map(|s| (s.id, s.parent, s.depth)).collect::<Vec<_>>();
+        assert_eq!(ids(&a), ids(&b), "normalised span lists are diffable");
+        // The adopted child nests under the root even though it ran on
+        // another thread.
+        assert_eq!(a.spans[1].parent, root_a);
+        assert_eq!(a.spans[1].depth, 1);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_back() {
+        let _g = lock(&SERIAL);
+        begin();
+        {
+            let _root = span("campaign");
+            let _child = span_with("work-item", || "a\"b:c".into());
+        }
+        let report = finish();
+        let mut buf = Vec::new();
+        report.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut spans = Vec::new();
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            if let Some(s) = span_from_jsonl(line) {
+                spans.push(s);
+            }
+        }
+        assert_eq!(spans.len(), report.spans.len());
+        for (parsed, orig) in spans.iter().zip(&report.spans) {
+            assert_eq!(parsed.id, orig.id);
+            assert_eq!(parsed.parent, orig.parent);
+            assert_eq!(parsed.depth, orig.depth);
+            assert_eq!(parsed.name, orig.name);
+        }
+        assert!(text.contains("\"type\":\"metric\""));
+    }
+
+    #[test]
+    fn local_metrics_are_per_thread_and_ungated() {
+        ENABLED.store(false, Ordering::Relaxed);
+        let base = local_get(LocalMetric::FullTraversals);
+        local_add(LocalMetric::FullTraversals, 2);
+        assert_eq!(local_get(LocalMetric::FullTraversals), base + 2);
+        let other = std::thread::spawn(|| local_get(LocalMetric::FullTraversals))
+            .join()
+            .unwrap();
+        assert_eq!(other, 0, "fresh threads start at zero");
+    }
+
+    #[test]
+    fn render_is_aligned_and_tagged() {
+        let rows = vec![
+            MetricRow { kind: "count", name: "sim.candidates".into(), value: "7".into() },
+            MetricRow { kind: "time", name: "campaign".into(), value: "1.250ms ×1".into() },
+            MetricRow { kind: "rate", name: "throughput".into(), value: "3.1 tests/s".into() },
+        ];
+        let table = render_metrics(&rows);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("  count  sim.candidates"));
+        assert!(lines[1].starts_with("  time   campaign"));
+        let width = lines[0].chars().count();
+        assert!(
+            lines.iter().all(|l| l.chars().count() == width),
+            "{table}"
+        );
+    }
+}

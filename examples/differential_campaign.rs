@@ -27,6 +27,7 @@ fn main() -> Result<(), Error> {
         threads: 4,
         cache: true,
         store: None,
+        metrics: false,
     };
     let config = PipelineConfig {
         sim: SimConfig::fast(),

@@ -74,6 +74,7 @@ fn spec(threads: usize, cache: bool) -> CampaignSpec {
         threads,
         cache,
         store: None,
+        metrics: false,
     }
 }
 

@@ -188,6 +188,7 @@ fn campaign_on_tiny_suite_is_deterministic() {
         threads: 2,
         cache: true,
         store: None,
+        metrics: false,
     };
     let config = PipelineConfig::default();
     let a = run_campaign(&suite, &spec, &config).unwrap();

@@ -86,6 +86,7 @@ fn spec(threads: usize, compilers: Vec<CompilerId>, opts: Vec<OptLevel>) -> Camp
         threads,
         cache: true,
         store: None,
+        metrics: false,
     }
 }
 

@@ -190,6 +190,7 @@ fn fixed_seed_campaigns_are_byte_identical_across_thread_counts() {
             threads: campaign_threads,
             cache: true,
             store: None,
+            metrics: false,
         };
         let mut config = PipelineConfig::default();
         config.sim.threads = sim_threads;

@@ -1,0 +1,195 @@
+//! Observability invariants (PR 8): instrumentation off is semantically
+//! invisible, the deterministic (`count`-class) metric totals are
+//! byte-identical across every campaign × simulation thread combination,
+//! and the JSONL trace of a seeded campaign round-trips a schema check
+//! with a well-nested single-root span tree.
+//!
+//! The obs registry is process-global, so every test in this binary takes
+//! [`SERIAL`] first — campaigns with `metrics: true` must not overlap.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+use telechat_repro::common::Arch;
+use telechat_repro::core::obs;
+use telechat_repro::core::{run_campaign_source, CampaignResult, CampaignSpec, PipelineConfig};
+use telechat_repro::fuzz::{FuzzConfig, FuzzSource};
+use telechat_compiler::{CompilerId, OptLevel, Target};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn spec(threads: usize, metrics: bool) -> CampaignSpec {
+    CampaignSpec {
+        compilers: vec![CompilerId::llvm(11), CompilerId::gcc(10)],
+        opts: vec![OptLevel::O2, OptLevel::O3],
+        targets: vec![Target::new(Arch::AArch64)],
+        source_model: "rc11".into(),
+        threads,
+        cache: true,
+        store: None,
+        metrics,
+    }
+}
+
+fn config(sim_threads: usize) -> PipelineConfig {
+    let mut config = PipelineConfig::default();
+    config.sim.threads = sim_threads;
+    config
+}
+
+fn run(seed: u64, count: usize, spec: &CampaignSpec, config: &PipelineConfig) -> CampaignResult {
+    let mut source = FuzzSource::new(&FuzzConfig::smoke(seed, count));
+    run_campaign_source(&mut source, spec, config).unwrap()
+}
+
+/// Everything a campaign result *means*: cells, positives, accounting,
+/// and the cache traffic (deterministic under `cache: true`).
+fn fingerprint(r: &CampaignResult) -> (String, Vec<(String, String)>, usize, usize, String) {
+    (
+        format!("{:?}", r.cells),
+        r.positive_tests.clone(),
+        r.source_tests,
+        r.compiled_tests,
+        format!("{:?}", r.cache),
+    )
+}
+
+#[test]
+fn instrumentation_off_is_semantically_invisible() {
+    let _guard = SERIAL.lock().unwrap();
+    let config = config(1);
+    let off = run(7, 16, &spec(1, false), &config);
+    assert!(off.obs.is_none(), "metrics: false must not attach a report");
+    // Rendering an uninstrumented, unstored campaign stays the pre-PR
+    // shape: no `metrics:` block sneaks into `Display`.
+    let mut plain = spec(1, false);
+    plain.cache = false;
+    let plain_run = run(7, 16, &plain, &config);
+    assert!(
+        !format!("{plain_run}").contains("metrics:"),
+        "uncached campaigns without --metrics render exactly as before"
+    );
+
+    let on = run(7, 16, &spec(1, true), &config);
+    let report = on.obs.as_ref().expect("metrics: true attaches a report");
+    assert_eq!(
+        fingerprint(&on),
+        fingerprint(&off),
+        "instrumentation must not change what the campaign computes"
+    );
+    assert_eq!(report.counter("campaign.tests"), Some(16));
+    assert_eq!(
+        report.counter("campaign.work_items"),
+        Some(on.compiled_tests as u64)
+    );
+    assert!(report.phase_ns("campaign") > 0, "root span records wall time");
+}
+
+#[test]
+fn deterministic_totals_invariant_across_thread_matrix() {
+    let _guard = SERIAL.lock().unwrap();
+    // (campaign threads, sim threads). The campaign driver forces sim
+    // threads to 1 when it is itself parallel, so the interesting axes
+    // are campaign 1/4 and sim 1/4 under a serial campaign.
+    let matrix = [(1, 1), (1, 4), (4, 1), (4, 4)];
+    let mut baseline: Option<(Vec<(String, u64)>, _)> = None;
+    for (campaign_threads, sim_threads) in matrix {
+        let r = run(7, 24, &spec(campaign_threads, true), &config(sim_threads));
+        let counters = r.obs.as_ref().unwrap().deterministic_counters();
+        assert!(
+            counters.iter().any(|(n, v)| n == "sim.candidates" && *v > 0),
+            "deterministic set covers the simulation totals: {counters:?}"
+        );
+        match &baseline {
+            None => baseline = Some((counters, fingerprint(&r))),
+            Some((c0, f0)) => {
+                assert_eq!(
+                    &counters, c0,
+                    "count-class totals must be byte-identical at \
+                     campaign={campaign_threads} sim={sim_threads}"
+                );
+                assert_eq!(&fingerprint(&r), f0);
+            }
+        }
+    }
+}
+
+#[test]
+fn jsonl_trace_round_trips_and_spans_nest() {
+    let _guard = SERIAL.lock().unwrap();
+    let r = run(7, 64, &spec(2, true), &config(1));
+    let report = r.obs.as_ref().unwrap();
+    let mut bytes = Vec::new();
+    report.write_jsonl(&mut bytes).unwrap();
+    let text = String::from_utf8(bytes).unwrap();
+
+    let mut spans = Vec::new();
+    let mut metric_lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "line {i} is not a JSON object: {line}"
+        );
+        if i == 0 {
+            assert!(line.contains(r#""type":"meta""#), "line 0 is the meta line");
+            assert!(line.contains(r#""format":1"#));
+            continue;
+        }
+        if let Some(span) = obs::span_from_jsonl(line) {
+            spans.push(span);
+        } else {
+            assert!(line.contains(r#""type":"metric""#), "unknown line: {line}");
+            metric_lines += 1;
+        }
+    }
+    assert_eq!(spans.len(), report.spans.len(), "every span round-trips");
+    assert_eq!(metric_lines, report.counters.len());
+
+    // Exactly one root, named for the campaign, with the null parent id.
+    let roots: Vec<_> = spans.iter().filter(|s| s.depth == 0).collect();
+    assert_eq!(roots.len(), 1, "single root span");
+    assert_eq!(roots[0].name, "campaign");
+    assert_eq!(roots[0].parent, 0);
+
+    // Well-nested: every non-root span's parent exists one level up, and
+    // ids are unique (the stable-id scheme must not collide here).
+    let mut depth_of = HashMap::new();
+    for s in &spans {
+        assert!(
+            depth_of.insert(s.id, s.depth).is_none(),
+            "duplicate span id {:016x} ({})",
+            s.id,
+            s.name
+        );
+    }
+    for s in spans.iter().filter(|s| s.depth > 0) {
+        assert_eq!(
+            depth_of.get(&s.parent),
+            Some(&(s.depth - 1)),
+            "span {} ({:016x}) parent missing or at the wrong depth",
+            s.name,
+            s.id
+        );
+    }
+
+    // The pipeline phases all show up under their documented names.
+    let names: HashSet<&str> = spans.iter().map(|s| s.name).collect();
+    for phase in [
+        "campaign",
+        "work-item",
+        "prepare",
+        "compile",
+        "extract",
+        "source-sim",
+        "target-sim",
+        "compare",
+        "combo",
+    ] {
+        assert!(names.contains(phase), "missing span name {phase:?}");
+    }
+
+    // One work item per compiled test, each keyed `test:profile`.
+    let items: Vec<_> = spans.iter().filter(|s| s.name == "work-item").collect();
+    assert_eq!(items.len(), r.compiled_tests);
+    assert!(items.iter().all(|s| s.key.contains(':')));
+}

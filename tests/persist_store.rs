@@ -81,6 +81,7 @@ fn spec(threads: usize, store: Option<Arc<PersistStore>>) -> CampaignSpec {
         threads,
         cache: true,
         store,
+        metrics: false,
     }
 }
 
@@ -95,6 +96,7 @@ fn small_spec(store: Option<Arc<PersistStore>>) -> CampaignSpec {
         threads: 1,
         cache: true,
         store,
+        metrics: false,
     }
 }
 
