@@ -14,6 +14,14 @@
 //! the repo's perf trajectory is tracked across PRs (`--quick` shrinks the
 //! budget and iteration counts for CI smoke runs; the JSON shape is
 //! identical).
+//!
+//! `--compare BASELINE.json [--tolerance PCT]` turns the run into a
+//! regression gate: after writing its own JSON it diffs the engine
+//! wall-clock rows (`engine.staged_ms` / `leaf_only_ms` / `reference_ms`
+//! and `deep_sample.staged_ms`) against the baseline file and exits
+//! nonzero if any row is slower by more than the tolerance (default
+//! 25%, sized for shared-box scheduler noise — the gate catches
+//! algorithmic regressions, not single-digit-percent drift).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -130,8 +138,49 @@ fn deep_sample_test() -> Option<(LitmusTest, usize, u128)> {
     None
 }
 
+/// The wall-clock rows the `--compare` regression gate diffs, as
+/// (section, key) pairs into the JSON document this binary writes.
+const GATE_ROWS: [(&str, &str); 4] = [
+    ("engine", "staged_ms"),
+    ("engine", "leaf_only_ms"),
+    ("engine", "reference_ms"),
+    ("deep_sample", "staged_ms"),
+];
+
+/// Pulls `"key": <number>` out of the named top-level section of a bench
+/// JSON document (the hand-rolled format this binary writes: section
+/// headers at two-space indent, keys at four — the workspace vendors no
+/// serde, and the gate only needs these flat numeric rows). Returns
+/// `None` for a missing section/key or a `null` value, which the gate
+/// reports as a skipped row rather than an error.
+fn json_number(doc: &str, section: &str, key: &str) -> Option<f64> {
+    let sec_pat = format!("\"{section}\": {{");
+    let body = &doc[doc.find(&sec_pat)? + sec_pat.len()..];
+    // Nested objects (the embedded campaign report) close at deeper
+    // indent, so the first two-space close brace ends this section.
+    let body = &body[..body.find("\n  }")?];
+    let key_pat = format!("\"{key}\": ");
+    let rest = &body[body.find(&key_pat)? + key_pat.len()..];
+    let val: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    val.parse().ok()
+}
+
 fn main() -> Result<()> {
-    let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let quick = argv.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| -> Option<&String> {
+        argv.iter().position(|a| a == flag).and_then(|i| argv.get(i + 1))
+    };
+    let compare = flag_value("--compare").cloned();
+    let tolerance: f64 = match flag_value("--tolerance") {
+        Some(s) => s.parse().map_err(|_| {
+            telechat_common::Error::Unsupported(format!("bad --tolerance `{s}`"))
+        })?,
+        None => 25.0,
+    };
     let (budget, reps, micro_iters) = if quick {
         (2_000u64, 1usize, 200u32)
     } else {
@@ -672,5 +721,43 @@ fn main() -> Result<()> {
     std::fs::write(path, &json)
         .map_err(|e| telechat_common::Error::Unsupported(format!("cannot write {path}: {e}")))?;
     println!("wrote {path}");
+
+    // Regression gate: diff the engine wall-clock rows of this run against
+    // a recorded baseline, fail the process if any regressed beyond the
+    // tolerance. Rows absent or null on either side (e.g. a baseline from
+    // a box where the deep-sample scan found nothing) are skipped, not
+    // failed — the gate must never invent a regression.
+    if let Some(baseline_path) = compare {
+        let baseline = std::fs::read_to_string(&baseline_path).map_err(|e| {
+            telechat_common::Error::Unsupported(format!("cannot read {baseline_path}: {e}"))
+        })?;
+        println!("-- regression gate vs {baseline_path} (tolerance {tolerance:.0}%) --");
+        let mut regressed = false;
+        for (section, key) in GATE_ROWS {
+            let name = format!("{section}.{key}");
+            let (Some(base), Some(cur)) = (
+                json_number(&baseline, section, key),
+                json_number(&json, section, key),
+            ) else {
+                println!("  {name:24} skipped (row missing or null)");
+                continue;
+            };
+            let delta_pct = (cur / base - 1.0) * 100.0;
+            let verdict = if cur > base * (1.0 + tolerance / 100.0) {
+                regressed = true;
+                "REGRESSED"
+            } else {
+                "ok"
+            };
+            println!(
+                "  {name:24} base {base:9.2} ms  now {cur:9.2} ms  ({delta_pct:+6.1}%)  {verdict}"
+            );
+        }
+        if regressed {
+            eprintln!("FAIL: engine row(s) regressed beyond the {tolerance:.0}% tolerance");
+            std::process::exit(1);
+        }
+        println!("gate: all rows within tolerance");
+    }
     Ok(())
 }

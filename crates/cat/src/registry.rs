@@ -313,6 +313,15 @@ impl ComboChecker for CatComboChecker<'_> {
             state.absorb();
         }
     }
+
+    fn blame(&self) -> Option<&str> {
+        match &self.session {
+            CatSession::Staged(state) => state.blame(),
+            // Plain sessions never answer `Forbidden` mid-DFS, so the
+            // enumerator never asks them for blame.
+            CatSession::Plain { .. } => None,
+        }
+    }
 }
 
 /// A process-wide cache of compiled models: each bundled `.cat` program is
@@ -530,6 +539,13 @@ impl ComboChecker for IntersectionChecker<'_> {
         for c in &mut self.parts {
             c.absorb();
         }
+    }
+
+    fn blame(&self) -> Option<&str> {
+        // Parts are checked in declaration order, so the first part able
+        // to name a violated rule wins — mirroring `check`'s first-
+        // Forbidden-part semantics.
+        self.parts.iter().find_map(|c| c.blame())
     }
 }
 

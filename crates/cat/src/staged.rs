@@ -952,6 +952,28 @@ impl<'a> StagedState<'a> {
         }
     }
 
+    /// The first-violated constraint name in the current (possibly
+    /// partial) state, for mid-DFS prune attribution. Walks the plan in
+    /// source order — the same order [`StagedState::check_leaf`] uses — so
+    /// a prune and a leaf rejection caused by the same constraint blame
+    /// the same name. Only constant and staged checks can be violated
+    /// mid-DFS (residual checks are leaf-only), so this answers from
+    /// state with no evaluation. `None` when nothing is violated.
+    pub fn blame(&self) -> Option<&str> {
+        for step in &self.plan.steps {
+            match step {
+                Step::CheckConst { cslot, name, .. } if !self.const_results[*cslot] => {
+                    return Some(name);
+                }
+                Step::CheckStaged { idx } if self.cons[*idx].violated() => {
+                    return Some(&self.plan.constraints[*idx].name);
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
     /// The leaf verdict: statements walked in source order — staged and
     /// constant checks answered from state, residual checks and flags
     /// evaluated — so the first-violated rule name and the flag list are

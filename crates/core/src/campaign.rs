@@ -15,7 +15,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
-use telechat_common::{Arch, Error, Result};
+use telechat_common::{fnv1a64, Arch, Error, Result};
 use telechat_compiler::{Compiler, CompilerFamily, CompilerId, OptLevel, Target};
 use telechat_litmus::LitmusTest;
 
@@ -471,6 +471,12 @@ pub fn run_campaign_source(
     }
 
     let result = Mutex::new(CampaignResult::default());
+    // Coverage: distinct source-outcome-set fingerprints seen across the
+    // campaign (the precursor to observation-equivalence dedup). A set of
+    // hashes, so the final cardinality is a pure function of the work
+    // list — byte-identical across thread counts, cache and store.
+    let outcome_sets: Mutex<std::collections::BTreeSet<u64>> =
+        Mutex::new(std::collections::BTreeSet::new());
     let frontier: Mutex<Frontier> = Mutex::new(Frontier {
         source,
         queue: std::collections::VecDeque::new(),
@@ -582,12 +588,20 @@ pub fn run_campaign_source(
                     {
                         let mut res = lock_unpoisoned(&result);
                         let cell = res.cells.entry(key).or_default();
+                        if spec.metrics {
+                            if let Ok(report) = &outcome {
+                                let mut h = 0u64;
+                                h = fnv1a64(h, report.source_outcomes.to_string().as_bytes());
+                                lock_unpoisoned(&outcome_sets).insert(h);
+                            }
+                        }
                         match outcome {
                             Ok(report) => match report.verdict {
                                 TestVerdict::Pass => cell.pass += 1,
                                 TestVerdict::NegativeDifference => cell.negative += 1,
                                 TestVerdict::PositiveDifference => {
                                     cell.positive += 1;
+                                    telechat_obs::add(telechat_obs::Counter::CampaignPositives, 1);
                                     res.positive_tests
                                         .push((test.name.clone(), compiler.profile_name()));
                                 }
@@ -612,6 +626,8 @@ pub fn run_campaign_source(
     // main thread's buffered spans) land in the report.
     drop(root_span);
     if spec.metrics {
+        let seen = outcome_sets.into_inner().unwrap_or_else(|e| e.into_inner());
+        telechat_obs::add_labelled("coverage.source_outcome_sets", seen.len() as u64);
         result.obs = Some(telechat_obs::finish());
     }
     Ok(result)
@@ -673,5 +689,54 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every derived `rate` row must render "-" — never NaN/inf, never a
+    /// panic — when its denominator window is zero: a sub-millisecond
+    /// campaign with no candidates, or a cache touched only on a layer
+    /// whose hit-rate denominator stays empty.
+    #[test]
+    fn rate_rows_guard_zero_denominators() {
+        let mut obs = telechat_obs::ObsReport::default();
+        obs.push_counter(
+            "sim.pruned_candidates",
+            telechat_obs::Class::Deterministic,
+            0,
+        );
+        obs.push_counter("sim.candidates", telechat_obs::Class::Deterministic, 0);
+        let mut result = CampaignResult {
+            obs: Some(obs),
+            compiled_tests: 4,
+            ..CampaignResult::default()
+        };
+        // Only the prepare layer was touched: `any()` renders the cache
+        // block while the source/target hit-rate denominators are zero.
+        result.cache.prepare_hits = 1;
+
+        let rows = result.metric_rows();
+        let rate = |name: &str| {
+            rows.iter()
+                .find(|r| r.kind == "rate" && r.name == name)
+                .map(|r| r.value.clone())
+        };
+        assert_eq!(rate("sim.prune_ratio").as_deref(), Some("-"));
+        assert_eq!(rate("cache.source.hit_rate").as_deref(), Some("-"));
+        assert_eq!(rate("cache.target.hit_rate").as_deref(), Some("-"));
+        // A zero-length campaign phase suppresses tests/s entirely rather
+        // than dividing by a zero-nanosecond window.
+        assert_eq!(rate("campaign.tests_per_s"), None);
+        for r in &rows {
+            assert!(
+                !r.value.contains("NaN") && !r.value.contains("inf"),
+                "{}: {}",
+                r.name,
+                r.value
+            );
+        }
     }
 }

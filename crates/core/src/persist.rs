@@ -64,9 +64,10 @@ use telechat_exec::SimResult;
 /// Magic bytes identifying a Téléchat store log.
 const MAGIC: &[u8; 8] = b"TCHSTORE";
 /// On-disk format version (bump on layout changes). v2 added
-/// `StoredSim::pruned_candidates`; a v1 log is recovered as a reset (the
-/// legs recompute — store contents never change results).
-const FORMAT_VERSION: u32 = 2;
+/// `StoredSim::pruned_candidates`; v3 added the attribution fields (rule
+/// tallies, prune sites, per-combo histogram). An older log is recovered
+/// as a reset (the legs recompute — store contents never change results).
+const FORMAT_VERSION: u32 = 3;
 /// Header size: magic + version + engine revision + models fp + checksum.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8;
 /// Upper bound on a single record payload; anything larger is treated as
@@ -326,6 +327,16 @@ pub struct StoredSim {
     pub pruned_candidates: u64,
     /// Original wall-clock simulation time, in nanoseconds.
     pub elapsed_nanos: u64,
+    /// Forbidden-leaf tally per first-violated rule. Persisted so
+    /// store-warm replays carry the original attribution and campaign
+    /// totals stay byte-identical across store configurations.
+    pub rule_leaves: std::collections::BTreeMap<String, u64>,
+    /// Pruned charge per blamed rule (mid-DFS rejections).
+    pub rule_prunes: std::collections::BTreeMap<String, u64>,
+    /// Pruned charge per enumeration prune site.
+    pub prune_sites: telechat_exec::PruneSites,
+    /// Per-combo DFS-size histogram (sparse-encoded on disk).
+    pub combo_candidates: telechat_obs::Histogram,
 }
 
 impl StoredSim {
@@ -344,6 +355,10 @@ impl StoredSim {
             full_traversals: r.full_traversals,
             pruned_candidates: r.pruned_candidates,
             elapsed_nanos: u64::try_from(r.elapsed.as_nanos()).unwrap_or(u64::MAX),
+            rule_leaves: r.rule_leaves.clone(),
+            rule_prunes: r.rule_prunes.clone(),
+            prune_sites: r.prune_sites,
+            combo_candidates: r.combo_candidates.clone(),
         })
     }
 
@@ -359,6 +374,10 @@ impl StoredSim {
             full_traversals: self.full_traversals,
             pruned_candidates: self.pruned_candidates,
             steal_tasks: 0,
+            rule_leaves: self.rule_leaves,
+            rule_prunes: self.rule_prunes,
+            prune_sites: self.prune_sites,
+            combo_candidates: self.combo_candidates,
             elapsed: Duration::from_nanos(self.elapsed_nanos),
         }
     }
@@ -399,6 +418,37 @@ fn put_val(buf: &mut Vec<u8>, v: &Val) {
     }
 }
 
+fn put_rule_map(buf: &mut Vec<u8>, map: &std::collections::BTreeMap<String, u64>) {
+    put_u32(buf, map.len() as u32);
+    for (rule, n) in map {
+        put_str(buf, rule);
+        put_u64(buf, *n);
+    }
+}
+
+/// Sparse histogram encoding: the (index, count) pairs of the nonzero
+/// buckets, then the scalar summary. Per-combo DFS sizes cluster in a
+/// handful of buckets, so this beats the dense 65-slot array by an order
+/// of magnitude on disk.
+fn put_hist(buf: &mut Vec<u8>, h: &telechat_obs::Histogram) {
+    let nonzero: Vec<(u8, u64)> = h
+        .buckets()
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| (i as u8, c))
+        .collect();
+    put_u32(buf, nonzero.len() as u32);
+    for (i, c) in nonzero {
+        buf.push(i);
+        put_u64(buf, c);
+    }
+    put_u64(buf, h.count());
+    put_u64(buf, h.sum());
+    put_u64(buf, h.min());
+    put_u64(buf, h.max());
+}
+
 fn put_key(buf: &mut Vec<u8>, k: &StateKey) {
     match k {
         StateKey::Reg(t, r) => {
@@ -436,6 +486,12 @@ fn encode_value(buf: &mut Vec<u8>, v: &StoredValue) -> bool {
             put_u64(buf, sim.full_traversals);
             put_u64(buf, sim.pruned_candidates);
             put_u64(buf, sim.elapsed_nanos);
+            put_rule_map(buf, &sim.rule_leaves);
+            put_rule_map(buf, &sim.rule_prunes);
+            for (_, n) in sim.prune_sites.rows() {
+                put_u64(buf, n);
+            }
+            put_hist(buf, &sim.combo_candidates);
             true
         }
         Err(e) => {
@@ -571,6 +627,43 @@ impl<'a> Dec<'a> {
         }
     }
 
+    fn rule_map(&mut self) -> Option<std::collections::BTreeMap<String, u64>> {
+        let n = self.u32()?;
+        let mut map = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let rule = self.str()?;
+            let count = self.u64()?;
+            map.insert(rule, count);
+        }
+        Some(map)
+    }
+
+    fn prune_sites(&mut self) -> Option<telechat_exec::PruneSites> {
+        Some(telechat_exec::PruneSites {
+            rf_incremental: self.u64()?,
+            rf_recheck: self.u64()?,
+            co_incremental: self.u64()?,
+            co_recheck: self.u64()?,
+        })
+    }
+
+    fn hist(&mut self) -> Option<telechat_obs::Histogram> {
+        let n = self.u32()?;
+        let mut buckets = [0u64; 65];
+        for _ in 0..n {
+            let i = self.u8()? as usize;
+            let c = self.u64()?;
+            *buckets.get_mut(i)? = c;
+        }
+        let count = self.u64()?;
+        let sum = self.u64()?;
+        let min = self.u64()?;
+        let max = self.u64()?;
+        Some(telechat_obs::Histogram::from_parts(
+            buckets, count, sum, min, max,
+        ))
+    }
+
     fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
@@ -627,6 +720,10 @@ fn decode_record(payload: &[u8]) -> Option<(PersistKey, StoredValue)> {
                 full_traversals: d.u64()?,
                 pruned_candidates: d.u64()?,
                 elapsed_nanos: d.u64()?,
+                rule_leaves: d.rule_map()?,
+                rule_prunes: d.rule_map()?,
+                prune_sites: d.prune_sites()?,
+                combo_candidates: d.hist()?,
             })
         }
         1 => Err(match d.u8()? {
@@ -907,6 +1004,22 @@ mod tests {
             full_traversals: 0,
             pruned_candidates: 5,
             elapsed_nanos: 1234,
+            rule_leaves: [("sc".to_string(), 4), ("rc11-hb".to_string(), 2)]
+                .into_iter()
+                .collect(),
+            rule_prunes: [("sc".to_string(), 5)].into_iter().collect(),
+            prune_sites: telechat_exec::PruneSites {
+                rf_incremental: 3,
+                rf_recheck: 0,
+                co_incremental: 2,
+                co_recheck: 0,
+            },
+            combo_candidates: {
+                let mut h = telechat_obs::Histogram::new();
+                h.record(4);
+                h.record(8);
+                h
+            },
         }
     }
 

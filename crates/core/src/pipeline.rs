@@ -298,6 +298,32 @@ impl Telechat {
             telechat_obs::add(telechat_obs::Counter::SimStealTasks, leg.steal_tasks);
         }
 
+        // Attribution: which rule forbade leaves, which rule/site pruned
+        // subtrees, and the per-combo DFS-size distribution. Same replay
+        // discipline as the counters above (the data rides `SimResult`),
+        // so the labelled totals and merged histograms share the counters'
+        // determinism guarantee. Gated: the label formatting is not free.
+        if telechat_obs::enabled() {
+            for leg in [source.result.as_ref(), target_result.as_ref()] {
+                for (rule, n) in &leg.rule_leaves {
+                    telechat_obs::add_labelled(&format!("sim.rule.leaf.{rule}"), *n);
+                }
+                for (rule, n) in &leg.rule_prunes {
+                    telechat_obs::add_labelled(&format!("sim.rule.prune.{rule}"), *n);
+                }
+                for (site, n) in leg.prune_sites.rows() {
+                    if n > 0 {
+                        telechat_obs::add_labelled(&format!("sim.prune.{site}"), n);
+                    }
+                }
+                telechat_obs::merge_hist(
+                    "sim.combo_candidates",
+                    telechat_obs::Class::Deterministic,
+                    &leg.combo_candidates,
+                );
+            }
+        }
+
         // Step 5: mcompare — only the target half runs per profile.
         let cmp: Comparison = {
             let _span = telechat_obs::span("compare");

@@ -1,8 +1,9 @@
 //! Simulation configuration and results.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::time::Duration;
 use telechat_common::OutcomeSet;
+use telechat_obs::Histogram;
 
 /// Limits and switches for one simulation run.
 ///
@@ -151,8 +152,71 @@ pub struct SimResult {
     /// search is carved up, never what it finds — and therefore excluded
     /// from the persist codec: replayed results report 0.
     pub steal_tasks: u64,
+    /// Leaf verdict attribution: for every candidate the model forbade,
+    /// the first-violated rule name (a `.cat` constraint, or the built-in
+    /// session's axiom tag) → how many leaves it killed. Charge tallies
+    /// over the visited-leaf set, so byte-identical across thread counts
+    /// and work-stealing mode.
+    pub rule_leaves: BTreeMap<String, u64>,
+    /// Mid-DFS prune attribution: pruned-candidate *charge* blamed on the
+    /// rule the incremental session reported as first-violated when the
+    /// subtree was cut (empty for models that prune without naming a
+    /// rule). Charge sums, hence thread-invariant; sums to at most
+    /// [`SimResult::pruned_candidates`].
+    pub rule_prunes: BTreeMap<String, u64>,
+    /// Which of the four enumeration prune sites (rf/co × incremental
+    /// check / periodic recheck) accounted each pruned charge.
+    pub prune_sites: PruneSites,
+    /// Per-combo DFS size distribution: one sample per rf-combo, the
+    /// candidate charge (leaves + pruned) accounted inside it. Merged
+    /// elementwise, so byte-identical across thread counts.
+    pub combo_candidates: Histogram,
     /// Wall-clock time spent.
     pub elapsed: Duration,
+}
+
+/// Pruned-candidate charge broken down by enumeration prune site: which
+/// assignment layer (`rf` or `co`) cut the subtree, and whether the
+/// incremental per-edge session said so immediately (`incremental`) or a
+/// periodic full recheck caught it (`recheck`). Charge sums — the same
+/// invariant as [`SimResult::pruned_candidates`] — so byte-identical
+/// across thread counts and task-splitting mode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PruneSites {
+    /// Charge pruned at an rf assignment by the incremental session.
+    pub rf_incremental: u64,
+    /// Charge pruned at an rf assignment by a periodic full recheck.
+    pub rf_recheck: u64,
+    /// Charge pruned at a co assignment by the incremental session.
+    pub co_incremental: u64,
+    /// Charge pruned at a co assignment by a periodic full recheck.
+    pub co_recheck: u64,
+}
+
+impl PruneSites {
+    /// Folds `other` in (field-wise sum).
+    pub fn merge(&mut self, other: &PruneSites) {
+        self.rf_incremental += other.rf_incremental;
+        self.rf_recheck += other.rf_recheck;
+        self.co_incremental += other.co_incremental;
+        self.co_recheck += other.co_recheck;
+    }
+
+    /// Total charge across all four sites.
+    pub fn total(&self) -> u64 {
+        self.rf_incremental + self.rf_recheck + self.co_incremental + self.co_recheck
+    }
+
+    /// `(site label, charge)` rows in fixed order, for metric sinks and
+    /// codecs.
+    pub fn rows(&self) -> [(&'static str, u64); 4] {
+        [
+            ("rf.incremental", self.rf_incremental),
+            ("rf.recheck", self.rf_recheck),
+            ("co.incremental", self.co_incremental),
+            ("co.recheck", self.co_recheck),
+        ]
+    }
 }
 
 impl SimResult {

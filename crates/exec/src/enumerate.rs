@@ -77,7 +77,7 @@
 //! (merged by ascending task id) stay **byte-identical to the sequential
 //! DFS** at every thread count.
 
-use crate::config::{SimConfig, SimResult};
+use crate::config::{PruneSites, SimConfig, SimResult};
 use crate::event::{Event, EventKind, Execution, INIT_THREAD};
 use crate::model::{ConsistencyModel, PartialVerdict, Verdict};
 use crate::rel::Relation;
@@ -154,6 +154,10 @@ pub fn simulate(
         full_traversals: 0,
         pruned_candidates: 0,
         steal_tasks: 0,
+        rule_leaves: BTreeMap::new(),
+        rule_prunes: BTreeMap::new(),
+        prune_sites: PruneSites::default(),
+        combo_candidates: telechat_obs::Histogram::new(),
         elapsed: start.elapsed(),
     };
 
@@ -266,10 +270,33 @@ pub fn simulate(
     // Deterministic merge: combo order, regardless of which worker ran what.
     let mut outs: Vec<(u64, ComboOut)> = shards.drain(..).flatten().collect();
     outs.sort_unstable_by_key(|(idx, _)| *idx);
+    // Per-combo DFS sizes: after the sort, task-mode shards of one combo
+    // are contiguous (ascending task ids walk ascending combos), so one
+    // histogram sample per combo is the group's charge sum. Zero-charge
+    // groups are skipped — a combo-mode worker emits an empty shard for an
+    // unjustifiable-read combo where task mode emits no tasks at all —
+    // keeping the histogram byte-identical across both scheduling modes.
+    let mut combo_group: Option<u64> = None;
+    let mut combo_charge = 0u64;
     for (_, out) in outs {
+        if combo_group != Some(out.combo_idx) {
+            if combo_charge > 0 {
+                result.combo_candidates.record(combo_charge);
+            }
+            combo_group = Some(out.combo_idx);
+            combo_charge = 0;
+        }
+        combo_charge += out.charged;
         result.allowed += out.allowed;
         result.crashed |= out.crashed;
         result.flags.extend(out.flags);
+        result.prune_sites.merge(&out.prune_sites);
+        for (rule, n) in out.rule_leaves {
+            *result.rule_leaves.entry(rule).or_insert(0) += n;
+        }
+        for (rule, n) in out.rule_prunes {
+            *result.rule_prunes.entry(rule).or_insert(0) += n;
+        }
         for o in out.outcomes.iter() {
             result.outcomes.insert(o.clone());
         }
@@ -278,6 +305,9 @@ pub fn simulate(
                 result.executions.push(x);
             }
         }
+    }
+    if combo_charge > 0 {
+        result.combo_candidates.record(combo_charge);
     }
     result.candidates = shared.candidates.load(Ordering::Relaxed);
     result.pruned_candidates = shared.pruned.load(Ordering::Relaxed);
@@ -322,6 +352,19 @@ struct WorkerCtx<'a> {
 /// One combo's private result shard.
 #[derive(Default)]
 struct ComboOut {
+    /// Linear combo index this shard belongs to (set by the claim loops;
+    /// in task mode several shards share one combo). The merge groups
+    /// shards by this to record per-combo DFS sizes.
+    combo_idx: u64,
+    /// Candidate charge (leaves + pruned subtrees) accounted inside this
+    /// shard's DFS.
+    charged: u64,
+    /// Forbidden-leaf tally per first-violated rule name.
+    rule_leaves: BTreeMap<String, u64>,
+    /// Pruned charge per blamed rule name (mid-DFS rejections).
+    rule_prunes: BTreeMap<String, u64>,
+    /// Pruned charge per enumeration prune site.
+    prune_sites: PruneSites,
     outcomes: OutcomeSet,
     allowed: u64,
     flags: BTreeSet<String>,
@@ -387,7 +430,10 @@ fn run_worker(ctx: &WorkerCtx<'_>) -> Vec<(u64, ComboOut)> {
         let _span = telechat_obs::span_idx("combo", idx);
         let traces = decode_combo(ctx, idx);
         match run_combo(ctx, &traces, Vec::new(), 1) {
-            Ok(out) => local.push((idx, out)),
+            Ok(mut out) => {
+                out.combo_idx = idx;
+                local.push((idx, out));
+            }
             Err(Stop::Cancelled) => return local,
             Err(Stop::Fatal(e)) => {
                 let mut slot = ctx.shared.error.lock().expect("error slot");
@@ -503,7 +549,10 @@ fn run_task_worker(
         }
         let traces = decode_combo(ctx, plan.combo_idx);
         match run_combo(ctx, &traces, forced, plan.task_charge) {
-            Ok(out) => local.push((tid, out)),
+            Ok(mut out) => {
+                out.combo_idx = plan.combo_idx;
+                local.push((tid, out));
+            }
             Err(Stop::Cancelled) => return local,
             Err(Stop::Fatal(e)) => {
                 let mut slot = ctx.shared.error.lock().expect("error slot");
@@ -682,8 +731,10 @@ struct ComboRun<'a, 'c> {
 
 impl ComboRun<'_, '_> {
     /// Accounts `n` candidates (examined or pruned) against the global
-    /// budget.
-    fn charge(&self, n: u64) -> std::result::Result<(), Stop> {
+    /// budget, and against this shard's tally (the per-combo DFS-size
+    /// histogram sums shard tallies at merge).
+    fn charge(&mut self, n: u64) -> std::result::Result<(), Stop> {
+        self.out.charged = self.out.charged.saturating_add(n);
         let prev = self.ctx.shared.candidates.fetch_add(n, Ordering::Relaxed);
         let total = prev.saturating_add(n);
         if total > self.ctx.config.max_candidates {
@@ -698,9 +749,29 @@ impl ComboRun<'_, '_> {
     /// how much of the budget prunes covered. Always on (it feeds result
     /// accounting, not just telemetry) and deterministic by the same
     /// charge-sum argument as the budget itself.
-    fn charge_pruned(&self, n: u64) -> std::result::Result<(), Stop> {
+    fn charge_pruned(&mut self, n: u64) -> std::result::Result<(), Stop> {
         self.ctx.shared.pruned.fetch_add(n, Ordering::Relaxed);
         self.charge(n)
+    }
+
+    /// Attribution for a prune of `n` candidates, recorded just before the
+    /// cut is charged: which site fired (the assignment layer × whether
+    /// the incremental session or a periodic recheck said `Forbidden`),
+    /// and — when the session can name it — the first-violated rule.
+    /// Rides the `ComboOut` shard, so the merged totals are charge sums:
+    /// byte-identical across thread counts and task-splitting mode, like
+    /// [`SimResult::pruned_candidates`] itself.
+    fn attribute_prune(&mut self, n: u64, rf_site: bool) {
+        match (rf_site, self.incremental) {
+            (true, true) => self.out.prune_sites.rf_incremental += n,
+            (true, false) => self.out.prune_sites.rf_recheck += n,
+            (false, true) => self.out.prune_sites.co_incremental += n,
+            (false, false) => self.out.prune_sites.co_recheck += n,
+        }
+        if let Some(rule) = self.checker.blame() {
+            let rule = rule.to_string();
+            *self.out.rule_prunes.entry(rule).or_insert(0) += n;
+        }
     }
 
     /// Periodic deadline / cross-worker abort check.
@@ -771,6 +842,7 @@ impl ComboRun<'_, '_> {
                 PartialVerdict::Undecided
             };
             return if verdict == PartialVerdict::Forbidden {
+                self.attribute_prune(self.task_charge, true);
                 self.charge_pruned(self.task_charge)
             } else {
                 self.assign_rf(i + 1)
@@ -787,6 +859,7 @@ impl ComboRun<'_, '_> {
                 PartialVerdict::Undecided
             };
             let res = if verdict == PartialVerdict::Forbidden {
+                self.attribute_prune(subtree, true);
                 self.charge_pruned(subtree)
             } else {
                 self.assign_rf(i + 1)
@@ -838,6 +911,7 @@ impl ComboRun<'_, '_> {
                     && self.checker.check_partial(&self.execution) == PartialVerdict::Forbidden
             };
             return if pruned {
+                self.attribute_prune(self.task_charge, false);
                 self.charge_pruned(self.task_charge)
             } else {
                 self.assign_co(li, k + 1)
@@ -865,6 +939,7 @@ impl ComboRun<'_, '_> {
                     && self.checker.check_partial(&self.execution) == PartialVerdict::Forbidden
             };
             let res = if pruned {
+                self.attribute_prune(subtree, false);
                 self.charge_pruned(subtree)
             } else {
                 self.assign_co(li, k + 1)
@@ -921,7 +996,13 @@ impl ComboRun<'_, '_> {
                     self.out.executions.push(self.execution.clone());
                 }
             }
-            Verdict::Forbidden { .. } => {}
+            Verdict::Forbidden { rule } => {
+                // First-violated-rule attribution: a pure function of the
+                // candidate (the checker walks its rules in source order),
+                // so the merged tallies are thread-invariant — the visited
+                // leaf set is.
+                *self.out.rule_leaves.entry(rule).or_insert(0) += 1;
+            }
         }
         Ok(())
     }

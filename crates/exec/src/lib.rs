@@ -64,7 +64,7 @@ pub mod reference;
 pub mod rel;
 pub mod trace;
 
-pub use config::{SimConfig, SimResult};
+pub use config::{PruneSites, SimConfig, SimResult};
 pub use enumerate::simulate;
 pub use event::{Event, EventKind, Execution, INIT_THREAD};
 pub use incr::IncrementalOrder;

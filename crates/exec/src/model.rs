@@ -185,6 +185,17 @@ pub trait ComboChecker: Send {
     /// [`IncrementalOrder`] implement it with the existing
     /// [`IncrementalOrder::snapshot`]; the default is a no-op.
     fn absorb(&mut self) {}
+
+    /// The first-violated rule name in the session's *current* state, for
+    /// prune attribution: called by the enumerator right after a push (or
+    /// recheck) answered `Forbidden`, before the edge is unwound. `None`
+    /// when the session cannot name a rule (plain forwarding sessions) —
+    /// the prune is still charged, just unattributed. The answer must be a
+    /// pure function of the pushed-edge set, so attribution totals stay
+    /// byte-identical across thread counts.
+    fn blame(&self) -> Option<&str> {
+        None
+    }
 }
 
 /// The default session: no combo-constant state, plain forwarding.
@@ -333,6 +344,10 @@ impl ComboChecker for SeqCstSession {
         // The `readers` mirror needs no frame handling: absorbed edges are
         // never popped, so the plain bit-matrix is already consistent.
         self.order.snapshot();
+    }
+
+    fn blame(&self) -> Option<&str> {
+        (!self.order.is_acyclic()).then_some("sc")
     }
 }
 
@@ -507,6 +522,16 @@ impl ComboChecker for CoherenceSession {
         // `readers`/`co`/`fr` are plain mirrors (no undo frames); only the
         // reachability order carries journal state to collapse.
         self.order.snapshot();
+    }
+
+    fn blame(&self) -> Option<&str> {
+        if !self.order.is_acyclic() {
+            Some("coherence")
+        } else if !self.atomicity_ok() {
+            Some("atomicity")
+        } else {
+            None
+        }
     }
 }
 

@@ -64,6 +64,10 @@ pub fn simulate_reference(
         full_traversals: 0,
         pruned_candidates: 0,
         steal_tasks: 0,
+        rule_leaves: std::collections::BTreeMap::new(),
+        rule_prunes: std::collections::BTreeMap::new(),
+        prune_sites: crate::config::PruneSites::default(),
+        combo_candidates: telechat_obs::Histogram::new(),
         elapsed: start.elapsed(),
     };
 

@@ -5,7 +5,7 @@
 //! telechat-fuzz campaign [--seed S] [--count N] [--source-model M] [--target-model M]
 //!                        [--arch A] [--compiler llvm-N|gcc-N] [--opt -ON]
 //!                        [--threads T] [--assert-no-positive] [--store PATH]
-//!                        [--metrics] [--trace PATH]
+//!                        [--metrics] [--trace PATH] [--progress]
 //! telechat-fuzz minimize [--seed S] [--count N] [--source-model M] [--target-model M]
 //!                        [--arch A] [--compiler llvm-N|gcc-N] [--opt -ON]
 //! ```
@@ -15,6 +15,17 @@
 //! `campaign` streams a seeded fuzz campaign through the full pipeline and
 //! tabulates the differences. `minimize` hunts the stream for the first
 //! positive difference and shrinks it to a 1-minimal witness.
+//!
+//! The campaign sink flags compose rather than conflict: `--metrics`
+//! prints the metrics table in the summary, `--trace PATH` additionally
+//! writes the span/metric JSONL, and `--progress` streams live heartbeat
+//! lines to *stderr* while the campaign runs (stdout stays byte-
+//! deterministic). Any of the three opens the same telemetry window, so
+//! `--progress` or `--trace` alone also yields the metrics table —
+//! combining them with `--metrics` is allowed and redundant only in that
+//! sense. A flag that does not apply to a subcommand (`generate
+//! --progress`, `campaign --hash-only`, …) is a usage error, not silent
+//! precedence.
 
 use telechat::{
     run_campaign_source, CampaignSpec, PersistStore, PipelineConfig, Telechat, TestVerdict,
@@ -36,11 +47,55 @@ fn main() {
     std::process::exit(code);
 }
 
+/// Which flags each subcommand accepts. Anything else parsed is a usage
+/// error — inapplicable flags are rejected, never silently ignored.
+const GENERATE_FLAGS: &[&str] = &["--comm", "--po-run", "--limit", "--print", "--hash-only"];
+const CAMPAIGN_FLAGS: &[&str] = &[
+    "--comm",
+    "--po-run",
+    "--seed",
+    "--count",
+    "--source-model",
+    "--target-model",
+    "--arch",
+    "--compiler",
+    "--opt",
+    "--threads",
+    "--assert-no-positive",
+    "--store",
+    "--metrics",
+    "--trace",
+    "--progress",
+];
+const MINIMIZE_FLAGS: &[&str] = &[
+    "--comm",
+    "--po-run",
+    "--seed",
+    "--count",
+    "--source-model",
+    "--target-model",
+    "--arch",
+    "--compiler",
+    "--opt",
+];
+
 fn run(args: &[String]) -> Result<i32> {
     match args.first().map(String::as_str) {
-        Some("generate") => generate(&Opts::parse(&args[1..])?),
-        Some("campaign") => campaign(&Opts::parse(&args[1..])?),
-        Some("minimize") => hunt_and_minimize(&Opts::parse(&args[1..])?),
+        Some("generate") => {
+            let o = Opts::parse(&args[1..])?;
+            o.check_flags("generate", GENERATE_FLAGS)?;
+            generate(&o)
+        }
+        Some("campaign") => {
+            let o = Opts::parse(&args[1..])?;
+            o.check_flags("campaign", CAMPAIGN_FLAGS)?;
+            campaign(&o)
+        }
+        Some("minimize") => {
+            let o = Opts::parse(&args[1..])?;
+            o.check_flags("minimize", MINIMIZE_FLAGS)?;
+            hunt_and_minimize(&o)
+        }
         _ => {
             eprintln!("usage: telechat-fuzz <generate|campaign|minimize> [options]");
             eprintln!("       (see the crate docs for the option list)");
@@ -68,6 +123,10 @@ struct Opts {
     store: Option<std::path::PathBuf>,
     metrics: bool,
     trace: Option<std::path::PathBuf>,
+    progress: bool,
+    /// Every flag the parser consumed, in order — what `check_flags`
+    /// validates against the invoked subcommand's allow-list.
+    seen: Vec<String>,
 }
 
 impl Opts {
@@ -94,9 +153,12 @@ impl Opts {
             store: None,
             metrics: false,
             trace: None,
+            progress: false,
+            seen: Vec::new(),
         };
         let mut it = args.iter();
         while let Some(flag) = it.next() {
+            o.seen.push(flag.clone());
             let mut value = || {
                 it.next()
                     .ok_or_else(|| Error::parse(format!("{flag} needs a value")))
@@ -119,10 +181,24 @@ impl Opts {
                 "--store" => o.store = Some(value()?.into()),
                 "--metrics" => o.metrics = true,
                 "--trace" => o.trace = Some(value()?.into()),
+                "--progress" => o.progress = true,
                 other => return Err(Error::parse(format!("unknown option `{other}`"))),
             }
         }
         Ok(o)
+    }
+
+    /// Rejects flags that parsed but do not apply to `subcommand`.
+    fn check_flags(&self, subcommand: &str, allowed: &[&str]) -> Result<()> {
+        for flag in &self.seen {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(Error::parse(format!(
+                    "`{flag}` does not apply to `{subcommand}` (accepted: {})",
+                    allowed.join(" ")
+                )));
+            }
+        }
+        Ok(())
     }
 
     fn fuzz_config(&self) -> FuzzConfig {
@@ -204,9 +280,83 @@ fn campaign_spec(o: &Opts) -> Result<CampaignSpec> {
         threads: o.threads,
         cache: true,
         store,
-        // A trace needs the span/metric collection even without --metrics.
-        metrics: o.metrics || o.trace.is_some(),
+        // A trace or progress sink needs the span/metric collection even
+        // without --metrics (and either therefore also prints the metrics
+        // table in the campaign summary, exactly as --metrics would).
+        metrics: o.metrics || o.trace.is_some() || o.progress,
     })
+}
+
+/// The live progress sink: a background ticker that renders heartbeat
+/// lines to stderr from the metrics counter registry while the campaign
+/// runs. Stdout stays byte-deterministic; a final line is always emitted
+/// on stop, so even sub-second campaigns report their totals.
+struct ProgressTicker {
+    shared: std::sync::Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl ProgressTicker {
+    fn start(total: usize) -> ProgressTicker {
+        let shared = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let in_thread = std::sync::Arc::clone(&shared);
+        let handle = std::thread::spawn(move || {
+            let started = std::time::Instant::now();
+            let (lock, cv) = &*in_thread;
+            let mut stopped = match lock.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            loop {
+                let tick = std::time::Duration::from_millis(1000);
+                stopped = match cv.wait_timeout(stopped, tick) {
+                    Ok((g, _)) => g,
+                    Err(p) => p.into_inner().0,
+                };
+                Self::heartbeat(total, started, *stopped);
+                if *stopped {
+                    return;
+                }
+            }
+        });
+        ProgressTicker { shared, handle }
+    }
+
+    /// One heartbeat line from the live counter registry.
+    fn heartbeat(total: usize, started: std::time::Instant, done: bool) {
+        use telechat_obs::{get, Counter};
+        let tests = get(Counter::CampaignTests);
+        let positives = get(Counter::CampaignPositives);
+        let pruned = get(Counter::SimPruned);
+        let candidates = get(Counter::SimCandidates);
+        let elapsed = started.elapsed().as_secs_f64();
+        let prune = if candidates > 0 {
+            format!("{:.1}%", pruned as f64 * 100.0 / candidates as f64)
+        } else {
+            "-".into()
+        };
+        let eta = if done {
+            " done".into()
+        } else if tests > 0 && (tests as usize) < total {
+            let remaining = elapsed / tests as f64 * (total as f64 - tests as f64);
+            format!(" eta {remaining:.0}s")
+        } else {
+            String::new()
+        };
+        eprintln!(
+            "progress: {tests}/{total} tests, {positives} positive(s), prune {prune}, {elapsed:.1}s{eta}"
+        );
+    }
+
+    fn stop(self) {
+        let (lock, cv) = &*self.shared;
+        match lock.lock() {
+            Ok(mut g) => *g = true,
+            Err(p) => *p.into_inner() = true,
+        }
+        cv.notify_all();
+        self.handle.join().ok();
+    }
 }
 
 fn pipeline_config(o: &Opts) -> PipelineConfig {
@@ -219,7 +369,12 @@ fn pipeline_config(o: &Opts) -> PipelineConfig {
 fn campaign(o: &Opts) -> Result<i32> {
     let mut source = FuzzSource::new(&o.fuzz_config());
     let spec = campaign_spec(o)?;
-    let result = run_campaign_source(&mut source, &spec, &pipeline_config(o))?;
+    let ticker = o.progress.then(|| ProgressTicker::start(o.count));
+    let result = run_campaign_source(&mut source, &spec, &pipeline_config(o));
+    if let Some(ticker) = ticker {
+        ticker.stop();
+    }
+    let result = result?;
     println!("{result}");
     if let Some(path) = &o.trace {
         let report = result

@@ -96,6 +96,21 @@ impl FuzzSource {
         };
         self.emitted += 1;
         self.hash = fnv1a64(self.hash, telechat_litmus::print::to_litmus(&test).as_bytes());
+        // Coverage accounting: which edge kinds and canonical shape
+        // classes the stream actually exercised. The campaign driver
+        // pulls tests under its frontier lock in a fixed order, so these
+        // tallies are a pure function of the work list — deterministic
+        // across thread counts like every other `count`-class row. Gated:
+        // the labels are only formatted while a metrics window is open.
+        if telechat_obs::enabled() {
+            for edge in &shape.edges {
+                telechat_obs::add_labelled(&format!("coverage.edge.{edge}"), 1);
+            }
+            telechat_obs::add_labelled(
+                &format!("coverage.shape.comm{}", shape.comm_count()),
+                1,
+            );
+        }
         Some((shape, test))
     }
 

@@ -41,6 +41,7 @@
 //! [`LocalMetric`]s: thread-local cells, always counted, never gated.
 
 use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -72,6 +73,12 @@ pub fn begin() {
         let mut sink = lock(&EVENTS);
         sink.clear();
     }
+    {
+        let mut reg = lock(labelled());
+        reg.index.clear();
+        reg.slots.clear();
+    }
+    lock(hist_registry()).clear();
     DROPPED.store(0, Ordering::Relaxed);
     epoch(); // pin the time origin before the first span
     ENABLED.store(true, Ordering::Relaxed);
@@ -108,7 +115,7 @@ pub fn finish() -> ObsReport {
         }
     }
 
-    let counters = Counter::ALL
+    let mut counters: Vec<CounterRow> = Counter::ALL
         .iter()
         .map(|&c| CounterRow {
             name: c.name().to_string(),
@@ -117,9 +124,54 @@ pub fn finish() -> ObsReport {
         })
         .collect();
 
+    // Labelled attribution rows, sorted by name: the registry's interning
+    // order is first-touch (scheduling-dependent), the snapshot is not.
+    let mut labelled_rows: Vec<CounterRow> = lock(labelled())
+        .slots
+        .iter()
+        .map(|(name, v)| CounterRow {
+            name: name.clone(),
+            class: Class::Deterministic,
+            value: v.load(Ordering::Relaxed),
+        })
+        .collect();
+    labelled_rows.sort_by(|a, b| a.name.cmp(&b.name));
+    counters.extend(labelled_rows);
+
+    // Histograms: the merged engine distributions fed through
+    // [`merge_hist`]/[`record_hist`], plus per-phase latency distributions
+    // derived from the spans already collected (no extra hot-path cost).
+    let mut hists: Vec<HistRow> = lock(hist_registry())
+        .iter()
+        .map(|(name, class, h)| HistRow {
+            name: name.clone(),
+            class: *class,
+            hist: h.clone(),
+        })
+        .collect();
+    for s in &spans {
+        match hists
+            .iter_mut()
+            .find(|h| h.name.strip_prefix("phase.") == Some(s.name))
+        {
+            Some(row) => row.hist.record(s.dur_ns),
+            None => {
+                let mut h = Histogram::new();
+                h.record(s.dur_ns);
+                hists.push(HistRow {
+                    name: format!("phase.{}", s.name),
+                    class: Class::Scheduling,
+                    hist: h,
+                });
+            }
+        }
+    }
+    hists.sort_by(|a, b| a.name.cmp(&b.name));
+
     ObsReport {
         counters,
         phases,
+        hists,
         spans,
         dropped_events: DROPPED.load(Ordering::Relaxed),
     }
@@ -184,6 +236,7 @@ macro_rules! counters {
 counters! {
     CampaignTests => ("campaign.tests", Deterministic),
     CampaignWorkItems => ("campaign.work_items", Deterministic),
+    CampaignPositives => ("campaign.positives", Deterministic),
     SimCandidates => ("sim.candidates", Deterministic),
     SimAllowed => ("sim.allowed", Deterministic),
     SimPruned => ("sim.pruned_candidates", Deterministic),
@@ -210,6 +263,245 @@ pub fn add(c: Counter, n: u64) {
 /// Current value of a registry counter (test/diagnostic use).
 pub fn get(c: Counter) -> u64 {
     COUNTERS[c as usize].load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Labelled counters (dynamic attribution registry).
+// ---------------------------------------------------------------------------
+
+/// The dynamic labelled-counter registry: attribution rows whose label set
+/// is only known at run time (`.cat` rule names, prune sites, coverage
+/// classes). Labels are interned on first use — a `HashMap` index into a
+/// slot vector of `(label, AtomicU64)` — and [`begin`] clears the registry.
+struct Labelled {
+    index: HashMap<String, usize>,
+    slots: Vec<(String, AtomicU64)>,
+}
+
+fn labelled() -> &'static Mutex<Labelled> {
+    static LABELLED: OnceLock<Mutex<Labelled>> = OnceLock::new();
+    LABELLED.get_or_init(|| {
+        Mutex::new(Labelled {
+            index: HashMap::new(),
+            slots: Vec::new(),
+        })
+    })
+}
+
+/// Adds `n` to the labelled counter `name`, interning the label on first
+/// use. No-op (one relaxed load) while off. Labelled totals are rendered
+/// `count`-class: callers only feed them deterministic charges (rule
+/// tallies, prune-site charge sums, coverage tallies), never scheduling
+/// artefacts.
+pub fn add_labelled(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = lock(labelled());
+    match reg.index.get(name).copied() {
+        Some(i) => {
+            reg.slots[i].1.fetch_add(n, Ordering::Relaxed);
+        }
+        None => {
+            let i = reg.slots.len();
+            reg.index.insert(name.to_string(), i);
+            reg.slots.push((name.to_string(), AtomicU64::new(n)));
+        }
+    }
+}
+
+/// Current value of a labelled counter (test/diagnostic use); `None` for
+/// labels never touched this window.
+pub fn get_labelled(name: &str) -> Option<u64> {
+    let reg = lock(labelled());
+    let i = reg.index.get(name).copied()?;
+    Some(reg.slots[i].1.load(Ordering::Relaxed))
+}
+
+// ---------------------------------------------------------------------------
+// Histograms.
+// ---------------------------------------------------------------------------
+
+/// A mergeable log2-bucketed histogram. A value lands in the bucket of its
+/// bit length (`0` → bucket 0, otherwise `64 - v.leading_zeros()`), so the
+/// merge of per-thread histograms is an elementwise sum — commutative and
+/// associative, hence byte-identical regardless of which worker recorded
+/// which sample. Quantiles are answered from the cumulative bucket counts
+/// (the bucket's inclusive upper bound, clamped to the observed min/max):
+/// deterministic approximations, not order-dependent estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Histogram::bucket(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds `other` in (elementwise; merge order never shows).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The raw bucket counts (index = bit length), for codecs.
+    pub fn buckets(&self) -> &[u64; 65] {
+        &self.buckets
+    }
+
+    /// Rebuilds a histogram from its persisted parts (codec use). The
+    /// caller is trusted to pass a consistent snapshot — the parts came
+    /// from [`Histogram::buckets`] and the scalar accessors.
+    pub fn from_parts(buckets: [u64; 65], count: u64, sum: u64, min: u64, max: u64) -> Histogram {
+        Histogram {
+            buckets,
+            count,
+            sum,
+            // `min()` reads 0 for an empty histogram; restore the sentinel.
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        }
+    }
+
+    /// Deterministic approximate quantile (`0.0 ..= 1.0`): the inclusive
+    /// upper bound of the first bucket whose cumulative count reaches the
+    /// rank, clamped to the observed `[min, max]`. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let hi = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    _ => (1u64 << i) - 1,
+                };
+                return hi.clamp(self.min(), self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The one-line rendering the metrics table prints.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "empty".into();
+        }
+        format!(
+            "n={} min={} p50={} p90={} p99={} max={}",
+            self.count,
+            self.min(),
+            self.quantile(0.5),
+            self.quantile(0.9),
+            self.quantile(0.99),
+            self.max
+        )
+    }
+}
+
+fn hist_registry() -> &'static Mutex<Vec<(String, Class, Histogram)>> {
+    static HISTS: OnceLock<Mutex<Vec<(String, Class, Histogram)>>> = OnceLock::new();
+    HISTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Records one sample into the named histogram. No-op while off.
+pub fn record_hist(name: &str, class: Class, v: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut reg = lock(hist_registry());
+    match reg.iter_mut().find(|(n, _, _)| n == name) {
+        Some((_, _, h)) => h.record(v),
+        None => {
+            let mut h = Histogram::new();
+            h.record(v);
+            reg.push((name.to_string(), class, h));
+        }
+    }
+}
+
+/// Merges a pre-aggregated histogram (e.g. a `SimResult`'s per-combo DFS
+/// sizes) into the named registry entry. No-op while off or when `h` is
+/// empty.
+pub fn merge_hist(name: &str, class: Class, h: &Histogram) {
+    if !enabled() || h.is_empty() {
+        return;
+    }
+    let mut reg = lock(hist_registry());
+    match reg.iter_mut().find(|(n, _, _)| n == name) {
+        Some((_, _, existing)) => existing.merge(h),
+        None => reg.push((name.to_string(), class, h.clone())),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -499,17 +791,36 @@ pub struct PhaseRow {
     pub total_ns: u128,
 }
 
+/// One named histogram of a report, carrying its determinism class
+/// ([`Class::Deterministic`] for value-domain distributions like per-combo
+/// DFS sizes, [`Class::Scheduling`] for wall-clock latency distributions).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistRow {
+    /// Dotted metric name (`sim.combo_candidates`, `phase.compile`, …).
+    pub name: String,
+    /// Determinism class: only bucket *counts* of `Deterministic` rows are
+    /// gate-comparable across thread counts.
+    pub class: Class,
+    /// The merged distribution.
+    pub hist: Histogram,
+}
+
 /// The programmatic snapshot [`finish`] returns: counters, per-phase time
 /// and the normalised span list. Embedded by `bench_relops` into
 /// `BENCH_relops.json` and rendered by `CampaignResult`'s `--metrics`
 /// table.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ObsReport {
-    /// Registry counters (every registered counter, zero or not) plus any
-    /// rows absorbed afterwards ([`ObsReport::push_counter`]).
+    /// Registry counters (every registered counter, zero or not), then the
+    /// labelled attribution rows sorted by name, plus any rows absorbed
+    /// afterwards ([`ObsReport::push_counter`]).
     pub counters: Vec<CounterRow>,
     /// Wall-time per span name.
     pub phases: Vec<PhaseRow>,
+    /// Named distributions: engine histograms merged through
+    /// [`merge_hist`]/[`record_hist`] and per-phase latency histograms
+    /// derived from the spans, sorted by name.
+    pub hists: Vec<HistRow>,
     /// Every completed span, normalised (relative starts, stable order).
     pub spans: Vec<SpanEvent>,
     /// Spans dropped at the sink cap (0 in any sane run).
@@ -550,6 +861,23 @@ impl ObsReport {
             .map_or(0, |p| p.total_ns)
     }
 
+    /// The named histogram, if present.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|h| h.name == name).map(|h| &h.hist)
+    }
+
+    /// The deterministic-class histograms — like
+    /// [`ObsReport::deterministic_counters`], the subset whose full bucket
+    /// contents must be byte-identical across thread counts and cache/store
+    /// configurations.
+    pub fn deterministic_hists(&self) -> Vec<(String, Histogram)> {
+        self.hists
+            .iter()
+            .filter(|h| h.class == Class::Deterministic)
+            .map(|h| (h.name.clone(), h.hist.clone()))
+            .collect()
+    }
+
     /// The metric rows of this report (counters first, then phase times),
     /// for [`render_metrics`].
     pub fn rows(&self) -> Vec<MetricRow> {
@@ -562,6 +890,13 @@ impl ObsReport {
                 value: c.value.to_string(),
             })
             .collect();
+        for h in &self.hists {
+            rows.push(MetricRow {
+                kind: "hist",
+                name: h.name.clone(),
+                value: h.hist.summary(),
+            });
+        }
         for p in &self.phases {
             rows.push(MetricRow {
                 kind: "time",
@@ -616,6 +951,21 @@ impl ObsReport {
                 c.value
             )?;
         }
+        for h in &self.hists {
+            writeln!(
+                w,
+                "{{\"type\":\"hist\",\"name\":{},\"class\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+                json_str(&h.name),
+                h.class.tag(),
+                h.hist.count(),
+                h.hist.sum(),
+                h.hist.min(),
+                h.hist.quantile(0.5),
+                h.hist.quantile(0.9),
+                h.hist.quantile(0.99),
+                h.hist.max()
+            )?;
+        }
         Ok(())
     }
 
@@ -643,6 +993,23 @@ impl ObsReport {
             );
         }
         let _ = writeln!(out, "{pad}}},");
+        let _ = writeln!(out, "{pad}\"hists\": {{");
+        for (i, h) in self.hists.iter().enumerate() {
+            let comma = if i + 1 == self.hists.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "{pad}  {}: {{\"class\": \"{}\", \"count\": {}, \"min\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}}{comma}",
+                json_str(&h.name),
+                h.class.tag(),
+                h.hist.count(),
+                h.hist.min(),
+                h.hist.quantile(0.5),
+                h.hist.quantile(0.9),
+                h.hist.quantile(0.99),
+                h.hist.max()
+            );
+        }
+        let _ = writeln!(out, "{pad}}},");
         let _ = writeln!(out, "{pad}\"dropped_events\": {}", self.dropped_events);
         let _ = write!(out, "{indent}}}");
         out
@@ -650,33 +1017,73 @@ impl ObsReport {
 }
 
 /// Parses one `"type":"span"` JSONL line back into a [`SpanEvent`] (the
-/// schema-check half of the trace round-trip; keys land in the order
+/// schema-check half of the trace round-trip; keys are read in the order
 /// [`ObsReport::write_jsonl`] writes them). `None` for non-span lines or
 /// malformed input.
+///
+/// Fields are consumed left to right through a cursor, and string values
+/// are scanned with full escape handling (`\"`, `\\`, `\n`, `\uXXXX`, …),
+/// so a span key or attribution label containing quotes, backslashes or a
+/// text fragment that *looks* like a later field tag can never truncate or
+/// misalign the parse.
 pub fn span_from_jsonl(line: &str) -> Option<SpanEvent> {
-    fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-        let tag = format!("\"{key}\":");
-        let at = line.find(&tag)? + tag.len();
-        let rest = &line[at..];
-        if let Some(stripped) = rest.strip_prefix('"') {
-            stripped.split('"').next()
-        } else {
-            rest.split([',', '}']).next()
+    /// Advances past `"key":"` and unescapes the string value.
+    fn str_field(cur: &mut &str, key: &str) -> Option<String> {
+        let tag = format!("\"{key}\":\"");
+        let at = cur.find(&tag)? + tag.len();
+        let rest = &cur[at..];
+        let mut out = String::new();
+        let mut it = rest.char_indices();
+        loop {
+            let (i, c) = it.next()?;
+            match c {
+                '"' => {
+                    *cur = &rest[i + 1..];
+                    return Some(out);
+                }
+                '\\' => match it.next()?.1 {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex: String = (&mut it).take(4).map(|(_, c)| c).collect();
+                        out.push(char::from_u32(u32::from_str_radix(&hex, 16).ok()?)?);
+                    }
+                    _ => return None,
+                },
+                c => out.push(c),
+            }
         }
     }
-    if field(line, "type") != Some("span") {
+    /// Advances past `"key":` and returns the bare numeric token.
+    fn num_field(cur: &mut &str, key: &str) -> Option<u64> {
+        let tag = format!("\"{key}\":");
+        let at = cur.find(&tag)? + tag.len();
+        let rest = &cur[at..];
+        let end = rest.find([',', '}'])?;
+        let v = rest[..end].parse().ok()?;
+        *cur = &rest[end..];
+        Some(v)
+    }
+    let mut cur = line;
+    if str_field(&mut cur, "type")? != "span" {
         return None;
     }
     Some(SpanEvent {
-        id: u64::from_str_radix(field(line, "id")?, 16).ok()?,
-        parent: u64::from_str_radix(field(line, "parent")?, 16).ok()?,
+        id: u64::from_str_radix(&str_field(&mut cur, "id")?, 16).ok()?,
+        parent: u64::from_str_radix(&str_field(&mut cur, "parent")?, 16).ok()?,
         // Leaked so the borrowed-name field round-trips; schema checks
         // parse a bounded number of lines.
-        name: Box::leak(field(line, "name")?.to_string().into_boxed_str()),
-        key: field(line, "key")?.to_string(),
-        depth: field(line, "depth")?.parse().ok()?,
-        start_ns: field(line, "start_us")?.parse::<u64>().ok()?.saturating_mul(1_000),
-        dur_ns: field(line, "dur_us")?.parse::<u64>().ok()?.saturating_mul(1_000),
+        name: Box::leak(str_field(&mut cur, "name")?.into_boxed_str()),
+        key: str_field(&mut cur, "key")?,
+        depth: u32::try_from(num_field(&mut cur, "depth")?).ok()?,
+        start_ns: num_field(&mut cur, "start_us")?.saturating_mul(1_000),
+        dur_ns: num_field(&mut cur, "dur_us")?.saturating_mul(1_000),
     })
 }
 
@@ -835,8 +1242,146 @@ mod tests {
             assert_eq!(parsed.parent, orig.parent);
             assert_eq!(parsed.depth, orig.depth);
             assert_eq!(parsed.name, orig.name);
+            assert_eq!(parsed.key, orig.key, "escaped keys round-trip exactly");
         }
         assert!(text.contains("\"type\":\"metric\""));
+    }
+
+    #[test]
+    fn hostile_span_keys_round_trip_exactly() {
+        let _g = lock(&SERIAL);
+        // Keys engineered to break naive parsers: embedded field tags,
+        // backslashes, control characters, non-ASCII — the shapes a rule
+        // label from an arbitrary `.cat` file could take.
+        let keys = [
+            "plain",
+            "a\"b:c",
+            "x\"depth\":9,\"y",
+            "back\\slash\\",
+            "nl\ntab\tcr\r",
+            "ctrl\u{1}\u{1f}",
+            "unicode-éλ∀",
+            "\"}{\"",
+        ];
+        begin();
+        {
+            let _root = span("campaign");
+            for k in keys {
+                let _s = span_with("work-item", || k.to_string());
+            }
+        }
+        let report = finish();
+        let mut buf = Vec::new();
+        report.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let parsed: Vec<SpanEvent> = text.lines().filter_map(span_from_jsonl).collect();
+        assert_eq!(parsed.len(), report.spans.len());
+        for (p, o) in parsed.iter().zip(&report.spans) {
+            assert_eq!((p.id, p.parent, p.depth, p.name, &p.key), (o.id, o.parent, o.depth, o.name, &o.key));
+            assert_eq!((p.start_ns, p.dur_ns), (o.start_ns / 1_000 * 1_000, o.dur_ns / 1_000 * 1_000));
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_merge_commutatively() {
+        let samples = [0u64, 1, 1, 2, 3, 7, 8, 200, 5_000, u64::MAX];
+        let mut whole = Histogram::new();
+        for s in samples {
+            whole.record(s);
+        }
+        // Any split into shards, merged in any order, is byte-identical.
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, s) in samples.iter().enumerate() {
+            if i % 2 == 0 { a.record(*s) } else { b.record(*s) }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, whole);
+        assert_eq!(ba, whole);
+        assert_eq!(whole.count(), samples.len() as u64);
+        assert_eq!(whole.min(), 0);
+        assert_eq!(whole.max(), u64::MAX);
+        // Quantiles are deterministic bucket bounds within [min, max].
+        assert!(whole.quantile(0.5) >= 3 && whole.quantile(0.5) <= 7);
+        assert_eq!(whole.quantile(1.0), u64::MAX);
+        let empty = Histogram::new();
+        assert_eq!((empty.min(), empty.max(), empty.quantile(0.5)), (0, 0, 0));
+        assert_eq!(empty.summary(), "empty");
+        // Codec round trip through the persisted parts.
+        let back = Histogram::from_parts(*whole.buckets(), whole.count(), whole.sum(), whole.min(), whole.max());
+        assert_eq!(back, whole);
+        let back_empty = Histogram::from_parts(*empty.buckets(), 0, 0, empty.min(), empty.max());
+        assert_eq!(back_empty, empty);
+    }
+
+    #[test]
+    fn labelled_counters_reset_per_window_and_sort_in_reports() {
+        let _g = lock(&SERIAL);
+        begin();
+        add_labelled("rule.leaf.zz", 2);
+        add_labelled("rule.leaf.aa", 1);
+        add_labelled("rule.leaf.zz", 3);
+        let mut h = Histogram::new();
+        h.record(4);
+        h.record(9);
+        merge_hist("sim.combo_candidates", Class::Deterministic, &h);
+        record_hist("sim.combo_candidates", Class::Deterministic, 1);
+        let report = finish();
+        assert_eq!(report.counter("rule.leaf.zz"), Some(5));
+        assert_eq!(report.counter("rule.leaf.aa"), Some(1));
+        let det = report.deterministic_counters();
+        let aa = det.iter().position(|(n, _)| n == "rule.leaf.aa").unwrap();
+        let zz = det.iter().position(|(n, _)| n == "rule.leaf.zz").unwrap();
+        assert!(aa < zz, "labelled rows sort by name: {det:?}");
+        let combo = report.hist("sim.combo_candidates").unwrap();
+        assert_eq!((combo.count(), combo.min(), combo.max()), (3, 1, 9));
+        assert_eq!(report.deterministic_hists().len(), 1);
+
+        // The next window starts clean.
+        begin();
+        let fresh = finish();
+        assert_eq!(fresh.counter("rule.leaf.zz"), None);
+        assert!(fresh.hist("sim.combo_candidates").is_none());
+    }
+
+    #[test]
+    fn labelled_adds_are_gated_off() {
+        let _g = lock(&SERIAL);
+        ENABLED.store(false, Ordering::Relaxed);
+        add_labelled("rule.leaf.off", 7);
+        record_hist("off.hist", Class::Deterministic, 1);
+        assert_eq!(get_labelled("rule.leaf.off"), None);
+    }
+
+    #[test]
+    fn finish_derives_phase_latency_histograms_from_spans() {
+        let _g = lock(&SERIAL);
+        begin();
+        {
+            let _root = span("campaign");
+            let _a = span_idx("combo", 0);
+        }
+        {
+            let _root2 = span("campaign");
+        }
+        let report = finish();
+        let camp = report.hist("phase.campaign").unwrap();
+        assert_eq!(camp.count(), 2);
+        assert_eq!(report.hist("phase.combo").unwrap().count(), 1);
+        // Latency distributions are wall-clock: scheduling class, never in
+        // the deterministic gate set.
+        assert!(report
+            .deterministic_hists()
+            .iter()
+            .all(|(n, _)| !n.starts_with("phase.")));
+        // And they render as `hist` rows.
+        assert!(report
+            .rows()
+            .iter()
+            .any(|r| r.kind == "hist" && r.name == "phase.campaign"));
     }
 
     #[test]

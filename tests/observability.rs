@@ -11,8 +11,10 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Mutex;
 
 use telechat_repro::common::Arch;
-use telechat_repro::core::obs;
-use telechat_repro::core::{run_campaign_source, CampaignResult, CampaignSpec, PipelineConfig};
+use telechat_repro::core::{obs, persist};
+use telechat_repro::core::{
+    run_campaign_source, CampaignResult, CampaignSpec, PersistStore, PipelineConfig,
+};
 use telechat_repro::fuzz::{FuzzConfig, FuzzSource};
 use telechat_compiler::{CompilerId, OptLevel, Target};
 
@@ -114,6 +116,88 @@ fn deterministic_totals_invariant_across_thread_matrix() {
     }
 }
 
+/// Everything the attribution layer reports: the `count`-class counter
+/// rows (verdict/prune attribution, coverage accounting, campaign and
+/// simulation totals) plus the `count`-class histograms (per-combo DFS
+/// candidate sizes). Phase-latency histograms are wall-clock and hence
+/// scheduling-class — deliberately outside this fingerprint.
+fn obs_fingerprint(r: &CampaignResult) -> (Vec<(String, u64)>, String) {
+    let report = r.obs.as_ref().expect("metrics: true attaches a report");
+    (
+        report.deterministic_counters(),
+        format!("{:?}", report.deterministic_hists()),
+    )
+}
+
+#[test]
+fn attribution_and_histograms_invariant_across_configs() {
+    let _guard = SERIAL.lock().unwrap();
+    let base = run(7, 24, &spec(1, true), &config(1));
+    let fp0 = obs_fingerprint(&base);
+    let (counters, hists) = &fp0;
+
+    // The attribution and coverage families are actually populated: the
+    // 24-test stream under rc11 forbids and prunes via named rules.
+    for family in ["sim.prune.", "sim.rule.prune.", "coverage.edge.", "coverage.shape."] {
+        assert!(
+            counters.iter().any(|(n, v)| n.starts_with(family) && *v > 0),
+            "missing {family}* rows in {counters:?}"
+        );
+    }
+    assert!(
+        counters.iter().any(|(n, _)| n == "coverage.source_outcome_sets"),
+        "distinct source-outcome-set fingerprint count is reported"
+    );
+    assert!(
+        hists.contains("sim.combo_candidates"),
+        "per-combo DFS-size histogram is reported: {hists}"
+    );
+
+    // Byte-identical across the campaign × simulation thread matrix.
+    for (campaign_threads, sim_threads) in [(1, 4), (4, 1), (4, 4)] {
+        let r = run(7, 24, &spec(campaign_threads, true), &config(sim_threads));
+        assert_eq!(
+            obs_fingerprint(&r),
+            fp0,
+            "attribution drifted at campaign={campaign_threads} sim={sim_threads}"
+        );
+    }
+
+    // Byte-identical with the in-memory cache off (every leg recomputed).
+    let mut uncached = spec(1, true);
+    uncached.cache = false;
+    assert_eq!(
+        obs_fingerprint(&run(7, 24, &uncached, &config(1))),
+        fp0,
+        "attribution drifted with cache off"
+    );
+
+    // Byte-identical through the persistent store: the cold run writes the
+    // log, the warm reopen answers every leg from disk — the attribution
+    // fields ride the persisted SimResult, so replays carry the original
+    // totals.
+    let log = persist::MemBackend::new();
+    let mut stored = spec(1, true);
+    stored.store = Some(std::sync::Arc::new(
+        PersistStore::open_backend(Box::new(log.clone())).unwrap(),
+    ));
+    assert_eq!(
+        obs_fingerprint(&run(7, 24, &stored, &config(1))),
+        fp0,
+        "attribution drifted on the store cold run"
+    );
+    stored.store = Some(std::sync::Arc::new(
+        PersistStore::open_backend(Box::new(log)).unwrap(),
+    ));
+    let warm = run(7, 24, &stored, &config(1));
+    assert!(warm.cache.disk_hits > 0, "warm rerun answers from the store");
+    assert_eq!(
+        obs_fingerprint(&warm),
+        fp0,
+        "attribution drifted on the store warm replay"
+    );
+}
+
 #[test]
 fn jsonl_trace_round_trips_and_spans_nest() {
     let _guard = SERIAL.lock().unwrap();
@@ -125,6 +209,7 @@ fn jsonl_trace_round_trips_and_spans_nest() {
 
     let mut spans = Vec::new();
     let mut metric_lines = 0usize;
+    let mut hist_lines = 0usize;
     for (i, line) in text.lines().enumerate() {
         assert!(
             line.starts_with('{') && line.ends_with('}'),
@@ -137,6 +222,8 @@ fn jsonl_trace_round_trips_and_spans_nest() {
         }
         if let Some(span) = obs::span_from_jsonl(line) {
             spans.push(span);
+        } else if line.contains(r#""type":"hist""#) {
+            hist_lines += 1;
         } else {
             assert!(line.contains(r#""type":"metric""#), "unknown line: {line}");
             metric_lines += 1;
@@ -144,6 +231,7 @@ fn jsonl_trace_round_trips_and_spans_nest() {
     }
     assert_eq!(spans.len(), report.spans.len(), "every span round-trips");
     assert_eq!(metric_lines, report.counters.len());
+    assert_eq!(hist_lines, report.hists.len(), "every histogram is traced");
 
     // Exactly one root, named for the campaign, with the null parent id.
     let roots: Vec<_> = spans.iter().filter(|s| s.depth == 0).collect();
