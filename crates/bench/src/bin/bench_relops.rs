@@ -498,8 +498,7 @@ fn main() -> Result<()> {
         source_model: "rc11".into(),
         threads: 1,
         cache: true,
-        store: None,
-        metrics: false,
+        ..CampaignSpec::default()
     };
     let mut spec_off = spec.clone();
     spec_off.cache = false;
@@ -567,6 +566,81 @@ fn main() -> Result<()> {
     println!(
         "  campaign store:       cold {store_cold_ms:7.1} ms, warm {store_warm_ms:7.1} ms  ({store_speedup:.1}x, {} disk hits)",
         store_warm.cache.disk_hits
+    );
+
+    // Work-item journal tier: the same campaign with a completion journal
+    // attached — cold (journaling every item) vs resumed from a journal
+    // truncated at ~50% of its records (half the items replayed, half
+    // recomputed). The journal's append cost is measured separately,
+    // interleaved run-for-run against the journal-less driver so both
+    // sides sample the same scheduler noise; the CI quick gate asserts
+    // the overhead stays under 5%.
+    let journal_fp = telechat::campaign_fingerprint(0, &spec, &campaign_config);
+    let journal_reps = if quick { 3 } else { 5 };
+    let mut plain_ms = f64::INFINITY;
+    let mut journal_ms = f64::INFINITY;
+    let mut journal_image = Vec::new();
+    let mut journal_cold = None;
+    for _ in 0..journal_reps {
+        let (ms, _) = time_campaign(&spec);
+        plain_ms = plain_ms.min(ms);
+
+        // A fresh backend per rep: a reused journal would replay instead
+        // of appending, and this row prices the appends.
+        let mem = MemBackend::new();
+        let mut spec_journal = spec.clone();
+        spec_journal.journal = Some(std::sync::Arc::new(
+            telechat::CampaignJournal::open_backend(
+                Box::new(mem.clone()),
+                journal_fp,
+                telechat::ShardSpec::whole(),
+            )
+            .expect("open journal"),
+        ));
+        let (ms, cold) = time_campaign(&spec_journal);
+        if ms < journal_ms {
+            journal_ms = ms;
+            let bytes = mem.bytes();
+            journal_image = bytes.lock().expect("journal image").clone();
+            journal_cold = Some(cold);
+        }
+    }
+    let journal_cold = journal_cold.expect("at least one journaled rep");
+    let journal_overhead_pct = (journal_ms / plain_ms - 1.0) * 100.0;
+
+    let bounds = telechat::CampaignJournal::record_boundaries(&journal_image);
+    let cut = bounds[bounds.len() / 2];
+    let resume_mem = MemBackend::new();
+    {
+        let bytes = resume_mem.bytes();
+        *bytes.lock().expect("seed resume image") = journal_image[..cut].to_vec();
+    }
+    let mut spec_resume = spec.clone();
+    spec_resume.journal = Some(std::sync::Arc::new(
+        telechat::CampaignJournal::open_backend(
+            Box::new(resume_mem),
+            journal_fp,
+            telechat::ShardSpec::whole(),
+        )
+        .expect("reopen journal"),
+    ));
+    let (resumed_ms, resumed) = time_campaign(&spec_resume);
+    let resume_identical = [&journal_cold, &resumed].iter().all(|r| {
+        r.cells == off.cells
+            && r.positive_tests == off.positive_tests
+            && r.source_tests == off.source_tests
+            && r.compiled_tests == off.compiled_tests
+    });
+    assert!(
+        resume_identical,
+        "journaled and resumed campaigns must be byte-identical to uncached"
+    );
+    let resume_stats = resumed.journal.clone().expect("journal attaches stats");
+    assert!(resume_stats.replayed > 0, "the 50% cut must replay items");
+    let resume_speedup = journal_ms / resumed_ms;
+    println!(
+        "  campaign journal:     cold {journal_ms:7.1} ms ({journal_overhead_pct:+.1}% vs plain), resumed@50% {resumed_ms:7.1} ms  ({resume_speedup:.1}x, {} replayed)",
+        resume_stats.replayed
     );
 
     // Instrumented snapshot of the same campaign: the [`ObsReport`] that
@@ -654,6 +728,20 @@ fn main() -> Result<()> {
     let _ = writeln!(json, "    \"disk_writes\": {},", store_cold.cache.disk_writes);
     let _ = writeln!(json, "    \"disk_hits\": {},", store_warm.cache.disk_hits);
     let _ = writeln!(json, "    \"identical\": {store_identical}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"campaign_resume\": {{");
+    let _ = writeln!(
+        json,
+        "    \"shape\": \"same campaign, work-item journal: cold journals every item (interleaved vs journal-less), resume replays a journal truncated at 50% of its records\","
+    );
+    let _ = writeln!(json, "    \"cold_ms\": {journal_ms:.2},");
+    let _ = writeln!(json, "    \"plain_ms\": {plain_ms:.2},");
+    let _ = writeln!(json, "    \"journal_overhead_pct\": {journal_overhead_pct:.2},");
+    let _ = writeln!(json, "    \"resumed_ms\": {resumed_ms:.2},");
+    let _ = writeln!(json, "    \"speedup_resumed\": {resume_speedup:.2},");
+    let _ = writeln!(json, "    \"replayed\": {},", resume_stats.replayed);
+    let _ = writeln!(json, "    \"work_items\": {},", resumed.compiled_tests);
+    let _ = writeln!(json, "    \"identical\": {resume_identical}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"fuzz\": {{");
     let _ = writeln!(

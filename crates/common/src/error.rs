@@ -61,6 +61,22 @@ pub enum Error {
     /// degrade (the affected entry stays memory-only) rather than failing
     /// the campaign; this variant surfaces them where a caller asks.
     Io(String),
+    /// A campaign journal is unusable or inconsistent where correctness
+    /// demands it be exact: a shard merge found overlapping, missing or
+    /// foreign journals, or a journal file opened for adoption has no
+    /// valid header. Unlike store/journal *write* failures (which degrade),
+    /// these are typed errors — serving a wrong merge would break the
+    /// exactly-once guarantee.
+    Journal(String),
+    /// A campaign work item kept faulting through every supervised attempt
+    /// its `RetryPolicy` allowed: the transient retries are exhausted and
+    /// the item escalates to a typed permanent failure. Like the faults it
+    /// wraps, it is never cached or persisted — a resumed campaign retries
+    /// the item from scratch.
+    RetriesExhausted {
+        /// Attempts made (the initial run plus every retry).
+        attempts: u32,
+    },
 }
 
 impl Error {
@@ -93,7 +109,10 @@ impl Error {
     pub fn is_fault(&self) -> bool {
         matches!(
             self,
-            Error::Panicked(_) | Error::Deadline { .. } | Error::Io(_)
+            Error::Panicked(_)
+                | Error::Deadline { .. }
+                | Error::Io(_)
+                | Error::RetriesExhausted { .. }
         )
     }
 }
@@ -115,6 +134,10 @@ impl fmt::Display for Error {
                 write!(f, "work item missed its {limit_ms} ms wall-clock deadline")
             }
             Error::Io(m) => write!(f, "store i/o error: {m}"),
+            Error::Journal(m) => write!(f, "campaign journal: {m}"),
+            Error::RetriesExhausted { attempts } => {
+                write!(f, "work item still faulting after {attempts} supervised attempts")
+            }
         }
     }
 }
@@ -143,6 +166,7 @@ mod tests {
         assert!(Error::Panicked("boom".into()).is_fault());
         assert!(Error::Deadline { limit_ms: 50 }.is_fault());
         assert!(Error::Io("disk full".into()).is_fault());
+        assert!(Error::RetriesExhausted { attempts: 3 }.is_fault());
         assert!(!Error::Budget { steps: 10 }.is_fault());
         assert!(!Error::Deadline { limit_ms: 50 }.is_exhaustion());
     }

@@ -8,7 +8,8 @@
 //! can consume an unbounded generator without materialising it first.
 
 use crate::cache::{lock_unpoisoned, CacheStats, SimCache};
-use crate::fault;
+use crate::fault::{self, RetryPolicy};
+use crate::journal::{CampaignJournal, ItemKey, ItemOutcome, ItemRecord, JournalStats, ShardSpec};
 use crate::persist::PersistStore;
 use crate::pipeline::{PipelineConfig, Telechat, TestReport, TestVerdict};
 use std::collections::BTreeMap;
@@ -88,6 +89,46 @@ pub struct CampaignSpec {
     /// are themselves byte-identical across worker counts, cache on/off
     /// and store warm/cold.
     pub metrics: bool,
+    /// Optional work-item completion journal ([`crate::journal`]): every
+    /// finished `(test, profile)` item is logged, completed items replay
+    /// from the log on a rerun instead of recomputing, and the final
+    /// result is byte-identical to an uninterrupted run — a killed
+    /// campaign resumes where it died. The journal must have been opened
+    /// under this campaign's fingerprint and `shard`.
+    pub journal: Option<Arc<CampaignJournal>>,
+    /// Run only one hash-partition of the work-item space
+    /// ([`ItemKey::shard`]): shard `i/N` campaigns on N machines cover the
+    /// space exactly once, and [`crate::journal::merge_journals`] folds
+    /// their journals back into the unsharded result. `None` (or `0/1`)
+    /// runs everything. Accounting totals (`source_tests`,
+    /// `compiled_tests`) still describe the full stream — cells hold only
+    /// this shard's items.
+    pub shard: Option<ShardSpec>,
+    /// Supervised execution for fault-class work-item failures that are
+    /// provably transient ([`fault::take_transient`]): attempts, backoff
+    /// and escalation. The default keeps the historical retry-once,
+    /// no-backoff behaviour.
+    pub retry: RetryPolicy,
+}
+
+impl Default for CampaignSpec {
+    /// An empty sweep with the production defaults: sharing layer on, no
+    /// store/journal/shard, single worker, retry-once supervision.
+    fn default() -> CampaignSpec {
+        CampaignSpec {
+            compilers: Vec::new(),
+            opts: Vec::new(),
+            targets: Vec::new(),
+            source_model: "rc11".into(),
+            threads: 1,
+            cache: true,
+            store: None,
+            metrics: false,
+            journal: None,
+            shard: None,
+            retry: RetryPolicy::default(),
+        }
+    }
 }
 
 impl CampaignSpec {
@@ -102,10 +143,26 @@ impl CampaignSpec {
             threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
-            cache: true,
-            store: None,
-            metrics: false,
+            ..CampaignSpec::default()
         }
+    }
+
+    /// The applicable compiler profiles, in sweep order (targets ×
+    /// compilers × opts, unsupported family/level pairs skipped). This
+    /// order defines the work-item space — the campaign driver, the
+    /// campaign fingerprint and the shard partition all derive from it.
+    pub fn profiles(&self) -> Vec<Compiler> {
+        let mut profiles = Vec::new();
+        for target in &self.targets {
+            for id in &self.compilers {
+                for &opt in &self.opts {
+                    if opt.supported_by(id.family) {
+                        profiles.push(Compiler::new(*id, opt, *target));
+                    }
+                }
+            }
+        }
+        profiles
     }
 }
 
@@ -152,6 +209,9 @@ pub struct CampaignResult {
     pub cache: CacheStats,
     /// Persistent-store traffic, when a store was attached.
     pub store: Option<crate::persist::StoreStats>,
+    /// Work-item journal traffic, when a journal was attached: recovered/
+    /// replayed/appended item counts and the degraded-mode flags.
+    pub journal: Option<JournalStats>,
     /// The telemetry snapshot, when [`CampaignSpec::metrics`] was set:
     /// counters, per-phase wall time and the normalised span trace.
     pub obs: Option<telechat_obs::ObsReport>,
@@ -245,6 +305,24 @@ impl CampaignResult {
             }
             if s.reset {
                 rows.push(count("store.reset", 1));
+            }
+            if s.read_only {
+                rows.push(count("store.read_only", 1));
+            }
+        }
+        if let Some(j) = &self.journal {
+            rows.push(count("journal.recovered", j.recovered));
+            rows.push(count("journal.replayed", j.replayed));
+            rows.push(count("journal.appends", j.appends));
+            rows.push(count("journal.write_errors", j.write_errors));
+            if j.dropped_bytes > 0 {
+                rows.push(count("journal.dropped_bytes", j.dropped_bytes));
+            }
+            if j.reset {
+                rows.push(count("journal.reset", 1));
+            }
+            if j.read_only {
+                rows.push(count("journal.read_only", 1));
             }
         }
         rows
@@ -377,6 +455,20 @@ pub fn run_campaign_source(
         config.sim.threads = 1;
     }
     let deadline = config.sim.deadline;
+    // Shard/journal sanity before any telemetry or model loading: a journal
+    // opened for a different shard must never replay into this campaign.
+    let shard = spec.shard.unwrap_or_else(ShardSpec::whole);
+    if shard.count == 0 || shard.index >= shard.count {
+        return Err(Error::Journal(format!("invalid shard spec {shard}")));
+    }
+    if let Some(journal) = &spec.journal {
+        if journal.shard() != shard {
+            return Err(Error::Journal(format!(
+                "journal records shard {}, campaign runs shard {shard}",
+                journal.shard()
+            )));
+        }
+    }
     // Arm telemetry before anything that loads models or probes the store,
     // so the whole campaign lands inside the window.
     if spec.metrics {
@@ -407,17 +499,14 @@ pub fn run_campaign_source(
         }
     };
 
-    // Applicable compiler profiles; each test runs under all of them.
-    let mut profiles = Vec::new();
-    for target in &spec.targets {
-        for id in &spec.compilers {
-            for &opt in &spec.opts {
-                if opt.supported_by(id.family) {
-                    profiles.push(Compiler::new(*id, opt, *target));
-                }
-            }
-        }
-    }
+    // Applicable compiler profiles; each test runs under all of them. The
+    // per-profile identity (name fingerprint = journal key half + shard
+    // partition input) is computed once up front.
+    let profiles = spec.profiles();
+    let profile_fps: Vec<u64> = profiles
+        .iter()
+        .map(|c| crate::journal::profile_fingerprint(&c.profile_name()))
+        .collect();
 
     // No applicable profile (e.g. an -Og-only sweep over clang): nothing
     // to run. Return before touching the source — draining it would spin
@@ -503,24 +592,63 @@ pub fn run_campaign_source(
                             match fr.source.next_test() {
                                 Some(test) => {
                                     telechat_obs::add(telechat_obs::Counter::CampaignTests, 1);
+                                    // Which profiles still need computing:
+                                    // sharded-out items belong to another
+                                    // shard and are skipped; journaled items
+                                    // replay their recorded outcome now.
+                                    let tfp = (spec.journal.is_some() || !shard.is_whole())
+                                        .then(|| test.fingerprint());
+                                    let mut pending = Vec::with_capacity(profiles.len());
+                                    let mut replays = Vec::new();
+                                    for (p, pfp) in profile_fps.iter().enumerate() {
+                                        if let Some(t) = tfp {
+                                            let key = ItemKey {
+                                                test: t,
+                                                profile: *pfp,
+                                            };
+                                            if key.shard(shard.count) != shard.index {
+                                                continue;
+                                            }
+                                            if let Some(rec) = spec
+                                                .journal
+                                                .as_ref()
+                                                .and_then(|j| j.replay(&key))
+                                            {
+                                                replays.push(rec);
+                                                continue;
+                                            }
+                                        }
+                                        pending.push(p);
+                                    }
                                     {
                                         let mut res = lock_unpoisoned(&result);
+                                        // Accounting totals describe the full
+                                        // stream even for a shard campaign.
                                         res.source_tests += 1;
                                         res.compiled_tests += profiles.len();
+                                        for rec in replays {
+                                            telechat_obs::add(
+                                                telechat_obs::Counter::CampaignResumed,
+                                                1,
+                                            );
+                                            apply_outcome(
+                                                &mut res,
+                                                (rec.arch, rec.family, rec.opt),
+                                                rec.outcome,
+                                            );
+                                        }
                                     }
                                     let test = std::sync::Arc::new(test);
-                                    if cache.is_some() && profiles.len() > 1 {
+                                    if cache.is_some() && pending.len() > 1 {
                                         // Source-leg-first: queue the lead,
                                         // defer the followers until the lead
                                         // has populated the shared entries.
                                         fr.outstanding_leads += 1;
-                                        fr.queue.push_back((
-                                            test,
-                                            0,
-                                            (1..profiles.len()).collect(),
-                                        ));
+                                        let lead = pending[0];
+                                        let followers = pending.split_off(1);
+                                        fr.queue.push_back((test, lead, followers));
                                     } else {
-                                        for p in 0..profiles.len() {
+                                        for p in pending {
                                             fr.queue.push_back((test.clone(), p, Vec::new()));
                                         }
                                     }
@@ -567,14 +695,25 @@ pub fn run_campaign_source(
                     let compiler = &profiles[p];
                     let key = (compiler.target.arch, compiler.id.family, compiler.opt);
                     let mut outcome = run_isolated(&tool, &test, compiler, deadline);
-                    // One retry, only when the failure provably came from an
-                    // injected *transient* fault: production failures stay
-                    // deterministic (a flaky-looking leg is a bug, not noise).
-                    if outcome.as_ref().is_err_and(Error::is_fault)
+                    // Supervised retries, only when the failure provably came
+                    // from an injected *transient* fault: production failures
+                    // stay deterministic (a flaky-looking leg is a bug, not
+                    // noise). An item still faulting with a transient marker
+                    // once the policy's attempts are exhausted escalates to
+                    // the typed permanent failure — a counted error cell,
+                    // never an unbounded retry loop.
+                    let mut attempts = 1u32;
+                    while outcome.as_ref().is_err_and(Error::is_fault)
                         && fault::take_transient(&test.name)
                     {
+                        if attempts >= spec.retry.max_attempts {
+                            outcome = Err(Error::RetriesExhausted { attempts });
+                            break;
+                        }
                         telechat_obs::add(telechat_obs::Counter::CampaignRetries, 1);
+                        spec.retry.pause(attempts);
                         outcome = run_isolated(&tool, &test, compiler, deadline);
+                        attempts += 1;
                     }
                     match &outcome {
                         Err(Error::Deadline { .. }) => {
@@ -585,9 +724,27 @@ pub fn run_campaign_source(
                         }
                         _ => {}
                     }
+                    // Bin the outcome. Every error — fault or deterministic —
+                    // is an error cell, but only non-fault completions are
+                    // durable: fault-class failures are never journaled, so
+                    // a resumed campaign recomputes them and a transient
+                    // infrastructure fault heals instead of replaying.
+                    let binned = match &outcome {
+                        Ok(report) => match report.verdict {
+                            TestVerdict::Pass => ItemOutcome::Pass,
+                            TestVerdict::NegativeDifference => ItemOutcome::Negative,
+                            TestVerdict::PositiveDifference => ItemOutcome::Positive {
+                                test: test.name.clone(),
+                                profile: compiler.profile_name(),
+                            },
+                            TestVerdict::RuntimeCrash => ItemOutcome::Crashed,
+                            TestVerdict::SourceRace => ItemOutcome::Racy,
+                        },
+                        Err(_) => ItemOutcome::Error,
+                    };
+                    let durable = !outcome.as_ref().is_err_and(Error::is_fault);
                     {
                         let mut res = lock_unpoisoned(&result);
-                        let cell = res.cells.entry(key).or_default();
                         if spec.metrics {
                             if let Ok(report) = &outcome {
                                 let mut h = 0u64;
@@ -595,20 +752,23 @@ pub fn run_campaign_source(
                                 lock_unpoisoned(&outcome_sets).insert(h);
                             }
                         }
-                        match outcome {
-                            Ok(report) => match report.verdict {
-                                TestVerdict::Pass => cell.pass += 1,
-                                TestVerdict::NegativeDifference => cell.negative += 1,
-                                TestVerdict::PositiveDifference => {
-                                    cell.positive += 1;
-                                    telechat_obs::add(telechat_obs::Counter::CampaignPositives, 1);
-                                    res.positive_tests
-                                        .push((test.name.clone(), compiler.profile_name()));
-                                }
-                                TestVerdict::RuntimeCrash => cell.crashed += 1,
-                                TestVerdict::SourceRace => cell.racy += 1,
-                            },
-                            Err(_) => cell.errors += 1,
+                        if matches!(binned, ItemOutcome::Positive { .. }) {
+                            telechat_obs::add(telechat_obs::Counter::CampaignPositives, 1);
+                        }
+                        apply_outcome(&mut res, key, binned.clone());
+                    }
+                    if durable {
+                        if let Some(journal) = &spec.journal {
+                            journal.record(&ItemRecord {
+                                key: ItemKey {
+                                    test: test.fingerprint(),
+                                    profile: profile_fps[p],
+                                },
+                                arch: key.0,
+                                family: key.1,
+                                opt: key.2,
+                                outcome: binned,
+                            });
                         }
                     }
                 }
@@ -622,6 +782,13 @@ pub fn run_campaign_source(
         result.cache = cache.stats();
     }
     result.store = spec.store.as_ref().map(|s| s.stats());
+    if let Some(journal) = &spec.journal {
+        // Seal with the full-stream totals: the summary is what `merge`
+        // and resumed runs validate against, and sealing is idempotent so
+        // a resume of a completed campaign does not grow the log.
+        journal.seal(result.source_tests as u64, result.compiled_tests as u64);
+        result.journal = Some(journal.stats());
+    }
     // Close the root span before snapshotting, so its duration (and the
     // main thread's buffered spans) land in the report.
     drop(root_span);
@@ -631,6 +798,28 @@ pub fn run_campaign_source(
         result.obs = Some(telechat_obs::finish());
     }
     Ok(result)
+}
+
+/// Folds one binned work-item outcome into a result's cells — the one
+/// aggregation the live driver, the journal replay path and the shard
+/// merge all share, so the three can never drift apart.
+pub(crate) fn apply_outcome(
+    res: &mut CampaignResult,
+    key: (Arch, CompilerFamily, OptLevel),
+    outcome: ItemOutcome,
+) {
+    let cell = res.cells.entry(key).or_default();
+    match outcome {
+        ItemOutcome::Pass => cell.pass += 1,
+        ItemOutcome::Negative => cell.negative += 1,
+        ItemOutcome::Positive { test, profile } => {
+            cell.positive += 1;
+            res.positive_tests.push((test, profile));
+        }
+        ItemOutcome::Crashed => cell.crashed += 1,
+        ItemOutcome::Racy => cell.racy += 1,
+        ItemOutcome::Error => cell.errors += 1,
+    }
 }
 
 /// Runs one work item behind the failure-isolation boundary: a panic

@@ -58,6 +58,7 @@
 pub mod cache;
 pub mod campaign;
 pub mod fault;
+pub mod journal;
 pub mod l2c;
 pub mod mapping;
 pub mod mcompare;
@@ -68,6 +69,11 @@ pub mod s2l;
 pub use cache::{CacheStats, SimCache, SourceLeg};
 pub use campaign::{
     run_campaign, run_campaign_source, CampaignCell, CampaignResult, CampaignSpec, TestSource,
+};
+pub use fault::RetryPolicy;
+pub use journal::{
+    campaign_fingerprint, merge_journals, CampaignJournal, ItemKey, ItemOutcome, ItemRecord,
+    JournalStats, ShardSpec,
 };
 pub use l2c::{prepare, PreparedSource};
 pub use mapping::StateMapping;
@@ -80,9 +86,9 @@ pub use telechat_obs as obs;
 /// One-stop imports for examples and binaries.
 pub mod prelude {
     pub use crate::{
-        mcompare, prepare, run_campaign, run_campaign_source, CacheStats, CampaignResult,
-        CampaignSpec, PersistStore, PipelineConfig, SimCache, StateMapping, Telechat, TestReport,
-        TestSource, TestVerdict,
+        mcompare, prepare, run_campaign, run_campaign_source, CacheStats, CampaignJournal,
+        CampaignResult, CampaignSpec, PersistStore, PipelineConfig, RetryPolicy, ShardSpec,
+        SimCache, StateMapping, Telechat, TestReport, TestSource, TestVerdict,
     };
     pub use telechat_cat::CatModel;
     pub use telechat_compiler::{Compiler, CompilerFamily, CompilerId, OptLevel, Target};

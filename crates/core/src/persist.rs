@@ -193,6 +193,9 @@ pub struct FaultPlan {
     pub flip_read_at: Option<u64>,
     /// Fail every truncate call (recovery cannot repair the file).
     pub fail_truncate: bool,
+    /// Fail every load call (the resume-read / merge-read fault: the log
+    /// exists but cannot be read back at open).
+    pub fail_load: bool,
 }
 
 impl FaultPlan {
@@ -216,8 +219,30 @@ impl FaultPlan {
         FaultPlan {
             fail_append: Some(fail_at),
             torn_bytes: torn,
-            flip_read_at: None,
-            fail_truncate: false,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// A wider deterministic plan for the chaos matrix: independently arms
+    /// an append fault (torn half the time), a read bit-flip, a truncate
+    /// fault and a load fault from `seed`, so a sweep over seeds covers the
+    /// cross-product of fault sites — including the resume-read and
+    /// merge-read paths [`FaultPlan::seeded`] never touches.
+    pub fn seeded_chaos(seed: u64) -> FaultPlan {
+        let mut x = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut next = move || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        FaultPlan {
+            fail_append: (next() % 2 == 0).then(|| (next() % 32) as u32),
+            torn_bytes: (next() % 2 == 0).then(|| (next() % 24) as usize),
+            flip_read_at: (next() % 4 == 0).then(|| next() % 4096),
+            fail_truncate: next() % 4 == 0,
+            fail_load: next() % 8 == 0,
         }
     }
 }
@@ -244,6 +269,9 @@ impl<B: StoreBackend> FaultyBackend<B> {
 
 impl<B: StoreBackend> StoreBackend for FaultyBackend<B> {
     fn load(&self) -> std::io::Result<Vec<u8>> {
+        if self.plan.fail_load {
+            return Err(std::io::Error::other("injected load fault"));
+        }
         let mut buf = self.inner.load()?;
         if let Some(off) = self.plan.flip_read_at {
             if !buf.is_empty() {
@@ -392,15 +420,15 @@ pub type StoredValue = Result<StoredSim>;
 // Codec.
 // ---------------------------------------------------------------------------
 
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(buf: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_u32(buf, s.len() as u32);
     buf.extend_from_slice(s.as_bytes());
 }
@@ -533,7 +561,13 @@ fn encode_value(buf: &mut Vec<u8>, v: &StoredValue) -> bool {
                     buf.push(7);
                     put_str(buf, m);
                 }
-                Error::Panicked(_) | Error::Deadline { .. } | Error::Io(_) => unreachable!(),
+                // Faults are screened out above; journal errors never
+                // occur as simulation-leg results.
+                Error::Panicked(_)
+                | Error::Deadline { .. }
+                | Error::Io(_)
+                | Error::Journal(_)
+                | Error::RetriesExhausted { .. } => unreachable!(),
             }
             true
         }
@@ -552,22 +586,61 @@ fn encode_record(key: &PersistKey, value: &StoredValue) -> Option<Vec<u8>> {
     if !encode_value(&mut payload, value) {
         return None;
     }
+    Some(frame_record(&payload))
+}
+
+/// Frames a payload as an on-disk record — `len(u32) payload cksum(u64)`,
+/// `cksum = fnv1a64(payload)`. Shared by the leg store and the campaign
+/// journal ([`crate::journal`]), so both logs carry the same crash-safety
+/// envelope.
+pub(crate) fn frame_record(payload: &[u8]) -> Vec<u8> {
     let mut rec = Vec::with_capacity(payload.len() + 12);
     put_u32(&mut rec, payload.len() as u32);
-    let cksum = fnv1a64(0, &payload);
-    rec.extend_from_slice(&payload);
+    let cksum = fnv1a64(0, payload);
+    rec.extend_from_slice(payload);
     put_u64(&mut rec, cksum);
-    Some(rec)
+    rec
+}
+
+/// Scans framed records from `start`, feeding each checksum-valid payload
+/// to `keep`; the first record whose length overruns the image, whose
+/// checksum mismatches, or that `keep` rejects (a decode failure) marks
+/// the damaged suffix. Returns the length of the valid prefix — the
+/// recovery truncation point shared by store and journal.
+pub(crate) fn scan_records(
+    image: &[u8],
+    start: usize,
+    keep: &mut dyn FnMut(&[u8]) -> bool,
+) -> usize {
+    let mut pos = start;
+    while let Some(len_bytes) = image.get(pos..pos + 4) {
+        let len = u32::from_le_bytes(len_bytes.try_into().unwrap());
+        let body = (len <= MAX_RECORD)
+            .then(|| image.get(pos + 4..pos + 4 + len as usize + 8))
+            .flatten();
+        let Some(body) = body else { break };
+        let (payload, ck) = body.split_at(len as usize);
+        let ck = u64::from_le_bytes(ck.try_into().unwrap());
+        if fnv1a64(0, payload) != ck || !keep(payload) {
+            break;
+        }
+        pos += 4 + len as usize + 8;
+    }
+    pos
 }
 
 /// A bounds-checked little-endian reader; any overrun or bad tag reads as
 /// `None`, which recovery treats as a damaged record.
-struct Dec<'a> {
+pub(crate) struct Dec<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Dec<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
     fn take(&mut self, n: usize) -> Option<&'a [u8]> {
         let end = self.pos.checked_add(n)?;
         if end > self.buf.len() {
@@ -578,16 +651,16 @@ impl<'a> Dec<'a> {
         Some(s)
     }
 
-    fn u8(&mut self) -> Option<u8> {
+    pub(crate) fn u8(&mut self) -> Option<u8> {
         self.take(1).map(|s| s[0])
     }
 
-    fn u32(&mut self) -> Option<u32> {
+    pub(crate) fn u32(&mut self) -> Option<u32> {
         self.take(4)
             .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Option<u64> {
+    pub(crate) fn u64(&mut self) -> Option<u64> {
         self.take(8)
             .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
     }
@@ -597,12 +670,12 @@ impl<'a> Dec<'a> {
             .map(|s| i64::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn u128(&mut self) -> Option<u128> {
+    pub(crate) fn u128(&mut self) -> Option<u128> {
         self.take(16)
             .map(|s| u128::from_le_bytes(s.try_into().unwrap()))
     }
 
-    fn str(&mut self) -> Option<String> {
+    pub(crate) fn str(&mut self) -> Option<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
         String::from_utf8(bytes.to_vec()).ok()
@@ -664,7 +737,7 @@ impl<'a> Dec<'a> {
         ))
     }
 
-    fn done(&self) -> bool {
+    pub(crate) fn done(&self) -> bool {
         self.pos == self.buf.len()
     }
 }
@@ -769,6 +842,10 @@ pub struct StoreStats {
     pub appends: u64,
     /// Failed appends (the entries stayed memory-only).
     pub write_errors: u64,
+    /// True when the session degraded to read-only: the backing file could
+    /// no longer be kept consistent (a rollback or recovery truncation
+    /// failed), so the store serves what it has but accepts no appends.
+    pub read_only: bool,
 }
 
 impl fmt::Display for StoreStats {
@@ -784,7 +861,22 @@ impl fmt::Display for StoreStats {
         if self.reset {
             write!(f, ", log reset (version mismatch)")?;
         }
+        if self.read_only {
+            write!(f, ", read-only")?;
+        }
         Ok(())
+    }
+}
+
+/// One-time stderr notice for a degraded log session. Degradation is by
+/// design invisible to the campaign result (entries recompute, results
+/// stay byte-identical), which historically made it invisible full stop —
+/// an operator whose disk died mid-campaign deserves one line saying the
+/// log went read-only, plus the `store.*`/`journal.*` metric rows.
+pub(crate) fn warn_degraded(warned: &mut bool, what: &str, why: &str) {
+    if !*warned {
+        *warned = true;
+        eprintln!("telechat: {what} degraded to read-only ({why}); results are unaffected, entries will recompute on the next run");
     }
 }
 
@@ -796,6 +888,8 @@ struct StoreState {
     /// (truncate after a torn write failed); the store then serves what it
     /// recovered but accepts no further appends.
     writable: bool,
+    /// One-time degradation notice already emitted.
+    warned: bool,
     stats: StoreStats,
 }
 
@@ -850,6 +944,7 @@ impl PersistStore {
             index: HashMap::new(),
             len: 0,
             writable: true,
+            warned: false,
             stats: StoreStats::default(),
         };
 
@@ -865,25 +960,14 @@ impl PersistStore {
 
         if header_ok {
             // Scan records, keeping the longest valid prefix.
-            let mut pos = HEADER_LEN;
-            while let Some(len_bytes) = image.get(pos..pos + 4) {
-                let len = u32::from_le_bytes(len_bytes.try_into().unwrap());
-                let body = (len <= MAX_RECORD)
-                    .then(|| image.get(pos + 4..pos + 4 + len as usize + 8))
-                    .flatten();
-                let Some(body) = body else { break };
-                let (payload, ck) = body.split_at(len as usize);
-                let ck = u64::from_le_bytes(ck.try_into().unwrap());
-                if fnv1a64(0, payload) != ck {
-                    break;
-                }
+            let pos = scan_records(&image, HEADER_LEN, &mut |payload| {
                 let Some((key, value)) = decode_record(payload) else {
-                    break;
+                    return false;
                 };
                 state.index.insert(key, value);
                 state.stats.recovered += 1;
-                pos += 4 + len as usize + 8;
-            }
+                true
+            });
             state.len = pos as u64;
             let dropped = image.len() - pos;
             if dropped > 0 {
@@ -893,6 +977,11 @@ impl PersistStore {
                     // recovered prefix is still sound, but appending after
                     // it would interleave with garbage.
                     state.writable = false;
+                    warn_degraded(
+                        &mut state.warned,
+                        "store",
+                        "recovery could not truncate the damaged tail",
+                    );
                 }
             }
         } else {
@@ -914,6 +1003,7 @@ impl PersistStore {
                     // memory-only session rather than failing the caller.
                     state.writable = false;
                     state.stats.write_errors += 1;
+                    warn_degraded(&mut state.warned, "store", "header write failed");
                 }
             }
         }
@@ -953,6 +1043,7 @@ impl PersistStore {
                 // the next open will drop the damage.
                 if self.backend.truncate(st.len).is_err() {
                     st.writable = false;
+                    warn_degraded(&mut st.warned, "store", "torn-write rollback failed");
                 }
             }
         }
@@ -974,11 +1065,10 @@ impl PersistStore {
 
     /// A snapshot of the store's counters.
     pub fn stats(&self) -> StoreStats {
-        self.state
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .stats
-            .clone()
+        let st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut stats = st.stats.clone();
+        stats.read_only = !st.writable;
+        stats
     }
 }
 
@@ -1265,10 +1355,19 @@ mod tests {
             write_errors: 1,
             dropped_bytes: 17,
             reset: false,
+            read_only: false,
         };
         assert_eq!(
             s.to_string(),
             "store: 3 recovered, 2 appended, 1 write errors, 17 damaged bytes dropped"
+        );
+        let s = StoreStats {
+            read_only: true,
+            ..StoreStats::default()
+        };
+        assert_eq!(
+            s.to_string(),
+            "store: 0 recovered, 0 appended, 0 write errors, read-only"
         );
     }
 }

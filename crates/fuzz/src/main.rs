@@ -5,7 +5,9 @@
 //! telechat-fuzz campaign [--seed S] [--count N] [--source-model M] [--target-model M]
 //!                        [--arch A] [--compiler llvm-N|gcc-N] [--opt -ON]
 //!                        [--threads T] [--assert-no-positive] [--store PATH]
+//!                        [--journal PATH] [--shard I/N]
 //!                        [--metrics] [--trace PATH] [--progress]
+//! telechat-fuzz merge --journal PATH [--journal PATH ...]
 //! telechat-fuzz minimize [--seed S] [--count N] [--source-model M] [--target-model M]
 //!                        [--arch A] [--compiler llvm-N|gcc-N] [--opt -ON]
 //! ```
@@ -15,6 +17,13 @@
 //! `campaign` streams a seeded fuzz campaign through the full pipeline and
 //! tabulates the differences. `minimize` hunts the stream for the first
 //! positive difference and shrinks it to a 1-minimal witness.
+//!
+//! `--journal PATH` makes the campaign resumable: completed work items are
+//! logged and a rerun (after a crash or `kill -9`) replays them instead of
+//! recomputing, with a final table byte-identical to an uninterrupted run.
+//! `--shard I/N` runs one hash-partition of the work-item space; `merge`
+//! folds the `N` completed shard journals back into the unsharded result,
+//! refusing incomplete, overlapping or mixed-campaign journal sets.
 //!
 //! The campaign sink flags compose rather than conflict: `--metrics`
 //! prints the metrics table in the summary, `--trace PATH` additionally
@@ -28,7 +37,8 @@
 //! precedence.
 
 use telechat::{
-    run_campaign_source, CampaignSpec, PersistStore, PipelineConfig, Telechat, TestVerdict,
+    campaign_fingerprint, merge_journals, run_campaign_source, CampaignJournal, CampaignSpec,
+    PersistStore, PipelineConfig, ShardSpec, Telechat, TestVerdict,
 };
 use telechat_common::{Arch, Error, Result};
 use telechat_compiler::{Compiler, CompilerId, OptLevel, Target};
@@ -63,10 +73,13 @@ const CAMPAIGN_FLAGS: &[&str] = &[
     "--threads",
     "--assert-no-positive",
     "--store",
+    "--journal",
+    "--shard",
     "--metrics",
     "--trace",
     "--progress",
 ];
+const MERGE_FLAGS: &[&str] = &["--journal"];
 const MINIMIZE_FLAGS: &[&str] = &[
     "--comm",
     "--po-run",
@@ -91,13 +104,18 @@ fn run(args: &[String]) -> Result<i32> {
             o.check_flags("campaign", CAMPAIGN_FLAGS)?;
             campaign(&o)
         }
+        Some("merge") => {
+            let o = Opts::parse(&args[1..])?;
+            o.check_flags("merge", MERGE_FLAGS)?;
+            merge(&o)
+        }
         Some("minimize") => {
             let o = Opts::parse(&args[1..])?;
             o.check_flags("minimize", MINIMIZE_FLAGS)?;
             hunt_and_minimize(&o)
         }
         _ => {
-            eprintln!("usage: telechat-fuzz <generate|campaign|minimize> [options]");
+            eprintln!("usage: telechat-fuzz <generate|campaign|merge|minimize> [options]");
             eprintln!("       (see the crate docs for the option list)");
             Ok(2)
         }
@@ -121,6 +139,9 @@ struct Opts {
     threads: usize,
     assert_no_positive: bool,
     store: Option<std::path::PathBuf>,
+    /// One path for `campaign --journal`, many for `merge`.
+    journal: Vec<std::path::PathBuf>,
+    shard: Option<ShardSpec>,
     metrics: bool,
     trace: Option<std::path::PathBuf>,
     progress: bool,
@@ -151,6 +172,8 @@ impl Opts {
             threads: 1,
             assert_no_positive: false,
             store: None,
+            journal: Vec::new(),
+            shard: None,
             metrics: false,
             trace: None,
             progress: false,
@@ -179,6 +202,8 @@ impl Opts {
                 "--threads" => o.threads = parse_num(value()?)?,
                 "--assert-no-positive" => o.assert_no_positive = true,
                 "--store" => o.store = Some(value()?.into()),
+                "--journal" => o.journal.push(value()?.into()),
+                "--shard" => o.shard = Some(ShardSpec::parse(value()?)?),
                 "--metrics" => o.metrics = true,
                 "--trace" => o.trace = Some(value()?.into()),
                 "--progress" => o.progress = true,
@@ -284,20 +309,23 @@ fn campaign_spec(o: &Opts) -> Result<CampaignSpec> {
         // without --metrics (and either therefore also prints the metrics
         // table in the campaign summary, exactly as --metrics would).
         metrics: o.metrics || o.trace.is_some() || o.progress,
+        ..CampaignSpec::default()
     })
 }
 
 /// The live progress sink: a background ticker that renders heartbeat
 /// lines to stderr from the metrics counter registry while the campaign
-/// runs. Stdout stays byte-deterministic; a final line is always emitted
-/// on stop, so even sub-second campaigns report their totals.
+/// runs. Stdout stays byte-deterministic. The ticker is a drop guard —
+/// the final line is emitted on drop, so even campaigns that end in an
+/// early error or a panic (unwinding through `campaign`) report their
+/// totals instead of going silent.
 struct ProgressTicker {
     shared: std::sync::Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
-    handle: std::thread::JoinHandle<()>,
+    handle: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ProgressTicker {
-    fn start(total: usize) -> ProgressTicker {
+    fn start(total: usize, journal: bool) -> ProgressTicker {
         let shared = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
         let in_thread = std::sync::Arc::clone(&shared);
         let handle = std::thread::spawn(move || {
@@ -313,17 +341,20 @@ impl ProgressTicker {
                     Ok((g, _)) => g,
                     Err(p) => p.into_inner().0,
                 };
-                Self::heartbeat(total, started, *stopped);
+                Self::heartbeat(total, journal, started, *stopped);
                 if *stopped {
                     return;
                 }
             }
         });
-        ProgressTicker { shared, handle }
+        ProgressTicker {
+            shared,
+            handle: Some(handle),
+        }
     }
 
     /// One heartbeat line from the live counter registry.
-    fn heartbeat(total: usize, started: std::time::Instant, done: bool) {
+    fn heartbeat(total: usize, journal: bool, started: std::time::Instant, done: bool) {
         use telechat_obs::{get, Counter};
         let tests = get(Counter::CampaignTests);
         let positives = get(Counter::CampaignPositives);
@@ -335,6 +366,13 @@ impl ProgressTicker {
         } else {
             "-".into()
         };
+        let resumed = if journal {
+            let replayed = get(Counter::CampaignResumed);
+            let remaining = (total as u64).saturating_sub(tests);
+            format!(", {replayed} resumed/{remaining} remaining")
+        } else {
+            String::new()
+        };
         let eta = if done {
             " done".into()
         } else if tests > 0 && (tests as usize) < total {
@@ -344,18 +382,30 @@ impl ProgressTicker {
             String::new()
         };
         eprintln!(
-            "progress: {tests}/{total} tests, {positives} positive(s), prune {prune}, {elapsed:.1}s{eta}"
+            "progress: {tests}/{total} tests, {positives} positive(s), prune {prune}{resumed}, {elapsed:.1}s{eta}"
         );
     }
 
-    fn stop(self) {
+    /// Stops the ticker thread after one last heartbeat. Idempotent; also
+    /// runs from `Drop`, which is what guarantees the final line on the
+    /// error and panic paths.
+    fn finish(&mut self) {
+        let Some(handle) = self.handle.take() else {
+            return;
+        };
         let (lock, cv) = &*self.shared;
         match lock.lock() {
             Ok(mut g) => *g = true,
             Err(p) => *p.into_inner() = true,
         }
         cv.notify_all();
-        self.handle.join().ok();
+        handle.join().ok();
+    }
+}
+
+impl Drop for ProgressTicker {
+    fn drop(&mut self) {
+        self.finish();
     }
 }
 
@@ -366,13 +416,39 @@ fn pipeline_config(o: &Opts) -> PipelineConfig {
     }
 }
 
+/// The campaign identity the journal is keyed by: the seed/count/shape
+/// parameters that fully determine the fuzz stream. Cheap (no draining)
+/// and exact — two invocations agree on the hash iff they generate the
+/// same test stream.
+fn stream_identity(o: &Opts) -> u64 {
+    let mut h = fnv1a64(0, b"telechat-fuzz-stream-v1");
+    for v in [o.seed, o.count as u64, o.comm as u64, o.po_run as u64] {
+        h = fnv1a64(h, &v.to_le_bytes());
+    }
+    h
+}
+
 fn campaign(o: &Opts) -> Result<i32> {
     let mut source = FuzzSource::new(&o.fuzz_config());
-    let spec = campaign_spec(o)?;
-    let ticker = o.progress.then(|| ProgressTicker::start(o.count));
-    let result = run_campaign_source(&mut source, &spec, &pipeline_config(o));
-    if let Some(ticker) = ticker {
-        ticker.stop();
+    let mut spec = campaign_spec(o)?;
+    let config = pipeline_config(o);
+    spec.shard = o.shard;
+    if o.journal.len() > 1 {
+        return Err(Error::parse(
+            "campaign takes one --journal (merge takes several)",
+        ));
+    }
+    if let Some(path) = o.journal.first() {
+        let fp = campaign_fingerprint(stream_identity(o), &spec, &config);
+        let shard = o.shard.unwrap_or_else(ShardSpec::whole);
+        spec.journal = Some(std::sync::Arc::new(CampaignJournal::open(path, fp, shard)?));
+    }
+    let mut ticker = o
+        .progress
+        .then(|| ProgressTicker::start(o.count, spec.journal.is_some()));
+    let result = run_campaign_source(&mut source, &spec, &config);
+    if let Some(ticker) = &mut ticker {
+        ticker.finish();
     }
     let result = result?;
     println!("{result}");
@@ -408,6 +484,32 @@ fn campaign(o: &Opts) -> Result<i32> {
         );
         return Ok(1);
     }
+    Ok(0)
+}
+
+/// `merge`: fold the completed journals of an N-way sharded campaign into
+/// the unsharded result table. Validation (complete, disjoint, one
+/// campaign, all sealed) lives in [`merge_journals`]; any violation is a
+/// typed error and a non-zero exit.
+fn merge(o: &Opts) -> Result<i32> {
+    if o.journal.is_empty() {
+        return Err(Error::parse("merge wants --journal PATH, once per shard"));
+    }
+    let journals = o
+        .journal
+        .iter()
+        .map(CampaignJournal::open_existing)
+        .collect::<Result<Vec<_>>>()?;
+    let result = merge_journals(&journals)?;
+    println!("{result}");
+    for (test, profile) in &result.positive_tests {
+        println!("  +ve: {test} under {profile}");
+    }
+    eprintln!(
+        "merge: {} shard journal(s), campaign {:016x}",
+        journals.len(),
+        journals[0].fingerprint()
+    );
     Ok(0)
 }
 

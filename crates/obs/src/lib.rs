@@ -237,6 +237,7 @@ counters! {
     CampaignTests => ("campaign.tests", Deterministic),
     CampaignWorkItems => ("campaign.work_items", Deterministic),
     CampaignPositives => ("campaign.positives", Deterministic),
+    CampaignResumed => ("campaign.resumed", Deterministic),
     SimCandidates => ("sim.candidates", Deterministic),
     SimAllowed => ("sim.allowed", Deterministic),
     SimPruned => ("sim.pruned_candidates", Deterministic),

@@ -26,8 +26,7 @@ fn main() -> Result<(), Error> {
         source_model: "rc11".into(),
         threads: 4,
         cache: true,
-        store: None,
-        metrics: false,
+        ..CampaignSpec::default()
     };
     let config = PipelineConfig {
         sim: SimConfig::fast(),

@@ -73,8 +73,7 @@ fn spec(threads: usize, cache: bool) -> CampaignSpec {
         source_model: "rc11".into(),
         threads,
         cache,
-        store: None,
-        metrics: false,
+        ..CampaignSpec::default()
     }
 }
 

@@ -1,0 +1,304 @@
+//! The chaos matrix: systematic kill/fault injection across the journal's
+//! work-item boundaries. Every cell of the matrix must end in one of two
+//! states — a resumed campaign byte-identical to the uninterrupted run, or
+//! an expected *typed* error — never a hang, a panic, or a corrupt journal
+//! silently served as truth. Backend faults during a live campaign degrade
+//! journaling (counted in `journal.*` metric rows) without perturbing the
+//! campaign result.
+
+use std::sync::mpsc;
+use std::time::Duration;
+use telechat_compiler::{CompilerId, OptLevel, Target};
+use telechat_repro::common::{Arch, Error};
+use telechat_repro::core::persist::{FaultPlan, FaultyBackend, MemBackend};
+use telechat_repro::core::{
+    campaign_fingerprint, merge_journals, run_campaign, CampaignJournal, CampaignResult,
+    CampaignSpec, PipelineConfig, ShardSpec,
+};
+use telechat_repro::litmus::{parse_c11, LitmusTest};
+
+const SB: &str = r#"
+C11 "SB"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+}
+exists (P0:r0=0 /\ P1:r0=0)
+"#;
+
+const LB_FENCES: &str = r#"
+C11 "LB+fences"
+{ x = 0; y = 0; }
+P0 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(x, memory_order_relaxed);
+  atomic_thread_fence(memory_order_relaxed);
+  atomic_store_explicit(y, 1, memory_order_relaxed);
+}
+P1 (atomic_int* x, atomic_int* y) {
+  int r0 = atomic_load_explicit(y, memory_order_relaxed);
+  atomic_thread_fence(memory_order_relaxed);
+  atomic_store_explicit(x, 1, memory_order_relaxed);
+}
+exists (P0:r0=1 /\ P1:r0=1)
+"#;
+
+fn suite() -> Vec<LitmusTest> {
+    [SB, LB_FENCES].iter().map(|s| parse_c11(s).unwrap()).collect()
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec {
+        compilers: vec![CompilerId::llvm(11)],
+        opts: vec![OptLevel::O2, OptLevel::O3],
+        targets: vec![Target::new(Arch::AArch64)],
+        threads: 2,
+        ..CampaignSpec::default()
+    }
+}
+
+fn fingerprint(r: &CampaignResult) -> (String, Vec<(String, String)>, usize, usize) {
+    (
+        format!("{:?}", r.cells),
+        r.positive_tests.clone(),
+        r.source_tests,
+        r.compiled_tests,
+    )
+}
+
+fn mem_with(image: Vec<u8>) -> MemBackend {
+    let backend = MemBackend::new();
+    *backend.bytes().lock().unwrap() = image;
+    backend
+}
+
+/// A clean journaled run: the reference result plus the full journal
+/// image whose boundaries the matrix cuts and corrupts.
+fn reference() -> (Vec<LitmusTest>, PipelineConfig, u64, CampaignResult, Vec<u8>) {
+    let tests = suite();
+    let config = PipelineConfig::default();
+    let fp = campaign_fingerprint(0, &spec(), &config);
+    let mem = MemBackend::new();
+    let mut s = spec();
+    s.journal = Some(std::sync::Arc::new(
+        CampaignJournal::open_backend(Box::new(mem.clone()), fp, ShardSpec::whole()).unwrap(),
+    ));
+    let baseline = run_campaign(&tests, &s, &config).unwrap();
+    let image = mem.bytes().lock().unwrap().clone();
+    (tests, config, fp, baseline, image)
+}
+
+/// Runs the campaign on a helper thread with a wall-clock bound: a chaos
+/// cell that *hangs* fails the test instead of wedging CI.
+fn run_bounded(
+    tests: Vec<LitmusTest>,
+    spec: CampaignSpec,
+    config: PipelineConfig,
+) -> CampaignResult {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_campaign(&tests, &spec, &config).unwrap());
+    });
+    rx.recv_timeout(Duration::from_secs(300))
+        .expect("a chaos cell must terminate — identical resume or typed error, never a hang")
+}
+
+/// Kill/corruption matrix over the journal *image*: truncation at every
+/// record boundary, truncation mid-record, and a flipped byte in every
+/// record (header included). Whatever survives recovery is replayed; the
+/// rest — including anything after a damaged record — is recomputed; the
+/// resumed result is always byte-identical.
+#[test]
+fn every_cut_and_every_flip_resumes_byte_identical() {
+    let (tests, config, fp, baseline, image) = reference();
+    let bounds = CampaignJournal::record_boundaries(&image);
+    assert!(bounds.len() >= 3, "header + items + seal");
+
+    let mut images: Vec<(String, Vec<u8>)> = Vec::new();
+    for &cut in &bounds {
+        images.push((format!("cut at boundary {cut}"), image[..cut].to_vec()));
+    }
+    for &cut in &bounds[..bounds.len() - 1] {
+        let mid = cut + 5;
+        images.push((format!("cut mid-record at {mid}"), image[..mid].to_vec()));
+    }
+    for (i, w) in bounds.windows(2).enumerate() {
+        let at = (w[0] + w[1]) / 2;
+        let mut flipped = image.clone();
+        flipped[at] ^= 0x40;
+        images.push((format!("flipped byte {at} in record {i}"), flipped));
+    }
+
+    for (label, img) in images {
+        let mem = mem_with(img);
+        let journal =
+            CampaignJournal::open_backend(Box::new(mem.clone()), fp, ShardSpec::whole()).unwrap();
+        let pre = journal.stats();
+        let mut s = spec();
+        s.journal = Some(std::sync::Arc::new(journal));
+        let resumed = run_bounded(tests.clone(), s, config.clone());
+        assert_eq!(fingerprint(&resumed), fingerprint(&baseline), "{label}");
+        let stats = resumed.journal.clone().unwrap();
+        assert!(
+            stats.replayed <= baseline.compiled_tests as u64,
+            "{label}: never serves more than the item space"
+        );
+        if pre.reset {
+            assert_eq!(stats.replayed, 0, "{label}: a reset journal replays nothing");
+        }
+
+        // The healed journal is complete and sealed: a second resume
+        // replays everything and appends nothing.
+        let journal =
+            CampaignJournal::open_backend(Box::new(mem), fp, ShardSpec::whole()).unwrap();
+        assert_eq!(journal.len(), baseline.compiled_tests, "{label}");
+        assert!(journal.summary().is_some(), "{label}");
+    }
+}
+
+/// Backend fault sweep under live campaigns: seeded fault plans injected
+/// into the journal's backend (failed/torn appends, flipped reads, failed
+/// truncates, unreadable loads). Every seed either opens and runs to the
+/// byte-identical result (journaling degrades, the campaign does not), or
+/// refuses at open with a typed I/O error — and the surviving image always
+/// resumes clean.
+#[test]
+fn seeded_backend_faults_degrade_journaling_never_the_campaign() {
+    let (tests, config, fp, baseline, image) = reference();
+    let bounds = CampaignJournal::record_boundaries(&image);
+
+    let mut opened = 0u32;
+    let mut refused = 0u32;
+    for seed in 0u64..16 {
+        let cut = bounds[seed as usize % bounds.len()];
+        let inner = mem_with(image[..cut].to_vec());
+        let plan = if seed % 2 == 0 {
+            FaultPlan::seeded(seed)
+        } else {
+            FaultPlan::seeded_chaos(seed)
+        };
+        let faulty = FaultyBackend::new(inner.clone(), plan);
+        match CampaignJournal::open_backend(Box::new(faulty), fp, ShardSpec::whole()) {
+            Err(Error::Io(_)) => refused += 1,
+            Err(e) => panic!("seed {seed}: unexpected error class {e:?}"),
+            Ok(journal) => {
+                opened += 1;
+                let mut s = spec();
+                s.journal = Some(std::sync::Arc::new(journal));
+                let r = run_bounded(tests.clone(), s, config.clone());
+                assert_eq!(
+                    fingerprint(&r),
+                    fingerprint(&baseline),
+                    "seed {seed}: journal faults must not perturb the campaign"
+                );
+                let stats = r.journal.clone().unwrap();
+                if stats.read_only {
+                    assert!(
+                        stats.write_errors > 0,
+                        "seed {seed}: degradation is always counted"
+                    );
+                }
+            }
+        }
+
+        // Whatever the faulted run left behind, a fault-free reopen of the
+        // real backing image recovers a valid prefix and resumes to the
+        // same result — a corrupt journal is never served.
+        let journal =
+            CampaignJournal::open_backend(Box::new(inner), fp, ShardSpec::whole()).unwrap();
+        let mut s = spec();
+        s.journal = Some(std::sync::Arc::new(journal));
+        let r = run_bounded(tests.clone(), s, config.clone());
+        assert_eq!(fingerprint(&r), fingerprint(&baseline), "seed {seed}: post-chaos resume");
+    }
+    assert!(opened > 0, "the sweep must exercise live-campaign faults");
+
+    // The unreadable-load refusal, pinned explicitly — the seeded sweep
+    // arms `fail_load` only probabilistically.
+    let plan = FaultPlan {
+        fail_load: true,
+        ..FaultPlan::default()
+    };
+    let dead = FaultyBackend::new(mem_with(image.clone()), plan);
+    let r = CampaignJournal::open_backend(Box::new(dead), fp, ShardSpec::whole());
+    assert!(matches!(r, Err(Error::Io(_))), "{r:?}");
+    refused += 1;
+    assert!(refused > 0);
+}
+
+/// Merge chaos: every malformed shard set is a typed [`Error::Journal`]
+/// refusal — unsealed journals, duplicated or missing shards, foreign
+/// fingerprints, damaged headers. No panic, no silently wrong table.
+#[test]
+fn merge_refuses_malformed_shard_sets_with_typed_errors() {
+    let tests = suite();
+    let config = PipelineConfig::default();
+    let fp = campaign_fingerprint(0, &spec(), &config);
+    let baseline = run_campaign(&tests, &spec(), &config).unwrap();
+
+    let n = 2u32;
+    let mut backends = Vec::new();
+    for i in 0..n {
+        let shard = ShardSpec { index: i, count: n };
+        let mem = MemBackend::new();
+        let mut s = spec();
+        s.shard = Some(shard);
+        s.journal = Some(std::sync::Arc::new(
+            CampaignJournal::open_backend(Box::new(mem.clone()), fp, shard).unwrap(),
+        ));
+        run_campaign(&tests, &s, &config).unwrap();
+        backends.push(mem);
+    }
+    let open = |mem: &MemBackend| {
+        CampaignJournal::open_existing_backend(Box::new(mem.clone()), "mem").unwrap()
+    };
+
+    // The well-formed set merges to the unsharded table — the control cell.
+    let merged = merge_journals(&[open(&backends[0]), open(&backends[1])]).unwrap();
+    assert_eq!(fingerprint(&merged), fingerprint(&baseline));
+
+    let journal_err = |r: telechat_repro::common::Result<CampaignResult>, label: &str| {
+        assert!(matches!(r, Err(Error::Journal(_))), "{label}: {r:?}");
+    };
+    journal_err(merge_journals(&[]), "empty set");
+    journal_err(merge_journals(&[open(&backends[0])]), "missing shard");
+    journal_err(
+        merge_journals(&[open(&backends[0]), open(&backends[0])]),
+        "duplicate shard",
+    );
+
+    // A foreign fingerprint: same shape, different campaign.
+    let foreign = MemBackend::new();
+    {
+        let shard = ShardSpec { index: 1, count: n };
+        let mut s = spec();
+        s.shard = Some(shard);
+        s.journal = Some(std::sync::Arc::new(
+            CampaignJournal::open_backend(Box::new(foreign.clone()), fp ^ 1, shard).unwrap(),
+        ));
+        run_campaign(&tests, &s, &config).unwrap();
+    }
+    journal_err(
+        merge_journals(&[open(&backends[0]), open(&foreign)]),
+        "fingerprint mismatch",
+    );
+
+    // An unsealed shard: its image cut just before the summary record.
+    let image = backends[1].bytes().lock().unwrap().clone();
+    let bounds = CampaignJournal::record_boundaries(&image);
+    let unsealed = mem_with(image[..bounds[bounds.len() - 2]].to_vec());
+    journal_err(
+        merge_journals(&[open(&backends[0]), open(&unsealed)]),
+        "unsealed shard",
+    );
+
+    // A damaged header is refused at adoption time, before any merge.
+    let mut broken = image.clone();
+    broken[3] ^= 0xff;
+    let r = CampaignJournal::open_existing_backend(Box::new(mem_with(broken)), "mem");
+    assert!(matches!(r, Err(Error::Journal(_))), "{r:?}");
+}

@@ -187,8 +187,7 @@ fn campaign_on_tiny_suite_is_deterministic() {
         source_model: "rc11".into(),
         threads: 2,
         cache: true,
-        store: None,
-        metrics: false,
+        ..CampaignSpec::default()
     };
     let config = PipelineConfig::default();
     let a = run_campaign(&suite, &spec, &config).unwrap();

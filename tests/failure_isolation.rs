@@ -85,8 +85,7 @@ fn spec(threads: usize, compilers: Vec<CompilerId>, opts: Vec<OptLevel>) -> Camp
         source_model: "rc11".into(),
         threads,
         cache: true,
-        store: None,
-        metrics: false,
+        ..CampaignSpec::default()
     }
 }
 

@@ -189,8 +189,7 @@ fn fixed_seed_campaigns_are_byte_identical_across_thread_counts() {
             source_model: "rc11".into(),
             threads: campaign_threads,
             cache: true,
-            store: None,
-            metrics: false,
+            ..CampaignSpec::default()
         };
         let mut config = PipelineConfig::default();
         config.sim.threads = sim_threads;

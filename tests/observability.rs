@@ -28,8 +28,8 @@ fn spec(threads: usize, metrics: bool) -> CampaignSpec {
         source_model: "rc11".into(),
         threads,
         cache: true,
-        store: None,
         metrics,
+        ..CampaignSpec::default()
     }
 }
 

@@ -81,7 +81,7 @@ fn spec(threads: usize, store: Option<Arc<PersistStore>>) -> CampaignSpec {
         threads,
         cache: true,
         store,
-        metrics: false,
+        ..CampaignSpec::default()
     }
 }
 
@@ -96,7 +96,7 @@ fn small_spec(store: Option<Arc<PersistStore>>) -> CampaignSpec {
         threads: 1,
         cache: true,
         store,
-        metrics: false,
+        ..CampaignSpec::default()
     }
 }
 
